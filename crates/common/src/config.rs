@@ -1,0 +1,172 @@
+//! Runtime configuration.
+//!
+//! [`SsiConfig`] exposes the memory-bounding and optimization knobs the paper
+//! describes: fixed-size predicate-lock and committed-transaction tables (§6),
+//! granularity-promotion thresholds (§5.2.1), and switches for the commit-ordering
+//! (§3.3.1) and read-only (§4) optimizations so the benchmarks can run the
+//! "SSI (no r/o opt.)" series from Figures 4 and 5.
+
+use std::time::Duration;
+
+/// Tuning knobs for the SSI core and the SIREAD lock manager.
+#[derive(Clone, Debug)]
+pub struct SsiConfig {
+    /// Soft cap on SIREAD locks a single transaction may hold before the lock
+    /// manager starts promoting its fine-grained locks to coarser granularity
+    /// (PostgreSQL: `max_pred_locks_per_transaction`).
+    pub max_predicate_locks_per_txn: usize,
+    /// If a transaction holds more than this many tuple locks on one heap page, they
+    /// are promoted to a single page lock.
+    pub promote_tuple_threshold: usize,
+    /// If a transaction holds more than this many page locks on one relation, they
+    /// are promoted to a single relation lock.
+    pub promote_page_threshold: usize,
+    /// Capacity of the committed-transaction table. When exceeded, the oldest
+    /// committed transaction is *summarized*: its SIREAD locks are consolidated onto
+    /// the dummy "old committed" owner and its conflict-out information moves to the
+    /// serial overflow table (paper §6.2).
+    pub max_committed_sxacts: usize,
+    /// Number of in-RAM pages of the serial overflow table (the SLRU analog). Older
+    /// pages are spilled to the simulated disk backing store, giving the table
+    /// effectively unlimited capacity with bounded RAM (paper §6.2).
+    pub serial_ram_pages: usize,
+    /// Apply the commit-ordering optimization (paper §3.3.1): a dangerous structure
+    /// only forces an abort if T3 committed first. Disabling reproduces "plain"
+    /// Cahill-style SSI for ablation.
+    pub enable_commit_ordering_opt: bool,
+    /// Apply the read-only snapshot ordering rule (paper §4.1, Theorem 3) and safe
+    /// snapshots (§4.2). The Figure 4/5 "SSI (no r/o opt.)" series disables this.
+    pub enable_read_only_opt: bool,
+    /// How long a deferrable transaction waits between safe-snapshot attempts before
+    /// re-sampling (it is woken eagerly on state changes; this bounds the sleep).
+    pub deferrable_retry_interval: Duration,
+    /// Maximum time to wait on another transaction's row lock or S2PL lock before
+    /// giving up with [`crate::Error::LockTimeout`]. Deadlock detection usually
+    /// fires far earlier; the timeout is a backstop.
+    pub lock_wait_timeout: Duration,
+}
+
+impl Default for SsiConfig {
+    fn default() -> Self {
+        SsiConfig {
+            max_predicate_locks_per_txn: 4096,
+            promote_tuple_threshold: 16,
+            promote_page_threshold: 64,
+            max_committed_sxacts: 1024,
+            serial_ram_pages: 8,
+            enable_commit_ordering_opt: true,
+            enable_read_only_opt: true,
+            deferrable_retry_interval: Duration::from_millis(10),
+            lock_wait_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+impl SsiConfig {
+    /// Configuration with the read-only optimizations disabled, used by the
+    /// "SSI (no r/o opt.)" benchmark series.
+    pub fn without_read_only_opt() -> Self {
+        SsiConfig {
+            enable_read_only_opt: false,
+            ..SsiConfig::default()
+        }
+    }
+
+    /// A deliberately tiny configuration that forces promotion and summarization on
+    /// small workloads; used by memory-pressure tests.
+    pub fn tiny() -> Self {
+        SsiConfig {
+            max_predicate_locks_per_txn: 8,
+            promote_tuple_threshold: 2,
+            promote_page_threshold: 2,
+            max_committed_sxacts: 4,
+            serial_ram_pages: 1,
+            ..SsiConfig::default()
+        }
+    }
+}
+
+/// Simulated I/O cost model.
+///
+/// The paper's disk-bound configuration (Figure 5b) exists to show that when I/O
+/// dominates, SSI's CPU overhead stops mattering. We reproduce the effect by
+/// charging a synthetic latency for buffer-cache misses against a configurable
+/// cache size (see DESIGN.md §2 for the substitution rationale).
+#[derive(Clone, Debug)]
+pub struct IoModel {
+    /// Latency charged for a heap-page cache miss. `Duration::ZERO` disables the
+    /// model (the "in-memory"/tmpfs configuration).
+    pub miss_latency: Duration,
+    /// Number of heap pages the simulated buffer cache holds.
+    pub cache_pages: usize,
+}
+
+impl IoModel {
+    /// No I/O cost: the in-memory (tmpfs) configuration from §8.1/§8.2.
+    pub fn in_memory() -> IoModel {
+        IoModel {
+            miss_latency: Duration::ZERO,
+            cache_pages: usize::MAX,
+        }
+    }
+
+    /// Disk-bound configuration: cache misses pay `miss_latency`.
+    pub fn disk_bound(miss_latency: Duration, cache_pages: usize) -> IoModel {
+        IoModel {
+            miss_latency,
+            cache_pages,
+        }
+    }
+
+    /// Whether the model ever charges latency.
+    pub fn is_noop(&self) -> bool {
+        self.miss_latency.is_zero()
+    }
+}
+
+impl Default for IoModel {
+    fn default() -> Self {
+        IoModel::in_memory()
+    }
+}
+
+/// Top-level engine configuration.
+#[derive(Clone, Debug, Default)]
+pub struct EngineConfig {
+    /// SSI / lock-manager tuning.
+    pub ssi: SsiConfig,
+    /// Simulated I/O model.
+    pub io: IoModel,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_enables_both_optimizations() {
+        let c = SsiConfig::default();
+        assert!(c.enable_commit_ordering_opt);
+        assert!(c.enable_read_only_opt);
+    }
+
+    #[test]
+    fn no_ro_opt_config() {
+        let c = SsiConfig::without_read_only_opt();
+        assert!(!c.enable_read_only_opt);
+        assert!(c.enable_commit_ordering_opt);
+    }
+
+    #[test]
+    fn tiny_config_is_small() {
+        let c = SsiConfig::tiny();
+        assert!(c.max_committed_sxacts <= 4);
+        assert!(c.promote_tuple_threshold <= 2);
+    }
+
+    #[test]
+    fn io_model_noop_detection() {
+        assert!(IoModel::in_memory().is_noop());
+        assert!(!IoModel::disk_bound(Duration::from_micros(50), 100).is_noop());
+    }
+}

@@ -1,0 +1,167 @@
+//! Error types.
+//!
+//! The error surface deliberately mirrors what a PostgreSQL client sees: a
+//! *serialization failure* (SQLSTATE 40001) that the application should retry, a
+//! *deadlock detected* (40P01) under the S2PL baseline, unique violations, and a
+//! handful of usage errors. The [`SerializationKind`] enum records *why* SSI or SI
+//! aborted a transaction, which the benchmarks and tests use to attribute aborts.
+
+use std::fmt;
+
+use crate::ids::TxnId;
+
+/// Everything the engine can fail with.
+#[derive(Clone, PartialEq, Eq)]
+pub enum Error {
+    /// The transaction must be aborted to preserve serializability (SQLSTATE 40001).
+    /// Always safe to retry (paper §5.4 discusses making retry *useful*).
+    SerializationFailure {
+        /// What triggered the failure.
+        kind: SerializationKind,
+        /// Human-readable detail.
+        detail: String,
+    },
+    /// Deadlock detected while waiting for a lock (S2PL baseline or row-lock waits).
+    Deadlock {
+        /// The transaction chosen as the deadlock victim.
+        victim: TxnId,
+    },
+    /// Unique-constraint violation on insert.
+    DuplicateKey {
+        /// Name of the violated index.
+        index: String,
+    },
+    /// A write was attempted in a transaction declared `READ ONLY`.
+    ReadOnlyTransaction,
+    /// Referenced table does not exist.
+    NoSuchTable(String),
+    /// Referenced index does not exist.
+    NoSuchIndex(String),
+    /// Referenced row/savepoint/prepared-transaction does not exist.
+    NotFound(String),
+    /// The transaction is in a state that forbids the operation (e.g. already
+    /// committed, already doomed, prepared).
+    InvalidState(String),
+    /// Lock wait exceeded the configured timeout.
+    LockTimeout,
+    /// Configuration or usage error.
+    Misuse(String),
+}
+
+impl Error {
+    /// True for errors that a retry loop should transparently retry: serialization
+    /// failures and deadlocks (both map onto PostgreSQL's retryable SQLSTATEs).
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            Error::SerializationFailure { .. } | Error::Deadlock { .. }
+        )
+    }
+
+    /// Convenience constructor for serialization failures.
+    pub fn serialization(kind: SerializationKind, detail: impl Into<String>) -> Error {
+        Error::SerializationFailure {
+            kind,
+            detail: detail.into(),
+        }
+    }
+}
+
+/// Why a transaction was aborted for serializability reasons.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum SerializationKind {
+    /// Snapshot-isolation first-updater-wins: a concurrent transaction updated the
+    /// same tuple and committed ("could not serialize access due to concurrent
+    /// update").
+    WriteConflict,
+    /// SSI dangerous structure: this transaction was the pivot (had both an
+    /// rw-antidependency in and out).
+    PivotAbort,
+    /// SSI dangerous structure: pivot could not be chosen (e.g. prepared/committed),
+    /// so a non-pivot participant was aborted.
+    NonPivotAbort,
+    /// Conflict against summarized committed-transaction state (paper §6.2): the
+    /// precise participants are unknown, so the active transaction is aborted.
+    SummaryConflict,
+    /// The transaction was marked for death (doomed) by a conflict check performed
+    /// by *another* transaction, and noticed it at its next operation or commit.
+    Doomed,
+}
+
+impl fmt::Display for SerializationKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            SerializationKind::WriteConflict => "concurrent update",
+            SerializationKind::PivotAbort => "pivot in dangerous structure",
+            SerializationKind::NonPivotAbort => "dangerous structure (non-pivot victim)",
+            SerializationKind::SummaryConflict => "conflict with summarized transaction",
+            SerializationKind::Doomed => "cancelled on conflict out/in",
+        };
+        f.write_str(s)
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::SerializationFailure { kind, detail } => {
+                write!(
+                    f,
+                    "could not serialize access ({kind}): {detail} \
+                     [retry the transaction]"
+                )
+            }
+            Error::Deadlock { victim } => write!(f, "deadlock detected; victim {victim:?}"),
+            Error::DuplicateKey { index } => {
+                write!(f, "duplicate key value violates unique index {index:?}")
+            }
+            Error::ReadOnlyTransaction => {
+                write!(f, "cannot execute write in a read-only transaction")
+            }
+            Error::NoSuchTable(t) => write!(f, "relation {t:?} does not exist"),
+            Error::NoSuchIndex(i) => write!(f, "index {i:?} does not exist"),
+            Error::NotFound(w) => write!(f, "{w} not found"),
+            Error::InvalidState(w) => write!(f, "invalid transaction state: {w}"),
+            Error::LockTimeout => write!(f, "lock wait timeout exceeded"),
+            Error::Misuse(w) => write!(f, "misuse: {w}"),
+        }
+    }
+}
+
+impl fmt::Debug for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Workspace-wide result alias.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retryability() {
+        assert!(Error::serialization(SerializationKind::WriteConflict, "t").is_retryable());
+        assert!(Error::Deadlock { victim: TxnId(3) }.is_retryable());
+        assert!(!Error::NoSuchTable("x".into()).is_retryable());
+        assert!(!Error::DuplicateKey { index: "i".into() }.is_retryable());
+    }
+
+    #[test]
+    fn display_mentions_retry_for_serialization_failures() {
+        let e = Error::serialization(SerializationKind::PivotAbort, "T2 pivot");
+        let s = e.to_string();
+        assert!(s.contains("could not serialize access"));
+        assert!(s.contains("retry"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_e: &dyn std::error::Error) {}
+        takes_err(&Error::LockTimeout);
+    }
+}

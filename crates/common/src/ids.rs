@@ -1,0 +1,167 @@
+//! Identifier newtypes used across the engine.
+//!
+//! All identifiers are plain integers wrapped in newtypes so they cannot be mixed up.
+//! `TxnId` and `CommitSeqNo` mirror PostgreSQL's `TransactionId` and the commit
+//! sequence numbers that the SSI patch introduced (`SerCommitSeqNo`): commit sequence
+//! numbers define the "committed before" partial order that both the dangerous
+//! structure check and the read-only optimizations depend on (paper §4.1, §5.3).
+
+use std::fmt;
+
+/// A transaction identifier ("xid").
+///
+/// Assigned from a global counter when a transaction (or subtransaction created by a
+/// savepoint, see paper §7.3) first needs one. `TxnId::INVALID` (0) is never assigned;
+/// `TxnId::FROZEN` (1) stamps bootstrap data that is visible to every snapshot,
+/// mirroring PostgreSQL's `FrozenTransactionId`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TxnId(pub u64);
+
+impl TxnId {
+    /// Sentinel for "no transaction"; used e.g. for an unset `xmax`.
+    pub const INVALID: TxnId = TxnId(0);
+    /// Bootstrap/loader transaction id: always considered committed and visible.
+    pub const FROZEN: TxnId = TxnId(1);
+    /// First id handed out to a real transaction.
+    pub const FIRST_NORMAL: TxnId = TxnId(2);
+
+    /// Whether this is a real (assigned) transaction id.
+    #[inline]
+    pub fn is_valid(self) -> bool {
+        self != TxnId::INVALID
+    }
+
+    /// Whether this is the frozen bootstrap id.
+    #[inline]
+    pub fn is_frozen(self) -> bool {
+        self == TxnId::FROZEN
+    }
+}
+
+impl fmt::Debug for TxnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "xid:{}", self.0)
+    }
+}
+
+impl fmt::Display for TxnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// A commit sequence number ("CSN").
+///
+/// Strictly increasing; one is assigned to every transaction at the instant it
+/// commits, under the same lock that publishes the commit, so CSN order *is* commit
+/// order. A [`crate::Snapshot`] records the CSN frontier at the time it was taken,
+/// which lets the SSI core answer "did T commit before this snapshot?" in O(1)
+/// (paper §4.1: Theorem 3 turns on exactly this comparison).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CommitSeqNo(pub u64);
+
+impl CommitSeqNo {
+    /// Sentinel meaning "not committed" / "no conflict recorded".
+    pub const INVALID: CommitSeqNo = CommitSeqNo(0);
+    /// First CSN assigned to a real commit.
+    pub const FIRST: CommitSeqNo = CommitSeqNo(1);
+    /// Greater than every assignable CSN; used as the identity for `min()` folds.
+    pub const MAX: CommitSeqNo = CommitSeqNo(u64::MAX);
+
+    /// Whether a CSN has actually been assigned.
+    #[inline]
+    pub fn is_valid(self) -> bool {
+        self != CommitSeqNo::INVALID
+    }
+}
+
+impl fmt::Debug for CommitSeqNo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if *self == CommitSeqNo::MAX {
+            write!(f, "csn:MAX")
+        } else {
+            write!(f, "csn:{}", self.0)
+        }
+    }
+}
+
+/// A relation (table or index) identifier, unique across the database.
+///
+/// Heap relations and index relations draw from the same id space, as in PostgreSQL,
+/// so a [`crate::LockTarget`] unambiguously names either kind.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RelId(pub u32);
+
+impl fmt::Debug for RelId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rel:{}", self.0)
+    }
+}
+
+/// A page number within a relation.
+///
+/// Both the MVCC heap and the B+-tree index are page-structured so that
+/// page-granularity predicate locks (paper §5.2.1) are meaningful.
+pub type PageNo = u32;
+
+/// A slot (line) number within a heap page.
+pub type SlotNo = u16;
+
+/// Physical address of a heap tuple version: `(page, slot)` within its relation.
+///
+/// Mirrors PostgreSQL's `ItemPointer` ("ctid"). Tuple-granularity SIREAD locks are
+/// keyed by physical location, which is why DDL statements that move tuples must
+/// promote those locks to relation granularity (paper §5.2.1).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TupleId {
+    /// Heap page number.
+    pub page: PageNo,
+    /// Slot within the page.
+    pub slot: SlotNo,
+}
+
+impl TupleId {
+    /// Construct a tuple id from page and slot.
+    #[inline]
+    pub fn new(page: PageNo, slot: SlotNo) -> Self {
+        TupleId { page, slot }
+    }
+}
+
+impl fmt::Debug for TupleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({},{})", self.page, self.slot)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn txn_id_sentinels_are_distinct_and_ordered() {
+        assert!(!TxnId::INVALID.is_valid());
+        assert!(TxnId::FROZEN.is_valid());
+        assert!(TxnId::FROZEN.is_frozen());
+        assert!(!TxnId::FIRST_NORMAL.is_frozen());
+        assert!(TxnId::INVALID < TxnId::FROZEN);
+        assert!(TxnId::FROZEN < TxnId::FIRST_NORMAL);
+    }
+
+    #[test]
+    fn csn_sentinels() {
+        assert!(!CommitSeqNo::INVALID.is_valid());
+        assert!(CommitSeqNo::FIRST.is_valid());
+        assert!(CommitSeqNo::FIRST < CommitSeqNo::MAX);
+        assert_eq!(format!("{:?}", CommitSeqNo::MAX), "csn:MAX");
+        assert_eq!(format!("{:?}", CommitSeqNo(7)), "csn:7");
+    }
+
+    #[test]
+    fn tuple_id_ordering_is_page_major() {
+        let a = TupleId::new(1, 60000);
+        let b = TupleId::new(2, 0);
+        assert!(a < b);
+        assert_eq!(format!("{:?}", a), "(1,60000)");
+    }
+}

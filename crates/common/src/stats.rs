@@ -1,0 +1,84 @@
+//! Lightweight concurrent counters.
+//!
+//! The SSI core, lock managers, and benchmark harnesses all report activity through
+//! [`Counter`]s gathered into named snapshots. Counters are padded-free relaxed
+//! atomics: they are monotone event counts, never synchronization.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A monotonically increasing event counter, safe to bump from any thread.
+#[derive(Default, Debug)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// New counter at zero.
+    pub const fn new() -> Counter {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Add one.
+    #[inline]
+    pub fn bump(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Add `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    /// Reset to zero (benchmark warmup boundaries).
+    pub fn reset(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
+}
+
+impl Clone for Counter {
+    fn clone(&self) -> Self {
+        Counter(AtomicU64::new(self.get()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bump_add_get_reset() {
+        let c = Counter::new();
+        c.bump();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        c.reset();
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn concurrent_bumps_are_not_lost() {
+        let c = Counter::new();
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for _ in 0..1000 {
+                        c.bump();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 8000);
+    }
+
+    #[test]
+    fn clone_copies_value() {
+        let c = Counter::new();
+        c.add(3);
+        assert_eq!(c.clone().get(), 3);
+    }
+}

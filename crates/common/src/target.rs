@@ -1,0 +1,148 @@
+//! Predicate-lock targets.
+//!
+//! The SSI lock manager (and the S2PL baseline, which reuses its index-range scheme)
+//! keys locks by a *target*: a relation, a page of a relation, or a single tuple
+//! (paper §5.2.1). Index-gap locks use `Page` targets on the index relation; heap
+//! locks use all three granularities. `Relation` is the coarsest granularity and the
+//! promotion destination for both space-saving promotion (§6) and DDL promotion
+//! (§5.2.1).
+
+use crate::ids::{PageNo, RelId, SlotNo, TupleId};
+
+/// Identifies the object a predicate (SIREAD) lock covers.
+///
+/// Targets form a three-level hierarchy; [`LockTarget::parent`] walks one level up.
+/// Writers check for conflicting read locks coarsest-first (`Relation`, then `Page`,
+/// then `Tuple`), which is what makes intention locks unnecessary (paper §5.2.1).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, PartialOrd, Ord)]
+pub enum LockTarget {
+    /// The whole relation (heap table or index).
+    Relation(RelId),
+    /// One page of a relation. For B+-tree indexes this is a leaf page and covers
+    /// the key gaps on that page (phantom protection).
+    Page(RelId, PageNo),
+    /// One heap tuple, identified by physical location.
+    Tuple(RelId, PageNo, SlotNo),
+}
+
+impl LockTarget {
+    /// Build a tuple-granularity target from a relation and tuple id.
+    #[inline]
+    pub fn tuple(rel: RelId, tid: TupleId) -> LockTarget {
+        LockTarget::Tuple(rel, tid.page, tid.slot)
+    }
+
+    /// The relation this target belongs to.
+    #[inline]
+    pub fn relation(&self) -> RelId {
+        match *self {
+            LockTarget::Relation(r) | LockTarget::Page(r, _) | LockTarget::Tuple(r, _, _) => r,
+        }
+    }
+
+    /// The next coarser target, or `None` for relation-granularity targets.
+    #[inline]
+    pub fn parent(&self) -> Option<LockTarget> {
+        match *self {
+            LockTarget::Relation(_) => None,
+            LockTarget::Page(r, _) => Some(LockTarget::Relation(r)),
+            LockTarget::Tuple(r, p, _) => Some(LockTarget::Page(r, p)),
+        }
+    }
+
+    /// All targets a write to this (finest-granularity) object must check, ordered
+    /// coarsest to finest, e.g. for a tuple write:
+    /// `[Relation, Page, Tuple]` (paper §5.2.1: "these checks must be done in the
+    /// proper order: coarsest to finest").
+    pub fn check_chain(&self) -> Vec<LockTarget> {
+        let mut chain = vec![*self];
+        let mut cur = *self;
+        while let Some(p) = cur.parent() {
+            chain.push(p);
+            cur = p;
+        }
+        chain.reverse();
+        chain
+    }
+
+    /// True if `self` covers `other` (same target, or a coarser target on the same
+    /// relation/page).
+    pub fn covers(&self, other: &LockTarget) -> bool {
+        match (*self, *other) {
+            (a, b) if a == b => true,
+            (LockTarget::Relation(r), b) => b.relation() == r,
+            (LockTarget::Page(r, p), LockTarget::Tuple(r2, p2, _)) => r == r2 && p == p2,
+            _ => false,
+        }
+    }
+
+    /// Granularity rank: 0 = relation (coarsest), 2 = tuple (finest).
+    #[inline]
+    pub fn granularity(&self) -> u8 {
+        match self {
+            LockTarget::Relation(_) => 0,
+            LockTarget::Page(..) => 1,
+            LockTarget::Tuple(..) => 2,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const R: RelId = RelId(7);
+
+    #[test]
+    fn parent_chain_walks_to_relation() {
+        let t = LockTarget::Tuple(R, 3, 9);
+        assert_eq!(t.parent(), Some(LockTarget::Page(R, 3)));
+        assert_eq!(t.parent().unwrap().parent(), Some(LockTarget::Relation(R)));
+        assert_eq!(LockTarget::Relation(R).parent(), None);
+    }
+
+    #[test]
+    fn check_chain_is_coarse_to_fine() {
+        let t = LockTarget::Tuple(R, 3, 9);
+        assert_eq!(
+            t.check_chain(),
+            vec![
+                LockTarget::Relation(R),
+                LockTarget::Page(R, 3),
+                LockTarget::Tuple(R, 3, 9)
+            ]
+        );
+        assert_eq!(
+            LockTarget::Page(R, 4).check_chain(),
+            vec![LockTarget::Relation(R), LockTarget::Page(R, 4)]
+        );
+    }
+
+    #[test]
+    fn covers_relation_page_tuple() {
+        let rel = LockTarget::Relation(R);
+        let page = LockTarget::Page(R, 3);
+        let tup = LockTarget::Tuple(R, 3, 9);
+        let other_page_tuple = LockTarget::Tuple(R, 4, 0);
+        assert!(rel.covers(&page));
+        assert!(rel.covers(&tup));
+        assert!(page.covers(&tup));
+        assert!(!page.covers(&other_page_tuple));
+        assert!(!tup.covers(&page));
+        assert!(!LockTarget::Relation(RelId(8)).covers(&tup));
+        assert!(tup.covers(&tup));
+    }
+
+    #[test]
+    fn granularity_ranks() {
+        assert_eq!(LockTarget::Relation(R).granularity(), 0);
+        assert_eq!(LockTarget::Page(R, 1).granularity(), 1);
+        assert_eq!(LockTarget::Tuple(R, 1, 1).granularity(), 2);
+    }
+
+    #[test]
+    fn tuple_constructor_matches_fields() {
+        let tid = TupleId::new(5, 11);
+        assert_eq!(LockTarget::tuple(R, tid), LockTarget::Tuple(R, 5, 11));
+    }
+}

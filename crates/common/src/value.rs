@@ -1,0 +1,199 @@
+//! Typed row values and keys.
+//!
+//! Rows are flat tuples of [`Value`]s; index keys are projections of row columns
+//! (`Vec<Value>` compared lexicographically), which is enough to express composite
+//! keys like TPC-C's `(w_id, d_id, o_id)` without a full type system.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A single column value.
+///
+/// The variant order defines cross-type ordering (`Null < Bool < Int < Text`), but
+/// well-formed schemas never compare values of different types; the cross-type rule
+/// only exists so that `Key` can implement `Ord` totally.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub enum Value {
+    /// SQL NULL. Sorts before everything, equal to itself (index semantics, not SQL
+    /// three-valued logic; the engine does not implement `NULL != NULL`).
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// 64-bit signed integer.
+    Int(i64),
+    /// UTF-8 string.
+    Text(String),
+}
+
+impl Value {
+    /// Convenience constructor for text values.
+    pub fn text(s: impl Into<String>) -> Value {
+        Value::Text(s.into())
+    }
+
+    /// Returns the integer payload, or `None` for other variants.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Returns the boolean payload, or `None` for other variants.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Returns the text payload, or `None` for other variants.
+    pub fn as_text(&self) -> Option<&str> {
+        match self {
+            Value::Text(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn type_rank(&self) -> u8 {
+        match self {
+            Value::Null => 0,
+            Value::Bool(_) => 1,
+            Value::Int(_) => 2,
+            Value::Text(_) => 3,
+        }
+    }
+}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match (self, other) {
+            (Value::Null, Value::Null) => Ordering::Equal,
+            (Value::Bool(a), Value::Bool(b)) => a.cmp(b),
+            (Value::Int(a), Value::Int(b)) => a.cmp(b),
+            (Value::Text(a), Value::Text(b)) => a.cmp(b),
+            _ => self.type_rank().cmp(&other.type_rank()),
+        }
+    }
+}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl fmt::Debug for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "NULL"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Text(s) => write!(f, "{s:?}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::Int(v as i64)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Text(v.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Text(v)
+    }
+}
+
+/// A stored row: a flat tuple of column values.
+pub type Row = Vec<Value>;
+
+/// An index key: an ordered projection of row columns, compared lexicographically.
+pub type Key = Vec<Value>;
+
+/// Build a [`Row`] (or [`Key`]) from anything convertible to [`Value`].
+///
+/// ```
+/// use pgssi_common::{row, Value};
+/// let r = row![1, "alice", true];
+/// assert_eq!(r[1], Value::text("alice"));
+/// ```
+#[macro_export]
+macro_rules! row {
+    ($($v:expr),* $(,)?) => {
+        vec![$($crate::Value::from($v)),*]
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_type_ordering() {
+        assert!(Value::Int(1) < Value::Int(2));
+        assert!(Value::text("a") < Value::text("b"));
+        assert!(Value::Bool(false) < Value::Bool(true));
+    }
+
+    #[test]
+    fn cross_type_ordering_is_total() {
+        let vals = [
+            Value::Null,
+            Value::Bool(true),
+            Value::Int(-5),
+            Value::text("x"),
+        ];
+        for (i, a) in vals.iter().enumerate() {
+            for (j, b) in vals.iter().enumerate() {
+                assert_eq!(a.cmp(b), i.cmp(&j), "{a:?} vs {b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn composite_key_ordering_is_lexicographic() {
+        let a: Key = row![1, 10];
+        let b: Key = row![1, 11];
+        let c: Key = row![2, 0];
+        assert!(a < b);
+        assert!(b < c);
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::Int(7).as_int(), Some(7));
+        assert_eq!(Value::Bool(true).as_bool(), Some(true));
+        assert_eq!(Value::text("hi").as_text(), Some("hi"));
+        assert_eq!(Value::Null.as_int(), None);
+        assert_eq!(Value::Int(7).as_text(), None);
+    }
+
+    #[test]
+    fn row_macro_builds_values() {
+        let r = row![42, "name", false];
+        assert_eq!(
+            r,
+            vec![Value::Int(42), Value::text("name"), Value::Bool(false)]
+        );
+    }
+}

@@ -1,0 +1,1133 @@
+//! The SSI runtime: conflict flagging, dangerous-structure detection, safe-retry
+//! victim selection, read-only optimizations, cleanup, and summarization.
+//!
+//! This is the Rust analog of PostgreSQL's `predicate.c`. One mutex guards the
+//! transaction graph (PostgreSQL uses `SerializableXactHashLock` much the same
+//! way); the SIREAD lock table has its own lock and is always acquired *after*
+//! the graph lock, never the reverse.
+//!
+//! ## Where conflicts come from (paper §5.2)
+//!
+//! * **Write then read**: MVCC visibility checks already see the writer's xid in
+//!   the tuple header; the storage layer reports [`VisEvent`]s which the engine
+//!   forwards to [`SsiManager::on_mvcc_events`].
+//! * **Read then write**: writers call [`SsiManager::on_write`], which probes the
+//!   SIREAD table coarse-to-fine and flags an edge for every holder.
+//!
+//! ## When aborts happen (paper §3.3.1, §4.1, §5.4)
+//!
+//! Every flagged edge and every pre-commit runs the dangerous-structure check
+//! `T1 –rw→ T2 –rw→ T3`, filtered by the commit-ordering optimization (`T3` must
+//! have committed first) and the read-only rule (read-only `T1` requires `T3` to
+//! have committed before `T1`'s snapshot — Theorem 3). Victims follow the safe
+//! retry rules: nothing is aborted until `T3` commits; prefer the pivot `T2`;
+//! never abort a prepared transaction.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::time::{Duration, Instant};
+
+use parking_lot::{Condvar, Mutex};
+use pgssi_common::stats::Counter;
+use pgssi_common::{CommitSeqNo, Error, LockTarget, Result, SerializationKind, SsiConfig, TxnId};
+use pgssi_lockmgr::siread::SireadLockManager;
+use pgssi_storage::clog::{CommitLog, TxnStatus};
+use pgssi_storage::visibility::VisEvent;
+
+use crate::serial::SerialTable;
+use crate::sxact::{Phase, Sxact, SxactId};
+use crate::twophase::PreparedSsi;
+
+/// Whether a read-only transaction's snapshot has been proven safe (§4.2).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SafetyState {
+    /// Proven safe: SIREAD locks dropped, no abort risk.
+    Safe,
+    /// Proven unsafe: continues under full SSI tracking.
+    Unsafe,
+    /// Concurrent read/write transactions are still running.
+    Pending,
+}
+
+/// Event counters exposed for benchmarks and tests.
+#[derive(Default)]
+pub struct SsiStats {
+    /// rw-antidependency edges flagged.
+    pub conflicts_flagged: Counter,
+    /// Dangerous structures that met the abort conditions.
+    pub dangerous_structures: Counter,
+    /// Serialization failures returned to the acting transaction.
+    pub aborts_self: Counter,
+    /// Other transactions marked for death (doomed).
+    pub doomed_set: Counter,
+    /// Aborts due to conflicts against summarized state (§6.2).
+    pub summary_aborts: Counter,
+    /// Read-only transactions that began on an immediately safe snapshot.
+    pub safe_immediate: Counter,
+    /// Read-only transactions whose snapshot was later proven safe.
+    pub safe_established: Counter,
+    /// Read-only transactions whose snapshot was proven unsafe.
+    pub unsafe_snapshots: Counter,
+    /// Committed transactions summarized under memory pressure.
+    pub summarized: Counter,
+    /// Committed transactions freed by horizon cleanup (§6.1).
+    pub cleaned: Counter,
+}
+
+struct SsiState {
+    sxacts: HashMap<SxactId, Sxact>,
+    by_txid: HashMap<TxnId, SxactId>,
+    next_id: u64,
+    /// Committed, retained records in commit order (front = oldest).
+    committed: VecDeque<SxactId>,
+    /// Active + prepared records.
+    active: HashSet<SxactId>,
+}
+
+/// Cheap env-gated tracing for debugging conflict detection (`PGSSI_TRACE=1`).
+macro_rules! trace {
+    ($($arg:tt)*) => {
+        if *TRACE {
+            eprintln!($($arg)*);
+        }
+    };
+}
+
+static TRACE: std::sync::LazyLock<bool> =
+    std::sync::LazyLock::new(|| std::env::var_os("PGSSI_TRACE").is_some());
+
+/// The serializable-transaction manager (PostgreSQL's `predicate.c` state).
+pub struct SsiManager {
+    config: SsiConfig,
+    siread: SireadLockManager,
+    serial: SerialTable,
+    state: Mutex<SsiState>,
+    safety_cv: Condvar,
+    /// Event counters.
+    pub stats: SsiStats,
+}
+
+impl SsiManager {
+    /// New manager with the given configuration.
+    pub fn new(config: SsiConfig) -> SsiManager {
+        SsiManager {
+            siread: SireadLockManager::new(config.clone()),
+            serial: SerialTable::new(config.serial_ram_pages),
+            config,
+            state: Mutex::new(SsiState {
+                sxacts: HashMap::new(),
+                by_txid: HashMap::new(),
+                next_id: 1, // 0 is the dummy old-committed owner
+                committed: VecDeque::new(),
+                active: HashSet::new(),
+            }),
+            safety_cv: Condvar::new(),
+            stats: SsiStats::default(),
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &SsiConfig {
+        &self.config
+    }
+
+    /// The SIREAD lock manager (diagnostics and tests).
+    pub fn siread(&self) -> &SireadLockManager {
+        &self.siread
+    }
+
+    /// The serial overflow table (diagnostics and tests).
+    pub fn serial(&self) -> &SerialTable {
+        &self.serial
+    }
+
+    // ------------------------------------------------------------------
+    // Lifecycle
+    // ------------------------------------------------------------------
+
+    /// Register a serializable transaction. `acquire_snapshot` runs **under the
+    /// graph lock** and must take the transaction's MVCC snapshot; holding the
+    /// lock guarantees that no commit (and in particular no horizon cleanup or
+    /// summarization, §6) can slip between the snapshot and the registration —
+    /// otherwise a concurrent committed transaction's record could be freed
+    /// while this transaction still needs its conflict data.
+    ///
+    /// For declared read-only transactions (with the read-only optimization
+    /// enabled), records the set of concurrent read/write serializable
+    /// transactions whose commits decide snapshot safety (§4.2). If there are
+    /// none, the snapshot is immediately safe and the transaction runs with no
+    /// SSI overhead at all.
+    pub fn begin(
+        &self,
+        txid: TxnId,
+        acquire_snapshot: impl FnOnce() -> CommitSeqNo,
+        declared_read_only: bool,
+        deferrable: bool,
+    ) -> SxactId {
+        let mut st = self.state.lock();
+        let snapshot_csn = acquire_snapshot();
+        let id = SxactId(st.next_id);
+        st.next_id += 1;
+        let mut sx = Sxact::new(id, txid, snapshot_csn, declared_read_only, deferrable);
+        if declared_read_only && self.config.enable_read_only_opt {
+            let rw: Vec<SxactId> = st
+                .active
+                .iter()
+                .filter(|a| !st.sxacts[a].declared_read_only)
+                .copied()
+                .collect();
+            if rw.is_empty() {
+                sx.ro_safe = true;
+                self.stats.safe_immediate.bump();
+            } else {
+                for w in &rw {
+                    st.sxacts.get_mut(w).unwrap().ro_trackers.insert(id);
+                }
+                sx.possible_unsafe = rw.into_iter().collect();
+            }
+        }
+        let needs_locks = !sx.ro_safe;
+        st.active.insert(id);
+        st.by_txid.insert(txid, id);
+        st.sxacts.insert(id, sx);
+        if needs_locks {
+            // Registered under the graph lock, like all owner transitions.
+            self.siread.register_owner(id.0);
+        }
+        id
+    }
+
+    /// Register a subtransaction id (savepoint, §7.3) as an alias of `sx`:
+    /// MVCC conflict events naming the subxid resolve to the parent's record.
+    pub fn register_subxid(&self, sx: SxactId, subxid: TxnId) {
+        let mut st = self.state.lock();
+        if let Some(x) = st.sxacts.get_mut(&sx) {
+            x.alias_txids.push(subxid);
+            st.by_txid.insert(subxid, sx);
+        }
+    }
+
+    /// Return [`Error::SerializationFailure`] if another transaction marked this
+    /// one for death (§5.4). The engine calls this at every operation and aborts
+    /// the transaction on error.
+    pub fn check_doomed(&self, sx: SxactId) -> Result<()> {
+        let st = self.state.lock();
+        match st.sxacts.get(&sx) {
+            Some(x) if x.is_doomed() => Err(Error::serialization(
+                SerializationKind::Doomed,
+                format!("{:?} was chosen as a serialization-failure victim", x.txid),
+            )),
+            _ => Ok(()),
+        }
+    }
+
+    /// Take SIREAD locks for a read (relation/page/tuple targets as appropriate
+    /// for the access path). No-op for transactions on safe snapshots.
+    ///
+    /// The acquisition happens under the graph lock so that it serializes with
+    /// a concurrent safe-snapshot determination (which drops this owner's locks
+    /// and stops its tracking, §4.2): afterwards we either hold the lock and
+    /// are not yet safe, or are safe and hold nothing.
+    pub fn on_read(&self, sx: SxactId, targets: &[LockTarget]) {
+        let st = self.state.lock();
+        match st.sxacts.get(&sx) {
+            Some(x) if !x.ro_safe => {}
+            _ => return,
+        }
+        for t in targets {
+            self.siread.acquire(sx.0, *t);
+        }
+    }
+
+    /// [`SsiManager::on_read`] for transactions *not* declared read-only: they
+    /// can never become RO-safe, so the safety check (and its graph-lock
+    /// acquisition) is unnecessary — only the SIREAD table is touched. This is
+    /// the hot path for every read in a read/write serializable transaction.
+    pub fn on_read_rw(&self, sx: SxactId, targets: &[LockTarget]) {
+        for t in targets {
+            self.siread.acquire(sx.0, *t);
+        }
+    }
+
+    /// Process write-before-read conflicts discovered by MVCC visibility checks
+    /// (§5.2): each event names a writer whose update this reader did not see.
+    pub fn on_mvcc_events(&self, sx: SxactId, events: &[VisEvent], clog: &CommitLog) -> Result<()> {
+        if events.is_empty() {
+            return Ok(());
+        }
+        let mut st = self.state.lock();
+        let Some(me) = st.sxacts.get(&sx) else {
+            return Ok(());
+        };
+        if me.ro_safe {
+            return Ok(()); // safe snapshot: no tracking, no abort risk (§4.2)
+        }
+        if me.is_doomed() {
+            return Err(Error::serialization(
+                SerializationKind::Doomed,
+                "doomed transaction continued reading",
+            ));
+        }
+        let my_snapshot = me.snapshot_csn;
+        let mut seen: HashSet<TxnId> = HashSet::new();
+        for ev in events {
+            let w = ev.writer();
+            if !seen.insert(w) {
+                continue;
+            }
+            if let Some(&wid) = st.by_txid.get(&w) {
+                if wid == sx {
+                    continue;
+                }
+                let wx = &st.sxacts[&wid];
+                if wx.phase == Phase::Aborted || wx.is_doomed() {
+                    trace!("mvcc event {sx:?} -> writer {w:?} skipped (aborted/doomed)");
+                    continue;
+                }
+                // A writer that committed before our snapshot is not concurrent;
+                // its lingering record is not a conflict.
+                if let Some(wc) = wx.commit_csn {
+                    if wc < my_snapshot {
+                        trace!("mvcc event {sx:?} -> writer {w:?} skipped (pre-snapshot)");
+                        continue;
+                    }
+                }
+                self.flag_conflict(&mut st, sx, wid, sx)?;
+            } else {
+                // No record: the writer committed long ago, was summarized, or was
+                // not serializable. Only a concurrent committed serializable
+                // writer matters.
+                let TxnStatus::Committed(wcsn) = clog.status(w) else {
+                    continue;
+                };
+                if wcsn < my_snapshot {
+                    continue;
+                }
+                let Some(e) = self.serial.lookup(w) else {
+                    continue; // non-serializable writer
+                };
+                self.conflict_out_to_summarized(&mut st, sx, wcsn, e)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Edge to a summarized committed writer `W` (`me –rw→ W`), with `e` = W's
+    /// earliest out-conflict commit from the serial table (§6.2).
+    fn conflict_out_to_summarized(
+        &self,
+        st: &mut SsiState,
+        sx: SxactId,
+        w_commit: CommitSeqNo,
+        e: CommitSeqNo,
+    ) -> Result<()> {
+        self.stats.conflicts_flagged.bump();
+        {
+            let me = st.sxacts.get_mut(&sx).unwrap();
+            me.summary_conflict_out = true;
+            me.earliest_out_conflict_commit = me.earliest_out_conflict_commit.min(w_commit);
+        }
+        let me = &st.sxacts[&sx];
+        // Structure A': t1 = me, t2 = W (committed), t3 from the serial table.
+        // Conservative conditions (slightly stricter than PostgreSQL's
+        // `e < my snapshot`; see DESIGN.md): t3 committed first (e < W's commit)
+        // and, if the read-only rule applies to me, e < my snapshot.
+        if e != CommitSeqNo::MAX && e.is_valid() {
+            let commit_order_ok = !self.config.enable_commit_ordering_opt || e < w_commit;
+            let ro_ok = !(self.config.enable_read_only_opt && me.is_read_only())
+                || e < me.snapshot_csn;
+            if commit_order_ok && ro_ok {
+                // t2 and t3 both committed: the only possible victim is me (§5.4
+                // rule 3 — and retrying is safe, since both are committed).
+                self.stats.dangerous_structures.bump();
+                self.stats.summary_aborts.bump();
+                self.stats.aborts_self.bump();
+                return Err(Error::serialization(
+                    SerializationKind::SummaryConflict,
+                    "conflict out to an old pivot (summarized transaction)",
+                ));
+            }
+        }
+        // Structure B: t2 = me (pivot), t3 = W committed at w_commit.
+        self.check_pivot_in(st, sx, None, Some(w_commit), sx)
+    }
+
+    /// Process a write: check SIREAD locks coarse-to-fine for read-before-write
+    /// conflicts (§5.2.1). `written_tuple` enables the write-lock-drop
+    /// optimization — a transaction that writes a tuple may drop its own SIREAD
+    /// lock on it, except inside a subtransaction (§7.3).
+    pub fn on_write(
+        &self,
+        sx: SxactId,
+        chain: &[LockTarget],
+        written_tuple: Option<LockTarget>,
+        in_subtransaction: bool,
+    ) -> Result<()> {
+        let check = self.siread.conflicting_holders(chain, sx.0);
+        trace!("on_write {:?} chain={:?} holders={:?}", sx, chain, check.owners);
+        let mut st = self.state.lock();
+        {
+            let Some(me) = st.sxacts.get_mut(&sx) else {
+                return Ok(());
+            };
+            if me.is_doomed() {
+                return Err(Error::serialization(
+                    SerializationKind::Doomed,
+                    "doomed transaction attempted a write",
+                ));
+            }
+            me.wrote = true;
+        }
+        let my_snapshot = st.sxacts[&sx].snapshot_csn;
+        for holder in check.owners {
+            let hid = SxactId(holder);
+            let Some(h) = st.sxacts.get(&hid) else { continue };
+            if hid == sx || h.phase == Phase::Aborted || h.is_doomed() {
+                continue;
+            }
+            // Reader committed before our snapshot: not concurrent.
+            if let Some(hc) = h.commit_csn {
+                if hc < my_snapshot {
+                    continue;
+                }
+            }
+            self.flag_conflict(&mut st, hid, sx, sx)?;
+        }
+        if let Some(c) = check.old_committed_csn {
+            if c >= my_snapshot {
+                // A summarized reader was concurrent with us: T1 exists but its
+                // identity is lost (§6.2). Flag it and check the pivot structure
+                // with t1 = "some transaction that committed at or before c".
+                self.stats.conflicts_flagged.bump();
+                let me = st.sxacts.get_mut(&sx).unwrap();
+                me.summary_conflict_in = true;
+                let me = &st.sxacts[&sx];
+                let e = me.earliest_out_conflict_commit;
+                let has_out = !me.out_conflicts.is_empty()
+                    || me.summary_conflict_out
+                    || e != CommitSeqNo::MAX;
+                let dangerous = if self.config.enable_commit_ordering_opt {
+                    // t3 must have committed before t1 (bounded above by c) and
+                    // before me (uncommitted → unbounded).
+                    e != CommitSeqNo::MAX && e < c
+                } else {
+                    has_out
+                };
+                if dangerous {
+                    self.stats.dangerous_structures.bump();
+                    self.stats.summary_aborts.bump();
+                    self.stats.aborts_self.bump();
+                    return Err(Error::serialization(
+                        SerializationKind::SummaryConflict,
+                        "identified as pivot against a summarized reader",
+                    ));
+                }
+            }
+        }
+        let allow_drop = !in_subtransaction && !st.sxacts[&sx].ro_safe;
+        drop(st);
+        if allow_drop {
+            if let Some(t) = written_tuple {
+                self.siread.release_target(sx.0, t);
+            }
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Conflict flagging and dangerous-structure checks
+    // ------------------------------------------------------------------
+
+    /// Record `reader –rw→ writer` and run the failure checks. `acting` is the
+    /// transaction performing the current operation; if it must die, an error is
+    /// returned (other victims are doomed in place).
+    fn flag_conflict(
+        &self,
+        st: &mut SsiState,
+        reader: SxactId,
+        writer: SxactId,
+        acting: SxactId,
+    ) -> Result<()> {
+        if reader == writer {
+            return Ok(());
+        }
+        let new_edge = !st.sxacts[&reader].out_conflicts.contains(&writer);
+        if new_edge {
+            let writer_commit = st.sxacts[&writer].commit_csn;
+            let r = st.sxacts.get_mut(&reader).unwrap();
+            r.out_conflicts.insert(writer);
+            if let Some(wc) = writer_commit {
+                r.earliest_out_conflict_commit = r.earliest_out_conflict_commit.min(wc);
+            }
+            st.sxacts.get_mut(&writer).unwrap().in_conflicts.insert(reader);
+            self.stats.conflicts_flagged.bump();
+            trace!(
+                "edge {:?}(txid {:?}) -rw-> {:?}(txid {:?}) acting={:?}",
+                reader,
+                st.sxacts[&reader].txid,
+                writer,
+                st.sxacts[&writer].txid,
+                acting
+            );
+        }
+        // Structure A: writer is the pivot (t1 = reader, t2 = writer, t3 = some
+        // committed out-conflict of the writer).
+        self.check_pivot_out(st, reader, writer, acting)?;
+        // Structure B: reader is the pivot (t1 ∈ reader's in-conflicts,
+        // t2 = reader, t3 = writer).
+        let t3_csn = st.sxacts[&writer].commit_or_prepare_csn();
+        self.check_pivot_in(st, reader, Some(writer), t3_csn, acting)?;
+        Ok(())
+    }
+
+    /// Structure A: is `t2` a pivot with a committed out-conflict, completing a
+    /// dangerous structure with the (new) in-edge from `t1`?
+    fn check_pivot_out(
+        &self,
+        st: &mut SsiState,
+        t1: SxactId,
+        t2: SxactId,
+        acting: SxactId,
+    ) -> Result<()> {
+        let t2x = &st.sxacts[&t2];
+        let t1x = &st.sxacts[&t1];
+        let e = t2x.earliest_out_conflict_commit;
+        let dangerous = if self.config.enable_commit_ordering_opt {
+            // T3 must be the first of the three to commit (§3.3.1). The
+            // comparisons are non-strict because T1 and T3 may be the *same*
+            // transaction (2-cycles like write skew): then e == t1's CSN and
+            // the structure is still dangerous. Prepared-but-uncommitted
+            // transactions count as "not committed yet" (bound = ∞): their
+            // prepare CSN is only a lower bound on the eventual commit.
+            let t1_bound = t1x.commit_csn.unwrap_or(CommitSeqNo::MAX);
+            let t2_bound = t2x.commit_csn.unwrap_or(CommitSeqNo::MAX);
+            e != CommitSeqNo::MAX && e <= t1_bound && e <= t2_bound
+        } else {
+            !t2x.out_conflicts.is_empty()
+                || t2x.summary_conflict_out
+                || e != CommitSeqNo::MAX
+        };
+        if !dangerous {
+            return Ok(());
+        }
+        // Read-only rule (Theorem 3): a read-only T1 is only part of an anomaly
+        // if T3 committed before T1's snapshot.
+        if self.config.enable_read_only_opt
+            && t1x.is_read_only()
+            && !(e != CommitSeqNo::MAX && e < t1x.snapshot_csn)
+        {
+            return Ok(());
+        }
+        self.stats.dangerous_structures.bump();
+        self.resolve_failure(st, Some(t1), t2, acting)
+    }
+
+    /// Structure B: is `t2` a pivot whose out-edge reaches a committed `t3`?
+    /// Iterates `t2`'s in-conflicts (plus the summarized-in flag) as T1
+    /// candidates. `t3` is `None` when T3 is a summarized transaction.
+    fn check_pivot_in(
+        &self,
+        st: &mut SsiState,
+        t2: SxactId,
+        t3: Option<SxactId>,
+        t3_csn: Option<CommitSeqNo>,
+        acting: SxactId,
+    ) -> Result<()> {
+        if self.config.enable_commit_ordering_opt && t3_csn.is_none() {
+            // Nothing to do until T3 commits (safe-retry rule 1, §5.4); the
+            // pre-commit check on T3 handles it.
+            return Ok(());
+        }
+        let t2x = &st.sxacts[&t2];
+        if let (Some(c), Some(t2_commit)) = (t3_csn, t2x.commit_csn) {
+            if self.config.enable_commit_ordering_opt && c > t2_commit {
+                return Ok(()); // T2 committed before T3: T3 is not first
+            }
+        }
+        let mut candidates: Vec<Option<SxactId>> =
+            t2x.in_conflicts.iter().map(|&x| Some(x)).collect();
+        if t2x.summary_conflict_in {
+            candidates.push(None); // summarized T1: commit time unknown, not RO
+        }
+        for t1 in candidates {
+            if t1 == t3 && t1.is_some() {
+                // The same transaction can legitimately be both T1 and T3
+                // (2-cycles like write skew) — but then the edge pair is
+                // (t3 → t2, t2 → t3); here t1 == t3 means the in-edge *is* from
+                // t3 itself, which still forms the 2-cycle. Keep checking.
+            }
+            let dangerous = match t1 {
+                Some(t1id) => {
+                    let t1x = &st.sxacts[&t1id];
+                    // Non-strict: T1 may be T3 itself (2-cycles). Prepared
+                    // counts as uncommitted (see check_pivot_out).
+                    let t1_bound = t1x.commit_csn.unwrap_or(CommitSeqNo::MAX);
+                    let commit_order_ok = if self.config.enable_commit_ordering_opt {
+                        t3_csn.map(|c| c <= t1_bound).unwrap_or(false)
+                    } else {
+                        true
+                    };
+                    let ro_ok = if self.config.enable_read_only_opt && t1x.is_read_only() {
+                        t3_csn.map(|c| c < t1x.snapshot_csn).unwrap_or(false)
+                    } else {
+                        true
+                    };
+                    commit_order_ok && ro_ok
+                }
+                // Summarized T1: conservatively dangerous (identity and commit
+                // time lost; cannot apply either optimization).
+                None => true,
+            };
+            if dangerous {
+                self.stats.dangerous_structures.bump();
+                self.resolve_failure(st, t1, t2, acting)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Safe-retry victim selection (§5.4): prefer the pivot `t2`; fall back to
+    /// `t1`; if neither can be aborted (committed or prepared), the acting
+    /// transaction dies. Victims other than the acting transaction are doomed in
+    /// place and discover it at their next operation.
+    fn resolve_failure(
+        &self,
+        st: &mut SsiState,
+        t1: Option<SxactId>,
+        t2: SxactId,
+        acting: SxactId,
+    ) -> Result<()> {
+        if st.sxacts[&t2].is_abortable() {
+            if t2 == acting {
+                self.stats.aborts_self.bump();
+                return Err(Error::serialization(
+                    SerializationKind::PivotAbort,
+                    "this transaction is the pivot of a dangerous structure",
+                ));
+            }
+            st.sxacts[&t2].doom();
+            self.stats.doomed_set.bump();
+            return Ok(());
+        }
+        if let Some(t1id) = t1 {
+            if st.sxacts[&t1id].is_abortable() {
+                if t1id == acting {
+                    self.stats.aborts_self.bump();
+                    return Err(Error::serialization(
+                        SerializationKind::NonPivotAbort,
+                        "pivot already committed/prepared; aborting the reader",
+                    ));
+                }
+                st.sxacts[&t1id].doom();
+                self.stats.doomed_set.bump();
+                return Ok(());
+            }
+        }
+        self.stats.aborts_self.bump();
+        Err(Error::serialization(
+            SerializationKind::NonPivotAbort,
+            "all other participants committed or prepared; aborting self",
+        ))
+    }
+
+    // ------------------------------------------------------------------
+    // Commit and abort
+    // ------------------------------------------------------------------
+
+    /// Pre-commit serialization check (§5.4): if this transaction is the T3 of a
+    /// dangerous structure of uncommitted transactions, it is about to become
+    /// the first committer, so the pivot must be aborted now (or, failing that,
+    /// this transaction). Also re-checks this transaction as a pivot. On success
+    /// the transaction becomes *prepared*: it can no longer be chosen as a
+    /// victim (mirroring PostgreSQL's marking during commit processing and
+    /// PREPARE TRANSACTION, §7.1). `frontier` is the current commit-sequence
+    /// frontier, recorded as a conservative bound on the eventual commit CSN.
+    pub fn precommit(&self, sx: SxactId, frontier: CommitSeqNo) -> Result<()> {
+        let mut st = self.state.lock();
+        {
+            let me = &st.sxacts[&sx];
+            if me.is_doomed() {
+                self.stats.aborts_self.bump();
+                return Err(Error::serialization(
+                    SerializationKind::Doomed,
+                    "doomed transaction reached commit",
+                ));
+            }
+        }
+        // Role T3: structures t1 → t2 → me where neither t1 nor t2 committed.
+        let t2s: Vec<SxactId> = st.sxacts[&sx].in_conflicts.iter().copied().collect();
+        for t2 in t2s {
+            let t2x = &st.sxacts[&t2];
+            if t2x.is_committed() || t2x.is_doomed() || t2x.phase == Phase::Aborted {
+                continue;
+            }
+            let mut candidates: Vec<Option<SxactId>> =
+                t2x.in_conflicts.iter().map(|&x| Some(x)).collect();
+            if t2x.summary_conflict_in {
+                candidates.push(None);
+            }
+            let dangerous_t1s: Vec<Option<SxactId>> = candidates
+                .into_iter()
+                .filter(|t1| match t1 {
+                    Some(t1id) => {
+                        let t1x = &st.sxacts[t1id];
+                        // T1 already committed → I would not be the first
+                        // committer of the structure.
+                        if t1x.is_committed() {
+                            return false;
+                        }
+                        // Read-only rule: I am committing *now*, after T1's
+                        // snapshot, so a read-only T1 cannot complete a cycle.
+                        !(self.config.enable_read_only_opt && t1x.is_read_only())
+                    }
+                    None => true, // summarized T1: conservative
+                })
+                .collect();
+            if dangerous_t1s.is_empty() {
+                continue;
+            }
+            self.stats.dangerous_structures.bump();
+            // Preferred victim: the pivot — one abort kills every structure
+            // through it (§5.4 rule 2).
+            if st.sxacts[&t2].is_abortable() {
+                st.sxacts[&t2].doom();
+                self.stats.doomed_set.bump();
+                continue;
+            }
+            // Pivot is prepared (§7.1): each dangerous T1 must die instead —
+            // and if one of them is me, I am the victim.
+            for t1 in dangerous_t1s {
+                match t1 {
+                    Some(t1id) if t1id == sx => {
+                        self.stats.aborts_self.bump();
+                        return Err(Error::serialization(
+                            SerializationKind::NonPivotAbort,
+                            "pivot is prepared; committing T3 is also its T1",
+                        ));
+                    }
+                    Some(t1id) if st.sxacts[&t1id].is_abortable() => {
+                        st.sxacts[&t1id].doom();
+                        self.stats.doomed_set.bump();
+                    }
+                    _ => {
+                        // Summarized or unabortable T1 with an unabortable
+                        // pivot: only I can yield.
+                        self.stats.aborts_self.bump();
+                        return Err(Error::serialization(
+                            SerializationKind::NonPivotAbort,
+                            "dangerous structure with no abortable participant but me",
+                        ));
+                    }
+                }
+            }
+        }
+        // Role T2 (defense in depth; normally caught at edge creation): my own
+        // in+out pair with a committed T3.
+        {
+            let me = &st.sxacts[&sx];
+            let e = me.earliest_out_conflict_commit;
+            if e != CommitSeqNo::MAX {
+                let mut candidates: Vec<Option<SxactId>> =
+                    me.in_conflicts.iter().map(|&x| Some(x)).collect();
+                if me.summary_conflict_in {
+                    candidates.push(None);
+                }
+                for t1 in candidates {
+                    let dangerous = match t1 {
+                        Some(t1id) => {
+                            let t1x = &st.sxacts[&t1id];
+                            // Non-strict: T1 may be T3 itself (2-cycles).
+                            let t1_bound = t1x.commit_csn.unwrap_or(CommitSeqNo::MAX);
+                            let co = !self.config.enable_commit_ordering_opt || e <= t1_bound;
+                            let ro = !(self.config.enable_read_only_opt && t1x.is_read_only())
+                                || e < t1x.snapshot_csn;
+                            co && ro
+                        }
+                        None => true,
+                    };
+                    if dangerous {
+                        self.stats.dangerous_structures.bump();
+                        self.stats.aborts_self.bump();
+                        return Err(Error::serialization(
+                            SerializationKind::PivotAbort,
+                            "pivot with committed out-conflict detected at commit",
+                        ));
+                    }
+                }
+            }
+        }
+        let me = st.sxacts.get_mut(&sx).unwrap();
+        me.phase = Phase::Prepared;
+        me.prepare_csn = Some(frontier);
+        trace!(
+            "precommit ok {:?}(txid {:?}) in={:?} out={:?} e={:?}",
+            sx,
+            me.txid,
+            me.in_conflicts,
+            me.out_conflicts,
+            me.earliest_out_conflict_commit
+        );
+        Ok(())
+    }
+
+    /// Finalize a commit. `assign_csn` runs under the graph lock (it should
+    /// perform the actual transaction-manager commit), so that no conflict can
+    /// be flagged between the commit becoming visible and the graph learning the
+    /// commit CSN.
+    pub fn commit(&self, sx: SxactId, assign_csn: impl FnOnce() -> CommitSeqNo) -> CommitSeqNo {
+        let mut st = self.state.lock();
+        let csn = assign_csn();
+        {
+            let me = st.sxacts.get_mut(&sx).unwrap();
+            debug_assert!(
+                me.phase == Phase::Prepared,
+                "commit without precommit/prepare"
+            );
+            me.phase = Phase::Committed;
+            me.commit_csn = Some(csn);
+        }
+        st.active.remove(&sx);
+        // Our commit fixes the CSN of every in-source's out-conflict to us.
+        let in_sources: Vec<SxactId> = st.sxacts[&sx].in_conflicts.iter().copied().collect();
+        for s in in_sources {
+            if let Some(sx2) = st.sxacts.get_mut(&s) {
+                sx2.earliest_out_conflict_commit = sx2.earliest_out_conflict_commit.min(csn);
+            }
+        }
+        // Read-only safety resolution (§4.2): each read-only transaction watching
+        // us now learns whether we committed with a conflict out to something
+        // before its snapshot.
+        let trackers: Vec<SxactId> = st
+            .sxacts
+            .get_mut(&sx)
+            .unwrap()
+            .ro_trackers
+            .drain()
+            .collect();
+        let my_earliest = st.sxacts[&sx].earliest_out_conflict_commit;
+        for r in trackers {
+            self.resolve_ro_tracking(&mut st, r, sx, Some(my_earliest));
+        }
+        // If we were a read-only transaction still being tracked, unhook.
+        let watched: Vec<SxactId> = st
+            .sxacts
+            .get_mut(&sx)
+            .unwrap()
+            .possible_unsafe
+            .drain()
+            .collect();
+        for w in watched {
+            if let Some(wx) = st.sxacts.get_mut(&w) {
+                wx.ro_trackers.remove(&sx);
+            }
+        }
+        trace!("commit {:?} csn={:?}", sx, csn);
+        st.committed.push_back(sx);
+        self.cleanup_locked(&mut st);
+        self.maybe_summarize_locked(&mut st);
+        drop(st);
+        self.safety_cv.notify_all();
+        csn
+    }
+
+    /// Abort: remove the record and its edges, release its SIREAD locks, and
+    /// resolve read-only tracking (an aborted writer cannot make a snapshot
+    /// unsafe).
+    pub fn abort(&self, sx: SxactId) {
+        let mut st = self.state.lock();
+        let Some(mut me) = st.sxacts.remove(&sx) else {
+            return;
+        };
+        me.phase = Phase::Aborted;
+        st.active.remove(&sx);
+        st.by_txid.remove(&me.txid);
+        for a in &me.alias_txids {
+            st.by_txid.remove(a);
+        }
+        for o in &me.out_conflicts {
+            if let Some(ox) = st.sxacts.get_mut(o) {
+                ox.in_conflicts.remove(&sx);
+            }
+        }
+        for i in &me.in_conflicts {
+            if let Some(ix) = st.sxacts.get_mut(i) {
+                ix.out_conflicts.remove(&sx);
+            }
+        }
+        for w in me.possible_unsafe.drain() {
+            if let Some(wx) = st.sxacts.get_mut(&w) {
+                wx.ro_trackers.remove(&sx);
+            }
+        }
+        let trackers: Vec<SxactId> = me.ro_trackers.drain().collect();
+        for r in trackers {
+            self.resolve_ro_tracking(&mut st, r, sx, None);
+        }
+        self.cleanup_locked(&mut st);
+        drop(st);
+        self.siread.release_owner(sx.0);
+        self.safety_cv.notify_all();
+    }
+
+    /// A read/write transaction `w` finished; update read-only transaction `r`'s
+    /// safety bookkeeping. `w_earliest` is `Some(earliest out-conflict CSN)` if
+    /// `w` committed, `None` if it aborted.
+    fn resolve_ro_tracking(
+        &self,
+        st: &mut SsiState,
+        r: SxactId,
+        w: SxactId,
+        w_earliest: Option<CommitSeqNo>,
+    ) {
+        let Some(rx) = st.sxacts.get(&r) else { return };
+        let r_snapshot = rx.snapshot_csn;
+        let made_unsafe = match w_earliest {
+            Some(e) => e != CommitSeqNo::MAX && e < r_snapshot,
+            None => false,
+        };
+        let rx = st.sxacts.get_mut(&r).unwrap();
+        rx.possible_unsafe.remove(&w);
+        if made_unsafe {
+            if !rx.ro_unsafe {
+                rx.ro_unsafe = true;
+                self.stats.unsafe_snapshots.bump();
+            }
+            let rest: Vec<SxactId> = rx.possible_unsafe.drain().collect();
+            for other in rest {
+                if let Some(ox) = st.sxacts.get_mut(&other) {
+                    ox.ro_trackers.remove(&r);
+                }
+            }
+        } else if st.sxacts[&r].possible_unsafe.is_empty() && !st.sxacts[&r].ro_unsafe {
+            let rx = st.sxacts.get_mut(&r).unwrap();
+            if !rx.ro_safe {
+                rx.ro_safe = true;
+                self.stats.safe_established.bump();
+                // Safe: drop SIREAD locks; no further SSI overhead (§4.2).
+                self.siread.release_owner(r.0);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Safe snapshots and deferrable transactions (§4.2–4.3)
+    // ------------------------------------------------------------------
+
+    /// Current safety state of a read-only transaction's snapshot.
+    pub fn snapshot_safety(&self, sx: SxactId) -> SafetyState {
+        let st = self.state.lock();
+        match st.sxacts.get(&sx) {
+            Some(x) if x.ro_safe => SafetyState::Safe,
+            Some(x) if x.ro_unsafe => SafetyState::Unsafe,
+            Some(_) => SafetyState::Pending,
+            None => SafetyState::Unsafe,
+        }
+    }
+
+    /// Block until the snapshot is proven safe or unsafe (deferrable
+    /// transactions, §4.3), or until `timeout` elapses (returns `Pending`).
+    pub fn wait_for_safety(&self, sx: SxactId, timeout: Duration) -> SafetyState {
+        let deadline = Instant::now() + timeout;
+        let mut st = self.state.lock();
+        loop {
+            let state = match st.sxacts.get(&sx) {
+                Some(x) if x.ro_safe => SafetyState::Safe,
+                Some(x) if x.ro_unsafe => SafetyState::Unsafe,
+                Some(_) => SafetyState::Pending,
+                None => SafetyState::Unsafe,
+            };
+            if state != SafetyState::Pending {
+                return state;
+            }
+            if self.safety_cv.wait_until(&mut st, deadline).timed_out() {
+                return SafetyState::Pending;
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Two-phase commit (§7.1)
+    // ------------------------------------------------------------------
+
+    /// PREPARE TRANSACTION: run the pre-commit check, then persist the SSI state
+    /// that must survive a crash (the SIREAD locks; the dependency graph is
+    /// deliberately not persisted — recovery assumes conflicts both ways).
+    pub fn prepare(&self, sx: SxactId, frontier: CommitSeqNo) -> Result<PreparedSsi> {
+        self.precommit(sx, frontier)?;
+        let st = self.state.lock();
+        let me = &st.sxacts[&sx];
+        Ok(PreparedSsi {
+            txid: me.txid,
+            snapshot_csn: me.snapshot_csn,
+            prepare_csn: me.prepare_csn.unwrap_or(frontier),
+            siread_locks: self.siread.held_targets(sx.0),
+            wrote: me.wrote,
+        })
+    }
+
+    /// Rebuild a prepared transaction after a crash. Its dependency edges are
+    /// unknown, so it is conservatively assumed to have rw-antidependencies both
+    /// in and out (§7.1); the recorded earliest out-conflict bound is its prepare
+    /// CSN (anything later cannot have committed first).
+    pub fn recover_prepared(&self, rec: &PreparedSsi) -> SxactId {
+        let mut st = self.state.lock();
+        let id = SxactId(st.next_id);
+        st.next_id += 1;
+        let mut sx = Sxact::new(id, rec.txid, rec.snapshot_csn, false, false);
+        sx.phase = Phase::Prepared;
+        sx.prepare_csn = Some(rec.prepare_csn);
+        sx.wrote = rec.wrote;
+        sx.summary_conflict_in = true;
+        sx.summary_conflict_out = true;
+        sx.earliest_out_conflict_commit = rec.prepare_csn;
+        st.active.insert(id);
+        st.by_txid.insert(rec.txid, id);
+        st.sxacts.insert(id, sx);
+        drop(st);
+        self.siread.register_owner(id.0);
+        for t in &rec.siread_locks {
+            self.siread.acquire(id.0, *t);
+        }
+        id
+    }
+
+    // ------------------------------------------------------------------
+    // Memory management (§6)
+    // ------------------------------------------------------------------
+
+    /// Free committed records older than every active transaction's snapshot
+    /// (§6.1): no active transaction can be concurrent with them, so neither
+    /// their locks nor their edges can matter again.
+    fn cleanup_locked(&self, st: &mut SsiState) {
+        let horizon = st
+            .active
+            .iter()
+            .map(|a| st.sxacts[a].snapshot_csn)
+            .min()
+            .unwrap_or(CommitSeqNo::MAX);
+        while let Some(&oldest) = st.committed.front() {
+            let done = match st.sxacts.get(&oldest) {
+                Some(x) => x.commit_csn.map(|c| c < horizon).unwrap_or(true),
+                None => true,
+            };
+            if !done {
+                break;
+            }
+            st.committed.pop_front();
+            self.drop_committed_record(st, oldest);
+            self.stats.cleaned.bump();
+        }
+        self.siread.drop_old_committed_before(horizon);
+        // §6.1: when only read-only transactions remain active, no committed
+        // transaction's SIREAD locks can ever be needed again (no one can write).
+        let any_rw_active = st
+            .active
+            .iter()
+            .any(|a| !st.sxacts[a].declared_read_only);
+        if !any_rw_active {
+            for c in st.committed.iter() {
+                self.siread.release_owner(c.0);
+            }
+        }
+    }
+
+    fn drop_committed_record(&self, st: &mut SsiState, id: SxactId) {
+        let Some(me) = st.sxacts.remove(&id) else { return };
+        st.by_txid.remove(&me.txid);
+        for a in &me.alias_txids {
+            st.by_txid.remove(a);
+        }
+        for o in &me.out_conflicts {
+            if let Some(ox) = st.sxacts.get_mut(o) {
+                ox.in_conflicts.remove(&id);
+            }
+        }
+        for i in &me.in_conflicts {
+            if let Some(ix) = st.sxacts.get_mut(i) {
+                ix.out_conflicts.remove(&id);
+                // Its commit CSN was already folded into the peer's
+                // earliest_out_conflict_commit at commit time.
+            }
+        }
+        self.siread.release_owner(id.0);
+    }
+
+    /// Summarize the oldest committed records once more than
+    /// `max_committed_sxacts` are retained (§6.2): locks consolidate onto the
+    /// dummy owner, the earliest out-conflict CSN goes to the serial table, and
+    /// edges degrade to summary flags on the surviving peers.
+    fn maybe_summarize_locked(&self, st: &mut SsiState) {
+        while st.committed.len() > self.config.max_committed_sxacts {
+            let Some(oldest) = st.committed.pop_front() else { break };
+            let Some(me) = st.sxacts.remove(&oldest) else { continue };
+            st.by_txid.remove(&me.txid);
+            let commit_csn = me.commit_csn.expect("summarizing an uncommitted record");
+            self.siread.consolidate_owner(oldest.0, commit_csn);
+            self.serial
+                .record(me.txid, me.earliest_out_conflict_commit);
+            // Subtransaction writes carry the subxid in tuple headers; record
+            // each alias so later MVCC lookups still find the conflict data.
+            for a in &me.alias_txids {
+                st.by_txid.remove(a);
+                self.serial.record(*a, me.earliest_out_conflict_commit);
+            }
+            for o in &me.out_conflicts {
+                if let Some(ox) = st.sxacts.get_mut(o) {
+                    ox.in_conflicts.remove(&oldest);
+                    ox.summary_conflict_in = true;
+                }
+            }
+            for i in &me.in_conflicts {
+                if let Some(ix) = st.sxacts.get_mut(i) {
+                    ix.out_conflicts.remove(&oldest);
+                    ix.summary_conflict_out = true;
+                }
+            }
+            for w in &me.possible_unsafe {
+                if let Some(wx) = st.sxacts.get_mut(w) {
+                    wx.ro_trackers.remove(&oldest);
+                }
+            }
+            self.stats.summarized.bump();
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Introspection (tests, benchmarks)
+    // ------------------------------------------------------------------
+
+    /// Number of active (and prepared) serializable transactions.
+    pub fn active_count(&self) -> usize {
+        self.state.lock().active.len()
+    }
+
+    /// Number of committed records currently retained.
+    pub fn committed_retained(&self) -> usize {
+        self.state.lock().committed.len()
+    }
+
+    /// Total transaction records (bounded-memory assertions).
+    pub fn record_count(&self) -> usize {
+        self.state.lock().sxacts.len()
+    }
+
+    /// Whether the given transaction id currently has a serializable record.
+    pub fn is_tracked(&self, txid: TxnId) -> bool {
+        self.state.lock().by_txid.contains_key(&txid)
+    }
+
+    /// The record's doomed flag (tests).
+    pub fn is_doomed(&self, sx: SxactId) -> bool {
+        self.state
+            .lock()
+            .sxacts
+            .get(&sx)
+            .map(|x| x.is_doomed())
+            .unwrap_or(false)
+    }
+
+    /// Shared handle to the record's doomed flag: the owning session polls it
+    /// per operation without taking the graph lock.
+    pub fn doomed_handle(&self, sx: SxactId) -> Option<std::sync::Arc<std::sync::atomic::AtomicBool>> {
+        self.state.lock().sxacts.get(&sx).map(|x| x.doomed.clone())
+    }
+}

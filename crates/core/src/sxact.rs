@@ -1,0 +1,211 @@
+//! Serializable-transaction records (`SERIALIZABLEXACT` in PostgreSQL).
+
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use pgssi_common::{CommitSeqNo, TxnId};
+
+/// Dense identifier of a serializable transaction record. Doubles as the SIREAD
+/// lock-manager owner id; `0` is reserved for the dummy old-committed owner.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SxactId(pub u64);
+
+impl std::fmt::Debug for SxactId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "sx:{}", self.0)
+    }
+}
+
+/// Phase of a serializable transaction.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Phase {
+    /// Running normally.
+    Active,
+    /// Passed the pre-commit check (or PREPARE TRANSACTION); can no longer be
+    /// chosen as an abort victim (§7.1).
+    Prepared,
+    /// Committed; record retained until cleanup/summarization.
+    Committed,
+    /// Rolled back; record removed promptly.
+    Aborted,
+}
+
+/// State tracked per serializable transaction (paper §5.3).
+#[derive(Debug)]
+pub struct Sxact {
+    /// Record id (and SIREAD owner id).
+    pub id: SxactId,
+    /// The transaction's top-level xid.
+    pub txid: TxnId,
+    /// Commit-sequence frontier at snapshot time: transactions with
+    /// `commit_csn < snapshot_csn` are visible to this transaction.
+    pub snapshot_csn: CommitSeqNo,
+    /// Assigned at commit.
+    pub commit_csn: Option<CommitSeqNo>,
+    /// Frontier at prepare time: a conservative lower bound on the eventual
+    /// commit CSN, used in ordering tests while the transaction is prepared.
+    pub prepare_csn: Option<CommitSeqNo>,
+    /// Lifecycle phase.
+    pub phase: Phase,
+    /// Marked for death by another transaction's conflict check (safe-retry
+    /// victim choice, §5.4); noticed at the next operation or commit. Shared
+    /// as an atomic so the owning session can poll it without the graph lock.
+    pub doomed: Arc<AtomicBool>,
+    /// Declared `BEGIN TRANSACTION READ ONLY`.
+    pub declared_read_only: bool,
+    /// Performed at least one write.
+    pub wrote: bool,
+    /// Wants to run only on a safe snapshot (§4.3).
+    pub deferrable: bool,
+    /// Proven to run on a safe snapshot: SIREAD locks dropped, no abort risk,
+    /// no further tracking (§4.2).
+    pub ro_safe: bool,
+    /// Snapshot proven unsafe; normal SSI tracking continues (§4.2).
+    pub ro_unsafe: bool,
+    /// Transactions with an rw-antidependency *into* this one (`T –rw→ me`:
+    /// T read a version this transaction replaced).
+    pub in_conflicts: HashSet<SxactId>,
+    /// Transactions this one has an rw-antidependency *out* to (`me –rw→ T`:
+    /// this transaction read a version T replaced).
+    pub out_conflicts: HashSet<SxactId>,
+    /// A summarized (§6.2) or cleaned-up transaction had an edge into this one;
+    /// precise identity lost, treated conservatively.
+    pub summary_conflict_in: bool,
+    /// This transaction has an edge out to a summarized transaction.
+    pub summary_conflict_out: bool,
+    /// Minimum commit CSN among committed out-conflict targets (including
+    /// summarized ones) — "the commit sequence number of the earliest committed
+    /// transaction to which it has a conflict out" (§6.1).
+    pub earliest_out_conflict_commit: CommitSeqNo,
+    /// Subtransaction ids writing on behalf of this transaction (savepoints,
+    /// §7.3). MVCC conflict events may name these ids; they alias to this
+    /// record.
+    pub alias_txids: Vec<TxnId>,
+    /// For read-only transactions: concurrent read/write transactions whose
+    /// commits must be observed before the snapshot can be declared safe (§4.2;
+    /// PostgreSQL's `possibleUnsafeConflicts`).
+    pub possible_unsafe: HashSet<SxactId>,
+    /// Mirror of `possible_unsafe`: read-only transactions watching this
+    /// read/write transaction.
+    pub ro_trackers: HashSet<SxactId>,
+}
+
+impl Sxact {
+    /// Fresh active record.
+    pub fn new(
+        id: SxactId,
+        txid: TxnId,
+        snapshot_csn: CommitSeqNo,
+        declared_read_only: bool,
+        deferrable: bool,
+    ) -> Sxact {
+        Sxact {
+            id,
+            txid,
+            snapshot_csn,
+            commit_csn: None,
+            prepare_csn: None,
+            phase: Phase::Active,
+            doomed: Arc::new(AtomicBool::new(false)),
+            declared_read_only,
+            wrote: false,
+            deferrable,
+            ro_safe: false,
+            ro_unsafe: false,
+            in_conflicts: HashSet::new(),
+            out_conflicts: HashSet::new(),
+            summary_conflict_in: false,
+            summary_conflict_out: false,
+            earliest_out_conflict_commit: CommitSeqNo::MAX,
+            alias_txids: Vec::new(),
+            possible_unsafe: HashSet::new(),
+            ro_trackers: HashSet::new(),
+        }
+    }
+
+    /// Read-only for the purposes of Theorem 3: declared so, or committed
+    /// without writing (§4.1).
+    pub fn is_read_only(&self) -> bool {
+        self.declared_read_only || (self.phase == Phase::Committed && !self.wrote)
+    }
+
+    /// Committed?
+    #[inline]
+    pub fn is_committed(&self) -> bool {
+        self.phase == Phase::Committed
+    }
+
+    /// Can this transaction still be chosen as an abort victim? Prepared and
+    /// committed transactions cannot (§7.1).
+    #[inline]
+    pub fn is_abortable(&self) -> bool {
+        self.phase == Phase::Active
+    }
+
+    /// Whether this transaction has been chosen as an abort victim.
+    #[inline]
+    pub fn is_doomed(&self) -> bool {
+        self.doomed.load(Ordering::Relaxed)
+    }
+
+    /// Mark as victim (§5.4).
+    #[inline]
+    pub fn doom(&self) {
+        self.doomed.store(true, Ordering::Relaxed);
+    }
+
+    /// Commit CSN if committed, else the prepare CSN if prepared (a conservative
+    /// lower bound on the eventual commit), else `None`.
+    pub fn commit_or_prepare_csn(&self) -> Option<CommitSeqNo> {
+        match self.phase {
+            Phase::Committed => self.commit_csn,
+            Phase::Prepared => self.prepare_csn,
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sx() -> Sxact {
+        Sxact::new(SxactId(1), TxnId(5), CommitSeqNo(3), false, false)
+    }
+
+    #[test]
+    fn new_sxact_is_active_and_clean() {
+        let s = sx();
+        assert_eq!(s.phase, Phase::Active);
+        assert!(s.is_abortable());
+        assert!(!s.is_read_only());
+        assert_eq!(s.earliest_out_conflict_commit, CommitSeqNo::MAX);
+    }
+
+    #[test]
+    fn read_only_rules() {
+        let mut s = sx();
+        assert!(!s.is_read_only());
+        s.declared_read_only = true;
+        assert!(s.is_read_only(), "declared RO counts immediately");
+
+        let mut s2 = sx();
+        s2.phase = Phase::Committed;
+        assert!(s2.is_read_only(), "committed without writes counts");
+        s2.wrote = true;
+        assert!(!s2.is_read_only());
+    }
+
+    #[test]
+    fn prepared_is_not_abortable_and_exposes_prepare_csn() {
+        let mut s = sx();
+        s.phase = Phase::Prepared;
+        s.prepare_csn = Some(CommitSeqNo(9));
+        assert!(!s.is_abortable());
+        assert_eq!(s.commit_or_prepare_csn(), Some(CommitSeqNo(9)));
+        s.phase = Phase::Committed;
+        s.commit_csn = Some(CommitSeqNo(12));
+        assert_eq!(s.commit_or_prepare_csn(), Some(CommitSeqNo(12)));
+    }
+}

@@ -1,0 +1,44 @@
+//! Two-phase-commit persistence for SSI state (paper §7.1).
+//!
+//! `PREPARE TRANSACTION` must survive a crash, so the prepared transaction's
+//! SIREAD locks are written out with it. Its dependency-graph edges are *not*
+//! persisted — "it isn't feasible to record that information in a crash-safe
+//! way" — so recovery conservatively assumes the transaction has
+//! rw-antidependencies both in and out.
+
+use pgssi_common::{CommitSeqNo, LockTarget, TxnId};
+
+/// Crash-safe record of a prepared serializable transaction.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PreparedSsi {
+    /// The prepared transaction's xid.
+    pub txid: TxnId,
+    /// Snapshot frontier, needed to re-evaluate concurrency after recovery.
+    pub snapshot_csn: CommitSeqNo,
+    /// Frontier at prepare time (lower bound on the eventual commit CSN).
+    pub prepare_csn: CommitSeqNo,
+    /// All SIREAD locks held at prepare time; re-acquired on recovery.
+    pub siread_locks: Vec<LockTarget>,
+    /// Whether the transaction had written anything (affects read-only
+    /// classification).
+    pub wrote: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgssi_common::RelId;
+
+    #[test]
+    fn record_round_trips_through_clone() {
+        let rec = PreparedSsi {
+            txid: TxnId(9),
+            snapshot_csn: CommitSeqNo(4),
+            prepare_csn: CommitSeqNo(7),
+            siread_locks: vec![LockTarget::Relation(RelId(1)), LockTarget::Page(RelId(2), 3)],
+            wrote: true,
+        };
+        let copy = rec.clone();
+        assert_eq!(rec, copy);
+    }
+}

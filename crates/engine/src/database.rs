@@ -1,0 +1,497 @@
+//! The [`Database`] handle: isolation levels, transaction start (including
+//! DEFERRABLE safe-snapshot waits), DDL, crash simulation, and the WAL stream
+//! for replication.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::{Mutex, RwLock};
+use pgssi_common::stats::Counter;
+use pgssi_common::{
+    CommitSeqNo, EngineConfig, Error, Result, Snapshot, TxnId,
+};
+use pgssi_core::{SafetyState, SsiManager, SxactId};
+use pgssi_lockmgr::s2pl::S2plLockManager;
+use pgssi_storage::{BufferCache, TxnManager};
+
+use crate::catalog::{Catalog, Table, TableDef};
+use crate::replication::WalStream;
+use crate::twophase::PreparedTxn;
+use crate::txn::Transaction;
+
+/// Transaction isolation levels (paper §5.1, §8).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum IsolationLevel {
+    /// Per-statement snapshots; writes follow updated rows to their newest
+    /// version (PostgreSQL's default level).
+    ReadCommitted,
+    /// Transaction-scoped snapshot: classic snapshot isolation, PostgreSQL's
+    /// pre-9.1 "SERIALIZABLE". Allows write skew and the other SI anomalies.
+    RepeatableRead,
+    /// Snapshot isolation plus SSI conflict detection: true serializability
+    /// (the paper's contribution).
+    Serializable,
+    /// Strict two-phase locking over the same multigranularity targets: the
+    /// evaluation baseline of §8. Readers block writers and vice versa.
+    Serializable2pl,
+}
+
+impl IsolationLevel {
+    /// Does this level run on a transaction-scoped snapshot?
+    pub fn txn_snapshot(self) -> bool {
+        !matches!(self, IsolationLevel::ReadCommitted)
+    }
+}
+
+/// Options for starting a transaction.
+#[derive(Clone, Copy, Debug)]
+pub struct BeginOptions {
+    /// Isolation level.
+    pub isolation: IsolationLevel,
+    /// `BEGIN TRANSACTION READ ONLY`: writes are rejected, and serializable
+    /// transactions become eligible for the read-only optimizations (§4).
+    pub read_only: bool,
+    /// `… READ ONLY, DEFERRABLE`: block at start until a safe snapshot is
+    /// available, then run with zero SSI overhead (§4.3). Ignored unless
+    /// `read_only` and `Serializable`.
+    pub deferrable: bool,
+}
+
+impl BeginOptions {
+    /// Read/write at the given isolation level.
+    pub fn new(isolation: IsolationLevel) -> BeginOptions {
+        BeginOptions {
+            isolation,
+            read_only: false,
+            deferrable: false,
+        }
+    }
+
+    /// Mark read-only.
+    pub fn read_only(mut self) -> BeginOptions {
+        self.read_only = true;
+        self
+    }
+
+    /// Mark deferrable (implies read-only).
+    pub fn deferrable(mut self) -> BeginOptions {
+        self.read_only = true;
+        self.deferrable = true;
+        self
+    }
+}
+
+/// Engine-level event counters.
+#[derive(Default)]
+pub struct EngineStats {
+    /// Transactions committed.
+    pub commits: Counter,
+    /// Transactions rolled back (including serialization-failure aborts).
+    pub aborts: Counter,
+    /// Times a deferrable transaction had to retry with a fresh snapshot.
+    pub deferrable_retries: Counter,
+}
+
+pub(crate) struct DbInner {
+    pub config: EngineConfig,
+    pub catalog: Catalog,
+    pub tm: TxnManager,
+    /// Swapped out wholesale by crash simulation.
+    pub ssi: RwLock<Arc<SsiManager>>,
+    pub s2pl: S2plLockManager,
+    /// Serializes uniqueness probes per key hash.
+    pub unique_stripes: Vec<Mutex<()>>,
+    /// Snapshot CSN of every active snapshot-bearing transaction, for the
+    /// vacuum horizon.
+    pub active_snapshots: Mutex<HashMap<TxnId, CommitSeqNo>>,
+    pub prepared: Mutex<HashMap<String, PreparedTxn>>,
+    pub wal: WalStream,
+    pub stats: EngineStats,
+}
+
+impl DbInner {
+    pub fn ssi(&self) -> Arc<SsiManager> {
+        Arc::clone(&self.ssi.read())
+    }
+
+    /// Oldest snapshot CSN any active transaction may read at (vacuum horizon).
+    pub fn snapshot_horizon(&self) -> CommitSeqNo {
+        self.active_snapshots
+            .lock()
+            .values()
+            .min()
+            .copied()
+            .unwrap_or_else(|| self.tm.frontier())
+    }
+}
+
+/// An embedded pgssi database.
+#[derive(Clone)]
+pub struct Database {
+    pub(crate) inner: Arc<DbInner>,
+}
+
+impl Database {
+    /// Open a fresh in-memory database with the given configuration.
+    pub fn new(config: EngineConfig) -> Database {
+        let cache = Arc::new(BufferCache::new(config.io.clone()));
+        Database {
+            inner: Arc::new(DbInner {
+                catalog: Catalog::new(cache),
+                tm: TxnManager::new(),
+                ssi: RwLock::new(Arc::new(SsiManager::new(config.ssi.clone()))),
+                s2pl: S2plLockManager::new(),
+                unique_stripes: (0..64).map(|_| Mutex::new(())).collect(),
+                active_snapshots: Mutex::new(HashMap::new()),
+                prepared: Mutex::new(HashMap::new()),
+                wal: WalStream::new(),
+                stats: EngineStats::default(),
+                config,
+            }),
+        }
+    }
+
+    /// Open with default configuration (in-memory, both optimizations on).
+    pub fn open() -> Database {
+        Database::new(EngineConfig::default())
+    }
+
+    /// Create a table.
+    pub fn create_table(&self, def: TableDef) -> Result<()> {
+        self.inner.catalog.create_table(def).map(|_| ())
+    }
+
+    /// Look up a table handle (mostly for tests/tools).
+    pub(crate) fn table(&self, name: &str) -> Result<Arc<Table>> {
+        self.inner.catalog.table(name)
+    }
+
+    /// Begin a read/write transaction at `isolation`.
+    pub fn begin(&self, isolation: IsolationLevel) -> Transaction {
+        self.begin_with(BeginOptions::new(isolation))
+            .expect("non-deferrable begin cannot fail")
+    }
+
+    /// Begin with full options. Only DEFERRABLE transactions can block (waiting
+    /// for a safe snapshot) — and even they always succeed eventually, so the
+    /// only error source is option validation.
+    pub fn begin_with(&self, opts: BeginOptions) -> Result<Transaction> {
+        if opts.deferrable
+            && !(opts.read_only && opts.isolation == IsolationLevel::Serializable)
+        {
+            return Err(Error::Misuse(
+                "DEFERRABLE requires SERIALIZABLE READ ONLY".into(),
+            ));
+        }
+        if opts.deferrable {
+            return Ok(self.begin_deferrable());
+        }
+        let txid = self.inner.tm.begin();
+        let mut snapshot = None;
+        let sx = if opts.isolation == IsolationLevel::Serializable {
+            // The snapshot is taken inside `SsiManager::begin`, under the SSI
+            // graph lock, so no cleanup/summarization can race between snapshot
+            // acquisition and registration (see the method's docs).
+            Some(self.inner.ssi().begin(
+                txid,
+                || {
+                    let s = self.snapshot_registered(txid);
+                    let csn = s.csn;
+                    snapshot = Some(s);
+                    csn
+                },
+                opts.read_only,
+                false,
+            ))
+        } else {
+            None
+        };
+        let snapshot = match snapshot {
+            Some(s) => s,
+            None => self.snapshot_registered(txid),
+        };
+        Ok(self.make_txn(txid, snapshot, opts, sx))
+    }
+
+    /// Take a snapshot and register its CSN for the vacuum horizon, atomically
+    /// (the horizon must never advance past a snapshot that exists but is not
+    /// yet registered).
+    pub(crate) fn snapshot_registered(&self, txid: TxnId) -> Snapshot {
+        let mut map = self.inner.active_snapshots.lock();
+        let s = self.inner.tm.snapshot();
+        map.insert(txid, s.csn);
+        s
+    }
+
+    /// DEFERRABLE loop (§4.3): acquire a snapshot, wait for its safety to be
+    /// decided; retry on unsafe.
+    fn begin_deferrable(&self) -> Transaction {
+        loop {
+            let txid = self.inner.tm.begin();
+            let ssi = self.inner.ssi();
+            let mut snapshot = None;
+            let sx = ssi.begin(
+                txid,
+                || {
+                    let s = self.snapshot_registered(txid);
+                    let csn = s.csn;
+                    snapshot = Some(s);
+                    csn
+                },
+                true,
+                true,
+            );
+            let snapshot = snapshot.expect("closure always runs");
+            match ssi.wait_for_safety(sx, Duration::from_secs(3600)) {
+                SafetyState::Safe => {
+                    let opts = BeginOptions::new(IsolationLevel::Serializable).deferrable();
+                    return self.make_txn(txid, snapshot, opts, Some(sx));
+                }
+                SafetyState::Unsafe | SafetyState::Pending => {
+                    ssi.abort(sx);
+                    self.inner.tm.abort(&[txid]);
+                    self.inner.stats.deferrable_retries.bump();
+                }
+            }
+        }
+    }
+
+    fn make_txn(
+        &self,
+        txid: TxnId,
+        snapshot: Snapshot,
+        opts: BeginOptions,
+        sx: Option<SxactId>,
+    ) -> Transaction {
+        self.inner
+            .active_snapshots
+            .lock()
+            .insert(txid, snapshot.csn);
+        Transaction::new(Arc::clone(&self.inner), txid, snapshot, opts, sx)
+    }
+
+    /// The SSI manager (stats and diagnostics).
+    pub fn ssi(&self) -> Arc<SsiManager> {
+        self.inner.ssi()
+    }
+
+    /// The S2PL lock manager (stats).
+    pub fn s2pl(&self) -> &S2plLockManager {
+        &self.inner.s2pl
+    }
+
+    /// Engine counters.
+    pub fn stats(&self) -> &EngineStats {
+        &self.inner.stats
+    }
+
+    /// The transaction manager (tests).
+    pub fn txn_manager(&self) -> &TxnManager {
+        &self.inner.tm
+    }
+
+    /// The WAL stream (replication).
+    pub fn wal(&self) -> &WalStream {
+        &self.inner.wal
+    }
+
+    // ------------------------------------------------------------------
+    // Two-phase commit (§7.1)
+    // ------------------------------------------------------------------
+
+    /// COMMIT PREPARED: finish a previously prepared transaction.
+    pub fn commit_prepared(&self, gid: &str) -> Result<()> {
+        let rec = self
+            .inner
+            .prepared
+            .lock()
+            .remove(gid)
+            .ok_or_else(|| Error::NotFound(format!("prepared transaction {gid:?}")))?;
+        let ssi = self.inner.ssi();
+        if let Some(sx) = rec.sx {
+            ssi.commit(sx, || self.inner.tm.commit(&rec.xids));
+        } else {
+            self.inner.tm.commit(&rec.xids);
+        }
+        self.inner.active_snapshots.lock().remove(&rec.txid);
+        self.inner.wal.append_commit(&self.inner, rec.txid);
+        self.inner.stats.commits.bump();
+        Ok(())
+    }
+
+    /// ROLLBACK PREPARED: user-initiated abort of a prepared transaction (SSI
+    /// never chooses prepared transactions as victims, but the owner may).
+    pub fn rollback_prepared(&self, gid: &str) -> Result<()> {
+        let rec = self
+            .inner
+            .prepared
+            .lock()
+            .remove(gid)
+            .ok_or_else(|| Error::NotFound(format!("prepared transaction {gid:?}")))?;
+        if let Some(sx) = rec.sx {
+            self.inner.ssi().abort(sx);
+        }
+        self.inner.tm.abort(&rec.xids);
+        self.inner.active_snapshots.lock().remove(&rec.txid);
+        self.inner.stats.aborts.bump();
+        Ok(())
+    }
+
+    /// Names of prepared-but-unresolved transactions.
+    pub fn prepared_gids(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.inner.prepared.lock().keys().cloned().collect();
+        v.sort();
+        v
+    }
+
+    /// Simulate a crash and recovery: all volatile SSI state is discarded and
+    /// rebuilt from the crash-safe prepared-transaction records (§7.1). Heap and
+    /// index data survive ("disk"); non-prepared in-flight transactions are
+    /// aborted, as their effects were never committed.
+    ///
+    /// Recovered prepared transactions are conservatively assumed to have
+    /// rw-antidependencies both in and out.
+    pub fn simulate_crash_recovery(&self) {
+        // Abort every non-prepared in-flight transaction.
+        let prepared_xids: Vec<TxnId> = self
+            .inner
+            .prepared
+            .lock()
+            .values()
+            .flat_map(|p| p.xids.clone())
+            .collect();
+        let in_flight: Vec<TxnId> = self
+            .inner
+            .active_snapshots
+            .lock()
+            .keys()
+            .copied()
+            .filter(|x| !prepared_xids.contains(x))
+            .collect();
+        for x in &in_flight {
+            self.inner.tm.abort(&[*x]);
+        }
+        self.inner
+            .active_snapshots
+            .lock()
+            .retain(|x, _| prepared_xids.contains(x));
+
+        // Rebuild the SSI manager from the persistent records.
+        let fresh = Arc::new(SsiManager::new(self.inner.config.ssi.clone()));
+        let mut prepared = self.inner.prepared.lock();
+        for rec in prepared.values_mut() {
+            rec.sx = rec.ssi.as_ref().map(|ssi_rec| fresh.recover_prepared(ssi_rec));
+        }
+        *self.inner.ssi.write() = fresh;
+    }
+
+    // ------------------------------------------------------------------
+    // DDL (§5.2.1) and vacuum
+    // ------------------------------------------------------------------
+
+    /// Drop a secondary index. Index-gap SIREAD locks on it can no longer detect
+    /// phantoms, so they are replaced with a relation-level lock on the heap
+    /// (§5.2.1).
+    pub fn drop_index(&self, table: &str, index: &str) -> Result<()> {
+        let t = self.table(table)?;
+        let mut inner = t.inner.write();
+        let pos = inner
+            .secondaries
+            .iter()
+            .position(|s| s.def.name == index)
+            .ok_or_else(|| Error::NoSuchIndex(index.to_string()))?;
+        let slot = inner.secondaries.remove(pos);
+        inner.def.indexes.retain(|d| d.name != index);
+        self.inner.ssi().siread().promote_relation(slot.rel(), t.heap_rel);
+        Ok(())
+    }
+
+    /// Rewrite a table (CLUSTER / VACUUM FULL analog): tuples move to new
+    /// physical locations, so page- and tuple-granularity SIREAD locks on the
+    /// heap and its indexes are promoted to a relation lock (§5.2.1).
+    pub fn recluster(&self, table: &str) -> Result<()> {
+        let t = self.table(table)?;
+        let mut inner = t.inner.write();
+        // Rebuild the heap from the latest committed row versions.
+        let snapshot = self.inner.tm.snapshot();
+        let reader = pgssi_storage::SingleXid(TxnId::INVALID);
+        let new_heap = Arc::new(pgssi_storage::Heap::new(
+            t.heap_rel,
+            Arc::clone(self.inner.catalog.cache()),
+        ));
+        let mut rows: Vec<pgssi_common::Row> = Vec::new();
+        inner.heap.for_each_root(|root| {
+            let read = inner
+                .heap
+                .read_chain(root, &snapshot, self.inner.tm.clog(), &reader);
+            if let Some((_, row)) = read.visible {
+                rows.push(row);
+            }
+        });
+        // Fresh physical layout + rebuilt indexes.
+        let mut new_inner = TableRebuild::new(&inner);
+        for row in rows {
+            let tid = new_heap.insert(row.clone(), TxnId::FROZEN);
+            new_inner.index_row(&row, tid);
+        }
+        inner.heap = new_heap;
+        let (pk, secondaries) = new_inner.finish();
+        inner.pk = pk;
+        inner.secondaries = secondaries;
+        // Physical lock targets are stale: promote (heap keeps its RelId; index
+        // locks fold into the heap relation like a drop+recreate).
+        let ssi = self.inner.ssi();
+        ssi.siread().promote_relation(t.heap_rel, t.heap_rel);
+        ssi.siread().promote_relation(inner.pk.rel(), t.heap_rel);
+        for s in &inner.secondaries {
+            ssi.siread().promote_relation(s.rel(), t.heap_rel);
+        }
+        Ok(())
+    }
+
+    /// Vacuum every table: prune dead versions older than the snapshot horizon
+    /// and remove index entries whose rows are fully dead. Returns
+    /// `(versions_pruned, index_entries_removed)`.
+    pub fn vacuum(&self) -> (usize, usize) {
+        crate::vacuum::vacuum(&self.inner)
+    }
+}
+
+/// Helper for rebuilding a table's indexes during `recluster`.
+struct TableRebuild {
+    pk: crate::catalog::IndexSlot,
+    secondaries: Vec<crate::catalog::IndexSlot>,
+}
+
+impl TableRebuild {
+    fn new(inner: &crate::catalog::TableInner) -> TableRebuild {
+        use crate::catalog::{IndexImpl, IndexKind, IndexSlot};
+        use pgssi_index::{BTreeIndex, HashIndex};
+        let rebuild = |slot: &IndexSlot| -> IndexSlot {
+            let imp = match slot.def.kind {
+                IndexKind::BTree => IndexImpl::BTree(BTreeIndex::new(slot.rel())),
+                IndexKind::Hash => IndexImpl::Hash(HashIndex::new(slot.rel())),
+            };
+            IndexSlot {
+                def: slot.def.clone(),
+                imp,
+            }
+        };
+        TableRebuild {
+            pk: rebuild(&inner.pk),
+            secondaries: inner.secondaries.iter().map(rebuild).collect(),
+        }
+    }
+
+    fn index_row(&mut self, row: &pgssi_common::Row, tid: pgssi_common::TupleId) {
+        self.pk.insert(self.pk.key_of(row), tid);
+        for s in &self.secondaries {
+            s.insert(s.key_of(row), tid);
+        }
+    }
+
+    fn finish(self) -> (crate::catalog::IndexSlot, Vec<crate::catalog::IndexSlot>) {
+        (self.pk, self.secondaries)
+    }
+}

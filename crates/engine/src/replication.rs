@@ -1,0 +1,156 @@
+//! Log-shipping replication with safe-snapshot markers (paper §7.2).
+//!
+//! SSI breaks the classic "read-only queries on a replica's snapshot are
+//! serializable" property: a read-only transaction can be the `T1` of a
+//! dangerous structure (the batch-processing REPORT), and a replica cannot see
+//! the master's rw-antidependency graph. The paper's plan — implemented here —
+//! is to mark **safe snapshots** (§4.2) in the log stream; replicas run
+//! serializable read-only queries *only* on marked snapshots, which need no
+//! SIREAD tracking at all.
+//!
+//! Our WAL is logical and the replica shares the master's storage (physical
+//! replication keeps the bytes identical anyway — see DESIGN.md §2); what is
+//! faithfully modelled is the *protocol*: commit records, safe-snapshot
+//! markers, and the replica's three options (latest safe snapshot, wait for the
+//! next one, or run at a weaker isolation level).
+
+use parking_lot::Mutex;
+use pgssi_common::{Snapshot, TxnId};
+
+use crate::database::DbInner;
+use crate::txn::Transaction;
+use crate::{BeginOptions, Database, IsolationLevel};
+
+/// One record in the shipped log.
+#[derive(Clone, Debug)]
+pub enum WalRecord {
+    /// A write transaction committed.
+    Commit {
+        /// The committed transaction.
+        txid: TxnId,
+    },
+    /// The snapshot at this point is safe: no read/write serializable
+    /// transaction was in flight (a trivially safe snapshot, §4.2).
+    SafeSnapshot {
+        /// The safe snapshot itself.
+        snapshot: Snapshot,
+    },
+}
+
+/// The master's outgoing log stream.
+pub struct WalStream {
+    records: Mutex<Vec<WalRecord>>,
+}
+
+impl Default for WalStream {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl WalStream {
+    /// Empty stream.
+    pub fn new() -> WalStream {
+        WalStream {
+            records: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Append a commit record; if no read/write serializable transaction is in
+    /// flight, also mark the current snapshot safe.
+    pub(crate) fn append_commit(&self, db: &DbInner, txid: TxnId) {
+        let mut records = self.records.lock();
+        records.push(WalRecord::Commit { txid });
+        // Trivially safe point: nothing serializable and read/write is active.
+        // (Active read-only serializable transactions cannot make a *new*
+        // snapshot unsafe; they have no writes for anyone to miss.)
+        if db.ssi().active_count() == 0 {
+            records.push(WalRecord::SafeSnapshot {
+                snapshot: db.tm.snapshot(),
+            });
+        }
+    }
+
+    /// Total records shipped so far.
+    pub fn len(&self) -> usize {
+        self.records.lock().len()
+    }
+
+    /// Whether anything has been shipped.
+    pub fn is_empty(&self) -> bool {
+        self.records.lock().is_empty()
+    }
+
+    /// Records from `from` onward (replica catch-up).
+    pub fn read_from(&self, from: usize) -> Vec<WalRecord> {
+        self.records.lock()[from..].to_vec()
+    }
+}
+
+/// A read-only replica consuming the master's log stream.
+pub struct Replica {
+    master: Database,
+    applied: Mutex<ReplicaState>,
+}
+
+struct ReplicaState {
+    next_record: usize,
+    latest_safe: Option<Snapshot>,
+}
+
+impl Replica {
+    /// Attach a replica to a master.
+    pub fn connect(master: &Database) -> Replica {
+        Replica {
+            master: master.clone(),
+            applied: Mutex::new(ReplicaState {
+                next_record: 0,
+                latest_safe: None,
+            }),
+        }
+    }
+
+    /// Consume newly shipped records; returns how many were applied.
+    pub fn catch_up(&self) -> usize {
+        let mut st = self.applied.lock();
+        let records = self.master.wal().read_from(st.next_record);
+        let n = records.len();
+        st.next_record += n;
+        for r in records {
+            if let WalRecord::SafeSnapshot { snapshot } = r {
+                st.latest_safe = Some(snapshot);
+            }
+        }
+        n
+    }
+
+    /// Begin a serializable read-only query on the latest shipped safe
+    /// snapshot. Returns `None` if no safe snapshot has been shipped yet — the
+    /// caller may retry after [`Replica::catch_up`], mirroring the "wait for
+    /// the next available safe snapshot" option of §7.2.
+    pub fn begin_safe_query(&self) -> Option<Transaction> {
+        let snapshot = self.applied.lock().latest_safe.clone()?;
+        Some(self.query_at(snapshot))
+    }
+
+    /// Begin a read-only query at a weaker isolation level (snapshot
+    /// isolation on the replica's current state) — the "run at a weaker level"
+    /// option of §7.2. Anomalies like Figure 2's REPORT are possible here; see
+    /// the replication tests.
+    pub fn begin_stale_query(&self) -> Transaction {
+        self.query_at(self.master.txn_manager().snapshot())
+    }
+
+    fn query_at(&self, snapshot: Snapshot) -> Transaction {
+        let inner = &self.master.inner;
+        let txid = inner.tm.begin();
+        inner.active_snapshots.lock().insert(txid, snapshot.csn);
+        Transaction::new(
+            std::sync::Arc::clone(inner),
+            txid,
+            snapshot,
+            BeginOptions::new(IsolationLevel::RepeatableRead).read_only(),
+            None,
+        )
+    }
+}

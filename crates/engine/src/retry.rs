@@ -1,0 +1,94 @@
+//! Retry middleware.
+//!
+//! SSI resolves conflicts by aborting transactions, so "users must already be
+//! prepared to handle transactions aborted by serialization failures, e.g.
+//! using a middleware layer that automatically retries transactions" (§3).
+//! [`with_retries`] is that layer; combined with the safe-retry rule (§5.4) a
+//! retried transaction does not fail again on the *same* conflict.
+
+use pgssi_common::{Error, Result};
+
+use crate::database::{BeginOptions, Database};
+use crate::txn::Transaction;
+
+/// Outcome of a retried workload, with attempt accounting.
+#[derive(Debug)]
+pub struct RetryOutcome<T> {
+    /// The committed result.
+    pub value: T,
+    /// Total attempts (1 = no retries).
+    pub attempts: usize,
+}
+
+/// Run `body` in a transaction, retrying on serialization failures and
+/// deadlocks up to `max_attempts` times. The body sees a fresh transaction per
+/// attempt and must be idempotent from the database's point of view (aborted
+/// attempts leave no visible effects).
+pub fn with_retries<T>(
+    db: &Database,
+    opts: BeginOptions,
+    max_attempts: usize,
+    mut body: impl FnMut(&mut Transaction) -> Result<T>,
+) -> Result<RetryOutcome<T>> {
+    let mut last = None;
+    for attempt in 1..=max_attempts.max(1) {
+        let mut txn = db.begin_with(opts)?;
+        match body(&mut txn).and_then(|v| txn.commit().map(|()| v)) {
+            Ok(value) => {
+                return Ok(RetryOutcome {
+                    value,
+                    attempts: attempt,
+                })
+            }
+            Err(e) if e.is_retryable() => last = Some(e),
+            Err(e) => return Err(e),
+        }
+        // The failed transaction already rolled itself back (auto-abort) or was
+        // dropped by the `?`; loop for another attempt.
+    }
+    Err(last.unwrap_or_else(|| Error::Misuse("with_retries: zero attempts".into())))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::database::IsolationLevel;
+    use crate::TableDef;
+    use pgssi_common::row;
+
+    #[test]
+    fn commits_first_try_without_conflicts() {
+        let db = Database::open();
+        db.create_table(TableDef::new("t", &["id", "v"], vec![0])).unwrap();
+        let out = with_retries(
+            &db,
+            BeginOptions::new(IsolationLevel::Serializable),
+            5,
+            |txn| {
+                txn.insert("t", row![1, 10])?;
+                Ok(42)
+            },
+        )
+        .unwrap();
+        assert_eq!(out.value, 42);
+        assert_eq!(out.attempts, 1);
+    }
+
+    #[test]
+    fn non_retryable_errors_pass_through() {
+        let db = Database::open();
+        db.create_table(TableDef::new("t", &["id"], vec![0])).unwrap();
+        let err = with_retries(
+            &db,
+            BeginOptions::new(IsolationLevel::Serializable),
+            5,
+            |txn| {
+                txn.insert("t", row![1])?;
+                txn.insert("t", row![1])?; // duplicate key
+                Ok(())
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, Error::DuplicateKey { .. }));
+    }
+}

@@ -1,0 +1,21 @@
+//! Engine-level prepared-transaction records (two-phase commit, §7.1).
+
+use pgssi_common::TxnId;
+use pgssi_core::{PreparedSsi, SxactId};
+
+/// A prepared transaction awaiting COMMIT PREPARED / ROLLBACK PREPARED.
+///
+/// The `ssi` record is the crash-safe part (it would live on disk); `sx` is the
+/// volatile handle, rebuilt by [`crate::Database::simulate_crash_recovery`].
+pub struct PreparedTxn {
+    /// Top-level transaction id.
+    pub txid: TxnId,
+    /// All xids (top-level + live subtransactions) to commit or abort together.
+    pub xids: Vec<TxnId>,
+    /// Volatile SSI handle (None for non-serializable transactions).
+    pub sx: Option<SxactId>,
+    /// Crash-safe SSI state (None for non-serializable transactions).
+    pub ssi: Option<PreparedSsi>,
+    /// 2PL owner whose locks must be released at resolution.
+    pub s2pl_owner: Option<u64>,
+}

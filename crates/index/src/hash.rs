@@ -1,0 +1,112 @@
+//! A hash index **without** predicate-lock support (paper §7.4).
+//!
+//! PostgreSQL 9.1 shipped predicate locking only for B+-trees; other access methods
+//! (hash, GIN, GiST) fall back to a relation-level SIREAD lock on the index whenever
+//! it is used. This index exists so the engine (and its tests) exercise that
+//! fallback path: it answers equality probes but cannot name a page that covers a
+//! key gap, so serializable readers must lock the whole index relation.
+
+use std::collections::HashMap;
+
+use parking_lot::RwLock;
+use pgssi_common::{Key, RelId, TupleId};
+
+/// Equality-only hash index.
+pub struct HashIndex {
+    rel: RelId,
+    map: RwLock<HashMap<Key, Vec<TupleId>>>,
+}
+
+impl HashIndex {
+    /// Empty hash index identified by relation id `rel`.
+    pub fn new(rel: RelId) -> HashIndex {
+        HashIndex {
+            rel,
+            map: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// The index's relation id.
+    #[inline]
+    pub fn rel(&self) -> RelId {
+        self.rel
+    }
+
+    /// Hash indexes cannot lock key gaps; callers must take a relation-level
+    /// SIREAD lock instead (paper §7.4).
+    pub const fn supports_predicate_locks(&self) -> bool {
+        false
+    }
+
+    /// Insert `(key, tid)`; duplicate `(key, tid)` pairs are ignored.
+    pub fn insert(&self, key: Key, tid: TupleId) {
+        let mut map = self.map.write();
+        let posting = map.entry(key).or_default();
+        if !posting.contains(&tid) {
+            posting.push(tid);
+        }
+    }
+
+    /// Remove `(key, tid)`; returns whether an entry was removed.
+    pub fn remove(&self, key: &Key, tid: TupleId) -> bool {
+        let mut map = self.map.write();
+        if let Some(posting) = map.get_mut(key) {
+            if let Some(pos) = posting.iter().position(|t| *t == tid) {
+                posting.swap_remove(pos);
+                if posting.is_empty() {
+                    map.remove(key);
+                }
+                return true;
+            }
+        }
+        false
+    }
+
+    /// All tuple ids recorded for `key`.
+    pub fn search(&self, key: &Key) -> Vec<TupleId> {
+        self.map.read().get(key).cloned().unwrap_or_default()
+    }
+
+    /// Number of `(key, tid)` entries.
+    pub fn len(&self) -> usize {
+        self.map.read().values().map(Vec::len).sum()
+    }
+
+    /// True if no entries exist.
+    pub fn is_empty(&self) -> bool {
+        self.map.read().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgssi_common::row;
+
+    #[test]
+    fn insert_search_remove() {
+        let idx = HashIndex::new(RelId(20));
+        let k = row![1, "a"];
+        idx.insert(k.clone(), TupleId::new(0, 0));
+        idx.insert(k.clone(), TupleId::new(0, 1));
+        idx.insert(k.clone(), TupleId::new(0, 1)); // duplicate pair ignored
+        assert_eq!(idx.search(&k).len(), 2);
+        assert!(idx.remove(&k, TupleId::new(0, 0)));
+        assert!(!idx.remove(&k, TupleId::new(0, 0)));
+        assert_eq!(idx.search(&k).len(), 1);
+        assert_eq!(idx.len(), 1);
+    }
+
+    #[test]
+    fn no_predicate_lock_support() {
+        let idx = HashIndex::new(RelId(20));
+        assert!(!idx.supports_predicate_locks());
+    }
+
+    #[test]
+    fn missing_key_returns_empty() {
+        let idx = HashIndex::new(RelId(20));
+        assert!(idx.search(&row![99]).is_empty());
+        assert!(idx.is_empty());
+    }
+}

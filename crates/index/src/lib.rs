@@ -1,0 +1,20 @@
+//! # pgssi-index
+//!
+//! Page-structured secondary indexes for the pgssi engine.
+//!
+//! The B+-tree here exists to make the paper's *index-range predicate locking*
+//! (§5.2.1) real: every scan reports the leaf pages it visited, so the caller can
+//! take page-granularity SIREAD locks covering the key gaps; every insert reports
+//! the leaf page it landed on (plus any leaf split), so writers can be checked
+//! against those gap locks and the lock manager can copy locks across splits —
+//! PostgreSQL's `PredicateLockPageSplit`.
+//!
+//! The hash index deliberately does **not** support predicate locking, reproducing
+//! the §7.4 situation: access methods that cannot lock gaps fall back to a
+//! relation-level lock on the index.
+
+pub mod btree;
+pub mod hash;
+
+pub use btree::{BTreeIndex, InsertOutcome, RangeScan};
+pub use hash::HashIndex;

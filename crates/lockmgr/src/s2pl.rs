@@ -1,0 +1,397 @@
+//! Strict two-phase locking manager — the paper's evaluation baseline (§8).
+//!
+//! "This implementation reuses our SSI lock manager's support for index-range and
+//! multigranularity locking; rather than acquiring SIREAD locks, it instead
+//! acquires 'classic' read locks in the heavyweight lock manager, as well as the
+//! appropriate intention locks." This module is that heavyweight lock manager:
+//! IS/IX/S/SIX/X modes over the same [`LockTarget`] hierarchy, blocking waits,
+//! lock upgrades, and waits-for-graph deadlock detection (the requester that
+//! closes a cycle is the victim, matching PostgreSQL's deadlock-check-in-waiter
+//! design).
+//!
+//! Strictness (all locks held to transaction end) is the caller's protocol:
+//! the engine only calls [`S2plLockManager::release_owner`] at commit/abort.
+
+use std::collections::{HashMap, HashSet};
+use std::time::{Duration, Instant};
+
+use parking_lot::{Condvar, Mutex};
+use pgssi_common::stats::Counter;
+use pgssi_common::{Error, LockTarget, Result};
+
+use crate::OwnerId;
+
+/// Multigranularity lock modes with the standard conflict matrix.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash, PartialOrd, Ord)]
+pub enum LockMode {
+    /// Intent to take shared locks below.
+    IntentionShared,
+    /// Intent to take exclusive locks below.
+    IntentionExclusive,
+    /// Shared (read).
+    Shared,
+    /// Shared + intent to write below (S + IX).
+    SharedIntentionExclusive,
+    /// Exclusive (write).
+    Exclusive,
+}
+
+use LockMode::*;
+
+impl LockMode {
+    /// Standard multigranularity compatibility matrix.
+    pub fn compatible(self, other: LockMode) -> bool {
+        matches!(
+            (self, other),
+            (IntentionShared, IntentionShared)
+                | (IntentionShared, IntentionExclusive)
+                | (IntentionShared, Shared)
+                | (IntentionShared, SharedIntentionExclusive)
+                | (IntentionExclusive, IntentionShared)
+                | (IntentionExclusive, IntentionExclusive)
+                | (Shared, IntentionShared)
+                | (Shared, Shared)
+                | (SharedIntentionExclusive, IntentionShared)
+        )
+    }
+
+    /// Least upper bound for lock upgrades (e.g. holding `S` and requesting `IX`
+    /// yields `SIX`; anything joined with `X` is `X`).
+    pub fn join(self, other: LockMode) -> LockMode {
+        if self == other {
+            return self;
+        }
+        match (self.min(other), self.max(other)) {
+            (IntentionShared, m) => m,
+            (IntentionExclusive, Shared) => SharedIntentionExclusive,
+            (IntentionExclusive, SharedIntentionExclusive) => SharedIntentionExclusive,
+            (Shared, SharedIntentionExclusive) => SharedIntentionExclusive,
+            (_, Exclusive) => Exclusive,
+            (a, b) => unreachable!("join({a:?},{b:?})"),
+        }
+    }
+}
+
+#[derive(Default)]
+struct LockState {
+    /// Granted locks per target.
+    granted: HashMap<LockTarget, HashMap<OwnerId, LockMode>>,
+    /// Locks held per owner (strongest mode per target).
+    by_owner: HashMap<OwnerId, HashMap<LockTarget, LockMode>>,
+    /// waiter -> set of owners currently blocking it.
+    waits_for: HashMap<OwnerId, HashSet<OwnerId>>,
+}
+
+impl LockState {
+    /// Depth-first search: can `from` reach `to` through waits-for edges composed
+    /// with "waits on a holder" edges?
+    fn reaches(&self, from: OwnerId, to: OwnerId, seen: &mut HashSet<OwnerId>) -> bool {
+        if from == to {
+            return true;
+        }
+        if !seen.insert(from) {
+            return false;
+        }
+        if let Some(next) = self.waits_for.get(&from) {
+            for &n in next {
+                if self.reaches(n, to, seen) {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+}
+
+/// Blocking multigranularity lock manager with deadlock detection.
+pub struct S2plLockManager {
+    state: Mutex<LockState>,
+    released: Condvar,
+    /// Lock acquisitions granted.
+    pub grants: Counter,
+    /// Requests that had to wait at least once.
+    pub waits: Counter,
+    /// Deadlocks detected (victim = requester).
+    pub deadlocks: Counter,
+}
+
+impl Default for S2plLockManager {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl S2plLockManager {
+    /// Empty lock manager.
+    pub fn new() -> S2plLockManager {
+        S2plLockManager {
+            state: Mutex::new(LockState::default()),
+            released: Condvar::new(),
+            grants: Counter::new(),
+            waits: Counter::new(),
+            deadlocks: Counter::new(),
+        }
+    }
+
+    /// Acquire (or upgrade to) `mode` on `target` for `owner`, blocking until
+    /// granted. Returns [`Error::Deadlock`] (victim = `owner`) if waiting would
+    /// close a cycle, or [`Error::LockTimeout`] after `timeout`.
+    pub fn acquire(
+        &self,
+        owner: OwnerId,
+        target: LockTarget,
+        mode: LockMode,
+        timeout: Duration,
+    ) -> Result<()> {
+        let deadline = Instant::now() + timeout;
+        let mut st = self.state.lock();
+        let mut waited = false;
+        loop {
+            let held = st
+                .by_owner
+                .get(&owner)
+                .and_then(|m| m.get(&target))
+                .copied();
+            let requested = held.map_or(mode, |h| h.join(mode));
+            if held == Some(requested) {
+                return Ok(()); // already strong enough
+            }
+            let blockers: Vec<OwnerId> = st
+                .granted
+                .get(&target)
+                .map(|hs| {
+                    hs.iter()
+                        .filter(|(&o, &m)| o != owner && !m.compatible(requested))
+                        .map(|(&o, _)| o)
+                        .collect()
+                })
+                .unwrap_or_default();
+            if blockers.is_empty() {
+                st.granted.entry(target).or_default().insert(owner, requested);
+                st.by_owner.entry(owner).or_default().insert(target, requested);
+                self.grants.bump();
+                return Ok(());
+            }
+            // Deadlock check: if any blocker (transitively) waits on us, waiting
+            // would close a cycle — abort the requester.
+            for &b in &blockers {
+                let mut seen = HashSet::new();
+                if st.reaches(b, owner, &mut seen) {
+                    self.deadlocks.bump();
+                    return Err(Error::Deadlock { victim: pgssi_common::TxnId(owner) });
+                }
+            }
+            if !waited {
+                waited = true;
+                self.waits.bump();
+            }
+            st.waits_for.entry(owner).or_default().extend(blockers);
+            let timed_out = self.released.wait_until(&mut st, deadline).timed_out();
+            st.waits_for.remove(&owner);
+            if timed_out {
+                return Err(Error::LockTimeout);
+            }
+        }
+    }
+
+    /// Non-blocking acquire; returns `Ok(false)` instead of waiting.
+    pub fn try_acquire(&self, owner: OwnerId, target: LockTarget, mode: LockMode) -> bool {
+        let mut st = self.state.lock();
+        let held = st
+            .by_owner
+            .get(&owner)
+            .and_then(|m| m.get(&target))
+            .copied();
+        let requested = held.map_or(mode, |h| h.join(mode));
+        if held == Some(requested) {
+            return true;
+        }
+        let blocked = st
+            .granted
+            .get(&target)
+            .map(|hs| {
+                hs.iter()
+                    .any(|(&o, &m)| o != owner && !m.compatible(requested))
+            })
+            .unwrap_or(false);
+        if blocked {
+            return false;
+        }
+        st.granted.entry(target).or_default().insert(owner, requested);
+        st.by_owner.entry(owner).or_default().insert(target, requested);
+        self.grants.bump();
+        true
+    }
+
+    /// Strict release: drop every lock `owner` holds (commit or abort) and wake
+    /// waiters.
+    pub fn release_owner(&self, owner: OwnerId) {
+        let mut st = self.state.lock();
+        if let Some(held) = st.by_owner.remove(&owner) {
+            for (t, _) in held {
+                if let Some(hs) = st.granted.get_mut(&t) {
+                    hs.remove(&owner);
+                    if hs.is_empty() {
+                        st.granted.remove(&t);
+                    }
+                }
+            }
+        }
+        drop(st);
+        self.released.notify_all();
+    }
+
+    /// Mode held by `owner` on `target`, if any.
+    pub fn held_mode(&self, owner: OwnerId, target: LockTarget) -> Option<LockMode> {
+        self.state
+            .lock()
+            .by_owner
+            .get(&owner)
+            .and_then(|m| m.get(&target))
+            .copied()
+    }
+
+    /// Number of granted (target, owner) pairs — test/diagnostic aid.
+    pub fn granted_count(&self) -> usize {
+        self.state.lock().granted.values().map(HashMap::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgssi_common::RelId;
+    use std::sync::Arc;
+
+    const T: LockTarget = LockTarget::Relation(RelId(1));
+    const LONG: Duration = Duration::from_secs(5);
+    const SHORT: Duration = Duration::from_millis(30);
+
+    #[test]
+    fn compatibility_matrix_spot_checks() {
+        assert!(IntentionShared.compatible(IntentionExclusive));
+        assert!(IntentionExclusive.compatible(IntentionExclusive));
+        assert!(Shared.compatible(Shared));
+        assert!(!Shared.compatible(IntentionExclusive));
+        assert!(!Shared.compatible(Exclusive));
+        assert!(SharedIntentionExclusive.compatible(IntentionShared));
+        assert!(!SharedIntentionExclusive.compatible(Shared));
+        assert!(!Exclusive.compatible(IntentionShared));
+    }
+
+    #[test]
+    fn join_lattice() {
+        assert_eq!(Shared.join(IntentionExclusive), SharedIntentionExclusive);
+        assert_eq!(IntentionShared.join(Shared), Shared);
+        assert_eq!(Shared.join(Exclusive), Exclusive);
+        assert_eq!(IntentionExclusive.join(IntentionExclusive), IntentionExclusive);
+        assert_eq!(SharedIntentionExclusive.join(IntentionExclusive), SharedIntentionExclusive);
+    }
+
+    #[test]
+    fn shared_locks_coexist_exclusive_blocks() {
+        let m = S2plLockManager::new();
+        m.acquire(1, T, Shared, LONG).unwrap();
+        m.acquire(2, T, Shared, LONG).unwrap();
+        assert!(!m.try_acquire(3, T, Exclusive));
+        m.release_owner(1);
+        assert!(!m.try_acquire(3, T, Exclusive));
+        m.release_owner(2);
+        assert!(m.try_acquire(3, T, Exclusive));
+    }
+
+    #[test]
+    fn upgrade_s_to_x_when_sole_holder() {
+        let m = S2plLockManager::new();
+        m.acquire(1, T, Shared, LONG).unwrap();
+        m.acquire(1, T, Exclusive, LONG).unwrap();
+        assert_eq!(m.held_mode(1, T), Some(Exclusive));
+    }
+
+    #[test]
+    fn blocked_waiter_wakes_on_release() {
+        let m = Arc::new(S2plLockManager::new());
+        m.acquire(1, T, Exclusive, LONG).unwrap();
+        let m2 = Arc::clone(&m);
+        let h = std::thread::spawn(move || m2.acquire(2, T, Shared, LONG));
+        std::thread::sleep(Duration::from_millis(20));
+        assert!(!h.is_finished());
+        m.release_owner(1);
+        assert!(h.join().unwrap().is_ok());
+    }
+
+    #[test]
+    fn wait_times_out() {
+        let m = S2plLockManager::new();
+        m.acquire(1, T, Exclusive, LONG).unwrap();
+        let err = m.acquire(2, T, Shared, SHORT).unwrap_err();
+        assert_eq!(err, Error::LockTimeout);
+    }
+
+    #[test]
+    fn two_party_deadlock_detected() {
+        let t2 = LockTarget::Relation(RelId(2));
+        let m = Arc::new(S2plLockManager::new());
+        m.acquire(1, T, Exclusive, LONG).unwrap();
+        m.acquire(2, t2, Exclusive, LONG).unwrap();
+        let m2 = Arc::clone(&m);
+        let h = std::thread::spawn(move || m2.acquire(1, t2, Exclusive, LONG));
+        std::thread::sleep(Duration::from_millis(30));
+        let err = m.acquire(2, T, Exclusive, LONG).unwrap_err();
+        assert!(matches!(err, Error::Deadlock { victim: pgssi_common::TxnId(2) }));
+        m.release_owner(2);
+        assert!(h.join().unwrap().is_ok());
+    }
+
+    #[test]
+    fn upgrade_deadlock_two_readers_both_want_x() {
+        // Classic: both hold S, both request X. The second requester must get a
+        // deadlock error rather than hanging.
+        let m = Arc::new(S2plLockManager::new());
+        m.acquire(1, T, Shared, LONG).unwrap();
+        m.acquire(2, T, Shared, LONG).unwrap();
+        let m2 = Arc::clone(&m);
+        let h = std::thread::spawn(move || m2.acquire(1, T, Exclusive, LONG));
+        std::thread::sleep(Duration::from_millis(30));
+        let err = m.acquire(2, T, Exclusive, LONG).unwrap_err();
+        assert!(matches!(err, Error::Deadlock { victim: pgssi_common::TxnId(2) }));
+        m.release_owner(2);
+        assert!(h.join().unwrap().is_ok());
+    }
+
+    #[test]
+    fn intention_locks_do_not_block_each_other() {
+        let m = S2plLockManager::new();
+        m.acquire(1, T, IntentionExclusive, LONG).unwrap();
+        m.acquire(2, T, IntentionExclusive, LONG).unwrap();
+        m.acquire(3, T, IntentionShared, LONG).unwrap();
+        assert_eq!(m.granted_count(), 3);
+    }
+
+    #[test]
+    fn intention_exclusive_blocks_shared_scan() {
+        let m = S2plLockManager::new();
+        m.acquire(1, T, IntentionExclusive, LONG).unwrap();
+        assert!(!m.try_acquire(2, T, Shared));
+        m.release_owner(1);
+        assert!(m.try_acquire(2, T, Shared));
+    }
+
+    #[test]
+    fn release_owner_is_idempotent_and_scoped() {
+        let m = S2plLockManager::new();
+        m.acquire(1, T, Shared, LONG).unwrap();
+        m.acquire(2, T, Shared, LONG).unwrap();
+        m.release_owner(1);
+        m.release_owner(1);
+        assert_eq!(m.held_mode(2, T), Some(Shared));
+    }
+
+    #[test]
+    fn reacquire_same_mode_is_noop() {
+        let m = S2plLockManager::new();
+        m.acquire(1, T, Shared, LONG).unwrap();
+        m.acquire(1, T, Shared, LONG).unwrap();
+        assert_eq!(m.granted_count(), 1);
+    }
+}

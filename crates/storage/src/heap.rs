@@ -1,0 +1,703 @@
+//! The MVCC tuple heap (paper §5.1).
+//!
+//! A heap is a page-structured store of [`HeapTuple`] versions. Updating a row
+//! appends a *new* version at a new `(page, slot)` location and links it from the
+//! old one, exactly as PostgreSQL does; readers walk the version chain from the root
+//! (the version the indexes point at) to the version visible to their snapshot.
+//!
+//! Tuple write locks are the `xmax` field itself: a transaction "locks" a version
+//! for update/delete by stamping its xid into `xmax` under the page latch. A
+//! conflicting writer discovers the in-progress `xmax` and waits for that
+//! transaction via [`crate::txn::TxnManager::wait_for`]. This mirrors PostgreSQL
+//! storing row locks in tuple headers rather than the shared lock table (§5.1),
+//! which is precisely why the SSI implementation could not find read-write conflicts
+//! through the regular lock manager and needed MVCC-based detection plus a new
+//! SIREAD table (§5.2).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+use pgssi_common::{CommitSeqNo, PageNo, RelId, Row, Snapshot, TupleId, TxnId};
+
+use crate::clog::{CommitLog, TxnStatus};
+use crate::io::BufferCache;
+use crate::visibility::{check_mvcc, OwnXids, VisCheck, VisEvent};
+
+/// Fixed heap-page capacity, in tuples. Small enough that page-granularity SIREAD
+/// locks (paper §5.2.1) cover a meaningful but bounded key neighbourhood.
+pub const TUPLES_PER_PAGE: usize = 64;
+
+/// One tuple version.
+#[derive(Clone, Debug)]
+pub struct HeapTuple {
+    /// Creating transaction.
+    pub xmin: TxnId,
+    /// Deleting/superseding transaction, or [`TxnId::INVALID`]. Doubles as the
+    /// tuple write lock while the transaction is in progress.
+    pub xmax: TxnId,
+    /// Next (newer) version in the update chain.
+    pub next: Option<TupleId>,
+    /// True for versions created by `insert` (chain roots that indexes point at);
+    /// false for versions appended by updates.
+    pub is_root: bool,
+    /// Payload cleared by vacuum; header retained so chains and physical lock
+    /// targets stay valid.
+    pub pruned: bool,
+    /// Entire logical row is dead (set on roots by vacuum once no snapshot can see
+    /// any version); index entries pointing here may be reclaimed.
+    pub dead: bool,
+    /// Column values (empty if `pruned`).
+    pub row: Row,
+}
+
+/// Outcome of trying to take the tuple write lock for update/delete.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LockOutcome {
+    /// `xmax` stamped with the caller's xid; the caller may delete or append a new
+    /// version.
+    Locked,
+    /// The caller (or one of its live subtransactions) already holds the lock.
+    SelfLocked(TxnId),
+    /// An in-progress transaction holds the lock; wait for it and retry.
+    Wait(TxnId),
+    /// A committed transaction deleted/updated this version. `has_next` says whether
+    /// a newer version exists (update) or not (plain delete). Under snapshot
+    /// isolation this is the "first updater wins" serialization failure; under READ
+    /// COMMITTED the caller follows the chain instead.
+    Committed { deleter: TxnId, has_next: bool },
+}
+
+/// Result of resolving a version chain against a snapshot.
+#[derive(Clone, Debug)]
+pub struct ChainRead {
+    /// Visible version and its row, if any.
+    pub visible: Option<(TupleId, Row)>,
+    /// rw-antidependency events discovered while walking (paper §5.2).
+    pub events: Vec<VisEvent>,
+}
+
+struct HeapPage {
+    tuples: Vec<HeapTuple>,
+}
+
+/// A page-structured MVCC heap for one relation.
+pub struct Heap {
+    rel: RelId,
+    pages: RwLock<Vec<Arc<RwLock<HeapPage>>>>,
+    /// Page most likely to have free space (insert cursor).
+    insert_hint: AtomicUsize,
+    cache: Arc<BufferCache>,
+}
+
+impl Heap {
+    /// Empty heap for relation `rel`, charging I/O through `cache`.
+    pub fn new(rel: RelId, cache: Arc<BufferCache>) -> Heap {
+        Heap {
+            rel,
+            pages: RwLock::new(Vec::new()),
+            insert_hint: AtomicUsize::new(0),
+            cache,
+        }
+    }
+
+    /// The relation this heap stores.
+    #[inline]
+    pub fn rel(&self) -> RelId {
+        self.rel
+    }
+
+    /// Number of pages currently allocated.
+    pub fn page_count(&self) -> usize {
+        self.pages.read().len()
+    }
+
+    fn page(&self, no: PageNo) -> Option<Arc<RwLock<HeapPage>>> {
+        self.cache.touch(self.rel, no);
+        self.pages.read().get(no as usize).cloned()
+    }
+
+    /// Insert a brand-new row (a chain root). Returns its physical location.
+    pub fn insert(&self, row: Row, xmin: TxnId) -> TupleId {
+        self.insert_tuple(HeapTuple {
+            xmin,
+            xmax: TxnId::INVALID,
+            next: None,
+            is_root: true,
+            pruned: false,
+            dead: false,
+            row,
+        })
+    }
+
+    fn insert_tuple(&self, tuple: HeapTuple) -> TupleId {
+        loop {
+            let hint = self.insert_hint.load(Ordering::Relaxed);
+            let page = {
+                let pages = self.pages.read();
+                pages.get(hint).cloned()
+            };
+            match page {
+                Some(p) => {
+                    let mut guard = p.write();
+                    if guard.tuples.len() < TUPLES_PER_PAGE {
+                        let slot = guard.tuples.len() as u16;
+                        guard.tuples.push(tuple);
+                        self.cache.touch(self.rel, hint as PageNo);
+                        return TupleId::new(hint as PageNo, slot);
+                    }
+                    drop(guard);
+                    // Page full: advance the hint (racy but monotone-ish; worst
+                    // case another thread already advanced it).
+                    let _ = self.insert_hint.compare_exchange(
+                        hint,
+                        hint + 1,
+                        Ordering::Relaxed,
+                        Ordering::Relaxed,
+                    );
+                }
+                None => {
+                    let mut pages = self.pages.write();
+                    // Re-check under the write lock; another thread may have
+                    // appended the page already.
+                    if pages.len() <= hint {
+                        pages.push(Arc::new(RwLock::new(HeapPage {
+                            tuples: Vec::with_capacity(TUPLES_PER_PAGE),
+                        })));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Run `f` against the tuple at `tid` under the page latch.
+    pub fn with_tuple<T>(&self, tid: TupleId, f: impl FnOnce(&HeapTuple) -> T) -> Option<T> {
+        let page = self.page(tid.page)?;
+        let guard = page.read();
+        guard.tuples.get(tid.slot as usize).map(f)
+    }
+
+    /// Run `f` against the tuple at `tid` with mutable access under the page latch.
+    pub fn with_tuple_mut<T>(
+        &self,
+        tid: TupleId,
+        f: impl FnOnce(&mut HeapTuple) -> T,
+    ) -> Option<T> {
+        let page = self.page(tid.page)?;
+        let mut guard = page.write();
+        guard.tuples.get_mut(tid.slot as usize).map(f)
+    }
+
+    /// Walk the version chain starting at `root`, returning the visible version (if
+    /// any) and the SSI conflict events discovered (paper §5.2).
+    pub fn read_chain(
+        &self,
+        root: TupleId,
+        snap: &Snapshot,
+        clog: &CommitLog,
+        own: &dyn OwnXids,
+    ) -> ChainRead {
+        self.read_chain_hooked(root, snap, clog, own, &mut |_| {})
+    }
+
+    /// [`Heap::read_chain`] with an `on_visible` hook invoked **under the page
+    /// latch** when the visible version is found. Serializable readers acquire
+    /// their tuple SIREAD lock inside the hook: because a writer stamps `xmax`
+    /// under the same latch and only checks SIREAD locks *after* stamping,
+    /// latch ordering guarantees that either the reader's visibility check sees
+    /// the `xmax` (MVCC-side conflict) or the writer's check sees the SIREAD
+    /// lock (lock-side conflict) — never neither. PostgreSQL gets the same
+    /// guarantee by calling `PredicateLockTuple` while the buffer is locked.
+    pub fn read_chain_hooked(
+        &self,
+        root: TupleId,
+        snap: &Snapshot,
+        clog: &CommitLog,
+        own: &dyn OwnXids,
+        on_visible: &mut dyn FnMut(TupleId),
+    ) -> ChainRead {
+        let mut events = Vec::new();
+        let mut cur = Some(root);
+        while let Some(tid) = cur {
+            let step = self.with_tuple(tid, |t| {
+                let vis: VisCheck = check_mvcc(t, snap, clog, own);
+                if vis.visible {
+                    on_visible(tid);
+                }
+                (vis, t.next, if t.pruned { None } else { Some(t.row.clone()) })
+            });
+            let Some((vis, next, row)) = step else { break };
+            for e in &vis.events {
+                if !events.contains(e) {
+                    events.push(*e);
+                }
+            }
+            if vis.visible {
+                // A pruned-but-visible tuple would be a vacuum bug; surface loudly.
+                let row = row.expect("visible tuple must not be pruned");
+                return ChainRead {
+                    visible: Some((tid, row)),
+                    events,
+                };
+            }
+            cur = next;
+        }
+        ChainRead {
+            visible: None,
+            events,
+        }
+    }
+
+    /// Follow `next` pointers from `root` to the current end of the chain.
+    pub fn chain_tail(&self, root: TupleId) -> TupleId {
+        let mut cur = root;
+        while let Some(next) = self.with_tuple(cur, |t| t.next).flatten() {
+            cur = next;
+        }
+        cur
+    }
+
+    /// Try to take the tuple write lock on `tid` for transaction `xid`.
+    ///
+    /// Implements PostgreSQL's `HeapTupleSatisfiesUpdate` outcomes: the lock is the
+    /// `xmax` field, stamped under the page latch. An aborted previous locker is
+    /// replaced (and its dangling chain branch cut); a committed one is reported so
+    /// the isolation level can decide between "first updater wins" failure (SI/SSI)
+    /// and chain-following (READ COMMITTED).
+    pub fn try_lock_tuple(
+        &self,
+        tid: TupleId,
+        xid: TxnId,
+        clog: &CommitLog,
+        own: &dyn OwnXids,
+    ) -> Option<LockOutcome> {
+        self.with_tuple_mut(tid, |t| {
+            if !t.xmax.is_valid() {
+                t.xmax = xid;
+                return LockOutcome::Locked;
+            }
+            if own.is_mine(t.xmax) {
+                return LockOutcome::SelfLocked(t.xmax);
+            }
+            match clog.status(t.xmax) {
+                TxnStatus::InProgress => LockOutcome::Wait(t.xmax),
+                TxnStatus::Aborted => {
+                    // Steal the lock from the aborted transaction and cut its dead
+                    // chain branch so the new version can be linked here.
+                    t.xmax = xid;
+                    t.next = None;
+                    LockOutcome::Locked
+                }
+                TxnStatus::Committed(_) => LockOutcome::Committed {
+                    deleter: t.xmax,
+                    has_next: t.next.is_some(),
+                },
+            }
+        })
+    }
+
+    /// Release a tuple write lock taken by `xid` (e.g. when a savepoint rollback
+    /// undoes the pending delete). No-op if someone else holds it.
+    pub fn unlock_tuple(&self, tid: TupleId, xid: TxnId) {
+        self.with_tuple_mut(tid, |t| {
+            if t.xmax == xid {
+                t.xmax = TxnId::INVALID;
+                t.next = None;
+            }
+        });
+    }
+
+    /// Append a new version after `old` (which must be write-locked by `xid`) and
+    /// link it into the chain. Returns the new version's location.
+    pub fn append_version(&self, old: TupleId, row: Row, xid: TxnId) -> TupleId {
+        let new_tid = self.insert_tuple(HeapTuple {
+            xmin: xid,
+            xmax: TxnId::INVALID,
+            next: None,
+            is_root: false,
+            pruned: false,
+            dead: false,
+            row,
+        });
+        let linked = self.with_tuple_mut(old, |t| {
+            debug_assert_eq!(t.xmax, xid, "append_version without holding the lock");
+            t.next = Some(new_tid);
+        });
+        debug_assert!(linked.is_some());
+        new_tid
+    }
+
+    /// Visit every chain root (for sequential scans). The callback receives the
+    /// root's physical location; resolve visibility with [`Heap::read_chain`].
+    pub fn for_each_root(&self, mut f: impl FnMut(TupleId)) {
+        let page_count = self.page_count();
+        for pno in 0..page_count {
+            let Some(page) = self.page(pno as PageNo) else { continue };
+            // Collect roots under the latch, call back outside it.
+            let roots: Vec<TupleId> = {
+                let guard = page.read();
+                guard
+                    .tuples
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, t)| t.is_root && !t.dead)
+                    .map(|(slot, _)| TupleId::new(pno as PageNo, slot as u16))
+                    .collect()
+            };
+            for tid in roots {
+                f(tid);
+            }
+        }
+    }
+
+    /// Vacuum: prune versions no snapshot at or after `horizon` can see.
+    ///
+    /// For each chain, versions superseded by an update that committed before
+    /// `horizon` have their payload cleared and are skipped by relinking the root
+    /// directly to the first needed version. Fully-dead rows (deleted before
+    /// `horizon`, or created by an aborted transaction) have their roots marked
+    /// [`HeapTuple::dead`] so index vacuum can drop their entries. Returns
+    /// `(versions_pruned, rows_killed)`.
+    pub fn prune(&self, clog: &CommitLog, horizon: CommitSeqNo) -> (usize, usize) {
+        let mut pruned = 0;
+        let mut killed = 0;
+        let committed_before = |xid: TxnId| -> bool {
+            matches!(clog.status(xid), TxnStatus::Committed(c) if c < horizon)
+        };
+        self.for_each_root(|root| {
+            // Walk the chain, recording each version's "superseded before horizon"
+            // status.
+            let mut chain: Vec<(TupleId, TxnId, TxnId, Option<TupleId>)> = Vec::new();
+            let mut cur = Some(root);
+            while let Some(tid) = cur {
+                let Some((xmin, xmax, next)) = self.with_tuple(tid, |t| (t.xmin, t.xmax, t.next))
+                else {
+                    break;
+                };
+                chain.push((tid, xmin, xmax, next));
+                cur = next;
+            }
+            if chain.is_empty() {
+                return;
+            }
+            // Aborted insert: the root never became visible and has no successors.
+            let (_, root_xmin, _, root_next) = chain[0];
+            if clog.status(root_xmin) == TxnStatus::Aborted && root_next.is_none() {
+                self.with_tuple_mut(root, |t| {
+                    if !t.pruned {
+                        t.pruned = true;
+                        t.row = Vec::new();
+                        pruned += 1;
+                    }
+                    t.dead = true;
+                });
+                killed += 1;
+                return;
+            }
+            // Longest prefix of versions whose superseding update committed before
+            // the horizon. Each such version is invisible to every current and
+            // future snapshot.
+            let mut cut = 0usize;
+            for &(_, _, xmax, next) in &chain {
+                if next.is_some() && committed_before(xmax) {
+                    cut += 1;
+                } else {
+                    break;
+                }
+            }
+            for &(tid, ..) in chain.iter().take(cut) {
+                self.with_tuple_mut(tid, |t| {
+                    if !t.pruned {
+                        t.pruned = true;
+                        t.row = Vec::new();
+                        pruned += 1;
+                    }
+                });
+            }
+            if cut > 0 {
+                // Skip the dead prefix: the root header stays (indexes and SIREAD
+                // targets reference it) but jumps straight to the live suffix.
+                let live = chain[cut].0;
+                if chain[0].0 != live {
+                    self.with_tuple_mut(root, |t| t.next = Some(live));
+                }
+            }
+            // Whole row dead? The last version must be a plain delete that
+            // committed before the horizon.
+            let &(last_tid, _, last_xmax, last_next) = chain.last().unwrap();
+            if last_next.is_none() && committed_before(last_xmax) {
+                self.with_tuple_mut(last_tid, |t| {
+                    if !t.pruned {
+                        t.pruned = true;
+                        t.row = Vec::new();
+                        pruned += 1;
+                    }
+                });
+                self.with_tuple_mut(root, |t| t.dead = true);
+                killed += 1;
+            }
+        });
+        (pruned, killed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::txn::TxnManager;
+    use crate::visibility::SingleXid;
+    use pgssi_common::row;
+
+    fn heap() -> (Heap, TxnManager) {
+        let cache = Arc::new(BufferCache::new(Default::default()));
+        (Heap::new(RelId(1), cache), TxnManager::new())
+    }
+
+    #[test]
+    fn insert_and_read_back() {
+        let (h, tm) = heap();
+        let t = tm.begin();
+        let tid = h.insert(row![1, "a"], t);
+        tm.commit(&[t]);
+        let r = tm.begin();
+        let snap = tm.snapshot();
+        let read = h.read_chain(tid, &snap, tm.clog(), &SingleXid(r));
+        assert_eq!(read.visible.unwrap().1, row![1, "a"]);
+        assert!(read.events.is_empty());
+    }
+
+    #[test]
+    fn pages_fill_and_overflow() {
+        let (h, tm) = heap();
+        let t = tm.begin();
+        let mut tids = Vec::new();
+        for i in 0..(TUPLES_PER_PAGE * 2 + 3) {
+            tids.push(h.insert(row![i as i64], t));
+        }
+        assert_eq!(h.page_count(), 3);
+        assert_eq!(tids[0], TupleId::new(0, 0));
+        assert_eq!(tids[TUPLES_PER_PAGE], TupleId::new(1, 0));
+    }
+
+    #[test]
+    fn update_creates_new_version_visible_to_later_snapshots_only() {
+        let (h, tm) = heap();
+        let t1 = tm.begin();
+        let root = h.insert(row![1], t1);
+        tm.commit(&[t1]);
+
+        let reader = tm.begin();
+        let old_snap = tm.snapshot();
+
+        let t2 = tm.begin();
+        assert_eq!(
+            h.try_lock_tuple(root, t2, tm.clog(), &SingleXid(t2)),
+            Some(LockOutcome::Locked)
+        );
+        let v2 = h.append_version(root, row![2], t2);
+        tm.commit(&[t2]);
+
+        // Old snapshot still sees version 1, but reports the rw-conflict out.
+        let read = h.read_chain(root, &old_snap, tm.clog(), &SingleXid(reader));
+        assert_eq!(read.visible.as_ref().unwrap().1, row![1]);
+        assert_eq!(read.events, vec![VisEvent::ConflictOutDeleter(t2)]);
+
+        // A new snapshot sees version 2 at its new location.
+        let r2 = tm.begin();
+        let snap2 = tm.snapshot();
+        let read2 = h.read_chain(root, &snap2, tm.clog(), &SingleXid(r2));
+        assert_eq!(read2.visible, Some((v2, row![2])));
+        assert!(read2.events.is_empty());
+    }
+
+    #[test]
+    fn lock_outcomes_cover_all_cases() {
+        let (h, tm) = heap();
+        let t1 = tm.begin();
+        let root = h.insert(row![1], t1);
+        tm.commit(&[t1]);
+
+        let a = tm.begin();
+        let b = tm.begin();
+        assert_eq!(
+            h.try_lock_tuple(root, a, tm.clog(), &SingleXid(a)),
+            Some(LockOutcome::Locked)
+        );
+        assert_eq!(
+            h.try_lock_tuple(root, a, tm.clog(), &SingleXid(a)),
+            Some(LockOutcome::SelfLocked(a))
+        );
+        assert_eq!(
+            h.try_lock_tuple(root, b, tm.clog(), &SingleXid(b)),
+            Some(LockOutcome::Wait(a))
+        );
+        tm.commit(&[a]);
+        assert_eq!(
+            h.try_lock_tuple(root, b, tm.clog(), &SingleXid(b)),
+            Some(LockOutcome::Committed {
+                deleter: a,
+                has_next: false
+            })
+        );
+    }
+
+    #[test]
+    fn aborted_locker_is_stolen_and_branch_cut() {
+        let (h, tm) = heap();
+        let t1 = tm.begin();
+        let root = h.insert(row![1], t1);
+        tm.commit(&[t1]);
+
+        let a = tm.begin();
+        h.try_lock_tuple(root, a, tm.clog(), &SingleXid(a));
+        let dead = h.append_version(root, row![99], a);
+        tm.abort(&[a]);
+
+        let b = tm.begin();
+        assert_eq!(
+            h.try_lock_tuple(root, b, tm.clog(), &SingleXid(b)),
+            Some(LockOutcome::Locked)
+        );
+        let v2 = h.append_version(root, row![2], b);
+        assert_ne!(v2, dead);
+        tm.commit(&[b]);
+
+        let r = tm.begin();
+        let snap = tm.snapshot();
+        let read = h.read_chain(root, &snap, tm.clog(), &SingleXid(r));
+        assert_eq!(read.visible, Some((v2, row![2])));
+    }
+
+    #[test]
+    fn unlock_tuple_restores_header() {
+        let (h, tm) = heap();
+        let t1 = tm.begin();
+        let root = h.insert(row![1], t1);
+        tm.commit(&[t1]);
+        let a = tm.begin();
+        h.try_lock_tuple(root, a, tm.clog(), &SingleXid(a));
+        h.unlock_tuple(root, a);
+        let b = tm.begin();
+        assert_eq!(
+            h.try_lock_tuple(root, b, tm.clog(), &SingleXid(b)),
+            Some(LockOutcome::Locked)
+        );
+    }
+
+    #[test]
+    fn delete_hides_row_from_later_snapshots() {
+        let (h, tm) = heap();
+        let t1 = tm.begin();
+        let root = h.insert(row![1], t1);
+        tm.commit(&[t1]);
+        let d = tm.begin();
+        h.try_lock_tuple(root, d, tm.clog(), &SingleXid(d));
+        tm.commit(&[d]); // xmax stays: that's the delete
+        let r = tm.begin();
+        let snap = tm.snapshot();
+        let read = h.read_chain(root, &snap, tm.clog(), &SingleXid(r));
+        assert!(read.visible.is_none());
+        assert!(read.events.is_empty());
+    }
+
+    #[test]
+    fn for_each_root_skips_appended_versions() {
+        let (h, tm) = heap();
+        let t = tm.begin();
+        let r1 = h.insert(row![1], t);
+        let _r2 = h.insert(row![2], t);
+        h.try_lock_tuple(r1, t, tm.clog(), &SingleXid(t));
+        h.append_version(r1, row![10], t);
+        tm.commit(&[t]);
+        let mut roots = 0;
+        h.for_each_root(|_| roots += 1);
+        assert_eq!(roots, 2, "version tuples are not roots");
+    }
+
+    #[test]
+    fn chain_tail_follows_updates() {
+        let (h, tm) = heap();
+        let t = tm.begin();
+        let root = h.insert(row![1], t);
+        h.try_lock_tuple(root, t, tm.clog(), &SingleXid(t));
+        let v2 = h.append_version(root, row![2], t);
+        assert_eq!(h.chain_tail(root), v2);
+        assert_eq!(h.chain_tail(v2), v2);
+    }
+
+    #[test]
+    fn prune_clears_old_versions_and_relinks() {
+        let (h, tm) = heap();
+        let t1 = tm.begin();
+        let root = h.insert(row![1], t1);
+        tm.commit(&[t1]);
+        // Three updates, all committed.
+        let mut last = root;
+        for i in 2..5i64 {
+            let u = tm.begin();
+            let tail = h.chain_tail(root);
+            h.try_lock_tuple(tail, u, tm.clog(), &SingleXid(u));
+            last = h.append_version(tail, row![i], u);
+            tm.commit(&[u]);
+        }
+        let horizon = tm.snapshot().csn;
+        let (pruned, killed) = h.prune(tm.clog(), horizon);
+        assert_eq!(pruned, 3, "three superseded versions");
+        assert_eq!(killed, 0);
+        // Root now links straight to the live version.
+        assert_eq!(h.with_tuple(root, |t| t.next).unwrap(), Some(last));
+        // The row still reads correctly.
+        let r = tm.begin();
+        let snap = tm.snapshot();
+        let read = h.read_chain(root, &snap, tm.clog(), &SingleXid(r));
+        assert_eq!(read.visible, Some((last, row![4])));
+    }
+
+    #[test]
+    fn prune_kills_deleted_rows() {
+        let (h, tm) = heap();
+        let t1 = tm.begin();
+        let root = h.insert(row![1], t1);
+        tm.commit(&[t1]);
+        let d = tm.begin();
+        h.try_lock_tuple(root, d, tm.clog(), &SingleXid(d));
+        tm.commit(&[d]);
+        let horizon = tm.snapshot().csn;
+        let (pruned, killed) = h.prune(tm.clog(), horizon);
+        assert_eq!((pruned, killed), (1, 1));
+        assert!(h.with_tuple(root, |t| t.dead).unwrap());
+        let mut roots = 0;
+        h.for_each_root(|_| roots += 1);
+        assert_eq!(roots, 0, "dead roots are not scanned");
+    }
+
+    #[test]
+    fn prune_respects_horizon() {
+        let (h, tm) = heap();
+        let t1 = tm.begin();
+        let root = h.insert(row![1], t1);
+        tm.commit(&[t1]);
+        let old_reader_snapshot = tm.snapshot();
+        let u = tm.begin();
+        h.try_lock_tuple(root, u, tm.clog(), &SingleXid(u));
+        h.append_version(root, row![2], u);
+        tm.commit(&[u]);
+        // Horizon at the old reader's snapshot: version 1 must survive.
+        let (pruned, _) = h.prune(tm.clog(), old_reader_snapshot.csn);
+        assert_eq!(pruned, 0);
+        let r = tm.begin();
+        let read = h.read_chain(root, &old_reader_snapshot, tm.clog(), &SingleXid(r));
+        assert_eq!(read.visible.as_ref().unwrap().1, row![1]);
+    }
+
+    #[test]
+    fn prune_kills_aborted_inserts() {
+        let (h, tm) = heap();
+        let t1 = tm.begin();
+        let root = h.insert(row![1], t1);
+        tm.abort(&[t1]);
+        let (pruned, killed) = h.prune(tm.clog(), tm.snapshot().csn);
+        assert_eq!((pruned, killed), (1, 1));
+        assert!(h.with_tuple(root, |t| t.dead).unwrap());
+    }
+}

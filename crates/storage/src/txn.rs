@@ -1,0 +1,329 @@
+//! Transaction manager: id assignment, snapshots, commit/abort, and waits.
+//!
+//! A single mutex orders transaction starts, snapshot acquisition, and commits, so
+//! that a [`Snapshot`]'s `xip` list and its commit-sequence frontier (`csn`) are
+//! mutually consistent — the property the SSI core's "committed before snapshot"
+//! tests (paper §4.1) rely on.
+//!
+//! The manager also implements PostgreSQL's `XactLockTableWait` equivalent: a writer
+//! that finds an in-progress `xmax` in a tuple header waits for that transaction to
+//! finish ([`TxnManager::wait_for`]). Because each transaction waits for at most one
+//! other, the waits-for graph is functional and deadlock detection is a simple
+//! pointer chase performed before sleeping.
+
+use std::collections::{BTreeSet, HashMap};
+use std::time::{Duration, Instant};
+
+use parking_lot::{Condvar, Mutex};
+use pgssi_common::{CommitSeqNo, Error, Result, Snapshot, TxnId};
+
+use crate::clog::{CommitLog, TxnStatus};
+
+#[derive(Default)]
+struct TmState {
+    next_txid: u64,
+    next_csn: u64,
+    /// All in-progress transaction ids, including live subtransaction ids.
+    active: BTreeSet<TxnId>,
+    /// waiter -> waitee edges for deadlock detection.
+    waits_for: HashMap<TxnId, TxnId>,
+}
+
+/// Assigns transaction ids and commit sequence numbers, takes snapshots, and
+/// resolves transaction-finish waits.
+pub struct TxnManager {
+    clog: CommitLog,
+    state: Mutex<TmState>,
+    finished: Condvar,
+}
+
+impl Default for TxnManager {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TxnManager {
+    /// Fresh manager; the first transaction gets [`TxnId::FIRST_NORMAL`].
+    pub fn new() -> TxnManager {
+        TxnManager {
+            clog: CommitLog::new(),
+            state: Mutex::new(TmState {
+                next_txid: TxnId::FIRST_NORMAL.0,
+                next_csn: CommitSeqNo::FIRST.0,
+                active: BTreeSet::new(),
+                waits_for: HashMap::new(),
+            }),
+            finished: Condvar::new(),
+        }
+    }
+
+    /// The commit log backing this manager.
+    #[inline]
+    pub fn clog(&self) -> &CommitLog {
+        &self.clog
+    }
+
+    /// Start a new top-level transaction: assign an id and mark it in progress.
+    pub fn begin(&self) -> TxnId {
+        let mut st = self.state.lock();
+        let txid = TxnId(st.next_txid);
+        st.next_txid += 1;
+        st.active.insert(txid);
+        drop(st);
+        self.clog.register(txid);
+        txid
+    }
+
+    /// Assign a subtransaction id (savepoints, paper §7.3). Subtransaction ids
+    /// appear in other transactions' snapshots exactly like top-level ids, so their
+    /// writes stay invisible until the top-level transaction commits them.
+    pub fn begin_sub(&self) -> TxnId {
+        self.begin()
+    }
+
+    /// Take an MVCC snapshot consistent with the current commit frontier.
+    pub fn snapshot(&self) -> Snapshot {
+        let st = self.state.lock();
+        let xmax = TxnId(st.next_txid);
+        let xmin = st.active.iter().next().copied().unwrap_or(xmax);
+        Snapshot {
+            xmin,
+            xmax,
+            xip: st.active.iter().copied().collect(),
+            csn: CommitSeqNo(st.next_csn),
+        }
+    }
+
+    /// Current commit-sequence frontier: the CSN the next commit will receive.
+    /// Equivalent to `snapshot().csn` without building the xip list.
+    pub fn frontier(&self) -> CommitSeqNo {
+        CommitSeqNo(self.state.lock().next_csn)
+    }
+
+    /// Commit a transaction together with its live subtransactions. All ids receive
+    /// the same commit sequence number, which is returned.
+    pub fn commit(&self, xids: &[TxnId]) -> CommitSeqNo {
+        let mut st = self.state.lock();
+        let csn = CommitSeqNo(st.next_csn);
+        st.next_csn += 1;
+        for &x in xids {
+            st.active.remove(&x);
+            // Publish while holding the lock so no snapshot can observe the id as
+            // both "not active" and "not committed".
+            self.clog.set_committed(x, csn);
+        }
+        drop(st);
+        self.finished.notify_all();
+        csn
+    }
+
+    /// Abort a transaction (and its live subtransactions).
+    pub fn abort(&self, xids: &[TxnId]) {
+        let mut st = self.state.lock();
+        for &x in xids {
+            st.active.remove(&x);
+            self.clog.set_aborted(x);
+        }
+        drop(st);
+        self.finished.notify_all();
+    }
+
+    /// Abort a single subtransaction id (ROLLBACK TO SAVEPOINT). The parent remains
+    /// active.
+    pub fn abort_sub(&self, xid: TxnId) {
+        self.abort(&[xid]);
+    }
+
+    /// Status of `txid` from the commit log.
+    #[inline]
+    pub fn status(&self, txid: TxnId) -> TxnStatus {
+        self.clog.status(txid)
+    }
+
+    /// Whether `txid` is currently in progress.
+    pub fn is_active(&self, txid: TxnId) -> bool {
+        self.state.lock().active.contains(&txid)
+    }
+
+    /// Number of in-progress transactions (including subtransactions).
+    pub fn active_count(&self) -> usize {
+        self.state.lock().active.len()
+    }
+
+    /// Block until `waitee` is no longer in progress, as a tuple-lock wait does
+    /// (paper §5.1: conflicting writers wait on the lock holder's transaction).
+    ///
+    /// Registers `waiter -> waitee` in the waits-for graph first; if that edge would
+    /// close a cycle, returns [`Error::Deadlock`] immediately with `waiter` as the
+    /// victim, mirroring PostgreSQL's deadlock detector aborting the waiter.
+    pub fn wait_for(&self, waiter: TxnId, waitee: TxnId, timeout: Duration) -> Result<()> {
+        let deadline = Instant::now() + timeout;
+        let mut st = self.state.lock();
+        if !st.active.contains(&waitee) {
+            return Ok(());
+        }
+        // Deadlock check: follow the (functional) waits-for chain from waitee.
+        let mut cur = waitee;
+        while let Some(&next) = st.waits_for.get(&cur) {
+            if next == waiter {
+                return Err(Error::Deadlock { victim: waiter });
+            }
+            cur = next;
+        }
+        st.waits_for.insert(waiter, waitee);
+        let result = loop {
+            if !st.active.contains(&waitee) {
+                break Ok(());
+            }
+            if self.finished.wait_until(&mut st, deadline).timed_out() {
+                break Err(Error::LockTimeout);
+            }
+        };
+        st.waits_for.remove(&waiter);
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn begin_assigns_increasing_ids() {
+        let tm = TxnManager::new();
+        let a = tm.begin();
+        let b = tm.begin();
+        assert!(a < b);
+        assert!(tm.is_active(a) && tm.is_active(b));
+    }
+
+    #[test]
+    fn snapshot_sees_active_set_and_frontier() {
+        let tm = TxnManager::new();
+        let a = tm.begin();
+        let s1 = tm.snapshot();
+        assert!(s1.is_in_progress(a));
+        assert_eq!(s1.csn, CommitSeqNo::FIRST);
+
+        let csn = tm.commit(&[a]);
+        assert_eq!(csn, CommitSeqNo::FIRST);
+        let s2 = tm.snapshot();
+        assert!(!s2.is_in_progress(a));
+        assert!(s2.committed_before(csn));
+        assert!(!s1.committed_before(csn), "csn not before earlier snapshot");
+    }
+
+    #[test]
+    fn commit_and_abort_update_clog() {
+        let tm = TxnManager::new();
+        let a = tm.begin();
+        let b = tm.begin();
+        tm.commit(&[a]);
+        tm.abort(&[b]);
+        assert!(tm.status(a).is_committed());
+        assert_eq!(tm.status(b), TxnStatus::Aborted);
+        assert!(!tm.is_active(a));
+        assert!(!tm.is_active(b));
+    }
+
+    #[test]
+    fn subtransactions_commit_with_same_csn() {
+        let tm = TxnManager::new();
+        let top = tm.begin();
+        let sub = tm.begin_sub();
+        let csn = tm.commit(&[top, sub]);
+        assert_eq!(tm.clog().commit_csn(top), Some(csn));
+        assert_eq!(tm.clog().commit_csn(sub), Some(csn));
+    }
+
+    #[test]
+    fn rollback_to_savepoint_aborts_only_sub() {
+        let tm = TxnManager::new();
+        let top = tm.begin();
+        let sub = tm.begin_sub();
+        tm.abort_sub(sub);
+        assert!(tm.is_active(top));
+        assert_eq!(tm.status(sub), TxnStatus::Aborted);
+    }
+
+    #[test]
+    fn wait_for_returns_when_waitee_finishes() {
+        let tm = Arc::new(TxnManager::new());
+        let a = tm.begin();
+        let b = tm.begin();
+        let tm2 = Arc::clone(&tm);
+        let h = std::thread::spawn(move || tm2.wait_for(b, a, Duration::from_secs(5)));
+        std::thread::sleep(Duration::from_millis(20));
+        tm.commit(&[a]);
+        assert!(h.join().unwrap().is_ok());
+    }
+
+    #[test]
+    fn wait_for_finished_txn_returns_immediately() {
+        let tm = TxnManager::new();
+        let a = tm.begin();
+        tm.commit(&[a]);
+        let b = tm.begin();
+        assert!(tm.wait_for(b, a, Duration::from_millis(1)).is_ok());
+    }
+
+    #[test]
+    fn wait_for_times_out() {
+        let tm = TxnManager::new();
+        let a = tm.begin();
+        let b = tm.begin();
+        let err = tm.wait_for(b, a, Duration::from_millis(20)).unwrap_err();
+        assert_eq!(err, Error::LockTimeout);
+    }
+
+    #[test]
+    fn two_party_deadlock_is_detected() {
+        let tm = Arc::new(TxnManager::new());
+        let a = tm.begin();
+        let b = tm.begin();
+        let tm2 = Arc::clone(&tm);
+        let h = std::thread::spawn(move || tm2.wait_for(a, b, Duration::from_secs(5)));
+        // Give the first waiter time to register its edge.
+        std::thread::sleep(Duration::from_millis(30));
+        let err = tm.wait_for(b, a, Duration::from_secs(5)).unwrap_err();
+        assert!(matches!(err, Error::Deadlock { victim } if victim == b));
+        tm.abort(&[b]);
+        assert!(h.join().unwrap().is_ok());
+    }
+
+    #[test]
+    fn three_party_deadlock_cycle_is_detected() {
+        let tm = Arc::new(TxnManager::new());
+        let a = tm.begin();
+        let b = tm.begin();
+        let c = tm.begin();
+        let tm_ab = Arc::clone(&tm);
+        let h1 = std::thread::spawn(move || tm_ab.wait_for(a, b, Duration::from_secs(5)));
+        std::thread::sleep(Duration::from_millis(20));
+        let tm_bc = Arc::clone(&tm);
+        let h2 = std::thread::spawn(move || tm_bc.wait_for(b, c, Duration::from_secs(5)));
+        std::thread::sleep(Duration::from_millis(20));
+        // c -> a closes the cycle a -> b -> c -> a.
+        let err = tm.wait_for(c, a, Duration::from_secs(5)).unwrap_err();
+        assert!(matches!(err, Error::Deadlock { victim } if victim == c));
+        tm.abort(&[c]);
+        assert!(h2.join().unwrap().is_ok());
+        tm.abort(&[b]);
+        assert!(h1.join().unwrap().is_ok());
+    }
+
+    #[test]
+    fn snapshot_csn_frontier_orders_commits() {
+        let tm = TxnManager::new();
+        let a = tm.begin();
+        let b = tm.begin();
+        let ca = tm.commit(&[a]);
+        let snap = tm.snapshot();
+        let cb = tm.commit(&[b]);
+        assert!(snap.committed_before(ca));
+        assert!(!snap.committed_before(cb));
+        assert!(ca < cb);
+    }
+}

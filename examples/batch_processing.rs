@@ -1,0 +1,100 @@
+//! The paper's Figure 2: the batch-processing anomaly with a read-only
+//! transaction — the case that motivated SSI's read-only optimizations.
+//!
+//! A receipts system keeps a control row with the current batch number.
+//! NEW-RECEIPT inserts a receipt tagged with the current batch; CLOSE-BATCH
+//! increments the batch number; REPORT reads the batch number and totals the
+//! *previous* (closed) batch. Serializability promises: once REPORT has shown a
+//! batch's total, it never changes. Snapshot isolation breaks that promise;
+//! SSI keeps it by aborting the pivot (NEW-RECEIPT).
+//!
+//! ```sh
+//! cargo run --example batch_processing
+//! ```
+
+use pgssi::{
+    row, BeginOptions, Database, IsolationLevel, TableDef, Transaction, Value,
+};
+
+fn setup() -> pgssi::Result<Database> {
+    let db = Database::open();
+    db.create_table(TableDef::new("control", &["id", "batch"], vec![0]))?;
+    db.create_table(TableDef::new("receipts", &["rid", "batch", "amount"], vec![0]))?;
+    let mut t = db.begin(IsolationLevel::ReadCommitted);
+    t.insert("control", row![0, 7])?; // current batch = 7
+    t.commit()?;
+    Ok(db)
+}
+
+fn current_batch(t: &mut Transaction) -> pgssi::Result<i64> {
+    Ok(t.get("control", &row![0])?.expect("control row")[1]
+        .as_int()
+        .unwrap())
+}
+
+fn batch_total(t: &mut Transaction, batch: i64) -> pgssi::Result<i64> {
+    Ok(t
+        .scan_where("receipts", |r| r[1] == Value::Int(batch))?
+        .iter()
+        .map(|r| r[2].as_int().unwrap())
+        .sum())
+}
+
+fn run(isolation: IsolationLevel) -> pgssi::Result<()> {
+    let db = setup()?;
+    let report_opts = if isolation == IsolationLevel::Serializable {
+        BeginOptions::new(isolation).read_only()
+    } else {
+        BeginOptions::new(isolation)
+    };
+
+    // T2 (NEW-RECEIPT) reads the current batch number...
+    let mut t2 = db.begin(isolation);
+    let x = current_batch(&mut t2)?;
+
+    // ...then T3 (CLOSE-BATCH) increments it and commits.
+    let mut t3 = db.begin(isolation);
+    let b = current_batch(&mut t3)?;
+    t3.update("control", &row![0], row![0, b + 1])?;
+    t3.commit()?;
+
+    // T1 (REPORT) runs after CLOSE-BATCH committed: batch x is closed, so its
+    // total is supposed to be final.
+    let mut t1 = db.begin_with(report_opts)?;
+    let cur = current_batch(&mut t1)?;
+    let reported = batch_total(&mut t1, cur - 1)?;
+    t1.commit()?;
+    println!("  REPORT: batch {} total = {}", cur - 1, reported);
+
+    // T2 now tries to insert its receipt — into the batch the report already
+    // totalled.
+    let insert = t2
+        .insert("receipts", row![1, x, 100])
+        .and_then(|()| t2.commit());
+    match insert {
+        Ok(()) => println!("  NEW-RECEIPT committed into closed batch {x}"),
+        Err(e) => println!("  NEW-RECEIPT aborted: {e}"),
+    }
+
+    let mut check = db.begin(IsolationLevel::ReadCommitted);
+    let now = batch_total(&mut check, x)?;
+    check.commit()?;
+    if now != reported {
+        println!("  !! total of reported batch changed: {reported} -> {now}\n");
+    } else {
+        println!("  total of reported batch is final: {now}\n");
+    }
+    Ok(())
+}
+
+fn main() -> pgssi::Result<()> {
+    println!("under snapshot isolation (REPEATABLE READ):");
+    run(IsolationLevel::RepeatableRead)?;
+
+    println!("under serializable (SSI):");
+    run(IsolationLevel::Serializable)?;
+
+    println!("note: the REPORT itself is read-only — yet it is essential to the");
+    println!("anomaly (Fekete et al. 2004). SSI aborts NEW-RECEIPT, the pivot.");
+    Ok(())
+}

@@ -1,0 +1,112 @@
+//! Side-by-side comparison of the four isolation levels on a contended
+//! workload: correctness (invariant preservation) and cost (aborts, blocking).
+//!
+//! The workload is the doctors roster generalized to N doctors and a minimum
+//! staffing level — every transaction re-checks the invariant before taking a
+//! doctor off call, so any end state below the minimum is an isolation
+//! failure, not an application bug.
+//!
+//! ```sh
+//! cargo run --release --example isolation_comparison
+//! ```
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use pgssi::{row, Database, IsolationLevel, TableDef, Value};
+
+const DOCTORS: i64 = 12;
+const MIN_ON_CALL: i64 = 4;
+const THREADS: usize = 4;
+const ATTEMPTS_PER_THREAD: usize = 30;
+
+fn run(isolation: IsolationLevel) -> pgssi::Result<(i64, u64, u64)> {
+    let db = Database::open();
+    db.create_table(TableDef::new("doctors", &["id", "on_call"], vec![0]))?;
+    let mut t = db.begin(IsolationLevel::ReadCommitted);
+    for i in 0..DOCTORS {
+        t.insert("doctors", row![i, true])?;
+    }
+    t.commit()?;
+
+    let db = Arc::new(db);
+    let mut commits = 0u64;
+    let mut aborts = 0u64;
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for th in 0..THREADS {
+            let db = Arc::clone(&db);
+            handles.push(scope.spawn(move || {
+                let mut local = (0u64, 0u64);
+                for i in 0..ATTEMPTS_PER_THREAD {
+                    let target = ((th * ATTEMPTS_PER_THREAD + i) as i64) % DOCTORS;
+                    let mut txn = db.begin(isolation);
+                    let result = (|| -> pgssi::Result<()> {
+                        let on_call = txn
+                            .scan_where("doctors", |r| r[1] == Value::Bool(true))?
+                            .len() as i64;
+                        // Widen the read-write gap so the race is observable.
+                        std::thread::sleep(std::time::Duration::from_micros(200));
+                        if on_call > MIN_ON_CALL {
+                            txn.update("doctors", &row![target], row![target, false])?;
+                        }
+                        Ok(())
+                    })();
+                    match result.and_then(|()| txn.commit()) {
+                        Ok(()) => local.0 += 1,
+                        Err(_) => local.1 += 1,
+                    }
+                }
+                local
+            }));
+        }
+        for h in handles {
+            let (c, a) = h.join().unwrap();
+            commits += c;
+            aborts += a;
+        }
+    });
+
+    let mut check = db.begin(IsolationLevel::ReadCommitted);
+    let remaining = check
+        .scan_where("doctors", |r| r[1] == Value::Bool(true))?
+        .len() as i64;
+    check.commit()?;
+    Ok((remaining, commits, aborts))
+}
+
+fn main() -> pgssi::Result<()> {
+    println!(
+        "{DOCTORS} doctors, invariant: > {MIN_ON_CALL} on call before anyone leaves\n"
+    );
+    println!(
+        "{:<22} {:>9} {:>9} {:>9} {:>10} {:>9}",
+        "isolation", "on-call", "ok?", "commits", "aborts", "elapsed"
+    );
+    for isolation in [
+        IsolationLevel::ReadCommitted,
+        IsolationLevel::RepeatableRead,
+        IsolationLevel::Serializable,
+        IsolationLevel::Serializable2pl,
+    ] {
+        let start = Instant::now();
+        let (remaining, commits, aborts) = run(isolation)?;
+        let ok = remaining >= MIN_ON_CALL;
+        println!(
+            "{:<22} {:>9} {:>9} {:>9} {:>10} {:>8.1?}",
+            format!("{isolation:?}"),
+            remaining,
+            if ok { "yes" } else { "VIOLATED" },
+            commits,
+            aborts,
+            start.elapsed()
+        );
+    }
+    println!(
+        "\nexpected: the two serializable levels always preserve the invariant;\n\
+         READ COMMITTED and REPEATABLE READ can drop below the minimum under\n\
+         concurrency (write skew); SSI pays with retryable aborts, 2PL with\n\
+         blocking and deadlock aborts."
+    );
+    Ok(())
+}

@@ -1,0 +1,94 @@
+//! The paper's Figure 1: the on-call doctors write-skew anomaly.
+//!
+//! Two transactions each check "are at least two doctors on call?" and, seeing
+//! yes, take one doctor off call. Run sequentially, at least one doctor always
+//! remains. Under plain snapshot isolation the interleaved execution removes
+//! *both* — silent corruption. Under the SSI-based SERIALIZABLE level, one
+//! transaction aborts with a retryable serialization failure and the invariant
+//! survives.
+//!
+//! ```sh
+//! cargo run --example write_skew_doctors
+//! ```
+
+use pgssi::{row, Database, IsolationLevel, TableDef, Transaction, Value};
+
+fn on_call_count(txn: &mut Transaction) -> pgssi::Result<i64> {
+    Ok(txn
+        .scan_where("doctors", |r| r[1] == Value::Bool(true))?
+        .len() as i64)
+}
+
+/// The transaction from Figure 1: check the invariant, then go off call.
+fn go_off_call(txn: &mut Transaction, name: &str) -> pgssi::Result<bool> {
+    if on_call_count(txn)? >= 2 {
+        txn.update("doctors", &row![name], row![name, false])?;
+        Ok(true)
+    } else {
+        Ok(false)
+    }
+}
+
+fn fresh_db() -> pgssi::Result<Database> {
+    let db = Database::open();
+    db.create_table(TableDef::new("doctors", &["name", "on_call"], vec![0]))?;
+    let mut txn = db.begin(IsolationLevel::ReadCommitted);
+    txn.insert("doctors", row!["alice", true])?;
+    txn.insert("doctors", row!["bob", true])?;
+    txn.commit()?;
+    Ok(db)
+}
+
+fn run_interleaved(isolation: IsolationLevel) -> pgssi::Result<(i64, usize)> {
+    let db = fresh_db()?;
+    // The Figure 1 interleaving: both transactions read before either writes.
+    let mut t1 = db.begin(isolation);
+    let mut t2 = db.begin(isolation);
+    let mut aborts = 0;
+
+    let r1 = go_off_call(&mut t1, "alice").and_then(|_| t1.commit());
+    if r1.is_err() {
+        aborts += 1;
+    }
+    let r2 = go_off_call(&mut t2, "bob").and_then(|_| t2.commit());
+    if r2.is_err() {
+        aborts += 1;
+    }
+
+    let mut check = db.begin(IsolationLevel::ReadCommitted);
+    let remaining = on_call_count(&mut check)?;
+    check.commit()?;
+    Ok((remaining, aborts))
+}
+
+fn main() -> pgssi::Result<()> {
+    println!("invariant: at least one doctor stays on call\n");
+
+    let (remaining, aborts) = run_interleaved(IsolationLevel::RepeatableRead)?;
+    println!("snapshot isolation  : {remaining} doctor(s) on call, {aborts} abort(s)");
+    assert_eq!(remaining, 0, "SI lets write skew corrupt the data");
+    println!("                      -> WRITE SKEW: the invariant was silently violated!\n");
+
+    let (remaining, aborts) = run_interleaved(IsolationLevel::Serializable)?;
+    println!("serializable (SSI)  : {remaining} doctor(s) on call, {aborts} abort(s)");
+    assert_eq!(remaining, 1, "SSI preserves the invariant");
+    assert_eq!(aborts, 1, "exactly one transaction pays with a retry");
+    println!("                      -> one transaction aborted; retry sees the truth\n");
+
+    // The retried transaction now observes only one doctor on call and
+    // correctly declines to proceed.
+    let db = fresh_db()?;
+    let mut t1 = db.begin(IsolationLevel::Serializable);
+    let mut t2 = db.begin(IsolationLevel::Serializable);
+    let _ = go_off_call(&mut t1, "alice")?;
+    let r2 = go_off_call(&mut t2, "bob");
+    t1.commit()?;
+    if r2.is_ok() && t2.commit().is_err() {
+        let mut retry = db.begin(IsolationLevel::Serializable);
+        let acted = go_off_call(&mut retry, "bob")?;
+        retry.commit()?;
+        println!("retried transaction acted: {acted} (declined: invariant would break)");
+        assert!(!acted);
+    }
+    Ok(())
+}

@@ -1,0 +1,389 @@
+//! The soundness test: randomized concurrent histories executed under SSI must
+//! always be serializable.
+//!
+//! An offline checker rebuilds the full multiversion serialization history
+//! graph (Adya-style, §3.1) from per-operation logs — including the wr- and
+//! ww-dependency edges that SSI itself never tracks — and tests it for cycles.
+//! SSI is sound iff no committed history ever contains a cycle.
+//!
+//! As a sanity check on the checker itself, the same workloads run under plain
+//! snapshot isolation (REPEATABLE READ) must *sometimes* produce cycles — if
+//! they never did, the checker (or the workload) would be too weak to mean
+//! anything.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::{Arc, Mutex};
+
+use pgssi::{row, Database, IsolationLevel, TableDef, Value};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One committed transaction's reads and writes, in version terms.
+#[derive(Debug, Clone)]
+struct TxnLog {
+    /// Commit order index (from the engine's commit sequence).
+    commit_order: u64,
+    /// key -> version observed (the value doubles as the version id because
+    /// every write writes a unique value).
+    reads: HashMap<i64, i64>,
+    /// key -> version produced.
+    writes: HashMap<i64, i64>,
+}
+
+/// Build the full serialization graph and return `true` if it has a cycle.
+///
+/// Version order per key is the commit order of the writers (first-updater-wins
+/// guarantees writers of the same key are not concurrent, so commit order is
+/// the version order). Edges:
+/// * ww: Ti writes v, Tj writes the next version of the same key → Ti → Tj
+/// * wr: Ti writes v, Tj reads v → Ti → Tj
+/// * rw: Ti reads v, Tj writes the next version after v → Ti → Tj
+fn has_cycle(logs: &[TxnLog]) -> bool {
+    // Map (key, version-value) -> writer index, and per-key version sequence in
+    // commit order. Version 0 is the initial load (no writer).
+    let mut writer_of: HashMap<(i64, i64), usize> = HashMap::new();
+    let mut versions: HashMap<i64, Vec<(u64, i64)>> = HashMap::new(); // key -> [(commit, value)]
+    for (i, log) in logs.iter().enumerate() {
+        for (&k, &v) in &log.writes {
+            writer_of.insert((k, v), i);
+            versions.entry(k).or_default().push((log.commit_order, v));
+        }
+    }
+    for seq in versions.values_mut() {
+        seq.sort();
+    }
+    let successor = |k: i64, v: i64| -> Option<i64> {
+        let seq = versions.get(&k)?;
+        if v == 0 {
+            return seq.first().map(|&(_, val)| val);
+        }
+        let pos = seq.iter().position(|&(_, val)| val == v)?;
+        seq.get(pos + 1).map(|&(_, val)| val)
+    };
+
+    let mut edges: Vec<HashSet<usize>> = vec![HashSet::new(); logs.len()];
+    for (j, log) in logs.iter().enumerate() {
+        // wr edges: writer of each version read → j.
+        for (&k, &v) in &log.reads {
+            if v != 0 {
+                if let Some(&i) = writer_of.get(&(k, v)) {
+                    if i != j {
+                        edges[i].insert(j);
+                    }
+                }
+            }
+            // rw edge: j read version v; the writer of the *next* version
+            // appears to come after j.
+            if let Some(next) = successor(k, v) {
+                if let Some(&w) = writer_of.get(&(k, next)) {
+                    if w != j {
+                        edges[j].insert(w);
+                    }
+                }
+            }
+        }
+        // ww edges: j wrote v; predecessor version's writer precedes j.
+        for (&k, &v) in &log.writes {
+            let seq = &versions[&k];
+            let pos = seq.iter().position(|&(_, val)| val == v).unwrap();
+            if pos > 0 {
+                let prev_val = seq[pos - 1].1;
+                if let Some(&i) = writer_of.get(&(k, prev_val)) {
+                    if i != j {
+                        edges[i].insert(j);
+                    }
+                }
+            }
+        }
+    }
+
+    // DFS cycle detection.
+    #[derive(Clone, Copy, PartialEq)]
+    enum Mark {
+        White,
+        Grey,
+        Black,
+    }
+    fn dfs(n: usize, edges: &[HashSet<usize>], marks: &mut [Mark]) -> bool {
+        marks[n] = Mark::Grey;
+        for &m in &edges[n] {
+            match marks[m] {
+                Mark::Grey => return true,
+                Mark::White => {
+                    if dfs(m, edges, marks) {
+                        return true;
+                    }
+                }
+                Mark::Black => {}
+            }
+        }
+        marks[n] = Mark::Black;
+        false
+    }
+    let mut marks = vec![Mark::White; logs.len()];
+    (0..logs.len()).any(|n| marks[n] == Mark::White && dfs(n, &edges, &mut marks))
+}
+
+/// Run `n_txns` random read/write transactions over `n_keys` keys from
+/// `n_threads` threads at the given isolation level; return the logs of the
+/// transactions that committed.
+fn run_history(
+    seed: u64,
+    isolation: IsolationLevel,
+    n_threads: usize,
+    n_txns: usize,
+    n_keys: i64,
+    ops_per_txn: usize,
+) -> Vec<TxnLog> {
+    let db = Database::open();
+    db.create_table(TableDef::new("t", &["k", "v"], vec![0])).unwrap();
+    let mut setup = db.begin(IsolationLevel::ReadCommitted);
+    for k in 0..n_keys {
+        setup.insert("t", row![k, 0]).unwrap(); // version 0
+    }
+    setup.commit().unwrap();
+
+    let db = Arc::new(db);
+    let logs = Arc::new(Mutex::new(Vec::new()));
+    let next_version = Arc::new(std::sync::atomic::AtomicI64::new(1));
+
+    std::thread::scope(|scope| {
+        for th in 0..n_threads {
+            let db = Arc::clone(&db);
+            let logs = Arc::clone(&logs);
+            let next_version = Arc::clone(&next_version);
+            scope.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(seed ^ (th as u64) << 32);
+                for _ in 0..n_txns / n_threads {
+                    let mut txn = db.begin(isolation);
+                    let mut reads = HashMap::new();
+                    let mut writes = HashMap::new();
+                    let mut ok = true;
+                    for _ in 0..ops_per_txn {
+                        let k = rng.gen_range(0..n_keys);
+                        if rng.gen_bool(0.5) {
+                            match txn.get("t", &row![k]) {
+                                Ok(Some(r)) => {
+                                    let v = r[1].as_int().unwrap();
+                                    // Record the version read from the
+                                    // *database* (not our own write).
+                                    if !writes.contains_key(&k) {
+                                        reads.entry(k).or_insert(v);
+                                    }
+                                }
+                                Ok(None) => {}
+                                Err(_) => {
+                                    ok = false;
+                                    break;
+                                }
+                            }
+                        } else {
+                            let v = next_version
+                                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            // An update reads the current version too (it
+                            // replaces it): record it as a read for rw/ww
+                            // fidelity — but only the first touch counts.
+                            match txn.get("t", &row![k]) {
+                                Ok(Some(r)) => {
+                                    let cur = r[1].as_int().unwrap();
+                                    if !writes.contains_key(&k) {
+                                        reads.entry(k).or_insert(cur);
+                                    }
+                                }
+                                Ok(None) => {}
+                                Err(_) => {
+                                    ok = false;
+                                    break;
+                                }
+                            }
+                            match txn.update("t", &row![k], row![k, v]) {
+                                Ok(true) => {
+                                    writes.insert(k, v);
+                                }
+                                Ok(false) => {}
+                                Err(_) => {
+                                    ok = false;
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                    if !ok {
+                        continue; // aborted; leaves no trace
+                    }
+                    // Commit; use the engine's commit sequence as commit order.
+                    let before = db.txn_manager().frontier();
+                    if txn.commit().is_ok() {
+                        logs.lock().unwrap().push(TxnLog {
+                            commit_order: before.0,
+                            reads,
+                            writes,
+                        });
+                    }
+                }
+            });
+        }
+    });
+    // commit_order from `frontier()` before commit is approximate under
+    // concurrency; recompute exact order by sorting on it is still consistent
+    // because ww-conflicting writers serialize on row locks. Sort for
+    // determinism.
+    let mut out = Arc::try_unwrap(logs).unwrap().into_inner().unwrap();
+    out.sort_by_key(|l| l.commit_order);
+    out
+}
+
+#[test]
+fn ssi_histories_are_always_serializable() {
+    for seed in 0..12u64 {
+        let logs = run_history(seed, IsolationLevel::Serializable, 4, 120, 6, 5);
+        assert!(
+            !has_cycle(&logs),
+            "serialization cycle under SSI! seed={seed}, {} committed",
+            logs.len()
+        );
+    }
+}
+
+#[test]
+fn s2pl_histories_are_always_serializable() {
+    for seed in 0..6u64 {
+        let logs = run_history(seed, IsolationLevel::Serializable2pl, 4, 80, 6, 4);
+        assert!(
+            !has_cycle(&logs),
+            "serialization cycle under S2PL! seed={seed}"
+        );
+    }
+}
+
+/// Checker calibration: plain snapshot isolation must exhibit at least one
+/// cycle across these seeds (it allows write skew). If this fails, the checker
+/// or the workload lost its teeth and the SSI test above proves nothing.
+#[test]
+fn si_histories_show_cycles_proving_checker_works() {
+    let mut saw_cycle = false;
+    for seed in 0..20u64 {
+        let logs = run_history(seed, IsolationLevel::RepeatableRead, 4, 120, 4, 5);
+        if has_cycle(&logs) {
+            saw_cycle = true;
+            break;
+        }
+    }
+    assert!(
+        saw_cycle,
+        "snapshot isolation never produced an anomaly across 20 seeds — \
+         the checker would not catch real SSI bugs"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Property form: arbitrary seeds/shapes, SSI histories stay acyclic.
+    #[test]
+    fn prop_ssi_serializable(
+        seed in any::<u64>(),
+        n_keys in 2i64..8,
+        ops in 2usize..7,
+    ) {
+        let logs = run_history(seed, IsolationLevel::Serializable, 4, 80, n_keys, ops);
+        prop_assert!(!has_cycle(&logs), "cycle with seed={seed}");
+    }
+}
+
+/// The checker itself must detect a textbook write-skew history.
+#[test]
+fn checker_detects_textbook_write_skew() {
+    let logs = vec![
+        TxnLog {
+            commit_order: 1,
+            reads: HashMap::from([(1, 0), (2, 0)]),
+            writes: HashMap::from([(1, 10)]),
+        },
+        TxnLog {
+            commit_order: 2,
+            reads: HashMap::from([(1, 0), (2, 0)]),
+            writes: HashMap::from([(2, 20)]),
+        },
+    ];
+    assert!(has_cycle(&logs), "write skew must register as a cycle");
+}
+
+/// And must pass a clean serial history.
+#[test]
+fn checker_accepts_serial_history() {
+    let logs = vec![
+        TxnLog {
+            commit_order: 1,
+            reads: HashMap::from([(1, 0)]),
+            writes: HashMap::from([(1, 10)]),
+        },
+        TxnLog {
+            commit_order: 2,
+            reads: HashMap::from([(1, 10)]),
+            writes: HashMap::from([(2, 20)]),
+        },
+    ];
+    assert!(!has_cycle(&logs));
+}
+
+/// Long-running mixed workload with scans: relation-granularity SIREAD locks
+/// interact with point writes; still no cycles.
+#[test]
+fn ssi_with_scans_is_serializable() {
+    let db = Database::open();
+    db.create_table(TableDef::new("t", &["k", "v"], vec![0])).unwrap();
+    let mut setup = db.begin(IsolationLevel::ReadCommitted);
+    for k in 0..8 {
+        setup.insert("t", row![k, 0]).unwrap();
+    }
+    setup.commit().unwrap();
+    let db = Arc::new(db);
+    let logs = Arc::new(Mutex::new(Vec::<TxnLog>::new()));
+    let next_version = Arc::new(std::sync::atomic::AtomicI64::new(1));
+
+    std::thread::scope(|scope| {
+        for th in 0..4u64 {
+            let db = Arc::clone(&db);
+            let logs = Arc::clone(&logs);
+            let next_version = Arc::clone(&next_version);
+            scope.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(th);
+                for _ in 0..40 {
+                    let mut txn = db.begin(IsolationLevel::Serializable);
+                    let mut reads = HashMap::new();
+                    let mut writes = HashMap::new();
+                    // Scan everything (relation SIREAD lock), then update one key.
+                    let scanned = match txn.scan("t") {
+                        Ok(rows) => rows,
+                        Err(_) => continue,
+                    };
+                    for r in &scanned {
+                        reads.insert(r[0].as_int().unwrap(), r[1].as_int().unwrap());
+                    }
+                    let k = rng.gen_range(0..8i64);
+                    let v = next_version.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    match txn.update("t", &row![k], row![k, v]) {
+                        Ok(_) => {
+                            writes.insert(k, v);
+                        }
+                        Err(_) => continue,
+                    }
+                    let before = db.txn_manager().frontier();
+                    if txn.commit().is_ok() {
+                        logs.lock().unwrap().push(TxnLog {
+                            commit_order: before.0,
+                            reads,
+                            writes,
+                        });
+                    }
+                }
+            });
+        }
+    });
+    let mut out = Arc::try_unwrap(logs).unwrap().into_inner().unwrap();
+    out.sort_by_key(|l| l.commit_order);
+    assert!(!has_cycle(&out), "scan-heavy SSI history has a cycle");
+    let _ = Value::Null; // keep import used
+}

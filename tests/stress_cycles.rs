@@ -1,0 +1,297 @@
+//! Stress diagnostics (run with `--ignored`): execute high-contention SSI
+//! histories and, if a serialization cycle ever appears, print the cycle with
+//! per-transaction read/write sets and commit order. These caught three real
+//! races during development (non-atomic begin/snapshot, prepared-transaction
+//! commit bounds, and the T1==T3 2-cycle comparison); they stay in the tree as
+//! regression amplifiers.
+//!
+//! ```sh
+//! cargo test --test debug_cycle -- --ignored --nocapture
+//! ```
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use pgssi::{row, Database, IsolationLevel, TableDef};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+#[derive(Debug, Clone)]
+struct TxnLog {
+    commit_order: u64,
+    actual_csn: u64,
+    txid: u64,
+    reads: HashMap<i64, i64>,
+    writes: HashMap<i64, i64>,
+}
+
+fn find_cycle(logs: &[TxnLog]) -> Option<Vec<usize>> {
+    let mut writer_of: HashMap<(i64, i64), usize> = HashMap::new();
+    let mut versions: HashMap<i64, Vec<(u64, i64)>> = HashMap::new();
+    for (i, log) in logs.iter().enumerate() {
+        for (&k, &v) in &log.writes {
+            writer_of.insert((k, v), i);
+            versions.entry(k).or_default().push((log.commit_order, v));
+        }
+    }
+    for seq in versions.values_mut() {
+        seq.sort();
+    }
+    let successor = |k: i64, v: i64| -> Option<i64> {
+        let seq = versions.get(&k)?;
+        if v == 0 {
+            return seq.first().map(|&(_, val)| val);
+        }
+        let pos = seq.iter().position(|&(_, val)| val == v)?;
+        seq.get(pos + 1).map(|&(_, val)| val)
+    };
+    let mut edges: Vec<HashMap<usize, String>> = vec![HashMap::new(); logs.len()];
+    for (j, log) in logs.iter().enumerate() {
+        for (&k, &v) in &log.reads {
+            if v != 0 {
+                if let Some(&i) = writer_of.get(&(k, v)) {
+                    if i != j {
+                        edges[i].entry(j).or_insert(format!("wr k{k} v{v}"));
+                    }
+                }
+            }
+            if let Some(next) = successor(k, v) {
+                if let Some(&w) = writer_of.get(&(k, next)) {
+                    if w != j {
+                        edges[j].entry(w).or_insert(format!("rw k{k} v{v}->{next}"));
+                    }
+                }
+            }
+        }
+        for (&k, &v) in &log.writes {
+            let seq = &versions[&k];
+            let pos = seq.iter().position(|&(_, val)| val == v).unwrap();
+            if pos > 0 {
+                let prev = seq[pos - 1].1;
+                if let Some(&i) = writer_of.get(&(k, prev)) {
+                    if i != j {
+                        edges[i].entry(j).or_insert(format!("ww k{k} {prev}->{v}"));
+                    }
+                }
+            }
+        }
+    }
+    // DFS with path reconstruction.
+    fn dfs(
+        n: usize,
+        edges: &[HashMap<usize, String>],
+        state: &mut [u8],
+        path: &mut Vec<usize>,
+    ) -> Option<Vec<usize>> {
+        state[n] = 1;
+        path.push(n);
+        for (&m, _) in &edges[n] {
+            if state[m] == 1 {
+                let start = path.iter().position(|&x| x == m).unwrap();
+                return Some(path[start..].to_vec());
+            }
+            if state[m] == 0 {
+                if let Some(c) = dfs(m, edges, state, path) {
+                    return Some(c);
+                }
+            }
+        }
+        path.pop();
+        state[n] = 2;
+        None
+    }
+    let mut state = vec![0u8; logs.len()];
+    for n in 0..logs.len() {
+        if state[n] == 0 {
+            let mut path = Vec::new();
+            if let Some(cycle) = dfs(n, &edges, &mut state, &mut path) {
+                for w in cycle.windows(2) {
+                    eprintln!(
+                        "  T{} --[{}]--> T{}",
+                        w[0],
+                        edges[w[0]][&w[1]],
+                        w[1]
+                    );
+                }
+                let last = *cycle.last().unwrap();
+                let first = cycle[0];
+                eprintln!("  T{} --[{}]--> T{}", last, edges[last][&first], first);
+                for &i in &cycle {
+                    eprintln!(
+                        "  T{i}: txid={} order={} csn={} reads={:?} writes={:?}",
+                        logs[i].txid,
+                        logs[i].commit_order,
+                        logs[i].actual_csn,
+                        logs[i].reads,
+                        logs[i].writes
+                    );
+                }
+                return Some(cycle);
+            }
+        }
+    }
+    None
+}
+
+#[test]
+#[ignore]
+fn debug_scan_shape() {
+    let db = Database::open();
+    db.create_table(TableDef::new("t", &["k", "v"], vec![0])).unwrap();
+    let mut setup = db.begin(IsolationLevel::ReadCommitted);
+    for k in 0..8 {
+        setup.insert("t", row![k, 0]).unwrap();
+    }
+    setup.commit().unwrap();
+    let db = Arc::new(db);
+    let logs = Arc::new(Mutex::new(Vec::<TxnLog>::new()));
+    let next_version = Arc::new(std::sync::atomic::AtomicI64::new(1));
+
+    std::thread::scope(|scope| {
+        for th in 0..4u64 {
+            let db = Arc::clone(&db);
+            let logs = Arc::clone(&logs);
+            let next_version = Arc::clone(&next_version);
+            scope.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(th);
+                for _ in 0..40 {
+                    let mut txn = db.begin(IsolationLevel::Serializable);
+                    let txid = txn.txid().0;
+                    let mut reads = HashMap::new();
+                    let mut writes = HashMap::new();
+                    let scanned = match txn.scan("t") {
+                        Ok(rows) => rows,
+                        Err(_) => continue,
+                    };
+                    for r in &scanned {
+                        reads.insert(r[0].as_int().unwrap(), r[1].as_int().unwrap());
+                    }
+                    let k = rng.gen_range(0..8i64);
+                    let v = next_version.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    match txn.update("t", &row![k], row![k, v]) {
+                        Ok(_) => {
+                            writes.insert(k, v);
+                        }
+                        Err(_) => continue,
+                    }
+                    let before = db.txn_manager().frontier();
+                    if txn.commit().is_ok() {
+                        let actual = db.txn_manager().clog().commit_csn(pgssi::TxnId(txid));
+                        logs.lock().unwrap().push(TxnLog {
+                            commit_order: before.0,
+                            actual_csn: actual.map(|c| c.0).unwrap_or(0),
+                            txid,
+                            reads,
+                            writes,
+                        });
+                    }
+                }
+            });
+        }
+    });
+    let mut out = Arc::try_unwrap(logs).unwrap().into_inner().unwrap();
+    out.sort_by_key(|l| l.actual_csn);
+    eprintln!("{} committed", out.len());
+    if find_cycle(&out).is_some() {
+        panic!("cycle found");
+    }
+}
+
+#[test]
+#[ignore]
+fn debug_seed0() {
+    let seed = 0u64;
+    let (n_threads, n_txns, n_keys, ops) = (4usize, 120usize, 6i64, 5usize);
+    let db = Database::open();
+    db.create_table(TableDef::new("t", &["k", "v"], vec![0])).unwrap();
+    let mut setup = db.begin(IsolationLevel::ReadCommitted);
+    for k in 0..n_keys {
+        setup.insert("t", row![k, 0]).unwrap();
+    }
+    setup.commit().unwrap();
+    let db = Arc::new(db);
+    let logs = Arc::new(Mutex::new(Vec::new()));
+    let next_version = Arc::new(std::sync::atomic::AtomicI64::new(1));
+
+    std::thread::scope(|scope| {
+        for th in 0..n_threads {
+            let db = Arc::clone(&db);
+            let logs = Arc::clone(&logs);
+            let next_version = Arc::clone(&next_version);
+            scope.spawn(move || {
+                let mut rng = StdRng::seed_from_u64(seed ^ (th as u64) << 32);
+                for _ in 0..n_txns / n_threads {
+                    let mut txn = db.begin(IsolationLevel::Serializable);
+                    let txid = txn.txid().0;
+                    let mut reads = HashMap::new();
+                    let mut writes = HashMap::new();
+                    let mut ok = true;
+                    for _ in 0..ops {
+                        let k = rng.gen_range(0..n_keys);
+                        if rng.gen_bool(0.5) {
+                            match txn.get("t", &row![k]) {
+                                Ok(Some(r)) => {
+                                    let v = r[1].as_int().unwrap();
+                                    if !writes.contains_key(&k) {
+                                        reads.entry(k).or_insert(v);
+                                    }
+                                }
+                                Ok(None) => {}
+                                Err(_) => {
+                                    ok = false;
+                                    break;
+                                }
+                            }
+                        } else {
+                            let v = next_version
+                                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            match txn.get("t", &row![k]) {
+                                Ok(Some(r)) => {
+                                    let cur = r[1].as_int().unwrap();
+                                    if !writes.contains_key(&k) {
+                                        reads.entry(k).or_insert(cur);
+                                    }
+                                }
+                                Ok(None) => {}
+                                Err(_) => {
+                                    ok = false;
+                                    break;
+                                }
+                            }
+                            match txn.update("t", &row![k], row![k, v]) {
+                                Ok(true) => {
+                                    writes.insert(k, v);
+                                }
+                                Ok(false) => {}
+                                Err(_) => {
+                                    ok = false;
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                    if !ok {
+                        continue;
+                    }
+                    let before = db.txn_manager().frontier();
+                    if txn.commit().is_ok() {
+                        let actual = db.txn_manager().clog().commit_csn(pgssi::TxnId(txid));
+                        logs.lock().unwrap().push(TxnLog {
+                            commit_order: before.0,
+                            actual_csn: actual.map(|c| c.0).unwrap_or(0),
+                            txid,
+                            reads,
+                            writes,
+                        });
+                    }
+                }
+            });
+        }
+    });
+    let mut out = Arc::try_unwrap(logs).unwrap().into_inner().unwrap();
+    out.sort_by_key(|l| l.actual_csn);
+    eprintln!("{} committed", out.len());
+    if find_cycle(&out).is_some() {
+        panic!("cycle found");
+    }
+}
