@@ -14,17 +14,22 @@ use pgssi_bench::sibench::Sibench;
 fn fig4_mini(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig4_sibench_100rows");
     for mode in Mode::ALL {
-        g.bench_with_input(BenchmarkId::from_parameter(mode.label()), &mode, |b, &mode| {
-            let bench = Sibench { table_size: 100 };
-            b.iter_custom(|iters| {
-                let window = Duration::from_millis(40).max(Duration::from_millis(iters.min(10)));
-                let r = bench.run(mode, 2, window, 42);
-                // Report time-per-committed-transaction.
-                Duration::from_secs_f64(
-                    r.elapsed.as_secs_f64() / r.committed.max(1) as f64 * iters as f64,
-                )
-            });
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(mode.label()),
+            &mode,
+            |b, &mode| {
+                let bench = Sibench { table_size: 100 };
+                b.iter_custom(|iters| {
+                    let window =
+                        Duration::from_millis(40).max(Duration::from_millis(iters.min(10)));
+                    let r = bench.run(mode, 2, window, 42);
+                    // Report time-per-committed-transaction.
+                    Duration::from_secs_f64(
+                        r.elapsed.as_secs_f64() / r.committed.max(1) as f64 * iters as f64,
+                    )
+                });
+            },
+        );
     }
     g.finish();
 }
@@ -32,24 +37,28 @@ fn fig4_mini(c: &mut Criterion) {
 fn fig5_mini(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig5_dbt2_8pct_ro");
     for mode in Mode::MAIN {
-        g.bench_with_input(BenchmarkId::from_parameter(mode.label()), &mode, |b, &mode| {
-            let bench = Dbt2 {
-                config: Dbt2Config {
-                    warehouses: 1,
-                    districts: 3,
-                    customers: 20,
-                    items: 60,
-                    read_only_fraction: 0.08,
-                    ..Dbt2Config::in_memory()
-                },
-            };
-            b.iter_custom(|iters| {
-                let r = bench.run(mode, 2, Duration::from_millis(60), 7);
-                Duration::from_secs_f64(
-                    r.elapsed.as_secs_f64() / r.committed.max(1) as f64 * iters as f64,
-                )
-            });
-        });
+        g.bench_with_input(
+            BenchmarkId::from_parameter(mode.label()),
+            &mode,
+            |b, &mode| {
+                let bench = Dbt2 {
+                    config: Dbt2Config {
+                        warehouses: 1,
+                        districts: 3,
+                        customers: 20,
+                        items: 60,
+                        read_only_fraction: 0.08,
+                        ..Dbt2Config::in_memory()
+                    },
+                };
+                b.iter_custom(|iters| {
+                    let r = bench.run(mode, 2, Duration::from_millis(60), 7);
+                    Duration::from_secs_f64(
+                        r.elapsed.as_secs_f64() / r.committed.max(1) as f64 * iters as f64,
+                    )
+                });
+            },
+        );
     }
     g.finish();
 }
@@ -57,20 +66,24 @@ fn fig5_mini(c: &mut Criterion) {
 fn fig6_mini(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig6_rubis_bidding");
     for mode in Mode::MAIN {
-        g.bench_with_input(BenchmarkId::from_parameter(mode.label()), &mode, |b, &mode| {
-            b.iter_custom(|iters| {
-                let bench = Rubis::new(RubisConfig {
-                    users: 60,
-                    items: 40,
-                    categories: 5,
-                    bids: 80,
+        g.bench_with_input(
+            BenchmarkId::from_parameter(mode.label()),
+            &mode,
+            |b, &mode| {
+                b.iter_custom(|iters| {
+                    let bench = Rubis::new(RubisConfig {
+                        users: 60,
+                        items: 40,
+                        categories: 5,
+                        bids: 80,
+                    });
+                    let r = bench.run(mode, 2, Duration::from_millis(60), 3);
+                    Duration::from_secs_f64(
+                        r.elapsed.as_secs_f64() / r.committed.max(1) as f64 * iters as f64,
+                    )
                 });
-                let r = bench.run(mode, 2, Duration::from_millis(60), 3);
-                Duration::from_secs_f64(
-                    r.elapsed.as_secs_f64() / r.committed.max(1) as f64 * iters as f64,
-                )
-            });
-        });
+            },
+        );
     }
     g.finish();
 }

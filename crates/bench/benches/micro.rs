@@ -87,32 +87,41 @@ fn bench_engine(c: &mut Criterion) {
     g.measurement_time(Duration::from_secs(3));
     for mode in [Mode::Si, Mode::Ssi, Mode::S2pl] {
         let db = Database::new(mode.config(IoModel::in_memory()));
-        db.create_table(TableDef::new("kv", &["k", "v"], vec![0])).unwrap();
+        db.create_table(TableDef::new("kv", &["k", "v"], vec![0]))
+            .unwrap();
         let mut t = db.begin(pgssi_engine::IsolationLevel::ReadCommitted);
         for i in 0..1000i64 {
             t.insert("kv", row![i, i]).unwrap();
         }
         t.commit().unwrap();
 
-        g.bench_with_input(BenchmarkId::new("point_get_txn", mode.label()), &db, |b, db| {
-            let mut k = 0i64;
-            b.iter(|| {
-                k = (k + 7919) % 1000;
-                let mut txn = db.begin(mode.isolation());
-                let r = txn.get("kv", &row![k]).unwrap();
-                txn.commit().unwrap();
-                std::hint::black_box(r)
-            });
-        });
-        g.bench_with_input(BenchmarkId::new("update_txn", mode.label()), &db, |b, db| {
-            let mut k = 0i64;
-            b.iter(|| {
-                k = (k + 7919) % 1000;
-                let mut txn = db.begin(mode.isolation());
-                txn.update("kv", &row![k], row![k, k + 1]).unwrap();
-                txn.commit().unwrap();
-            });
-        });
+        g.bench_with_input(
+            BenchmarkId::new("point_get_txn", mode.label()),
+            &db,
+            |b, db| {
+                let mut k = 0i64;
+                b.iter(|| {
+                    k = (k + 7919) % 1000;
+                    let mut txn = db.begin(mode.isolation());
+                    let r = txn.get("kv", &row![k]).unwrap();
+                    txn.commit().unwrap();
+                    std::hint::black_box(r)
+                });
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("update_txn", mode.label()),
+            &db,
+            |b, db| {
+                let mut k = 0i64;
+                b.iter(|| {
+                    k = (k + 7919) % 1000;
+                    let mut txn = db.begin(mode.isolation());
+                    txn.update("kv", &row![k], row![k, k + 1]).unwrap();
+                    txn.commit().unwrap();
+                });
+            },
+        );
     }
     g.finish();
 }
@@ -122,7 +131,8 @@ fn bench_ssi_cycle_detection(c: &mut Criterion) {
     // doomed — the end-to-end cost of SSI catching Figure 1.
     c.bench_function("ssi/write_skew_detect_abort", |b| {
         let db = Database::open();
-        db.create_table(TableDef::new("kv", &["k", "v"], vec![0])).unwrap();
+        db.create_table(TableDef::new("kv", &["k", "v"], vec![0]))
+            .unwrap();
         let mut t = db.begin(pgssi_engine::IsolationLevel::ReadCommitted);
         t.insert("kv", row![0, 0]).unwrap();
         t.insert("kv", row![1, 0]).unwrap();

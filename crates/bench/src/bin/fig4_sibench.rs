@@ -17,7 +17,9 @@ fn main() {
     let sizes: Vec<i64> = vec![10, 100, 1000, 10_000];
 
     println!("Figure 4: SIBENCH throughput, normalized to SI");
-    println!("mix: 50% update-one-key, 50% scan-for-minimum; {threads} threads, {duration:?} per cell\n");
+    println!(
+        "mix: 50% update-one-key, 50% scan-for-minimum; {threads} threads, {duration:?} per cell\n"
+    );
     print_header("rows", &Mode::ALL);
     for size in sizes {
         let bench = Sibench { table_size: size };

@@ -12,8 +12,8 @@
 
 use std::time::Duration;
 
-use pgssi_bench::deferrable::run_probe;
 use pgssi_bench::dbt2::Dbt2Config;
+use pgssi_bench::deferrable::run_probe;
 use pgssi_bench::harness::arg_value;
 
 fn main() {
@@ -21,7 +21,9 @@ fn main() {
     let probes = arg_value(&args, "--probes").unwrap_or(200) as usize;
     let threads = arg_value(&args, "--threads").unwrap_or(8) as usize;
 
-    println!("§8.4: deferrable transactions vs a DBT-2++ load ({threads} threads, {probes} probes)\n");
+    println!(
+        "§8.4: deferrable transactions vs a DBT-2++ load ({threads} threads, {probes} probes)\n"
+    );
     let report = run_probe(
         Dbt2Config::in_memory(),
         threads,
@@ -54,7 +56,11 @@ fn main() {
         "  probes that obtained a safe snapshot: {}/{} {}",
         report.waits.len(),
         probes,
-        if starved { "(STARVATION!)" } else { "(no starvation)" }
+        if starved {
+            "(STARVATION!)"
+        } else {
+            "(no starvation)"
+        }
     );
     println!("\npaper: median 1.98 s, p90 <= 6 s, max <= 20 s on their testbed —");
     println!("bounded waits of a few concurrent-transaction lifetimes, never starving.");

@@ -92,8 +92,12 @@ impl Dbt2 {
         .unwrap();
         db.create_table(TableDef::new("item", &["i_id", "price"], vec![0]))
             .unwrap();
-        db.create_table(TableDef::new("stock", &["w_id", "i_id", "quantity"], vec![0, 1]))
-            .unwrap();
+        db.create_table(TableDef::new(
+            "stock",
+            &["w_id", "i_id", "quantity"],
+            vec![0, 1],
+        ))
+        .unwrap();
         db.create_table(
             TableDef::new(
                 "orders",
@@ -114,8 +118,12 @@ impl Dbt2 {
             vec![0, 1, 2, 3],
         ))
         .unwrap();
-        db.create_table(TableDef::new("new_order", &["w_id", "d_id", "o_id"], vec![0, 1, 2]))
-            .unwrap();
+        db.create_table(TableDef::new(
+            "new_order",
+            &["w_id", "d_id", "o_id"],
+            vec![0, 1, 2],
+        ))
+        .unwrap();
 
         let mut t = db.begin(pgssi_engine::IsolationLevel::ReadCommitted);
         for w in 0..c.warehouses {
@@ -146,10 +154,12 @@ impl Dbt2 {
                     t.insert("new_order", row![w, d, o]).unwrap();
                     for ol in 0..4i64 {
                         let i = (o * 11 + ol) % c.items;
-                        t.insert("order_line", row![w, d, o, ol, i, 10 + ol]).unwrap();
+                        t.insert("order_line", row![w, d, o, ol, i, 10 + ol])
+                            .unwrap();
                     }
                 }
-                t.update("district", &row![w, d], row![w, d, 16i64, 0i64]).unwrap();
+                t.update("district", &row![w, d], row![w, d, 16i64, 0i64])
+                    .unwrap();
             }
         }
         t.commit().unwrap();
@@ -354,7 +364,9 @@ impl Dbt2 {
         } else {
             BeginOptions::new(mode.isolation())
         };
-        let Ok(mut txn) = db.begin_with(opts) else { return false };
+        let Ok(mut txn) = db.begin_with(opts) else {
+            return false;
+        };
         let body: Result<()> = if read_only {
             if rng.gen_bool(0.5) {
                 self.order_status(&mut txn, rng)
@@ -380,7 +392,8 @@ impl Dbt2 {
     pub fn run(&self, mode: Mode, threads: usize, duration: Duration, seed: u64) -> RunResult {
         let db = self.setup(mode);
         run_for(threads, duration, |th, iter| {
-            let mut rng = SmallRng::seed_from_u64(seed_for(seed, th).wrapping_add(iter.wrapping_mul(31)));
+            let mut rng =
+                SmallRng::seed_from_u64(seed_for(seed, th).wrapping_add(iter.wrapping_mul(31)));
             self.one_txn(&db, mode, &mut rng)
         })
     }
@@ -440,7 +453,8 @@ mod tests {
         for mode in [Mode::Si, Mode::Ssi, Mode::S2pl] {
             let db = bench.setup(mode);
             let r = run_for(2, Duration::from_millis(150), |th, iter| {
-                let mut rng = SmallRng::seed_from_u64(seed_for(3, th).wrapping_add(iter.wrapping_mul(31)));
+                let mut rng =
+                    SmallRng::seed_from_u64(seed_for(3, th).wrapping_add(iter.wrapping_mul(31)));
                 bench.one_txn(&db, mode, &mut rng)
             });
             assert!(r.committed > 0, "{mode:?} made no progress");

@@ -53,7 +53,12 @@ impl DeferrableReport {
 }
 
 /// Run `probes` deferrable transactions against a `threads`-wide DBT-2++ load.
-pub fn run_probe(config: Dbt2Config, threads: usize, probes: usize, pause: Duration) -> DeferrableReport {
+pub fn run_probe(
+    config: Dbt2Config,
+    threads: usize,
+    probes: usize,
+    pause: Duration,
+) -> DeferrableReport {
     let bench = Dbt2 { config };
     let db = bench.setup(Mode::Ssi);
     let stop = AtomicBool::new(false);
@@ -71,8 +76,9 @@ pub fn run_probe(config: Dbt2Config, threads: usize, probes: usize, pause: Durat
             scope.spawn(move || {
                 let mut iter = 0u64;
                 while !stop.load(Ordering::Relaxed) {
-                    let mut rng =
-                        SmallRng::seed_from_u64(seed_for(99, th).wrapping_add(iter.wrapping_mul(31)));
+                    let mut rng = SmallRng::seed_from_u64(
+                        seed_for(99, th).wrapping_add(iter.wrapping_mul(31)),
+                    );
                     let start = Instant::now();
                     if bench.one_txn(db, Mode::Ssi, &mut rng) {
                         committed.fetch_add(1, Ordering::Relaxed);
@@ -102,7 +108,12 @@ pub fn run_probe(config: Dbt2Config, threads: usize, probes: usize, pause: Durat
     let n = committed.load(Ordering::Relaxed);
     DeferrableReport {
         waits,
-        mean_txn: Duration::from_nanos(txn_nanos.load(Ordering::Relaxed).checked_div(n).unwrap_or(0)),
+        mean_txn: Duration::from_nanos(
+            txn_nanos
+                .load(Ordering::Relaxed)
+                .checked_div(n)
+                .unwrap_or(0),
+        ),
         load_committed: n,
     }
 }

@@ -184,11 +184,18 @@ mod tests {
         assert_eq!(Mode::Ssi.isolation(), IsolationLevel::Serializable);
         assert_eq!(Mode::SsiNoRoOpt.isolation(), IsolationLevel::Serializable);
         assert_eq!(Mode::S2pl.isolation(), IsolationLevel::Serializable2pl);
-        assert!(!Mode::SsiNoRoOpt
-            .config(IoModel::in_memory())
-            .ssi
-            .enable_read_only_opt);
-        assert!(Mode::Ssi.config(IoModel::in_memory()).ssi.enable_read_only_opt);
+        assert!(
+            !Mode::SsiNoRoOpt
+                .config(IoModel::in_memory())
+                .ssi
+                .enable_read_only_opt
+        );
+        assert!(
+            Mode::Ssi
+                .config(IoModel::in_memory())
+                .ssi
+                .enable_read_only_opt
+        );
     }
 
     #[test]

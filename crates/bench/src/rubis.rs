@@ -107,7 +107,8 @@ impl Rubis {
 
         let mut t = db.begin(pgssi_engine::IsolationLevel::ReadCommitted);
         for u in 0..c.users {
-            t.insert("users", row![u, format!("user{u}"), 0i64]).unwrap();
+            t.insert("users", row![u, format!("user{u}"), 0i64])
+                .unwrap();
         }
         for i in 0..c.items {
             t.insert("items", row![i, i % c.users, i % c.categories, 0i64, 0i64])
@@ -127,7 +128,12 @@ impl Rubis {
         let cat = rng.gen_range(0..self.config.categories);
         let lo: Key = row![cat, 0i64];
         let hi: Key = row![cat, i64::MAX];
-        let _items = txn.range("items", "items_by_category", Bound::Included(lo), Bound::Included(hi))?;
+        let _items = txn.range(
+            "items",
+            "items_by_category",
+            Bound::Included(lo),
+            Bound::Included(hi),
+        )?;
         Ok(())
     }
 
@@ -137,7 +143,12 @@ impl Rubis {
         let _item = txn.get("items", &row![i])?;
         let lo: Key = row![i, 0i64];
         let hi: Key = row![i, i64::MAX];
-        let _bids = txn.range("bids", "bids_by_item", Bound::Included(lo), Bound::Included(hi))?;
+        let _bids = txn.range(
+            "bids",
+            "bids_by_item",
+            Bound::Included(lo),
+            Bound::Included(hi),
+        )?;
         Ok(())
     }
 
@@ -147,8 +158,12 @@ impl Rubis {
         let _user = txn.get("users", &row![u])?;
         let lo: Key = row![u, 0i64];
         let hi: Key = row![u, i64::MAX];
-        let _comments =
-            txn.range("comments", "comments_by_user", Bound::Included(lo), Bound::Included(hi))?;
+        let _comments = txn.range(
+            "comments",
+            "comments_by_user",
+            Bound::Included(lo),
+            Bound::Included(hi),
+        )?;
         Ok(())
     }
 
@@ -166,7 +181,13 @@ impl Rubis {
         txn.update(
             "items",
             &row![i],
-            row![i, item[1].as_int().unwrap(), item[2].as_int().unwrap(), amount, n + 1],
+            row![
+                i,
+                item[1].as_int().unwrap(),
+                item[2].as_int().unwrap(),
+                amount,
+                n + 1
+            ],
         )?;
         Ok(())
     }
@@ -202,7 +223,9 @@ impl Rubis {
         } else {
             BeginOptions::new(mode.isolation())
         };
-        let Ok(mut txn) = db.begin_with(opts) else { return false };
+        let Ok(mut txn) = db.begin_with(opts) else {
+            return false;
+        };
         let body: Result<()> = if read_only {
             match rng.gen_range(0..3) {
                 0 => self.browse_category(&mut txn, rng),
@@ -223,7 +246,8 @@ impl Rubis {
     pub fn run(&self, mode: Mode, threads: usize, duration: Duration, seed: u64) -> RunResult {
         let db = self.setup(mode);
         run_for(threads, duration, |th, iter| {
-            let mut rng = SmallRng::seed_from_u64(seed_for(seed, th).wrapping_add(iter.wrapping_mul(17)));
+            let mut rng =
+                SmallRng::seed_from_u64(seed_for(seed, th).wrapping_add(iter.wrapping_mul(17)));
             self.one_request(&db, mode, &mut rng)
         })
     }

@@ -333,8 +333,8 @@ impl SsiManager {
         // and, if the read-only rule applies to me, e < my snapshot.
         if e != CommitSeqNo::MAX && e.is_valid() {
             let commit_order_ok = !self.config.enable_commit_ordering_opt || e < w_commit;
-            let ro_ok = !(self.config.enable_read_only_opt && me.is_read_only())
-                || e < me.snapshot_csn;
+            let ro_ok =
+                !(self.config.enable_read_only_opt && me.is_read_only()) || e < me.snapshot_csn;
             if commit_order_ok && ro_ok {
                 // t2 and t3 both committed: the only possible victim is me (§5.4
                 // rule 3 — and retrying is safe, since both are committed).
@@ -363,7 +363,12 @@ impl SsiManager {
         in_subtransaction: bool,
     ) -> Result<()> {
         let check = self.siread.conflicting_holders(chain, sx.0);
-        trace!("on_write {:?} chain={:?} holders={:?}", sx, chain, check.owners);
+        trace!(
+            "on_write {:?} chain={:?} holders={:?}",
+            sx,
+            chain,
+            check.owners
+        );
         let mut st = self.state.lock();
         {
             let Some(me) = st.sxacts.get_mut(&sx) else {
@@ -380,7 +385,9 @@ impl SsiManager {
         let my_snapshot = st.sxacts[&sx].snapshot_csn;
         for holder in check.owners {
             let hid = SxactId(holder);
-            let Some(h) = st.sxacts.get(&hid) else { continue };
+            let Some(h) = st.sxacts.get(&hid) else {
+                continue;
+            };
             if hid == sx || h.phase == Phase::Aborted || h.is_doomed() {
                 continue;
             }
@@ -458,7 +465,11 @@ impl SsiManager {
             if let Some(wc) = writer_commit {
                 r.earliest_out_conflict_commit = r.earliest_out_conflict_commit.min(wc);
             }
-            st.sxacts.get_mut(&writer).unwrap().in_conflicts.insert(reader);
+            st.sxacts
+                .get_mut(&writer)
+                .unwrap()
+                .in_conflicts
+                .insert(reader);
             self.stats.conflicts_flagged.bump();
             trace!(
                 "edge {:?}(txid {:?}) -rw-> {:?}(txid {:?}) acting={:?}",
@@ -502,9 +513,7 @@ impl SsiManager {
             let t2_bound = t2x.commit_csn.unwrap_or(CommitSeqNo::MAX);
             e != CommitSeqNo::MAX && e <= t1_bound && e <= t2_bound
         } else {
-            !t2x.out_conflicts.is_empty()
-                || t2x.summary_conflict_out
-                || e != CommitSeqNo::MAX
+            !t2x.out_conflicts.is_empty() || t2x.summary_conflict_out || e != CommitSeqNo::MAX
         };
         if !dangerous {
             return Ok(());
@@ -1019,10 +1028,7 @@ impl SsiManager {
         self.siread.drop_old_committed_before(horizon);
         // §6.1: when only read-only transactions remain active, no committed
         // transaction's SIREAD locks can ever be needed again (no one can write).
-        let any_rw_active = st
-            .active
-            .iter()
-            .any(|a| !st.sxacts[a].declared_read_only);
+        let any_rw_active = st.active.iter().any(|a| !st.sxacts[a].declared_read_only);
         if !any_rw_active {
             for c in st.committed.iter() {
                 self.siread.release_owner(c.0);
@@ -1031,7 +1037,9 @@ impl SsiManager {
     }
 
     fn drop_committed_record(&self, st: &mut SsiState, id: SxactId) {
-        let Some(me) = st.sxacts.remove(&id) else { return };
+        let Some(me) = st.sxacts.remove(&id) else {
+            return;
+        };
         st.by_txid.remove(&me.txid);
         for a in &me.alias_txids {
             st.by_txid.remove(a);
@@ -1057,13 +1065,16 @@ impl SsiManager {
     /// edges degrade to summary flags on the surviving peers.
     fn maybe_summarize_locked(&self, st: &mut SsiState) {
         while st.committed.len() > self.config.max_committed_sxacts {
-            let Some(oldest) = st.committed.pop_front() else { break };
-            let Some(me) = st.sxacts.remove(&oldest) else { continue };
+            let Some(oldest) = st.committed.pop_front() else {
+                break;
+            };
+            let Some(me) = st.sxacts.remove(&oldest) else {
+                continue;
+            };
             st.by_txid.remove(&me.txid);
             let commit_csn = me.commit_csn.expect("summarizing an uncommitted record");
             self.siread.consolidate_owner(oldest.0, commit_csn);
-            self.serial
-                .record(me.txid, me.earliest_out_conflict_commit);
+            self.serial.record(me.txid, me.earliest_out_conflict_commit);
             // Subtransaction writes carry the subxid in tuple headers; record
             // each alias so later MVCC lookups still find the conflict data.
             for a in &me.alias_txids {
@@ -1127,7 +1138,10 @@ impl SsiManager {
 
     /// Shared handle to the record's doomed flag: the owning session polls it
     /// per operation without taking the graph lock.
-    pub fn doomed_handle(&self, sx: SxactId) -> Option<std::sync::Arc<std::sync::atomic::AtomicBool>> {
+    pub fn doomed_handle(
+        &self,
+        sx: SxactId,
+    ) -> Option<std::sync::Arc<std::sync::atomic::AtomicBool>> {
         self.state.lock().sxacts.get(&sx).map(|x| x.doomed.clone())
     }
 }

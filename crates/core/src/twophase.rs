@@ -35,7 +35,10 @@ mod tests {
             txid: TxnId(9),
             snapshot_csn: CommitSeqNo(4),
             prepare_csn: CommitSeqNo(7),
-            siread_locks: vec![LockTarget::Relation(RelId(1)), LockTarget::Page(RelId(2), 3)],
+            siread_locks: vec![
+                LockTarget::Relation(RelId(1)),
+                LockTarget::Page(RelId(2), 3),
+            ],
             wrote: true,
         };
         let copy = rec.clone();

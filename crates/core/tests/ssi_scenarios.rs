@@ -246,8 +246,10 @@ fn batch_processing_anomaly_detected() {
 #[test]
 fn read_only_opt_avoids_false_positive() {
     for (ro_opt, expect_abort) in [(true, false), (false, true)] {
-        let mut config = SsiConfig::default();
-        config.enable_read_only_opt = ro_opt;
+        let config = SsiConfig {
+            enable_read_only_opt: ro_opt,
+            ..SsiConfig::default()
+        };
         let h = Harness::new(config);
 
         let t2 = h.begin(); // NEW-RECEIPT
@@ -283,9 +285,11 @@ fn read_only_opt_avoids_false_positive() {
 #[test]
 fn commit_ordering_opt_avoids_false_positive() {
     for (co_opt, expect_abort) in [(true, false), (false, true)] {
-        let mut config = SsiConfig::default();
-        config.enable_commit_ordering_opt = co_opt;
-        config.enable_read_only_opt = false; // isolate the commit-ordering rule
+        let config = SsiConfig {
+            enable_commit_ordering_opt: co_opt,
+            enable_read_only_opt: false, // isolate the commit-ordering rule
+            ..SsiConfig::default()
+        };
         let h = Harness::new(config);
 
         let t1 = h.begin();
@@ -448,8 +452,10 @@ fn long_running_transaction_retains_then_releases_state() {
 
 #[test]
 fn summarization_bounds_committed_records_under_pinned_horizon() {
-    let mut config = SsiConfig::default();
-    config.max_committed_sxacts = 4;
+    let config = SsiConfig {
+        max_committed_sxacts: 4,
+        ..SsiConfig::default()
+    };
     let h = Harness::new(config);
     let long = h.begin(); // pins the horizon so cleanup can't run
     h.read(long, 99).unwrap();
@@ -472,8 +478,10 @@ fn summarization_bounds_committed_records_under_pinned_horizon() {
 /// precise participants lost, the active transaction aborts (§6.2).
 #[test]
 fn summarized_conflicts_still_abort() {
-    let mut config = SsiConfig::default();
-    config.max_committed_sxacts = 0; // summarize immediately
+    let config = SsiConfig {
+        max_committed_sxacts: 0, // summarize immediately
+        ..SsiConfig::default()
+    };
     let h = Harness::new(config);
 
     let long = h.begin(); // keeps the horizon pinned
@@ -491,10 +499,10 @@ fn summarized_conflicts_still_abort() {
     // `writer` was started after reader committed — not concurrent, so no
     // conflict expected. Use `long` as the concurrent writer instead:
     let res = h.write(long, 0); // writes what `reader` read (summarized lock)
-    // `long` is concurrent with `reader` (reader committed after long began).
-    // The summarized SIREAD lock must still produce a summary conflict-in flag;
-    // whether it aborts depends on long's own out-conflicts (none) — so no
-    // abort here, but the conflict is registered.
+                                // `long` is concurrent with `reader` (reader committed after long began).
+                                // The summarized SIREAD lock must still produce a summary conflict-in flag;
+                                // whether it aborts depends on long's own out-conflicts (none) — so no
+                                // abort here, but the conflict is registered.
     res.expect("no dangerous structure yet");
     // Now give `long` an out-conflict to a committed transaction: long reads
     // object 2, `w2` overwrites it and commits.
@@ -566,7 +574,8 @@ fn prepared_transaction_cannot_be_victim_active_one_dies_instead() {
     let err = h.read(t_active, 2).unwrap_err();
     assert!(matches!(err, Error::SerializationFailure { .. }));
     h.abort(t_active);
-    h.ssi.commit(t_prepared.sx, || h.tm.commit(&[t_prepared.txid]));
+    h.ssi
+        .commit(t_prepared.sx, || h.tm.commit(&[t_prepared.txid]));
 }
 
 // ---------------------------------------------------------------------------

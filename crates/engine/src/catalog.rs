@@ -53,11 +53,7 @@ pub struct TableDef {
 
 impl TableDef {
     /// Minimal definition: name, columns, primary key columns.
-    pub fn new(
-        name: impl Into<String>,
-        columns: &[&str],
-        pk: Vec<usize>,
-    ) -> TableDef {
+    pub fn new(name: impl Into<String>, columns: &[&str], pk: Vec<usize>) -> TableDef {
         TableDef {
             name: name.into(),
             columns: columns.iter().map(|c| c.to_string()).collect(),
@@ -207,7 +203,10 @@ impl Catalog {
             }
         }
         if def.pk.is_empty() {
-            return Err(Error::Misuse(format!("table {} needs a primary key", def.name)));
+            return Err(Error::Misuse(format!(
+                "table {} needs a primary key",
+                def.name
+            )));
         }
         let mut tables = self.tables.write();
         if tables.contains_key(&def.name) {
@@ -282,8 +281,11 @@ mod tests {
     #[test]
     fn duplicate_table_rejected() {
         let c = cat();
-        c.create_table(TableDef::new("t", &["id"], vec![0])).unwrap();
-        assert!(c.create_table(TableDef::new("t", &["id"], vec![0])).is_err());
+        c.create_table(TableDef::new("t", &["id"], vec![0]))
+            .unwrap();
+        assert!(c
+            .create_table(TableDef::new("t", &["id"], vec![0]))
+            .is_err());
     }
 
     #[test]

@@ -8,9 +8,7 @@ use std::time::Duration;
 
 use parking_lot::{Mutex, RwLock};
 use pgssi_common::stats::Counter;
-use pgssi_common::{
-    CommitSeqNo, EngineConfig, Error, Result, Snapshot, TxnId,
-};
+use pgssi_common::{CommitSeqNo, EngineConfig, Error, Result, Snapshot, TxnId};
 use pgssi_core::{SafetyState, SsiManager, SxactId};
 use pgssi_lockmgr::s2pl::S2plLockManager;
 use pgssi_storage::{BufferCache, TxnManager};
@@ -177,9 +175,7 @@ impl Database {
     /// for a safe snapshot) — and even they always succeed eventually, so the
     /// only error source is option validation.
     pub fn begin_with(&self, opts: BeginOptions) -> Result<Transaction> {
-        if opts.deferrable
-            && !(opts.read_only && opts.isolation == IsolationLevel::Serializable)
-        {
+        if opts.deferrable && !(opts.read_only && opts.isolation == IsolationLevel::Serializable) {
             return Err(Error::Misuse(
                 "DEFERRABLE requires SERIALIZABLE READ ONLY".into(),
             ));
@@ -381,7 +377,10 @@ impl Database {
         let fresh = Arc::new(SsiManager::new(self.inner.config.ssi.clone()));
         let mut prepared = self.inner.prepared.lock();
         for rec in prepared.values_mut() {
-            rec.sx = rec.ssi.as_ref().map(|ssi_rec| fresh.recover_prepared(ssi_rec));
+            rec.sx = rec
+                .ssi
+                .as_ref()
+                .map(|ssi_rec| fresh.recover_prepared(ssi_rec));
         }
         *self.inner.ssi.write() = fresh;
     }
@@ -403,7 +402,10 @@ impl Database {
             .ok_or_else(|| Error::NoSuchIndex(index.to_string()))?;
         let slot = inner.secondaries.remove(pos);
         inner.def.indexes.retain(|d| d.name != index);
-        self.inner.ssi().siread().promote_relation(slot.rel(), t.heap_rel);
+        self.inner
+            .ssi()
+            .siread()
+            .promote_relation(slot.rel(), t.heap_rel);
         Ok(())
     }
 

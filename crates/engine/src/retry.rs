@@ -59,7 +59,8 @@ mod tests {
     #[test]
     fn commits_first_try_without_conflicts() {
         let db = Database::open();
-        db.create_table(TableDef::new("t", &["id", "v"], vec![0])).unwrap();
+        db.create_table(TableDef::new("t", &["id", "v"], vec![0]))
+            .unwrap();
         let out = with_retries(
             &db,
             BeginOptions::new(IsolationLevel::Serializable),
@@ -77,7 +78,8 @@ mod tests {
     #[test]
     fn non_retryable_errors_pass_through() {
         let db = Database::open();
-        db.create_table(TableDef::new("t", &["id"], vec![0])).unwrap();
+        db.create_table(TableDef::new("t", &["id"], vec![0]))
+            .unwrap();
         let err = with_retries(
             &db,
             BeginOptions::new(IsolationLevel::Serializable),

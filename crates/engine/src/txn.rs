@@ -28,9 +28,7 @@ use std::collections::HashSet;
 use std::ops::Bound;
 use std::sync::Arc;
 
-use pgssi_common::{
-    Error, Key, LockTarget, Result, Row, Snapshot, TupleId, TxnId,
-};
+use pgssi_common::{Error, Key, LockTarget, Result, Row, Snapshot, TupleId, TxnId};
 use pgssi_core::SxactId;
 use pgssi_lockmgr::s2pl::LockMode;
 use pgssi_storage::heap::LockOutcome;
@@ -416,7 +414,11 @@ impl Transaction {
                     let ro = self.opts.read_only;
                     btree.range_hooked(lo.clone(), hi.clone(), &mut |p| {
                         let t = [LockTarget::Page(rel, p)];
-                        if ro { ssi.on_read(sx, &t) } else { ssi.on_read_rw(sx, &t) }
+                        if ro {
+                            ssi.on_read(sx, &t)
+                        } else {
+                            ssi.on_read_rw(sx, &t)
+                        }
                     })
                 }
                 None => btree.range(lo.clone(), hi.clone()),
@@ -463,13 +465,19 @@ impl Transaction {
                     &mut |tid| {
                         if let Some((ssi, sx)) = &ssi {
                             let t = [LockTarget::tuple(heap_rel, tid)];
-                            if ro { ssi.on_read(*sx, &t) } else { ssi.on_read_rw(*sx, &t) }
+                            if ro {
+                                ssi.on_read(*sx, &t)
+                            } else {
+                                ssi.on_read_rw(*sx, &t)
+                            }
                         }
                     },
                 )
             };
             self.ssi_events(&read.events)?;
-            let Some((_tid, row)) = read.visible else { continue };
+            let Some((_tid, row)) = read.visible else {
+                continue;
+            };
             let key = slot.key_of(&row);
             if !key_ok(&key) {
                 continue; // stale index entry: the row's key moved on
@@ -498,7 +506,10 @@ impl Transaction {
             )));
         }
         if self.is_2pl() {
-            self.s2pl_lock(LockTarget::Relation(t.heap_rel), LockMode::IntentionExclusive)?;
+            self.s2pl_lock(
+                LockTarget::Relation(t.heap_rel),
+                LockMode::IntentionExclusive,
+            )?;
         }
         // Uniqueness: serialize probes per key through a stripe lock; waiting on
         // an in-progress rival requires releasing the stripe and retrying.
@@ -568,12 +579,7 @@ impl Transaction {
 
     /// Insert one index entry, copying gap locks across leaf splits and
     /// checking the gap for conflicting readers.
-    fn index_insert_with_checks(
-        &mut self,
-        slot: &IndexSlot,
-        key: Key,
-        tid: TupleId,
-    ) -> Result<()> {
+    fn index_insert_with_checks(&mut self, slot: &IndexSlot, key: Key, tid: TupleId) -> Result<()> {
         match slot.insert(key, tid) {
             Some(outcome) => {
                 // B+-tree: a split moves gap coverage; copy locks first
@@ -584,7 +590,10 @@ impl Transaction {
                 }
                 let page = LockTarget::Page(slot.rel(), outcome.leaf);
                 if self.is_2pl() {
-                    self.s2pl_lock(LockTarget::Relation(slot.rel()), LockMode::IntentionExclusive)?;
+                    self.s2pl_lock(
+                        LockTarget::Relation(slot.rel()),
+                        LockMode::IntentionExclusive,
+                    )?;
                     self.s2pl_lock(page, LockMode::Exclusive)?;
                 } else {
                     self.ssi_write(&page.check_chain(), None)?;
@@ -713,11 +722,19 @@ impl Transaction {
         inner: &TableInner,
         key: &Key,
     ) -> Result<Option<(TupleId, TupleId, Row)>> {
-        let IndexImpl::BTree(btree) = &inner.pk.imp else { unreachable!("pk is btree") };
+        let IndexImpl::BTree(btree) = &inner.pk.imp else {
+            unreachable!("pk is btree")
+        };
         let scan = btree.search(key);
         if self.is_2pl() {
-            self.s2pl_lock(LockTarget::Relation(t.heap_rel), LockMode::IntentionExclusive)?;
-            self.s2pl_lock(LockTarget::Relation(inner.pk.rel()), LockMode::IntentionShared)?;
+            self.s2pl_lock(
+                LockTarget::Relation(t.heap_rel),
+                LockMode::IntentionExclusive,
+            )?;
+            self.s2pl_lock(
+                LockTarget::Relation(inner.pk.rel()),
+                LockMode::IntentionShared,
+            )?;
         }
         for (_k, root) in scan.entries {
             if self.is_2pl() {
@@ -740,7 +757,11 @@ impl Transaction {
                     &mut |tid| {
                         if let Some((ssi, sx)) = &ssi {
                             let t = [LockTarget::tuple(heap_rel, tid)];
-                            if ro { ssi.on_read(*sx, &t) } else { ssi.on_read_rw(*sx, &t) }
+                            if ro {
+                                ssi.on_read(*sx, &t)
+                            } else {
+                                ssi.on_read_rw(*sx, &t)
+                            }
                         }
                     },
                 )
@@ -767,7 +788,12 @@ impl Transaction {
         loop {
             let outcome = inner
                 .heap
-                .try_lock_tuple(vis_tid, self.xid_for_writes(), self.db.tm.clog(), &self.own())
+                .try_lock_tuple(
+                    vis_tid,
+                    self.xid_for_writes(),
+                    self.db.tm.clog(),
+                    &self.own(),
+                )
                 .ok_or_else(|| Error::InvalidState("tuple vanished".into()))?;
             match outcome {
                 LockOutcome::Locked | LockOutcome::SelfLocked(_) => return Ok(VersionLock::Locked),
@@ -823,12 +849,7 @@ impl Transaction {
 
     /// Uniqueness probe: is any version of `key` live (committed latest state)
     /// or pending (in-progress writer)?
-    fn unique_probe(
-        &self,
-        inner: &TableInner,
-        slot: &IndexSlot,
-        key: &Key,
-    ) -> Result<UniqueProbe> {
+    fn unique_probe(&self, inner: &TableInner, slot: &IndexSlot, key: &Key) -> Result<UniqueProbe> {
         let roots: Vec<TupleId> = match &slot.imp {
             IndexImpl::BTree(b) => b.search(key).entries.into_iter().map(|(_, t)| t).collect(),
             IndexImpl::Hash(h) => h.search(key),
@@ -862,9 +883,7 @@ impl Transaction {
                 return Ok(UniqueProbe::Duplicate(slot.def.name.clone()));
             }
             match self.db.tm.status(xmax) {
-                TxnStatus::Aborted => {
-                    return Ok(UniqueProbe::Duplicate(slot.def.name.clone()))
-                }
+                TxnStatus::Aborted => return Ok(UniqueProbe::Duplicate(slot.def.name.clone())),
                 TxnStatus::InProgress => {
                     if self.own().is_mine(xmax) {
                         // We deleted it ourselves: free to re-insert.

@@ -17,7 +17,9 @@ pub(crate) fn vacuum(db: &DbInner) -> (usize, usize) {
     let mut pruned_total = 0;
     let mut entries_removed = 0;
     for name in db.catalog.table_names() {
-        let Ok(table) = db.catalog.table(&name) else { continue };
+        let Ok(table) = db.catalog.table(&name) else {
+            continue;
+        };
         let inner = table.inner.read();
         let (pruned, _killed) = inner.heap.prune(db.tm.clog(), horizon);
         pruned_total += pruned;

@@ -122,8 +122,12 @@ fn batch_db() -> Database {
     let db = Database::open();
     db.create_table(TableDef::new("control", &["id", "batch"], vec![0]))
         .unwrap();
-    db.create_table(TableDef::new("receipts", &["rid", "batch", "amount"], vec![0]))
-        .unwrap();
+    db.create_table(TableDef::new(
+        "receipts",
+        &["rid", "batch", "amount"],
+        vec![0],
+    ))
+    .unwrap();
     let mut t = db.begin(IsolationLevel::ReadCommitted);
     t.insert("control", row![0, 1]).unwrap();
     t.commit().unwrap();
@@ -363,7 +367,11 @@ fn phantom_insert_detected_by_index_gap_locks() {
     // reads the row the scanner created... build the cycle both ways.
     let mut phantom = db.begin(IsolationLevel::Serializable);
     let _ = phantom
-        .range_pk("events", Bound::Included(row![100]), Bound::Included(row![100]))
+        .range_pk(
+            "events",
+            Bound::Included(row![100]),
+            Bound::Included(row![100]),
+        )
         .unwrap();
     phantom.insert("events", row![5i64 * 100, 1]).unwrap(); // key 500, outside range — no conflict from this
     phantom.insert("events", row![6, 1]).err(); // duplicate, ignore result
@@ -377,13 +385,21 @@ fn phantom_insert_detected_by_index_gap_locks() {
 
     let mut scanner = db.begin(IsolationLevel::Serializable);
     let _ = scanner
-        .range_pk("events", Bound::Included(row![3]), Bound::Included(row![20]))
+        .range_pk(
+            "events",
+            Bound::Included(row![3]),
+            Bound::Included(row![20]),
+        )
         .unwrap();
     scanner.insert("events", row![200, 99]).unwrap();
 
     let mut phantom = db.begin(IsolationLevel::Serializable);
     let _ = phantom
-        .range_pk("events", Bound::Included(row![200]), Bound::Included(row![200]))
+        .range_pk(
+            "events",
+            Bound::Included(row![200]),
+            Bound::Included(row![200]),
+        )
         .unwrap();
     phantom.insert("events", row![15, 1]).unwrap(); // inside the scanned gap
 
@@ -400,7 +416,8 @@ fn phantom_insert_detected_by_index_gap_locks() {
 #[test]
 fn single_phantom_edge_is_allowed() {
     let db = Database::open();
-    db.create_table(TableDef::new("events", &["id"], vec![0])).unwrap();
+    db.create_table(TableDef::new("events", &["id"], vec![0]))
+        .unwrap();
     use std::ops::Bound;
     let mut scanner = db.begin(IsolationLevel::Serializable);
     let rows = scanner
@@ -409,6 +426,8 @@ fn single_phantom_edge_is_allowed() {
     assert!(rows.is_empty());
     let mut inserter = db.begin(IsolationLevel::Serializable);
     inserter.insert("events", row![1]).unwrap();
-    inserter.commit().expect("single rw edge: no dangerous structure");
+    inserter
+        .commit()
+        .expect("single rw edge: no dangerous structure");
     scanner.commit().expect("scanner unaffected");
 }

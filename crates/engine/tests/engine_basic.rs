@@ -41,7 +41,10 @@ fn insert_get_update_delete_roundtrip() {
     assert_eq!(t.get("kv", &key(1)).unwrap(), Some(row![1, 11]));
     assert!(t.delete("kv", &key(2)).unwrap());
     assert_eq!(t.get("kv", &key(2)).unwrap(), None);
-    assert!(!t.delete("kv", &key(2)).unwrap(), "double delete is a no-op");
+    assert!(
+        !t.delete("kv", &key(2)).unwrap(),
+        "double delete is a no-op"
+    );
     t.commit().unwrap();
 
     let mut t2 = db.begin(IsolationLevel::ReadCommitted);
@@ -202,7 +205,12 @@ fn range_scans_via_pk_and_secondary() {
     assert_eq!(pk_rows.len(), 5);
     assert_eq!(pk_rows[0].1, row![5, 95]);
     let by_v = r
-        .range("kv", "kv_v", Bound::Included(row![95]), Bound::Included(row![97]))
+        .range(
+            "kv",
+            "kv_v",
+            Bound::Included(row![95]),
+            Bound::Included(row![97]),
+        )
         .unwrap();
     assert_eq!(by_v.len(), 3);
     assert_eq!(by_v[0].1[1], Value::Int(95));
@@ -220,10 +228,18 @@ fn secondary_index_follows_updates_without_duplicates() {
     u.commit().unwrap();
     let mut r = db.begin(IsolationLevel::Serializable);
     assert!(r.index_get("kv", "kv_v", &row![10]).unwrap().is_empty());
-    assert_eq!(r.index_get("kv", "kv_v", &row![50]).unwrap(), vec![row![1, 50]]);
+    assert_eq!(
+        r.index_get("kv", "kv_v", &row![50]).unwrap(),
+        vec![row![1, 50]]
+    );
     // Range covering both old and new keys must not return the row twice.
     let both = r
-        .range("kv", "kv_v", Bound::Included(row![0]), Bound::Included(row![100]))
+        .range(
+            "kv",
+            "kv_v",
+            Bound::Included(row![0]),
+            Bound::Included(row![100]),
+        )
         .unwrap();
     assert_eq!(both.len(), 1);
     r.commit().unwrap();
@@ -271,7 +287,11 @@ fn savepoint_rollback_discards_subtransaction_writes_only() {
     put(&mut t, 2, 2);
     t.update("kv", &key(1), row![1, 99]).unwrap();
     t.rollback_to_savepoint("sp").unwrap();
-    assert_eq!(t.get("kv", &key(1)).unwrap(), Some(row![1, 1]), "update undone");
+    assert_eq!(
+        t.get("kv", &key(1)).unwrap(),
+        Some(row![1, 1]),
+        "update undone"
+    );
     assert_eq!(t.get("kv", &key(2)).unwrap(), None, "insert undone");
     // Work after the rollback continues under the savepoint.
     put(&mut t, 3, 3);
@@ -354,7 +374,10 @@ fn siread_locks_survive_subtransaction_rollback() {
     t2.update("kv", &key(1), row![1, 10]).unwrap();
     t1.commit().unwrap();
     let err = t2.commit().unwrap_err();
-    assert!(err.is_retryable(), "skew through subtransaction reads: {err}");
+    assert!(
+        err.is_retryable(),
+        "skew through subtransaction reads: {err}"
+    );
 }
 
 // ---------------------------------------------------------------------------
@@ -441,7 +464,7 @@ fn recluster_preserves_data_and_serializability_conservatively() {
     let mut writer = db.begin(IsolationLevel::Serializable);
     let _ = writer.get("kv", &key(5)); // writer reads what reader will write
     writer.update("kv", &key(99), row![99, 0]).unwrap(); // hits the promoted relation lock
-    // reader writes what the writer read, closing the 2-cycle.
+                                                         // reader writes what the writer read, closing the 2-cycle.
     reader.update("kv", &key(5), row![5, 0]).unwrap();
     let r1 = writer.commit();
     let r2 = reader.commit();
@@ -463,7 +486,12 @@ fn drop_index_promotes_to_heap_relation_lock() {
     // Reader scans via the secondary index (gap locks on kv_v pages).
     let mut reader = db.begin(IsolationLevel::Serializable);
     let _ = reader
-        .range("kv", "kv_v", Bound::Included(row![0]), Bound::Included(row![100]))
+        .range(
+            "kv",
+            "kv_v",
+            Bound::Included(row![0]),
+            Bound::Included(row![100]),
+        )
         .unwrap();
     db.drop_index("kv", "kv_v").unwrap();
 
@@ -503,7 +531,9 @@ fn hash_index_equality_and_relation_fallback() {
     t.commit().unwrap();
 
     let mut r = db.begin(IsolationLevel::Serializable);
-    let hits = r.index_get("users", "users_email", &row!["a@x.com"]).unwrap();
+    let hits = r
+        .index_get("users", "users_email", &row!["a@x.com"])
+        .unwrap();
     assert_eq!(hits, vec![row![1, "a@x.com"]]);
     // Hash indexes cannot range-scan.
     assert!(r
@@ -512,7 +542,9 @@ fn hash_index_equality_and_relation_fallback() {
     // The fallback relation lock makes ANY insert into the table conflict
     // (phantom protection without gap locks, §7.4).
     let mut w = db.begin(IsolationLevel::Serializable);
-    let _ = w.index_get("users", "users_email", &row!["b@x.com"]).unwrap();
+    let _ = w
+        .index_get("users", "users_email", &row!["b@x.com"])
+        .unwrap();
     w.insert("users", row![3, "c@x.com"]).unwrap();
     r.insert("users", row![4, "d@x.com"]).unwrap();
     let r1 = w.commit();

@@ -3,13 +3,12 @@
 //! markers, and deferrable transactions.
 
 use pgssi_common::{row, Value};
-use pgssi_engine::{
-    BeginOptions, Database, IsolationLevel, Replica, TableDef, Transaction,
-};
+use pgssi_engine::{BeginOptions, Database, IsolationLevel, Replica, TableDef, Transaction};
 
 fn kv_db() -> Database {
     let db = Database::open();
-    db.create_table(TableDef::new("kv", &["k", "v"], vec![0])).unwrap();
+    db.create_table(TableDef::new("kv", &["k", "v"], vec![0]))
+        .unwrap();
     db
 }
 
@@ -143,7 +142,9 @@ fn replica_receives_commits_and_safe_snapshots() {
     t.insert("kv", row![1, 10]).unwrap();
     t.commit().unwrap();
     assert!(replica.catch_up() >= 1);
-    let mut q = replica.begin_safe_query().expect("idle master → safe marker");
+    let mut q = replica
+        .begin_safe_query()
+        .expect("idle master → safe marker");
     assert_eq!(q.get("kv", &row![1]).unwrap(), Some(row![1, 10]));
     q.commit().unwrap();
 }

@@ -381,7 +381,11 @@ mod tests {
         }
         let scan = idx.search(&int_key(55));
         assert!(scan.entries.is_empty());
-        assert_eq!(scan.leaf_pages.len(), 1, "the gap's covering leaf is locked");
+        assert_eq!(
+            scan.leaf_pages.len(),
+            1,
+            "the gap's covering leaf is locked"
+        );
     }
 
     #[test]

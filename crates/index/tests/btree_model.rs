@@ -5,8 +5,8 @@
 use std::collections::BTreeSet;
 use std::ops::Bound;
 
-use pgssi_index::BTreeIndex;
 use pgssi_common::{Key, PageNo, RelId, TupleId, Value};
+use pgssi_index::BTreeIndex;
 use proptest::prelude::*;
 
 fn key(i: i64) -> Key {

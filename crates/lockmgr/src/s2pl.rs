@@ -167,8 +167,14 @@ impl S2plLockManager {
                 })
                 .unwrap_or_default();
             if blockers.is_empty() {
-                st.granted.entry(target).or_default().insert(owner, requested);
-                st.by_owner.entry(owner).or_default().insert(target, requested);
+                st.granted
+                    .entry(target)
+                    .or_default()
+                    .insert(owner, requested);
+                st.by_owner
+                    .entry(owner)
+                    .or_default()
+                    .insert(target, requested);
                 self.grants.bump();
                 return Ok(());
             }
@@ -178,7 +184,9 @@ impl S2plLockManager {
                 let mut seen = HashSet::new();
                 if st.reaches(b, owner, &mut seen) {
                     self.deadlocks.bump();
-                    return Err(Error::Deadlock { victim: pgssi_common::TxnId(owner) });
+                    return Err(Error::Deadlock {
+                        victim: pgssi_common::TxnId(owner),
+                    });
                 }
             }
             if !waited {
@@ -217,8 +225,14 @@ impl S2plLockManager {
         if blocked {
             return false;
         }
-        st.granted.entry(target).or_default().insert(owner, requested);
-        st.by_owner.entry(owner).or_default().insert(target, requested);
+        st.granted
+            .entry(target)
+            .or_default()
+            .insert(owner, requested);
+        st.by_owner
+            .entry(owner)
+            .or_default()
+            .insert(target, requested);
         self.grants.bump();
         true
     }
@@ -284,8 +298,14 @@ mod tests {
         assert_eq!(Shared.join(IntentionExclusive), SharedIntentionExclusive);
         assert_eq!(IntentionShared.join(Shared), Shared);
         assert_eq!(Shared.join(Exclusive), Exclusive);
-        assert_eq!(IntentionExclusive.join(IntentionExclusive), IntentionExclusive);
-        assert_eq!(SharedIntentionExclusive.join(IntentionExclusive), SharedIntentionExclusive);
+        assert_eq!(
+            IntentionExclusive.join(IntentionExclusive),
+            IntentionExclusive
+        );
+        assert_eq!(
+            SharedIntentionExclusive.join(IntentionExclusive),
+            SharedIntentionExclusive
+        );
     }
 
     #[test]
@@ -338,7 +358,12 @@ mod tests {
         let h = std::thread::spawn(move || m2.acquire(1, t2, Exclusive, LONG));
         std::thread::sleep(Duration::from_millis(30));
         let err = m.acquire(2, T, Exclusive, LONG).unwrap_err();
-        assert!(matches!(err, Error::Deadlock { victim: pgssi_common::TxnId(2) }));
+        assert!(matches!(
+            err,
+            Error::Deadlock {
+                victim: pgssi_common::TxnId(2)
+            }
+        ));
         m.release_owner(2);
         assert!(h.join().unwrap().is_ok());
     }
@@ -354,7 +379,12 @@ mod tests {
         let h = std::thread::spawn(move || m2.acquire(1, T, Exclusive, LONG));
         std::thread::sleep(Duration::from_millis(30));
         let err = m.acquire(2, T, Exclusive, LONG).unwrap_err();
-        assert!(matches!(err, Error::Deadlock { victim: pgssi_common::TxnId(2) }));
+        assert!(matches!(
+            err,
+            Error::Deadlock {
+                victim: pgssi_common::TxnId(2)
+            }
+        ));
         m.release_owner(2);
         assert!(h.join().unwrap().is_ok());
     }

@@ -199,7 +199,11 @@ impl SireadLockManager {
             self.promote_owner_to_relation(st, owner, rel);
         }
         // Owner-wide cap → promote the busiest relation wholesale.
-        let total = st.owners.get(&owner).map(|ol| ol.targets.len()).unwrap_or(0);
+        let total = st
+            .owners
+            .get(&owner)
+            .map(|ol| ol.targets.len())
+            .unwrap_or(0);
         if total > self.config.max_predicate_locks_per_txn {
             if let Some(busiest) = self.busiest_relation(st, owner) {
                 self.promote_owner_to_relation(st, owner, busiest);
@@ -218,7 +222,13 @@ impl SireadLockManager {
         counts.into_iter().max_by_key(|(_, c)| *c).map(|(r, _)| r)
     }
 
-    fn promote_tuples_to_page(&self, st: &mut TableState, owner: OwnerId, rel: RelId, page: PageNo) {
+    fn promote_tuples_to_page(
+        &self,
+        st: &mut TableState,
+        owner: OwnerId,
+        rel: RelId,
+        page: PageNo,
+    ) {
         let victims: Vec<LockTarget> = st
             .owners
             .get(&owner)
@@ -274,8 +284,11 @@ impl SireadLockManager {
                     }
                 }
                 if let Some(csn) = h.old_committed_csn {
-                    result.old_committed_csn =
-                        Some(result.old_committed_csn.map_or(csn, |c: CommitSeqNo| c.max(csn)));
+                    result.old_committed_csn = Some(
+                        result
+                            .old_committed_csn
+                            .map_or(csn, |c: CommitSeqNo| c.max(csn)),
+                    );
                 }
             }
         }
@@ -302,7 +315,9 @@ impl SireadLockManager {
     /// downgrade, or post-cleanup release).
     pub fn release_owner(&self, owner: OwnerId) {
         let mut st = self.state.lock();
-        let Some(ol) = st.owners.remove(&owner) else { return };
+        let Some(ol) = st.owners.remove(&owner) else {
+            return;
+        };
         for t in ol.targets {
             if let Some(h) = st.locks.get_mut(&t) {
                 h.owners.remove(&owner);
@@ -319,11 +334,16 @@ impl SireadLockManager {
     /// writers decide whether the unknown reader was concurrent.
     pub fn consolidate_owner(&self, owner: OwnerId, commit_csn: CommitSeqNo) {
         let mut st = self.state.lock();
-        let Some(ol) = st.owners.remove(&owner) else { return };
+        let Some(ol) = st.owners.remove(&owner) else {
+            return;
+        };
         for t in ol.targets {
             let h = st.locks.entry(t).or_default();
             h.owners.remove(&owner);
-            h.old_committed_csn = Some(h.old_committed_csn.map_or(commit_csn, |c| c.max(commit_csn)));
+            h.old_committed_csn = Some(
+                h.old_committed_csn
+                    .map_or(commit_csn, |c| c.max(commit_csn)),
+            );
         }
     }
 
@@ -346,7 +366,9 @@ impl SireadLockManager {
     pub fn on_page_split(&self, rel: RelId, old_page: PageNo, new_page: PageNo) {
         let mut st = self.state.lock();
         let old_t = LockTarget::Page(rel, old_page);
-        let Some(holders) = st.locks.get(&old_t) else { return };
+        let Some(holders) = st.locks.get(&old_t) else {
+            return;
+        };
         let owners: Vec<OwnerId> = holders.owners.iter().copied().collect();
         let old_csn = holders.old_committed_csn;
         for o in owners {

@@ -114,7 +114,10 @@ impl CommitLog {
     pub fn set_committed(&self, txid: TxnId, csn: CommitSeqNo) {
         debug_assert!(csn.is_valid());
         let (seg, off) = self.slot(txid);
-        seg.entries[off].store(csn.0 - CommitSeqNo::FIRST.0 + ENC_COMMIT_BASE, Ordering::Release);
+        seg.entries[off].store(
+            csn.0 - CommitSeqNo::FIRST.0 + ENC_COMMIT_BASE,
+            Ordering::Release,
+        );
     }
 
     /// Record an abort.

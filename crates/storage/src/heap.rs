@@ -224,7 +224,11 @@ impl Heap {
                 if vis.visible {
                     on_visible(tid);
                 }
-                (vis, t.next, if t.pruned { None } else { Some(t.row.clone()) })
+                (
+                    vis,
+                    t.next,
+                    if t.pruned { None } else { Some(t.row.clone()) },
+                )
             });
             let Some((vis, next, row)) = step else { break };
             for e in &vis.events {
@@ -332,7 +336,9 @@ impl Heap {
     pub fn for_each_root(&self, mut f: impl FnMut(TupleId)) {
         let page_count = self.page_count();
         for pno in 0..page_count {
-            let Some(page) = self.page(pno as PageNo) else { continue };
+            let Some(page) = self.page(pno as PageNo) else {
+                continue;
+            };
             // Collect roots under the latch, call back outside it.
             let roots: Vec<TupleId> = {
                 let guard = page.read();

@@ -277,12 +277,7 @@ mod tests {
         tm.commit(&[deleter]);
         let me = tm.begin();
         let snap = tm.snapshot();
-        let v = check_mvcc(
-            &tuple(creator, deleter),
-            &snap,
-            tm.clog(),
-            &SingleXid(me),
-        );
+        let v = check_mvcc(&tuple(creator, deleter), &snap, tm.clog(), &SingleXid(me));
         assert!(!v.visible);
         assert!(v.events.is_empty());
     }
@@ -321,6 +316,9 @@ mod tests {
             tm.clog(),
             &TwoXids(top, sub),
         );
-        assert!(v.visible, "live subtransaction writes are visible to parent");
+        assert!(
+            v.visible,
+            "live subtransaction writes are visible to parent"
+        );
     }
 }

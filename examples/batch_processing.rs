@@ -12,14 +12,16 @@
 //! cargo run --example batch_processing
 //! ```
 
-use pgssi::{
-    row, BeginOptions, Database, IsolationLevel, TableDef, Transaction, Value,
-};
+use pgssi::{row, BeginOptions, Database, IsolationLevel, TableDef, Transaction, Value};
 
 fn setup() -> pgssi::Result<Database> {
     let db = Database::open();
     db.create_table(TableDef::new("control", &["id", "batch"], vec![0]))?;
-    db.create_table(TableDef::new("receipts", &["rid", "batch", "amount"], vec![0]))?;
+    db.create_table(TableDef::new(
+        "receipts",
+        &["rid", "batch", "amount"],
+        vec![0],
+    ))?;
     let mut t = db.begin(IsolationLevel::ReadCommitted);
     t.insert("control", row![0, 7])?; // current batch = 7
     t.commit()?;
@@ -33,8 +35,7 @@ fn current_batch(t: &mut Transaction) -> pgssi::Result<i64> {
 }
 
 fn batch_total(t: &mut Transaction, batch: i64) -> pgssi::Result<i64> {
-    Ok(t
-        .scan_where("receipts", |r| r[1] == Value::Int(batch))?
+    Ok(t.scan_where("receipts", |r| r[1] == Value::Int(batch))?
         .iter()
         .map(|r| r[2].as_int().unwrap())
         .sum())

@@ -76,9 +76,7 @@ fn run(isolation: IsolationLevel) -> pgssi::Result<(i64, u64, u64)> {
 }
 
 fn main() -> pgssi::Result<()> {
-    println!(
-        "{DOCTORS} doctors, invariant: > {MIN_ON_CALL} on call before anyone leaves\n"
-    );
+    println!("{DOCTORS} doctors, invariant: > {MIN_ON_CALL} on call before anyone leaves\n");
     println!(
         "{:<22} {:>9} {:>9} {:>9} {:>10} {:>9}",
         "isolation", "on-call", "ok?", "commits", "aborts", "elapsed"

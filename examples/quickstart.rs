@@ -72,10 +72,7 @@ fn main() -> pgssi::Result<()> {
             Ok(transfer)
         },
     )?;
-    println!(
-        "transferred {} (attempts: {})",
-        moved.value, moved.attempts
-    );
+    println!("transferred {} (attempts: {})", moved.value, moved.attempts);
 
     // Long analytics without SSI overhead: DEFERRABLE waits for a safe
     // snapshot (§4.3), then runs with zero abort risk and no SIREAD locks.

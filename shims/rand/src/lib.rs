@@ -1,0 +1,228 @@
+//! Offline stand-in for the `rand` crate (0.8 API subset).
+//!
+//! Provides [`Rng::gen_range`] over integer `Range`/`RangeInclusive`,
+//! [`Rng::gen_bool`], [`SeedableRng::seed_from_u64`], and
+//! [`rngs::SmallRng`]/[`rngs::StdRng`]. Both rngs are the same
+//! splitmix64-seeded xoshiro256** generator: deterministic per seed, fast,
+//! and statistically adequate for workload generation (not cryptography).
+
+use std::ops::{Range, RangeInclusive};
+
+/// Core entropy source: everything derives from `next_u64`.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let v = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&v[..chunk.len()]);
+        }
+    }
+}
+
+/// User-facing sampling methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        debug_assert!((0.0..=1.0).contains(&p), "gen_bool p out of range: {p}");
+        // 53 uniform mantissa bits in [0, 1).
+        ((self.next_u64() >> 11) as f64) * (1.0 / (1u64 << 53) as f64) < p
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(state: u64) -> Self;
+
+    fn from_entropy() -> Self {
+        // No OS entropy in the offline shim; derive a seed from the monotonic
+        // clock so independent instances still diverge.
+        let t = std::time::SystemTime::UNIX_EPOCH
+            .elapsed()
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0x5eed);
+        Self::seed_from_u64(t)
+    }
+}
+
+/// Types with uniform range sampling. The per-type arithmetic lives here so
+/// [`SampleRange`] can be a *single* blanket impl per range shape — that
+/// mirrors real rand and is what lets integer-literal ranges
+/// (`rng.gen_range(1..5)`) unify with the use site's integer type.
+pub trait SampleUniform: Copy + PartialOrd {
+    fn sample_range<R: RngCore>(lo: Self, hi: Self, inclusive: bool, rng: &mut R) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty => $u:ty),+ $(,)?) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: RngCore>(lo: Self, hi: Self, inclusive: bool, rng: &mut R) -> Self {
+                if inclusive {
+                    assert!(lo <= hi, "gen_range: empty range");
+                    let span = (hi as $u).wrapping_sub(lo as $u).wrapping_add(1);
+                    if span == 0 {
+                        // Full domain: every u64 draw maps onto it.
+                        return rng.next_u64() as $u as $t;
+                    }
+                    let v = (rng.next_u64() as $u) % span;
+                    (lo as $u).wrapping_add(v) as $t
+                } else {
+                    assert!(lo < hi, "gen_range: empty range");
+                    let span = (hi as $u).wrapping_sub(lo as $u);
+                    let v = (rng.next_u64() as $u) % span;
+                    (lo as $u).wrapping_add(v) as $t
+                }
+            }
+        }
+    )+};
+}
+
+impl_sample_uniform!(
+    i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize,
+    u8 => u8, u16 => u16, u32 => u32, u64 => u64, usize => usize,
+);
+
+/// Ranges that can be sampled from, mirroring `rand::distributions::uniform`.
+pub trait SampleRange<T> {
+    fn sample_single<R: RngCore>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_single<R: RngCore>(self, rng: &mut R) -> T {
+        T::sample_range(self.start, self.end, false, rng)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_single<R: RngCore>(self, rng: &mut R) -> T {
+        T::sample_range(*self.start(), *self.end(), true, rng)
+    }
+}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// xoshiro256** seeded via splitmix64 — the shim's only generator.
+    #[derive(Debug, Clone)]
+    pub struct Xoshiro256 {
+        s: [u64; 4],
+    }
+
+    impl Xoshiro256 {
+        fn from_u64(seed: u64) -> Self {
+            // splitmix64 stream to fill the state; never all-zero.
+            let mut x = seed.wrapping_add(0x9e3779b97f4a7c15);
+            let mut next = move || {
+                x = x.wrapping_add(0x9e3779b97f4a7c15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+                z ^ (z >> 31)
+            };
+            Xoshiro256 {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for Xoshiro256 {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl SeedableRng for Xoshiro256 {
+        fn seed_from_u64(state: u64) -> Self {
+            Xoshiro256::from_u64(state)
+        }
+    }
+
+    /// In real rand, a small fast generator; here the shared xoshiro256**.
+    pub type SmallRng = Xoshiro256;
+    /// In real rand, ChaCha12; here the shared xoshiro256** (not crypto-safe).
+    pub type StdRng = Xoshiro256;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a: Vec<u64> = {
+            let mut r = StdRng::seed_from_u64(7);
+            (0..8).map(|_| r.gen_range(0u64..1000)).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = StdRng::seed_from_u64(7);
+            (0..8).map(|_| r.gen_range(0u64..1000)).collect()
+        };
+        assert_eq!(a, b);
+        let c: Vec<u64> = {
+            let mut r = StdRng::seed_from_u64(8);
+            (0..8).map(|_| r.gen_range(0u64..1000)).collect()
+        };
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = StdRng::seed_from_u64(42);
+        for _ in 0..10_000 {
+            let v = r.gen_range(-50i64..50);
+            assert!((-50..50).contains(&v));
+            let w = r.gen_range(-1..=1i64);
+            assert!((-1..=1).contains(&w));
+            let u = r.gen_range(0u32..100);
+            assert!(u < 100);
+            let s = r.gen_range(3usize..8);
+            assert!((3..8).contains(&s));
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut r = StdRng::seed_from_u64(1);
+        let hits = (0..100_000).filter(|_| r.gen_bool(0.25)).count();
+        assert!((20_000..30_000).contains(&hits), "hits={hits}");
+        assert_eq!((0..100).filter(|_| r.gen_bool(0.0)).count(), 0);
+        assert_eq!((0..100).filter(|_| r.gen_bool(1.0)).count(), 100);
+    }
+
+    #[test]
+    fn signed_range_is_roughly_uniform() {
+        let mut r = StdRng::seed_from_u64(3);
+        let mut counts = [0usize; 4];
+        for _ in 0..40_000 {
+            counts[(r.gen_range(-2i64..2) + 2) as usize] += 1;
+        }
+        for c in counts {
+            assert!((8_000..12_000).contains(&c), "counts={counts:?}");
+        }
+    }
+}

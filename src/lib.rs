@@ -54,13 +54,13 @@
 //! | [`pgssi_engine`] | tables, transactions, 2PC, replication, vacuum |
 
 pub use pgssi_common::{
-    row, CommitSeqNo, EngineConfig, Error, IoModel, Key, Result, Row, SerializationKind,
-    Snapshot, SsiConfig, TxnId, Value,
+    row, CommitSeqNo, EngineConfig, Error, IoModel, Key, Result, Row, SerializationKind, Snapshot,
+    SsiConfig, TxnId, Value,
 };
 pub use pgssi_core::{SafetyState, SsiManager};
 pub use pgssi_engine::{
-    with_retries, BeginOptions, Database, IndexDef, IndexKind, IsolationLevel, Replica,
-    TableDef, Transaction, WalRecord,
+    with_retries, BeginOptions, Database, IndexDef, IndexKind, IsolationLevel, Replica, TableDef,
+    Transaction, WalRecord,
 };
 
 // Re-export the component crates for advanced use. (`pgssi_core` is exported

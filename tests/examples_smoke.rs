@@ -1,0 +1,286 @@
+//! Miniature re-runs of every `examples/*.rs` scenario, so the examples' API
+//! surface — and the behaviors they demonstrate — stay exercised by plain
+//! `cargo test` even though CI only *builds* the example binaries.
+//!
+//! Each test mirrors one example:
+//!
+//! | test | example |
+//! |---|---|
+//! | [`quickstart_path`] | `quickstart.rs` |
+//! | [`write_skew_doctors_path`] | `write_skew_doctors.rs` (Figure 1) |
+//! | [`batch_processing_path`] | `batch_processing.rs` (Figure 2) |
+//! | [`deferrable_backup_path`] | `deferrable_backup.rs` (§4.3) |
+//! | [`isolation_comparison_path`] | `isolation_comparison.rs` |
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use pgssi::{row, with_retries, BeginOptions, Database, IsolationLevel, TableDef, Value};
+
+#[test]
+fn quickstart_path() {
+    let db = Database::open();
+    db.create_table(TableDef::new("accounts", &["id", "balance"], vec![0]))
+        .unwrap();
+
+    let mut txn = db.begin(IsolationLevel::Serializable);
+    txn.insert("accounts", row![1, 100]).unwrap();
+    txn.insert("accounts", row![2, 250]).unwrap();
+    txn.commit().unwrap();
+
+    let mut txn = db.begin(IsolationLevel::Serializable);
+    let alice = txn.get("accounts", &row![1]).unwrap().unwrap();
+    assert_eq!(alice[1].as_int(), Some(100));
+    txn.commit().unwrap();
+
+    let out = with_retries(
+        &db,
+        BeginOptions::new(IsolationLevel::Serializable),
+        10,
+        |txn| {
+            let r = txn.get("accounts", &row![2]).unwrap().unwrap();
+            let bal = r[1].as_int().unwrap();
+            txn.update("accounts", &row![2], row![2, bal + 1])
+        },
+    )
+    .unwrap();
+    assert_eq!(out.attempts, 1);
+}
+
+/// Figure 1: both doctors see two on call and each goes off call. Under SSI
+/// one transaction must abort so at least one doctor remains.
+#[test]
+fn write_skew_doctors_path() {
+    let db = Database::open();
+    db.create_table(TableDef::new("doctors", &["name", "on_call"], vec![0]))
+        .unwrap();
+    let mut t = db.begin(IsolationLevel::ReadCommitted);
+    t.insert("doctors", row!["alice", true]).unwrap();
+    t.insert("doctors", row!["bob", true]).unwrap();
+    t.commit().unwrap();
+
+    let mut t1 = db.begin(IsolationLevel::Serializable);
+    let mut t2 = db.begin(IsolationLevel::Serializable);
+    let on_call = |txn: &mut pgssi::Transaction| {
+        txn.scan_where("doctors", |r| r[1] == Value::Bool(true))
+            .map(|rows| rows.len() as i64)
+    };
+    assert_eq!(on_call(&mut t1).unwrap(), 2);
+    assert_eq!(on_call(&mut t2).unwrap(), 2);
+    t1.update("doctors", &row!["alice"], row!["alice", false])
+        .unwrap();
+    t2.update("doctors", &row!["bob"], row!["bob", false])
+        .unwrap();
+    let r1 = t1.commit();
+    let r2 = t2.commit();
+    assert!(
+        r1.is_ok() != r2.is_ok(),
+        "exactly one Figure-1 transaction must abort under SSI (got {r1:?} / {r2:?})"
+    );
+
+    let mut check = db.begin(IsolationLevel::ReadCommitted);
+    let still_on = on_call(&mut check).unwrap();
+    check.commit().unwrap();
+    assert!(
+        still_on >= 1,
+        "write skew slipped through: no doctor on call"
+    );
+}
+
+/// Figure 2: once the read-only REPORT has seen batch 7's total, a straggler
+/// NEW-RECEIPT for batch 7 must not commit (SSI aborts the pivot).
+#[test]
+fn batch_processing_path() {
+    let db = Database::open();
+    db.create_table(TableDef::new("control", &["id", "batch"], vec![0]))
+        .unwrap();
+    db.create_table(TableDef::new(
+        "receipts",
+        &["rid", "batch", "amount"],
+        vec![0],
+    ))
+    .unwrap();
+    let mut t = db.begin(IsolationLevel::ReadCommitted);
+    t.insert("control", row![0, 7]).unwrap();
+    t.commit().unwrap();
+
+    // NEW-RECEIPT (T2): reads the current batch, will insert into it.
+    let mut new_receipt = db.begin(IsolationLevel::Serializable);
+    let batch = new_receipt.get("control", &row![0]).unwrap().unwrap()[1]
+        .as_int()
+        .unwrap();
+    assert_eq!(batch, 7);
+    new_receipt.insert("receipts", row![1, batch, 10]).unwrap();
+
+    // CLOSE-BATCH (T3): increments the batch number and commits first.
+    let mut close_batch = db.begin(IsolationLevel::Serializable);
+    let cur = close_batch.get("control", &row![0]).unwrap().unwrap()[1]
+        .as_int()
+        .unwrap();
+    close_batch
+        .update("control", &row![0], row![0, cur + 1])
+        .unwrap();
+    close_batch.commit().unwrap();
+
+    // REPORT (T1, read-only): sees batch 8, totals the closed batch 7.
+    let mut report = db
+        .begin_with(BeginOptions::new(IsolationLevel::Serializable).read_only())
+        .unwrap();
+    let seen = report.get("control", &row![0]).unwrap().unwrap()[1]
+        .as_int()
+        .unwrap();
+    assert_eq!(seen, 8);
+    let total: i64 = report
+        .scan_where("receipts", |r| r[1] == Value::Int(7))
+        .unwrap()
+        .iter()
+        .map(|r| r[2].as_int().unwrap())
+        .sum();
+    assert_eq!(total, 0, "batch 7 reported as empty");
+    report.commit().unwrap();
+
+    // The straggler would retroactively change the published report: abort.
+    assert!(
+        new_receipt.commit().is_err(),
+        "NEW-RECEIPT pivot must abort once REPORT published batch 7's total"
+    );
+}
+
+/// §4.3: a deferrable backup taken under concurrent serializable transfers is
+/// transactionally consistent (money conserved) and never aborts.
+#[test]
+fn deferrable_backup_path() {
+    const ACCOUNTS: i64 = 16;
+    const TOTAL_MONEY: i64 = ACCOUNTS * 100;
+
+    let db = Database::open();
+    db.create_table(TableDef::new("accounts", &["id", "balance"], vec![0]))
+        .unwrap();
+    let mut t = db.begin(IsolationLevel::ReadCommitted);
+    for i in 0..ACCOUNTS {
+        t.insert("accounts", row![i, 100]).unwrap();
+    }
+    t.commit().unwrap();
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let progress = Arc::new(AtomicU64::new(0));
+    let db2 = db.clone();
+    let stop2 = Arc::clone(&stop);
+    let progress2 = Arc::clone(&progress);
+    let load = std::thread::spawn(move || {
+        let mut x: u64 = 0x243F6A8885A308D3;
+        while !stop2.load(Ordering::Relaxed) {
+            progress2.fetch_add(1, Ordering::Relaxed);
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            let from = (x % ACCOUNTS as u64) as i64;
+            let to = ((x >> 32) % ACCOUNTS as u64) as i64;
+            if from == to {
+                continue;
+            }
+            let mut txn = db2.begin(IsolationLevel::Serializable);
+            let result = (|| -> pgssi::Result<()> {
+                let f = txn.get("accounts", &row![from])?.expect("account");
+                let tr = txn.get("accounts", &row![to])?.expect("account");
+                let (fb, tb) = (f[1].as_int().unwrap(), tr[1].as_int().unwrap());
+                let amount = 1 + (x % 10) as i64;
+                if fb >= amount {
+                    txn.update("accounts", &row![from], row![from, fb - amount])?;
+                    txn.update("accounts", &row![to], row![to, tb + amount])?;
+                }
+                Ok(())
+            })();
+            let _ = result.and_then(|()| txn.commit());
+        }
+    });
+
+    // Let the load interleave with the backup, then snapshot safely.
+    while progress.load(Ordering::Relaxed) < 50 {
+        std::thread::yield_now();
+    }
+    let mut backup = db
+        .begin_with(BeginOptions::new(IsolationLevel::Serializable).deferrable())
+        .unwrap();
+    let rows = backup.scan("accounts").unwrap();
+    let total: i64 = rows.iter().map(|r| r[1].as_int().unwrap()).sum();
+    backup.commit().unwrap();
+    stop.store(true, Ordering::Relaxed);
+    load.join().unwrap();
+
+    assert_eq!(rows.len() as i64, ACCOUNTS);
+    assert_eq!(total, TOTAL_MONEY, "inconsistent deferrable backup");
+}
+
+/// The roster workload at every isolation level: the serializable levels must
+/// preserve minimum staffing; every level must make progress.
+#[test]
+fn isolation_comparison_path() {
+    const DOCTORS: i64 = 6;
+    const MIN_ON_CALL: i64 = 2;
+
+    for isolation in [
+        IsolationLevel::ReadCommitted,
+        IsolationLevel::RepeatableRead,
+        IsolationLevel::Serializable,
+        IsolationLevel::Serializable2pl,
+    ] {
+        let db = Database::open();
+        db.create_table(TableDef::new("doctors", &["id", "on_call"], vec![0]))
+            .unwrap();
+        let mut t = db.begin(IsolationLevel::ReadCommitted);
+        for i in 0..DOCTORS {
+            t.insert("doctors", row![i, true]).unwrap();
+        }
+        t.commit().unwrap();
+
+        let db = Arc::new(db);
+        let commits = Arc::new(AtomicU64::new(0));
+        std::thread::scope(|scope| {
+            for th in 0..2i64 {
+                let db = Arc::clone(&db);
+                let commits = Arc::clone(&commits);
+                scope.spawn(move || {
+                    for i in 0..6 {
+                        let id = (th * 6 + i) % DOCTORS;
+                        let mut txn = db.begin(isolation);
+                        let result = (|| -> pgssi::Result<bool> {
+                            let on = txn
+                                .scan_where("doctors", |r| r[1] == Value::Bool(true))?
+                                .len() as i64;
+                            if on > MIN_ON_CALL {
+                                txn.update("doctors", &row![id], row![id, false])?;
+                                return Ok(true);
+                            }
+                            Ok(false)
+                        })();
+                        if result.and_then(|_| txn.commit()).is_ok() {
+                            commits.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                });
+            }
+        });
+
+        let mut check = db.begin(IsolationLevel::ReadCommitted);
+        let still_on = check
+            .scan_where("doctors", |r| r[1] == Value::Bool(true))
+            .unwrap()
+            .len() as i64;
+        check.commit().unwrap();
+
+        assert!(
+            commits.load(Ordering::Relaxed) > 0,
+            "{isolation:?}: no transaction made progress"
+        );
+        if matches!(
+            isolation,
+            IsolationLevel::Serializable | IsolationLevel::Serializable2pl
+        ) {
+            assert!(
+                still_on >= MIN_ON_CALL,
+                "{isolation:?} violated minimum staffing: {still_on} on call"
+            );
+        }
+    }
+}

@@ -16,7 +16,8 @@ const PER_ACCOUNT: i64 = 100;
 
 fn bank(config: EngineConfig) -> Database {
     let db = Database::new(config);
-    db.create_table(TableDef::new("acct", &["id", "bal"], vec![0])).unwrap();
+    db.create_table(TableDef::new("acct", &["id", "bal"], vec![0]))
+        .unwrap();
     let mut t = db.begin(IsolationLevel::ReadCommitted);
     for i in 0..ACCOUNTS {
         t.insert("acct", row![i, PER_ACCOUNT]).unwrap();
@@ -136,12 +137,19 @@ fn tiny_memory_config_stays_sound_and_bounded() {
         "summarization must cap retained records (got {})",
         ssi.committed_retained()
     );
-    assert!(ssi.stats.summarized.get() > 0, "summarization must have fired");
+    assert!(
+        ssi.stats.summarized.get() > 0,
+        "summarization must have fired"
+    );
     assert!(
         ssi.serial().ram_page_count() <= 1,
         "serial table RAM must stay bounded"
     );
-    assert_eq!(total(&db), ACCOUNTS * PER_ACCOUNT, "soundness under pressure");
+    assert_eq!(
+        total(&db),
+        ACCOUNTS * PER_ACCOUNT,
+        "soundness under pressure"
+    );
     pin.commit().unwrap();
 }
 
@@ -208,12 +216,8 @@ fn mixed_isolation_levels_coexist() {
                     let b = (a + 1 + rng.gen_range(0..ACCOUNTS - 1)) % ACCOUNTS;
                     let mut txn = db.begin(isolation);
                     let r = (|| -> pgssi::Result<()> {
-                        txn.update_with("acct", &row![a], |r| {
-                            row![a, r[1].as_int().unwrap() - 1]
-                        })?;
-                        txn.update_with("acct", &row![b], |r| {
-                            row![b, r[1].as_int().unwrap() + 1]
-                        })?;
+                        txn.update_with("acct", &row![a], |r| row![a, r[1].as_int().unwrap() - 1])?;
+                        txn.update_with("acct", &row![b], |r| row![b, r[1].as_int().unwrap() + 1])?;
                         Ok(())
                     })();
                     let _ = r.and_then(|()| txn.commit());

@@ -137,7 +137,8 @@ fn run_history(
     ops_per_txn: usize,
 ) -> Vec<TxnLog> {
     let db = Database::open();
-    db.create_table(TableDef::new("t", &["k", "v"], vec![0])).unwrap();
+    db.create_table(TableDef::new("t", &["k", "v"], vec![0]))
+        .unwrap();
     let mut setup = db.begin(IsolationLevel::ReadCommitted);
     for k in 0..n_keys {
         setup.insert("t", row![k, 0]).unwrap(); // version 0
@@ -179,8 +180,7 @@ fn run_history(
                                 }
                             }
                         } else {
-                            let v = next_version
-                                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            let v = next_version.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                             // An update reads the current version too (it
                             // replaces it): record it as a read for rw/ww
                             // fidelity — but only the first touch counts.
@@ -333,7 +333,8 @@ fn checker_accepts_serial_history() {
 #[test]
 fn ssi_with_scans_is_serializable() {
     let db = Database::open();
-    db.create_table(TableDef::new("t", &["k", "v"], vec![0])).unwrap();
+    db.create_table(TableDef::new("t", &["k", "v"], vec![0]))
+        .unwrap();
     let mut setup = db.begin(IsolationLevel::ReadCommitted);
     for k in 0..8 {
         setup.insert("t", row![k, 0]).unwrap();

@@ -85,7 +85,7 @@ fn find_cycle(logs: &[TxnLog]) -> Option<Vec<usize>> {
     ) -> Option<Vec<usize>> {
         state[n] = 1;
         path.push(n);
-        for (&m, _) in &edges[n] {
+        for &m in edges[n].keys() {
             if state[m] == 1 {
                 let start = path.iter().position(|&x| x == m).unwrap();
                 return Some(path[start..].to_vec());
@@ -106,12 +106,7 @@ fn find_cycle(logs: &[TxnLog]) -> Option<Vec<usize>> {
             let mut path = Vec::new();
             if let Some(cycle) = dfs(n, &edges, &mut state, &mut path) {
                 for w in cycle.windows(2) {
-                    eprintln!(
-                        "  T{} --[{}]--> T{}",
-                        w[0],
-                        edges[w[0]][&w[1]],
-                        w[1]
-                    );
+                    eprintln!("  T{} --[{}]--> T{}", w[0], edges[w[0]][&w[1]], w[1]);
                 }
                 let last = *cycle.last().unwrap();
                 let first = cycle[0];
@@ -137,7 +132,8 @@ fn find_cycle(logs: &[TxnLog]) -> Option<Vec<usize>> {
 #[ignore]
 fn debug_scan_shape() {
     let db = Database::open();
-    db.create_table(TableDef::new("t", &["k", "v"], vec![0])).unwrap();
+    db.create_table(TableDef::new("t", &["k", "v"], vec![0]))
+        .unwrap();
     let mut setup = db.begin(IsolationLevel::ReadCommitted);
     for k in 0..8 {
         setup.insert("t", row![k, 0]).unwrap();
@@ -203,7 +199,8 @@ fn debug_seed0() {
     let seed = 0u64;
     let (n_threads, n_txns, n_keys, ops) = (4usize, 120usize, 6i64, 5usize);
     let db = Database::open();
-    db.create_table(TableDef::new("t", &["k", "v"], vec![0])).unwrap();
+    db.create_table(TableDef::new("t", &["k", "v"], vec![0]))
+        .unwrap();
     let mut setup = db.begin(IsolationLevel::ReadCommitted);
     for k in 0..n_keys {
         setup.insert("t", row![k, 0]).unwrap();
@@ -243,8 +240,7 @@ fn debug_seed0() {
                                 }
                             }
                         } else {
-                            let v = next_version
-                                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            let v = next_version.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                             match txn.get("t", &row![k]) {
                                 Ok(Some(r)) => {
                                     let cur = r[1].as_int().unwrap();
