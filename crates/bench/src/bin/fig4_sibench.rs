@@ -2,12 +2,14 @@
 //! of SI throughput, as a function of table size.
 //!
 //! ```sh
-//! cargo run --release -p pgssi-bench --bin fig4_sibench [-- --duration-ms 1500 --threads 4]
+//! cargo run --release -p pgssi-bench --bin fig4_sibench [-- --duration-ms 1500 --threads 4 --stats]
 //! ```
 
 use std::time::Duration;
 
-use pgssi_bench::harness::{arg_value, print_header, print_normalized_row, Mode};
+use pgssi_bench::harness::{
+    arg_value, print_header, print_normalized_row, print_stats_if_requested, Mode,
+};
 use pgssi_bench::sibench::Sibench;
 
 fn main() {
@@ -21,14 +23,21 @@ fn main() {
         "mix: 50% update-one-key, 50% scan-for-minimum; {threads} threads, {duration:?} per cell\n"
     );
     print_header("rows", &Mode::ALL);
+    let mut last_dbs = Vec::new();
     for size in sizes {
         let bench = Sibench { table_size: size };
         let mut results = Vec::new();
+        last_dbs.clear();
         for mode in Mode::ALL {
-            let r = bench.run(mode, threads, duration, 42);
+            let db = bench.setup(mode);
+            let r = bench.run_on(&db, mode, threads, duration, 42);
             results.push((mode, r));
+            last_dbs.push((mode, db));
         }
         print_normalized_row(&size.to_string(), &results);
+    }
+    for (mode, db) in &last_dbs {
+        print_stats_if_requested(&args, mode.label(), db);
     }
     println!("\npaper's shape: S2PL well below SI (readers block writers);");
     println!("SSI close to SI (10-20% CPU overhead), r/o optimization narrowing");

@@ -11,7 +11,9 @@
 use std::time::Duration;
 
 use pgssi_bench::dbt2::{Dbt2, Dbt2Config};
-use pgssi_bench::harness::{arg_value, print_header, print_normalized_row, Mode};
+use pgssi_bench::harness::{
+    arg_value, print_header, print_normalized_row, print_stats_if_requested, Mode,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -56,15 +58,21 @@ fn main() {
             ..base.clone()
         },
     };
+    let mut dbs = Vec::new();
     for &mode in modes {
-        let r = bench.run(mode, threads, duration, 7);
+        let db = bench.setup(mode);
+        let r = bench.run_on(&db, mode, threads, duration, 7);
         println!(
             "  {:<12} {:>9.0} txn/s   failures: {:>6.3}%",
             mode.label(),
             r.tps(),
             100.0 * r.failure_rate()
         );
+        dbs.push((mode, db));
     }
     println!("\npaper's shape: SSI within single-digit % of SI; S2PL below, the gap");
     println!("widening with the read-only fraction; differences compress disk-bound.");
+    for (mode, db) in &dbs {
+        print_stats_if_requested(&args, mode.label(), db);
+    }
 }

@@ -7,7 +7,7 @@
 
 use std::time::Duration;
 
-use pgssi_bench::harness::{arg_value, Mode};
+use pgssi_bench::harness::{arg_value, print_stats_if_requested, Mode};
 use pgssi_bench::rubis::{Rubis, RubisConfig};
 
 fn main() {
@@ -26,9 +26,11 @@ fn main() {
         "", "Throughput (req/s)", "Serialization failures"
     );
     let mut si_tps = None;
+    let mut dbs = Vec::new();
     for mode in Mode::MAIN {
         let bench = Rubis::new(config);
-        let r = bench.run(mode, threads, duration, 3);
+        let db = bench.setup(mode);
+        let r = bench.run_on(&db, mode, threads, duration, 3);
         if mode == Mode::Si {
             si_tps = Some(r.tps());
         }
@@ -39,8 +41,12 @@ fn main() {
             100.0 * r.failure_rate(),
             r.tps() / si_tps.unwrap_or(r.tps())
         );
+        dbs.push((mode, db));
     }
     println!("\npaper's table: SI 435 req/s @ 0.004%, SSI 422 @ 0.03%, S2PL 208 @ 0.76%");
     println!("shape to match: SSI within a few % of SI; S2PL near half, with the");
     println!("highest failure rate (deadlocks from category-scan vs bid conflicts).");
+    for (mode, db) in &dbs {
+        print_stats_if_requested(&args, mode.label(), db);
+    }
 }

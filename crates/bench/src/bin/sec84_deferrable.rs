@@ -12,9 +12,9 @@
 
 use std::time::Duration;
 
-use pgssi_bench::dbt2::Dbt2Config;
-use pgssi_bench::deferrable::run_probe;
-use pgssi_bench::harness::arg_value;
+use pgssi_bench::dbt2::{Dbt2, Dbt2Config};
+use pgssi_bench::deferrable::run_probe_on;
+use pgssi_bench::harness::{arg_value, print_stats_if_requested, Mode};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -24,12 +24,11 @@ fn main() {
     println!(
         "§8.4: deferrable transactions vs a DBT-2++ load ({threads} threads, {probes} probes)\n"
     );
-    let report = run_probe(
-        Dbt2Config::in_memory(),
-        threads,
-        probes,
-        Duration::from_millis(2),
-    );
+    let bench = Dbt2 {
+        config: Dbt2Config::in_memory(),
+    };
+    let db = bench.setup(Mode::Ssi);
+    let report = run_probe_on(&bench, &db, threads, probes, Duration::from_millis(2));
     let mean = report.mean_txn.as_secs_f64().max(1e-9);
     let in_units = |d: Duration| d.as_secs_f64() / mean;
     println!(
@@ -64,4 +63,5 @@ fn main() {
     );
     println!("\npaper: median 1.98 s, p90 <= 6 s, max <= 20 s on their testbed —");
     println!("bounded waits of a few concurrent-transaction lifetimes, never starving.");
+    print_stats_if_requested(&args, "SSI", &db);
 }

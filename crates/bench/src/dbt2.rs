@@ -388,14 +388,27 @@ impl Dbt2 {
         body.and_then(|()| txn.commit()).is_ok()
     }
 
-    /// Timed run.
-    pub fn run(&self, mode: Mode, threads: usize, duration: Duration, seed: u64) -> RunResult {
-        let db = self.setup(mode);
+    /// Timed run against an existing database (lets callers keep the handle
+    /// for a post-run `stats_report`).
+    pub fn run_on(
+        &self,
+        db: &Database,
+        mode: Mode,
+        threads: usize,
+        duration: Duration,
+        seed: u64,
+    ) -> RunResult {
         run_for(threads, duration, |th, iter| {
             let mut rng =
                 SmallRng::seed_from_u64(seed_for(seed, th).wrapping_add(iter.wrapping_mul(31)));
-            self.one_txn(&db, mode, &mut rng)
+            self.one_txn(db, mode, &mut rng)
         })
+    }
+
+    /// Timed run.
+    pub fn run(&self, mode: Mode, threads: usize, duration: Duration, seed: u64) -> RunResult {
+        let db = self.setup(mode);
+        self.run_on(&db, mode, threads, duration, seed)
     }
 
     /// Consistency audit used by tests: district `next_o_id` must equal 1 +

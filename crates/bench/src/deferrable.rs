@@ -61,6 +61,18 @@ pub fn run_probe(
 ) -> DeferrableReport {
     let bench = Dbt2 { config };
     let db = bench.setup(Mode::Ssi);
+    run_probe_on(&bench, &db, threads, probes, pause)
+}
+
+/// [`run_probe`] against an existing database (lets callers keep the handle
+/// for a post-run `stats_report`).
+pub fn run_probe_on(
+    bench: &Dbt2,
+    db: &pgssi_engine::Database,
+    threads: usize,
+    probes: usize,
+    pause: Duration,
+) -> DeferrableReport {
     let stop = AtomicBool::new(false);
     let committed = std::sync::atomic::AtomicU64::new(0);
     let txn_nanos = std::sync::atomic::AtomicU64::new(0);

@@ -5,7 +5,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 use pgssi_common::{EngineConfig, IoModel, SsiConfig};
-use pgssi_engine::IsolationLevel;
+use pgssi_engine::{Database, IsolationLevel};
 
 /// The isolation modes compared in the paper's evaluation.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -173,6 +173,21 @@ pub fn arg_value(args: &[String], name: &str) -> Option<u64> {
         .and_then(|v| v.parse().ok())
 }
 
+/// True if the standalone flag `name` appears in argv.
+pub fn has_flag(args: &[String], name: &str) -> bool {
+    args.iter().any(|a| a == name)
+}
+
+/// Print the database's aggregated [`pgssi_engine::StatsReport`] when the
+/// binary was invoked with `--stats`. Every figure binary calls this after its
+/// final (or per-mode) run.
+pub fn print_stats_if_requested(args: &[String], label: &str, db: &Database) {
+    if has_flag(args, "--stats") {
+        println!("\n[{label}] aggregated stats:");
+        println!("{}", db.stats_report());
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -217,6 +232,13 @@ mod tests {
         assert_eq!(arg_value(&args, "--threads"), Some(8));
         assert_eq!(arg_value(&args, "--duration-ms"), Some(250));
         assert_eq!(arg_value(&args, "--nope"), None);
+    }
+
+    #[test]
+    fn flag_parsing() {
+        let args: Vec<String> = ["x", "--stats"].iter().map(|s| s.to_string()).collect();
+        assert!(has_flag(&args, "--stats"));
+        assert!(!has_flag(&args, "--nope"));
     }
 
     #[test]

@@ -11,6 +11,12 @@ use std::time::Duration;
 /// Tuning knobs for the SSI core and the SIREAD lock manager.
 #[derive(Clone, Debug)]
 pub struct SsiConfig {
+    /// Number of lightweight-lock partitions the SIREAD lock table is hashed
+    /// into (PostgreSQL: `NUM_PREDICATELOCK_PARTITIONS`, fixed at 16). Targets
+    /// hash by relation/page, so operations touching disjoint data take
+    /// disjoint mutexes; `1` degenerates to a single table-wide mutex (the
+    /// pre-partitioning behavior, kept for ablation runs).
+    pub lock_partitions: usize,
     /// Soft cap on SIREAD locks a single transaction may hold before the lock
     /// manager starts promoting its fine-grained locks to coarser granularity
     /// (PostgreSQL: `max_pred_locks_per_transaction`).
@@ -49,6 +55,7 @@ pub struct SsiConfig {
 impl Default for SsiConfig {
     fn default() -> Self {
         SsiConfig {
+            lock_partitions: 16,
             max_predicate_locks_per_txn: 4096,
             promote_tuple_threshold: 16,
             promote_page_threshold: 64,
@@ -68,6 +75,16 @@ impl SsiConfig {
     pub fn without_read_only_opt() -> Self {
         SsiConfig {
             enable_read_only_opt: false,
+            ..SsiConfig::default()
+        }
+    }
+
+    /// Configuration with a single SIREAD lock partition: every operation
+    /// serializes on one table-wide mutex, reproducing the pre-partitioning
+    /// behavior for scaling ablations.
+    pub fn single_partition() -> Self {
+        SsiConfig {
+            lock_partitions: 1,
             ..SsiConfig::default()
         }
     }
@@ -162,6 +179,12 @@ mod tests {
         let c = SsiConfig::tiny();
         assert!(c.max_committed_sxacts <= 4);
         assert!(c.promote_tuple_threshold <= 2);
+    }
+
+    #[test]
+    fn partition_counts() {
+        assert_eq!(SsiConfig::default().lock_partitions, 16);
+        assert_eq!(SsiConfig::single_partition().lock_partitions, 1);
     }
 
     #[test]

@@ -1,13 +1,21 @@
 //! Lightweight concurrent counters.
 //!
 //! The SSI core, lock managers, and benchmark harnesses all report activity through
-//! [`Counter`]s gathered into named snapshots. Counters are padded-free relaxed
-//! atomics: they are monotone event counts, never synchronization.
+//! [`Counter`]s gathered into named snapshots. Counters are relaxed atomics — they
+//! are monotone event counts, never synchronization — and each one is padded out to
+//! its own cache line so that per-partition and per-thread counters bumped from
+//! different cores never false-share (the SIREAD lock table keeps an array of them,
+//! one pair per partition, precisely to measure multicore contention without
+//! creating any).
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// A monotonically increasing event counter, safe to bump from any thread.
+///
+/// Aligned to 64 bytes (one cache line on every target we care about) so adjacent
+/// counters in an array do not ping-pong a shared line between cores.
 #[derive(Default, Debug)]
+#[repr(align(64))]
 pub struct Counter(AtomicU64);
 
 impl Counter {
@@ -80,5 +88,11 @@ mod tests {
         let c = Counter::new();
         c.add(3);
         assert_eq!(c.clone().get(), 3);
+    }
+
+    #[test]
+    fn padded_to_a_cache_line() {
+        assert_eq!(std::mem::align_of::<Counter>(), 64);
+        assert_eq!(std::mem::size_of::<[Counter; 2]>(), 128);
     }
 }

@@ -3,8 +3,34 @@
 //!
 //! This is the Rust analog of PostgreSQL's `predicate.c`. One mutex guards the
 //! transaction graph (PostgreSQL uses `SerializableXactHashLock` much the same
-//! way); the SIREAD lock table has its own lock and is always acquired *after*
-//! the graph lock, never the reverse.
+//! way); the SIREAD lock table is partitioned into
+//! [`SsiConfig::lock_partitions`] mutexes with its own internal hierarchy
+//! (owner directory → per-owner mutex → partitions in ascending order — see
+//! `pgssi_lockmgr::siread`).
+//!
+//! ## Lock-ordering invariant
+//!
+//! The graph lock sits strictly *above* every lock inside the SIREAD manager:
+//! it may be held while calling into the lock table, and the lock table never
+//! calls back into this module, so the combined order is acyclic. To keep the
+//! graph lock's critical sections short, this module additionally
+//!
+//! * probes the SIREAD table (`conflicting_holders`) **before** taking the
+//!   graph lock in [`SsiManager::on_write`], and decodes/dedups visibility
+//!   events before taking it in [`SsiManager::on_mvcc_events`];
+//! * acquires SIREAD read locks **outside** the graph lock (the lock manager's
+//!   released-owner tombstone makes a racing safe-snapshot release benign);
+//! * defers whole-table SIREAD mutations discovered under the graph lock
+//!   (owner releases from cleanup and safe-snapshot downgrades, the §6.1
+//!   summarized-lock horizon sweep) until after the lock is dropped — delaying
+//!   a lock *release* is always conservative. The one exception is §6.2
+//!   consolidation, which must stay under the graph lock: the summarized csn
+//!   has to become visible in the lock table atomically with the removal of
+//!   the owner's transaction record, or a concurrent writer could observe a
+//!   live owner id with no record and skip a real conflict. A writer whose
+//!   *probe* ran before a consolidation but whose graph-lock section runs
+//!   after it closes the same window by re-reading the chain's summarized csn
+//!   (under the graph lock) whenever a probed holder's record has vanished.
 //!
 //! ## Where conflicts come from (paper §5.2)
 //!
@@ -81,6 +107,31 @@ struct SsiState {
     committed: VecDeque<SxactId>,
     /// Active + prepared records.
     active: HashSet<SxactId>,
+}
+
+/// SIREAD-table mutations decided under the graph lock but executed after it
+/// is released, so whole-table work never extends the graph critical section.
+/// Everything collected here *removes* locks, and removing a SIREAD lock late
+/// is conservative: the worst case is a spurious rw-conflict flag, never a
+/// missed one. (§6.2 consolidation is deliberately NOT deferrable — see the
+/// module docs.)
+#[derive(Default)]
+struct DeferredLockOps {
+    /// Owners whose SIREAD locks should be released wholesale.
+    release_owners: Vec<u64>,
+    /// Run the §6.1 summarized-lock sweep up to this horizon.
+    drop_summarized_before: Option<CommitSeqNo>,
+}
+
+impl DeferredLockOps {
+    fn run(self, siread: &SireadLockManager) {
+        for o in self.release_owners {
+            siread.release_owner(o);
+        }
+        if let Some(h) = self.drop_summarized_before {
+            siread.drop_old_committed_before(h);
+        }
+    }
 }
 
 /// Cheap env-gated tracing for debugging conflict detection (`PGSSI_TRACE=1`).
@@ -189,8 +240,13 @@ impl SsiManager {
         st.active.insert(id);
         st.by_txid.insert(txid, id);
         st.sxacts.insert(id, sx);
+        drop(st);
         if needs_locks {
-            // Registered under the graph lock, like all owner transitions.
+            // Registered after the graph lock is dropped: this transaction's
+            // own thread is the only one that will acquire locks for it, and
+            // it cannot do so before `begin` returns. A concurrent
+            // safe-snapshot release racing ahead of the registration just
+            // removes an empty owner (or no owner at all) — both harmless.
             self.siread.register_owner(id.0);
         }
         id
@@ -223,15 +279,18 @@ impl SsiManager {
     /// Take SIREAD locks for a read (relation/page/tuple targets as appropriate
     /// for the access path). No-op for transactions on safe snapshots.
     ///
-    /// The acquisition happens under the graph lock so that it serializes with
-    /// a concurrent safe-snapshot determination (which drops this owner's locks
-    /// and stops its tracking, §4.2): afterwards we either hold the lock and
-    /// are not yet safe, or are safe and hold nothing.
+    /// The safety flag is read under the graph lock, but the acquisitions run
+    /// *outside* it: if a concurrent safe-snapshot determination releases this
+    /// owner between the check and the acquisitions (§4.2), the lock manager
+    /// drops acquisitions for released owners, so the transaction still ends
+    /// holding nothing — without serializing every read on the graph lock.
     pub fn on_read(&self, sx: SxactId, targets: &[LockTarget]) {
-        let st = self.state.lock();
-        match st.sxacts.get(&sx) {
-            Some(x) if !x.ro_safe => {}
-            _ => return,
+        {
+            let st = self.state.lock();
+            match st.sxacts.get(&sx) {
+                Some(x) if !x.ro_safe => {}
+                _ => return,
+            }
         }
         for t in targets {
             self.siread.acquire(sx.0, *t);
@@ -254,6 +313,19 @@ impl SsiManager {
         if events.is_empty() {
             return Ok(());
         }
+        // Decode and dedup the events, and pre-probe the commit log, before
+        // taking the graph lock — pure computation has no business inside it.
+        let mut writers: Vec<TxnId> = Vec::with_capacity(events.len());
+        {
+            let mut seen: HashSet<TxnId> = HashSet::with_capacity(events.len());
+            for ev in events {
+                let w = ev.writer();
+                if seen.insert(w) {
+                    writers.push(w);
+                }
+            }
+        }
+        let statuses: Vec<TxnStatus> = writers.iter().map(|w| clog.status(*w)).collect();
         let mut st = self.state.lock();
         let Some(me) = st.sxacts.get(&sx) else {
             return Ok(());
@@ -268,12 +340,7 @@ impl SsiManager {
             ));
         }
         let my_snapshot = me.snapshot_csn;
-        let mut seen: HashSet<TxnId> = HashSet::new();
-        for ev in events {
-            let w = ev.writer();
-            if !seen.insert(w) {
-                continue;
-            }
+        for (w, pre_status) in writers.into_iter().zip(statuses) {
             if let Some(&wid) = st.by_txid.get(&w) {
                 if wid == sx {
                     continue;
@@ -295,8 +362,15 @@ impl SsiManager {
             } else {
                 // No record: the writer committed long ago, was summarized, or was
                 // not serializable. Only a concurrent committed serializable
-                // writer matters.
-                let TxnStatus::Committed(wcsn) = clog.status(w) else {
+                // writer matters. The pre-probed status is authoritative when it
+                // says Committed/Aborted (both final); an InProgress reading is
+                // stale if the writer committed *and was summarized* between the
+                // probe and the graph lock, so it is re-read under the lock.
+                let status = match pre_status {
+                    TxnStatus::InProgress => clog.status(w),
+                    s => s,
+                };
+                let TxnStatus::Committed(wcsn) = status else {
                     continue;
                 };
                 if wcsn < my_snapshot {
@@ -362,6 +436,10 @@ impl SsiManager {
         written_tuple: Option<LockTarget>,
         in_subtransaction: bool,
     ) -> Result<()> {
+        // Probe the (partitioned) SIREAD table before taking the graph lock:
+        // the probe touches at most two partitions and never nests inside the
+        // graph critical section, so concurrent writers on disjoint data don't
+        // serialize here.
         let check = self.siread.conflicting_holders(chain, sx.0);
         trace!(
             "on_write {:?} chain={:?} holders={:?}",
@@ -383,9 +461,15 @@ impl SsiManager {
             me.wrote = true;
         }
         let my_snapshot = st.sxacts[&sx].snapshot_csn;
+        let mut vanished_holder = false;
         for holder in check.owners {
             let hid = SxactId(holder);
             let Some(h) = st.sxacts.get(&hid) else {
+                // The record vanished between the pre-lock probe and here:
+                // cleaned (committed before every active snapshot — provably
+                // no conflict), aborted, or §6.2-summarized. Only the last
+                // still matters; the summarized-csn re-read below catches it.
+                vanished_holder = true;
                 continue;
             };
             if hid == sx || h.phase == Phase::Aborted || h.is_doomed() {
@@ -399,7 +483,16 @@ impl SsiManager {
             }
             self.flag_conflict(&mut st, hid, sx, sx)?;
         }
-        if let Some(c) = check.old_committed_csn {
+        let mut summarized_csn = check.old_committed_csn;
+        if vanished_holder {
+            // A probed holder was summarized after the probe. Summarization
+            // runs under the graph lock — which we now hold — and
+            // `consolidate_owner` completes its csn fold before the record's
+            // absence can be observed, so re-reading the table here is
+            // guaranteed to see the folded csn.
+            summarized_csn = summarized_csn.max(self.siread.summarized_csn(chain));
+        }
+        if let Some(c) = summarized_csn {
             if c >= my_snapshot {
                 // A summarized reader was concurrent with us: T1 exists but its
                 // identity is lost (§6.2). Flag it and check the pivot structure
@@ -783,6 +876,7 @@ impl SsiManager {
     /// be flagged between the commit becoming visible and the graph learning the
     /// commit CSN.
     pub fn commit(&self, sx: SxactId, assign_csn: impl FnOnce() -> CommitSeqNo) -> CommitSeqNo {
+        let mut ops = DeferredLockOps::default();
         let mut st = self.state.lock();
         let csn = assign_csn();
         {
@@ -814,7 +908,7 @@ impl SsiManager {
             .collect();
         let my_earliest = st.sxacts[&sx].earliest_out_conflict_commit;
         for r in trackers {
-            self.resolve_ro_tracking(&mut st, r, sx, Some(my_earliest));
+            self.resolve_ro_tracking(&mut st, r, sx, Some(my_earliest), &mut ops);
         }
         // If we were a read-only transaction still being tracked, unhook.
         let watched: Vec<SxactId> = st
@@ -831,9 +925,11 @@ impl SsiManager {
         }
         trace!("commit {:?} csn={:?}", sx, csn);
         st.committed.push_back(sx);
-        self.cleanup_locked(&mut st);
+        self.cleanup_locked(&mut st, &mut ops);
         self.maybe_summarize_locked(&mut st);
         drop(st);
+        // Whole-table SIREAD work runs after the graph lock is released.
+        ops.run(&self.siread);
         self.safety_cv.notify_all();
         csn
     }
@@ -842,6 +938,7 @@ impl SsiManager {
     /// resolve read-only tracking (an aborted writer cannot make a snapshot
     /// unsafe).
     pub fn abort(&self, sx: SxactId) {
+        let mut ops = DeferredLockOps::default();
         let mut st = self.state.lock();
         let Some(mut me) = st.sxacts.remove(&sx) else {
             return;
@@ -869,23 +966,26 @@ impl SsiManager {
         }
         let trackers: Vec<SxactId> = me.ro_trackers.drain().collect();
         for r in trackers {
-            self.resolve_ro_tracking(&mut st, r, sx, None);
+            self.resolve_ro_tracking(&mut st, r, sx, None, &mut ops);
         }
-        self.cleanup_locked(&mut st);
+        self.cleanup_locked(&mut st, &mut ops);
         drop(st);
         self.siread.release_owner(sx.0);
+        ops.run(&self.siread);
         self.safety_cv.notify_all();
     }
 
     /// A read/write transaction `w` finished; update read-only transaction `r`'s
     /// safety bookkeeping. `w_earliest` is `Some(earliest out-conflict CSN)` if
-    /// `w` committed, `None` if it aborted.
+    /// `w` committed, `None` if it aborted. SIREAD releases for newly-safe
+    /// snapshots are deferred into `ops` (run after the graph lock drops).
     fn resolve_ro_tracking(
         &self,
         st: &mut SsiState,
         r: SxactId,
         w: SxactId,
         w_earliest: Option<CommitSeqNo>,
+        ops: &mut DeferredLockOps,
     ) {
         let Some(rx) = st.sxacts.get(&r) else { return };
         let r_snapshot = rx.snapshot_csn;
@@ -911,8 +1011,9 @@ impl SsiManager {
             if !rx.ro_safe {
                 rx.ro_safe = true;
                 self.stats.safe_established.bump();
-                // Safe: drop SIREAD locks; no further SSI overhead (§4.2).
-                self.siread.release_owner(r.0);
+                // Safe: drop SIREAD locks (deferred past the graph lock); no
+                // further SSI overhead (§4.2).
+                ops.release_owners.push(r.0);
             }
         }
     }
@@ -1005,8 +1106,12 @@ impl SsiManager {
 
     /// Free committed records older than every active transaction's snapshot
     /// (§6.1): no active transaction can be concurrent with them, so neither
-    /// their locks nor their edges can matter again.
-    fn cleanup_locked(&self, st: &mut SsiState) {
+    /// their locks nor their edges can matter again. The SIREAD releases and
+    /// the summarized-lock sweep are deferred into `ops`: delaying a release is
+    /// conservative (a record freed here committed before every active
+    /// snapshot, so a probe that still sees its owner id finds no record and
+    /// correctly treats it as no conflict).
+    fn cleanup_locked(&self, st: &mut SsiState, ops: &mut DeferredLockOps) {
         let horizon = st
             .active
             .iter()
@@ -1022,21 +1127,19 @@ impl SsiManager {
                 break;
             }
             st.committed.pop_front();
-            self.drop_committed_record(st, oldest);
+            self.drop_committed_record(st, oldest, ops);
             self.stats.cleaned.bump();
         }
-        self.siread.drop_old_committed_before(horizon);
+        ops.drop_summarized_before = Some(horizon);
         // §6.1: when only read-only transactions remain active, no committed
         // transaction's SIREAD locks can ever be needed again (no one can write).
         let any_rw_active = st.active.iter().any(|a| !st.sxacts[a].declared_read_only);
         if !any_rw_active {
-            for c in st.committed.iter() {
-                self.siread.release_owner(c.0);
-            }
+            ops.release_owners.extend(st.committed.iter().map(|c| c.0));
         }
     }
 
-    fn drop_committed_record(&self, st: &mut SsiState, id: SxactId) {
+    fn drop_committed_record(&self, st: &mut SsiState, id: SxactId, ops: &mut DeferredLockOps) {
         let Some(me) = st.sxacts.remove(&id) else {
             return;
         };
@@ -1056,7 +1159,7 @@ impl SsiManager {
                 // earliest_out_conflict_commit at commit time.
             }
         }
-        self.siread.release_owner(id.0);
+        ops.release_owners.push(id.0);
     }
 
     /// Summarize the oldest committed records once more than
@@ -1073,6 +1176,10 @@ impl SsiManager {
             };
             st.by_txid.remove(&me.txid);
             let commit_csn = me.commit_csn.expect("summarizing an uncommitted record");
+            // Deliberately NOT deferred: the summarized csn must be visible in
+            // the lock table before any writer can observe the record's absence
+            // from the graph, or a real conflict with a still-concurrent
+            // summarized reader would be skipped (see module docs).
             self.siread.consolidate_owner(oldest.0, commit_csn);
             self.serial.record(me.txid, me.earliest_out_conflict_commit);
             // Subtransaction writes carry the subxid in tuple headers; record

@@ -91,6 +91,101 @@ pub struct EngineStats {
     pub deferrable_retries: Counter,
 }
 
+/// Aggregated counter snapshot across every layer: engine commit/abort totals,
+/// the SSI core's conflict and abort counters, the partitioned SIREAD lock
+/// table's acquisition/promotion/contention counters, and the S2PL baseline's
+/// grant/wait/deadlock counters. Built by [`Database::stats_report`]; printed
+/// by the benchmark binaries behind `--stats`.
+#[derive(Clone, Debug, Default)]
+pub struct StatsReport {
+    /// Transactions committed.
+    pub commits: u64,
+    /// Transactions rolled back.
+    pub aborts: u64,
+    /// rw-antidependency edges flagged by the SSI core.
+    pub ssi_conflicts_flagged: u64,
+    /// Dangerous structures that met the abort conditions.
+    pub ssi_dangerous_structures: u64,
+    /// Serialization failures returned to the acting transaction.
+    pub ssi_aborts_self: u64,
+    /// Other transactions doomed as victims.
+    pub ssi_doomed: u64,
+    /// Aborts due to conflicts against summarized state (§6.2).
+    pub ssi_summary_aborts: u64,
+    /// Read-only transactions that ran on a safe snapshot (immediate + later).
+    pub ssi_safe_snapshots: u64,
+    /// Committed transactions summarized under memory pressure.
+    pub ssi_summarized: u64,
+    /// SIREAD lock acquisitions.
+    pub siread_acquisitions: u64,
+    /// SIREAD granularity promotions (tuple→page, page→relation).
+    pub siread_promotions: u64,
+    /// Number of SIREAD lock-table partitions.
+    pub siread_partitions: usize,
+    /// Lock targets currently resident in the SIREAD table.
+    pub siread_locks: usize,
+    /// Times any partition mutex was taken.
+    pub siread_partition_taken: u64,
+    /// Times a partition mutex was found held (the taker blocked).
+    pub siread_partition_contended: u64,
+    /// S2PL lock grants.
+    pub s2pl_grants: u64,
+    /// S2PL lock waits.
+    pub s2pl_waits: u64,
+    /// S2PL deadlocks broken.
+    pub s2pl_deadlocks: u64,
+}
+
+impl StatsReport {
+    /// Fraction of partition-mutex acquisitions that had to block.
+    pub fn siread_contention_rate(&self) -> f64 {
+        if self.siread_partition_taken == 0 {
+            0.0
+        } else {
+            self.siread_partition_contended as f64 / self.siread_partition_taken as f64
+        }
+    }
+}
+
+impl std::fmt::Display for StatsReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "engine : commits {}  aborts {}",
+            self.commits, self.aborts
+        )?;
+        writeln!(
+            f,
+            "ssi    : conflicts {}  dangerous {}  self-aborts {}  doomed {}  \
+             summary-aborts {}  safe-snapshots {}  summarized {}",
+            self.ssi_conflicts_flagged,
+            self.ssi_dangerous_structures,
+            self.ssi_aborts_self,
+            self.ssi_doomed,
+            self.ssi_summary_aborts,
+            self.ssi_safe_snapshots,
+            self.ssi_summarized,
+        )?;
+        writeln!(
+            f,
+            "siread : acquisitions {}  promotions {}  resident {}  partitions {}  \
+             mutex-taken {}  contended {} ({:.3}%)",
+            self.siread_acquisitions,
+            self.siread_promotions,
+            self.siread_locks,
+            self.siread_partitions,
+            self.siread_partition_taken,
+            self.siread_partition_contended,
+            100.0 * self.siread_contention_rate(),
+        )?;
+        write!(
+            f,
+            "s2pl   : grants {}  waits {}  deadlocks {}",
+            self.s2pl_grants, self.s2pl_waits, self.s2pl_deadlocks
+        )
+    }
+}
+
 pub(crate) struct DbInner {
     pub config: EngineConfig,
     pub catalog: Catalog,
@@ -280,6 +375,37 @@ impl Database {
     /// Engine counters.
     pub fn stats(&self) -> &EngineStats {
         &self.inner.stats
+    }
+
+    /// Aggregate every layer's counters into one [`StatsReport`]: engine
+    /// commits/aborts, SSI-core conflict and abort counts, SIREAD lock-table
+    /// acquisition/promotion totals with per-partition mutex contention, and
+    /// the S2PL baseline's counters.
+    pub fn stats_report(&self) -> StatsReport {
+        let ssi = self.inner.ssi();
+        let s = &ssi.stats;
+        let siread = ssi.siread();
+        let parts = siread.partition_stats();
+        StatsReport {
+            commits: self.inner.stats.commits.get(),
+            aborts: self.inner.stats.aborts.get(),
+            ssi_conflicts_flagged: s.conflicts_flagged.get(),
+            ssi_dangerous_structures: s.dangerous_structures.get(),
+            ssi_aborts_self: s.aborts_self.get(),
+            ssi_doomed: s.doomed_set.get(),
+            ssi_summary_aborts: s.summary_aborts.get(),
+            ssi_safe_snapshots: s.safe_immediate.get() + s.safe_established.get(),
+            ssi_summarized: s.summarized.get(),
+            siread_acquisitions: siread.acquisitions.get(),
+            siread_promotions: siread.promotions.get(),
+            siread_partitions: siread.partition_count(),
+            siread_locks: parts.iter().map(|p| p.locks).sum(),
+            siread_partition_taken: parts.iter().map(|p| p.taken).sum(),
+            siread_partition_contended: parts.iter().map(|p| p.contended).sum(),
+            s2pl_grants: self.inner.s2pl.grants.get(),
+            s2pl_waits: self.inner.s2pl.waits.get(),
+            s2pl_deadlocks: self.inner.s2pl.deadlocks.get(),
+        }
     }
 
     /// The transaction manager (tests).

@@ -10,7 +10,9 @@
 //!   intention locks (writers check coarse→fine), threshold-driven granularity
 //!   promotion, page-split lock copying, DDL promotion to relation granularity,
 //!   and consolidation of committed transactions' locks onto a dummy owner for
-//!   the paper's summarization scheme (§6.2).
+//!   the paper's summarization scheme (§6.2). Like PostgreSQL's predicate lock
+//!   table, it is hash-partitioned (§7/§8: 16 lightweight-lock partitions) with
+//!   per-partition contention counters, so disjoint data takes disjoint mutexes.
 //!
 //! * [`s2pl::S2plLockManager`] — a classic strict two-phase-locking manager with
 //!   IS/IX/S/SIX/X modes, blocking wait queues, and waits-for-graph deadlock

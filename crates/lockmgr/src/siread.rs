@@ -21,13 +21,38 @@
 //! * index page splits copy locks to the new page (PostgreSQL's
 //!   `PredicateLockPageSplit`), preserving gap coverage.
 //!
-//! A single mutex guards the table. PostgreSQL partitions its lock table but the
-//! paper still reports "contention on the lock manager's lightweight locks" as a
-//! real cost of SSI; the single mutex reproduces that cost honestly at our scale.
+//! ## Partitioning and lock order
+//!
+//! Like PostgreSQL's predicate lock table (16 lightweight-lock partitions), the
+//! target → holders map is hashed into [`SsiConfig::lock_partitions`] mutexes.
+//! The hash keys on **relation and page only**, so a page target and every
+//! tuple on that page land in the *same* partition: the tuple→page promotion is
+//! a single-partition operation, and a writer's coarse-to-fine check chain
+//! touches at most two partitions (the relation's and the page's). Per-owner
+//! bookkeeping (held targets, promotion counts) lives in a separately-locked
+//! owner map — a `RwLock` directory of per-owner mutexes — so different
+//! transactions' acquisitions never contend on each other's bookkeeping.
+//!
+//! The internal lock order, which every operation follows, is:
+//!
+//! 1. the owner directory (`RwLock`, read for lookups, write to add/remove);
+//! 2. one per-owner mutex (never two at once);
+//! 3. partition mutexes, all needed ones at once, in **ascending index order**.
+//!
+//! The SSI core's graph lock sits *above* this whole hierarchy: it may be held
+//! while calling into the lock manager, and the lock manager never calls back
+//! into the SSI core, so the combined order is acyclic. Multi-target mutations
+//! (promotions, consolidation) hold every involved partition simultaneously,
+//! so a concurrent writer probing its check chain — which also holds all of its
+//! chain's partitions at once — always observes an atomic transition, never a
+//! window where coverage has been removed at one granularity but not yet added
+//! at another. An owner concurrently released while an acquisition is in
+//! flight is handled by a tombstone: the released owner's bookkeeping is marked
+//! dead under its own mutex, and late acquisitions become no-ops.
 
 use std::collections::{HashMap, HashSet};
 
-use parking_lot::Mutex;
+use parking_lot::{Mutex, MutexGuard, RwLock};
 use pgssi_common::stats::Counter;
 use pgssi_common::{CommitSeqNo, LockTarget, PageNo, RelId, SsiConfig};
 
@@ -47,18 +72,35 @@ impl Holders {
     }
 }
 
+/// The target → holders map guarded by one partition mutex.
+type PartitionMap = HashMap<LockTarget, Holders>;
+
+/// One lock-table partition: its share of the target map plus contention
+/// counters (each [`Counter`] is cache-line padded, so the per-partition pairs
+/// never false-share).
+struct PartitionSlot {
+    locks: Mutex<PartitionMap>,
+    /// Times this partition's mutex was taken.
+    taken: Counter,
+    /// Times the mutex was already held by another thread (the taker had to
+    /// block) — the direct analog of PostgreSQL's lightweight-lock contention.
+    contended: Counter,
+}
+
 #[derive(Default)]
 struct OwnerLocks {
     targets: HashSet<LockTarget>,
     tuples_per_page: HashMap<(RelId, PageNo), usize>,
     pages_per_rel: HashMap<RelId, usize>,
+    /// Tombstone: set under this owner's mutex when the owner is released or
+    /// consolidated. An acquisition racing with the release may still hold a
+    /// reference to this record; the flag turns it into a no-op instead of
+    /// resurrecting locks that would never be freed.
+    released: bool,
 }
 
-#[derive(Default)]
-struct TableState {
-    locks: HashMap<LockTarget, Holders>,
-    owners: HashMap<OwnerId, OwnerLocks>,
-}
+/// Shared handle to one owner's bookkeeping in the owner directory.
+type OwnerRef = std::sync::Arc<Mutex<OwnerLocks>>;
 
 /// Result of checking a write against the SIREAD table.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -71,9 +113,38 @@ pub struct ConflictCheck {
     pub old_committed_csn: Option<CommitSeqNo>,
 }
 
+/// Per-partition counter snapshot (diagnostics, `Database::stats_report`).
+#[derive(Clone, Debug, Default)]
+pub struct PartitionStats {
+    /// Lock targets currently stored in the partition.
+    pub locks: usize,
+    /// Times the partition mutex was taken.
+    pub taken: u64,
+    /// Times the taker found the mutex held and had to block.
+    pub contended: u64,
+}
+
+/// Guards for a set of partitions, locked in ascending index order.
+struct MultiGuard<'a> {
+    guards: Vec<(usize, MutexGuard<'a, PartitionMap>)>,
+}
+
+impl MultiGuard<'_> {
+    /// The locked map for partition `idx` (must be one of the locked set).
+    fn map(&mut self, idx: usize) -> &mut PartitionMap {
+        let pos = self
+            .guards
+            .iter()
+            .position(|(i, _)| *i == idx)
+            .expect("partition not locked by this MultiGuard");
+        &mut self.guards[pos].1
+    }
+}
+
 /// The SIREAD-only predicate lock manager.
 pub struct SireadLockManager {
-    state: Mutex<TableState>,
+    partitions: Box<[PartitionSlot]>,
+    owners: RwLock<HashMap<OwnerId, OwnerRef>>,
     config: SsiConfig,
     /// SIREAD lock acquisitions (after coverage/dedup filtering).
     pub acquisitions: Counter,
@@ -81,57 +152,140 @@ pub struct SireadLockManager {
     pub promotions: Counter,
 }
 
+/// SplitMix64 finalizer: cheap, well-mixed 64-bit hash for partition choice.
+#[inline]
+fn spread(mut x: u64) -> u64 {
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
 impl SireadLockManager {
-    /// New manager with the given promotion thresholds.
+    /// New manager with the given promotion thresholds and partition count
+    /// (a `lock_partitions` of 0 is treated as 1).
     pub fn new(config: SsiConfig) -> SireadLockManager {
+        let n = config.lock_partitions.max(1);
         SireadLockManager {
-            state: Mutex::new(TableState::default()),
+            partitions: (0..n)
+                .map(|_| PartitionSlot {
+                    locks: Mutex::new(PartitionMap::default()),
+                    taken: Counter::new(),
+                    contended: Counter::new(),
+                })
+                .collect(),
+            owners: RwLock::new(HashMap::new()),
             config,
             acquisitions: Counter::new(),
             promotions: Counter::new(),
         }
     }
 
+    /// Number of lock-table partitions.
+    pub fn partition_count(&self) -> usize {
+        self.partitions.len()
+    }
+
+    /// Partition index for `target`: relation targets hash by relation, page
+    /// and tuple targets by (relation, page) — so a page and its tuples always
+    /// share a partition.
+    fn partition_of(&self, target: &LockTarget) -> usize {
+        let key = match *target {
+            LockTarget::Relation(r) => (r.0 as u64) << 32 | 0xFFFF_FFFF,
+            LockTarget::Page(r, p) | LockTarget::Tuple(r, p, _) => (r.0 as u64) << 32 | p as u64,
+        };
+        (spread(key) % self.partitions.len() as u64) as usize
+    }
+
+    /// Lock one partition, counting contention.
+    fn lock_partition(&self, idx: usize) -> MutexGuard<'_, PartitionMap> {
+        let slot = &self.partitions[idx];
+        slot.taken.bump();
+        match slot.locks.try_lock() {
+            Some(g) => g,
+            None => {
+                slot.contended.bump();
+                slot.locks.lock()
+            }
+        }
+    }
+
+    /// Lock every partition any of `targets` hashes to, in ascending index
+    /// order (the partition-level lock-order invariant).
+    fn lock_targets<'a>(&'a self, targets: impl IntoIterator<Item = LockTarget>) -> MultiGuard<'a> {
+        let mut idxs: Vec<usize> = targets.into_iter().map(|t| self.partition_of(&t)).collect();
+        idxs.sort_unstable();
+        idxs.dedup();
+        MultiGuard {
+            guards: idxs
+                .into_iter()
+                .map(|i| (i, self.lock_partition(i)))
+                .collect(),
+        }
+    }
+
+    /// Lock all partitions in ascending order (rare whole-table operations).
+    fn lock_all(&self) -> MultiGuard<'_> {
+        MultiGuard {
+            guards: (0..self.partitions.len())
+                .map(|i| (i, self.lock_partition(i)))
+                .collect(),
+        }
+    }
+
+    /// The owner's bookkeeping handle, if registered.
+    fn owner_ref(&self, owner: OwnerId) -> Option<OwnerRef> {
+        self.owners.read().get(&owner).cloned()
+    }
+
     /// Register a lock owner (a serializable transaction). Acquisitions for
-    /// unregistered owners are rejected in debug builds.
+    /// unregistered owners are silently dropped — the owner may already have
+    /// been released concurrently (e.g. the read-only safe-snapshot downgrade).
     pub fn register_owner(&self, owner: OwnerId) {
         assert_ne!(owner, OLD_COMMITTED_OWNER, "dummy owner is implicit");
-        self.state.lock().owners.entry(owner).or_default();
+        self.owners.write().entry(owner).or_default();
     }
 
     /// Take a SIREAD lock on `target` for `owner`.
     ///
-    /// No-ops if a coarser lock already covers the target. May trigger
-    /// granularity promotion when per-page / per-relation / per-owner thresholds
-    /// are exceeded (§6 technique 2).
+    /// No-ops if a coarser lock already covers the target, or if the owner is
+    /// not (or no longer) registered. May trigger granularity promotion when
+    /// per-page / per-relation / per-owner thresholds are exceeded (§6
+    /// technique 2).
     pub fn acquire(&self, owner: OwnerId, target: LockTarget) {
-        let mut st = self.state.lock();
-        self.acquire_locked(&mut st, owner, target);
-    }
-
-    fn acquire_locked(&self, st: &mut TableState, owner: OwnerId, target: LockTarget) {
-        {
-            let Some(ol) = st.owners.get(&owner) else {
-                debug_assert!(false, "acquire for unregistered owner {owner}");
-                return;
-            };
-            // Covered by an existing coarser (or identical) lock?
-            let mut cur = Some(target);
-            while let Some(t) = cur {
-                if ol.targets.contains(&t) {
-                    return;
-                }
-                cur = t.parent();
-            }
+        let Some(ol_ref) = self.owner_ref(owner) else {
+            return;
+        };
+        let mut ol = ol_ref.lock();
+        if ol.released {
+            return;
         }
-        self.insert_target(st, owner, target);
+        // Covered by an existing coarser (or identical) lock?
+        let mut cur = Some(target);
+        while let Some(t) = cur {
+            if ol.targets.contains(&t) {
+                return;
+            }
+            cur = t.parent();
+        }
+        {
+            let mut part = self.lock_partition(self.partition_of(&target));
+            Self::insert_locked(&mut part, &mut ol, owner, target);
+        }
         self.acquisitions.bump();
-        self.maybe_promote(st, owner, target);
+        self.maybe_promote(&mut ol, owner, target);
     }
 
-    fn insert_target(&self, st: &mut TableState, owner: OwnerId, target: LockTarget) {
-        st.locks.entry(target).or_default().owners.insert(owner);
-        let ol = st.owners.get_mut(&owner).expect("registered");
+    /// Insert `target` into a locked partition map and the owner's bookkeeping.
+    /// Caller holds the owner mutex and the target's partition mutex.
+    fn insert_locked(
+        part: &mut PartitionMap,
+        ol: &mut OwnerLocks,
+        owner: OwnerId,
+        target: LockTarget,
+    ) {
+        part.entry(target).or_default().owners.insert(owner);
         ol.targets.insert(target);
         match target {
             LockTarget::Tuple(r, p, _) => {
@@ -144,14 +298,19 @@ impl SireadLockManager {
         }
     }
 
-    fn remove_target(&self, st: &mut TableState, owner: OwnerId, target: LockTarget) {
-        if let Some(h) = st.locks.get_mut(&target) {
+    /// Inverse of [`Self::insert_locked`], under the same locks.
+    fn remove_locked(
+        part: &mut PartitionMap,
+        ol: &mut OwnerLocks,
+        owner: OwnerId,
+        target: LockTarget,
+    ) {
+        if let Some(h) = part.get_mut(&target) {
             h.owners.remove(&owner);
             if h.is_empty() {
-                st.locks.remove(&target);
+                part.remove(&target);
             }
         }
-        let ol = st.owners.get_mut(&owner).expect("registered");
         ol.targets.remove(&target);
         match target {
             LockTarget::Tuple(r, p, _) => {
@@ -174,45 +333,29 @@ impl SireadLockManager {
         }
     }
 
-    fn maybe_promote(&self, st: &mut TableState, owner: OwnerId, target: LockTarget) {
+    fn maybe_promote(&self, ol: &mut OwnerLocks, owner: OwnerId, target: LockTarget) {
         // Tuple locks on one page exceed threshold → one page lock.
         if let LockTarget::Tuple(r, p, _) = target {
-            let count = st
-                .owners
-                .get(&owner)
-                .and_then(|ol| ol.tuples_per_page.get(&(r, p)))
-                .copied()
-                .unwrap_or(0);
+            let count = ol.tuples_per_page.get(&(r, p)).copied().unwrap_or(0);
             if count > self.config.promote_tuple_threshold {
-                self.promote_tuples_to_page(st, owner, r, p);
+                self.promote_tuples_to_page(ol, owner, r, p);
             }
         }
         // Page locks on one relation exceed threshold → one relation lock.
         let rel = target.relation();
-        let pages = st
-            .owners
-            .get(&owner)
-            .and_then(|ol| ol.pages_per_rel.get(&rel))
-            .copied()
-            .unwrap_or(0);
+        let pages = ol.pages_per_rel.get(&rel).copied().unwrap_or(0);
         if pages > self.config.promote_page_threshold {
-            self.promote_owner_to_relation(st, owner, rel);
+            self.promote_owner_to_relation(ol, owner, rel);
         }
         // Owner-wide cap → promote the busiest relation wholesale.
-        let total = st
-            .owners
-            .get(&owner)
-            .map(|ol| ol.targets.len())
-            .unwrap_or(0);
-        if total > self.config.max_predicate_locks_per_txn {
-            if let Some(busiest) = self.busiest_relation(st, owner) {
-                self.promote_owner_to_relation(st, owner, busiest);
+        if ol.targets.len() > self.config.max_predicate_locks_per_txn {
+            if let Some(busiest) = Self::busiest_relation(ol) {
+                self.promote_owner_to_relation(ol, owner, busiest);
             }
         }
     }
 
-    fn busiest_relation(&self, st: &TableState, owner: OwnerId) -> Option<RelId> {
-        let ol = st.owners.get(&owner)?;
+    fn busiest_relation(ol: &OwnerLocks) -> Option<RelId> {
         let mut counts: HashMap<RelId, usize> = HashMap::new();
         for t in &ol.targets {
             if t.granularity() > 0 {
@@ -222,62 +365,64 @@ impl SireadLockManager {
         counts.into_iter().max_by_key(|(_, c)| *c).map(|(r, _)| r)
     }
 
+    /// Tuple→page promotion. The page target and every tuple on it share one
+    /// partition by construction, so this locks exactly one mutex.
     fn promote_tuples_to_page(
         &self,
-        st: &mut TableState,
+        ol: &mut OwnerLocks,
         owner: OwnerId,
         rel: RelId,
         page: PageNo,
     ) {
-        let victims: Vec<LockTarget> = st
-            .owners
-            .get(&owner)
-            .map(|ol| {
-                ol.targets
-                    .iter()
-                    .filter(|t| matches!(t, LockTarget::Tuple(r, p, _) if *r == rel && *p == page))
-                    .copied()
-                    .collect()
-            })
-            .unwrap_or_default();
+        let victims: Vec<LockTarget> = ol
+            .targets
+            .iter()
+            .filter(|t| matches!(t, LockTarget::Tuple(r, p, _) if *r == rel && *p == page))
+            .copied()
+            .collect();
+        let page_t = LockTarget::Page(rel, page);
+        let mut part = self.lock_partition(self.partition_of(&page_t));
+        // Coarse lock in before fine locks out, so coverage never lapses.
+        Self::insert_locked(&mut part, ol, owner, page_t);
         for v in victims {
-            self.remove_target(st, owner, v);
+            Self::remove_locked(&mut part, ol, owner, v);
         }
-        self.insert_target(st, owner, LockTarget::Page(rel, page));
         self.promotions.bump();
         // Page count grew; the caller's relation-threshold check follows.
     }
 
-    fn promote_owner_to_relation(&self, st: &mut TableState, owner: OwnerId, rel: RelId) {
-        let victims: Vec<LockTarget> = st
-            .owners
-            .get(&owner)
-            .map(|ol| {
-                ol.targets
-                    .iter()
-                    .filter(|t| t.relation() == rel && t.granularity() > 0)
-                    .copied()
-                    .collect()
-            })
-            .unwrap_or_default();
+    /// Page/tuple→relation promotion: locks every partition a victim lives in
+    /// plus the relation target's, all at once in ascending order.
+    fn promote_owner_to_relation(&self, ol: &mut OwnerLocks, owner: OwnerId, rel: RelId) {
+        let victims: Vec<LockTarget> = ol
+            .targets
+            .iter()
+            .filter(|t| t.relation() == rel && t.granularity() > 0)
+            .copied()
+            .collect();
         if victims.is_empty() {
             return;
         }
+        let rel_t = LockTarget::Relation(rel);
+        let mut mg = self.lock_targets(victims.iter().copied().chain([rel_t]));
+        Self::insert_locked(mg.map(self.partition_of(&rel_t)), ol, owner, rel_t);
         for v in victims {
-            self.remove_target(st, owner, v);
+            Self::remove_locked(mg.map(self.partition_of(&v)), ol, owner, v);
         }
-        self.insert_target(st, owner, LockTarget::Relation(rel));
         self.promotions.bump();
     }
 
     /// Check a write against SIREAD locks at every granularity, coarsest first
-    /// (§5.2.1). `chain` must come from [`LockTarget::check_chain`].
+    /// (§5.2.1). `chain` must come from [`LockTarget::check_chain`]. All of the
+    /// chain's partitions (at most two: the relation's and the page's) are held
+    /// simultaneously, so a concurrent promotion can never hide a lock from the
+    /// probe mid-move.
     pub fn conflicting_holders(&self, chain: &[LockTarget], exclude: OwnerId) -> ConflictCheck {
-        let st = self.state.lock();
+        let mut mg = self.lock_targets(chain.iter().copied());
         let mut result = ConflictCheck::default();
         let mut seen: HashSet<OwnerId> = HashSet::new();
         for t in chain {
-            if let Some(h) = st.locks.get(t) {
+            if let Some(h) = mg.map(self.partition_of(t)).get(t) {
                 for &o in &h.owners {
                     if o != exclude && seen.insert(o) {
                         result.owners.push(o);
@@ -295,34 +440,58 @@ impl SireadLockManager {
         result
     }
 
+    /// The most recent summarized (dummy-owned) csn covering any target in
+    /// `chain`, with all chain partitions held at once. The SSI core uses this
+    /// to re-check, under its graph lock, for §6.2 consolidation that raced
+    /// ahead of a pre-graph-lock [`SireadLockManager::conflicting_holders`]
+    /// probe.
+    pub fn summarized_csn(&self, chain: &[LockTarget]) -> Option<CommitSeqNo> {
+        let mut mg = self.lock_targets(chain.iter().copied());
+        let mut max = None;
+        for t in chain {
+            if let Some(h) = mg.map(self.partition_of(t)).get(t) {
+                max = max.max(h.old_committed_csn);
+            }
+        }
+        max
+    }
+
     /// Drop `owner`'s locks on a specific target (the write-lock-drop
     /// optimization, §7.3: a transaction that later writes a tuple may drop its
     /// own SIREAD lock on it — except inside subtransactions, which the caller
     /// enforces).
     pub fn release_target(&self, owner: OwnerId, target: LockTarget) {
-        let mut st = self.state.lock();
-        if st
-            .owners
-            .get(&owner)
-            .map(|ol| ol.targets.contains(&target))
-            .unwrap_or(false)
-        {
-            self.remove_target(&mut st, owner, target);
+        let Some(ol_ref) = self.owner_ref(owner) else {
+            return;
+        };
+        let mut ol = ol_ref.lock();
+        if ol.released || !ol.targets.contains(&target) {
+            return;
         }
+        let mut part = self.lock_partition(self.partition_of(&target));
+        Self::remove_locked(&mut part, &mut ol, owner, target);
     }
 
     /// Release every lock `owner` holds and forget the owner (abort, RO-safe
-    /// downgrade, or post-cleanup release).
+    /// downgrade, or post-cleanup release). The owner mutex is held across the
+    /// partition pass, so anyone who observes the tombstone afterwards also
+    /// observes the lock table already cleaned.
     pub fn release_owner(&self, owner: OwnerId) {
-        let mut st = self.state.lock();
-        let Some(ol) = st.owners.remove(&owner) else {
+        let Some(ol_ref) = self.owners.write().remove(&owner) else {
             return;
         };
-        for t in ol.targets {
-            if let Some(h) = st.locks.get_mut(&t) {
+        let mut ol = ol_ref.lock();
+        ol.released = true;
+        let targets: Vec<LockTarget> = ol.targets.drain().collect();
+        ol.tuples_per_page.clear();
+        ol.pages_per_rel.clear();
+        let mut mg = self.lock_targets(targets.iter().copied());
+        for t in targets {
+            let part = mg.map(self.partition_of(&t));
+            if let Some(h) = part.get_mut(&t) {
                 h.owners.remove(&owner);
                 if h.is_empty() {
-                    st.locks.remove(&t);
+                    part.remove(&t);
                 }
             }
         }
@@ -331,14 +500,24 @@ impl SireadLockManager {
     /// Summarize a committed owner (§6.2): every lock it holds is re-owned by the
     /// dummy [`OLD_COMMITTED_OWNER`], recording `commit_csn` as (at least) the
     /// most recent commit that held each target. The per-target csn lets later
-    /// writers decide whether the unknown reader was concurrent.
+    /// writers decide whether the unknown reader was concurrent. All affected
+    /// partitions are held at once, so a concurrent probe sees either the live
+    /// owner or the summarized csn — never neither; and the owner mutex is
+    /// held across the whole pass, so any operation that synchronizes on it
+    /// (e.g. [`SireadLockManager::on_page_split`]) observing the tombstone is
+    /// guaranteed the csn fold has already completed.
     pub fn consolidate_owner(&self, owner: OwnerId, commit_csn: CommitSeqNo) {
-        let mut st = self.state.lock();
-        let Some(ol) = st.owners.remove(&owner) else {
+        let Some(ol_ref) = self.owners.write().remove(&owner) else {
             return;
         };
-        for t in ol.targets {
-            let h = st.locks.entry(t).or_default();
+        let mut ol = ol_ref.lock();
+        ol.released = true;
+        let targets: Vec<LockTarget> = ol.targets.drain().collect();
+        ol.tuples_per_page.clear();
+        ol.pages_per_rel.clear();
+        let mut mg = self.lock_targets(targets.iter().copied());
+        for t in targets {
+            let h = mg.map(self.partition_of(&t)).entry(t).or_default();
             h.owners.remove(&owner);
             h.old_committed_csn = Some(
                 h.old_committed_csn
@@ -349,35 +528,69 @@ impl SireadLockManager {
 
     /// Drop summarized (dummy-owned) locks whose recorded commit preceded `csn`
     /// — no active transaction can be concurrent with them anymore (§6.1).
+    /// Partitions are swept one at a time; each removal is independent.
     pub fn drop_old_committed_before(&self, csn: CommitSeqNo) {
-        let mut st = self.state.lock();
-        st.locks.retain(|_, h| {
-            if let Some(c) = h.old_committed_csn {
-                if c < csn {
-                    h.old_committed_csn = None;
+        for idx in 0..self.partitions.len() {
+            let mut part = self.lock_partition(idx);
+            part.retain(|_, h| {
+                if let Some(c) = h.old_committed_csn {
+                    if c < csn {
+                        h.old_committed_csn = None;
+                    }
                 }
-            }
-            !h.is_empty()
-        });
+                !h.is_empty()
+            });
+        }
     }
 
     /// Copy all SIREAD locks on an index page that split to the new right page
-    /// (PostgreSQL's `PredicateLockPageSplit`), so gap coverage survives.
+    /// (PostgreSQL's `PredicateLockPageSplit`), so gap coverage survives. The
+    /// index layer holds its page latch across the split, so no new lock on the
+    /// old page can race with the copy.
     pub fn on_page_split(&self, rel: RelId, old_page: PageNo, new_page: PageNo) {
-        let mut st = self.state.lock();
         let old_t = LockTarget::Page(rel, old_page);
-        let Some(holders) = st.locks.get(&old_t) else {
-            return;
+        let new_t = LockTarget::Page(rel, new_page);
+        let holders: Vec<OwnerId> = {
+            let part = self.lock_partition(self.partition_of(&old_t));
+            match part.get(&old_t) {
+                Some(h) => h.owners.iter().copied().collect(),
+                // No entry means no live holder and no summarized csn — and any
+                // in-flight consolidation of a holder would still show the
+                // holder here (the fold replaces it atomically).
+                None => return,
+            }
         };
-        let owners: Vec<OwnerId> = holders.owners.iter().copied().collect();
-        let old_csn = holders.old_committed_csn;
-        for o in owners {
-            // Direct insert: split copies must not trigger promotion (they must
-            // keep covering the gap precisely).
-            self.insert_target(&mut st, o, LockTarget::Page(rel, new_page));
+        for o in holders {
+            // Owner lock before partition lock, per the lock order; an owner
+            // released in between is simply skipped (its locks no longer
+            // matter — and if it was *consolidated*, its csn is folded into the
+            // old page before the tombstone becomes visible, so the csn copy
+            // below picks it up). Direct insert: split copies must not trigger
+            // promotion (they must keep covering the gap precisely).
+            let Some(ol_ref) = self.owner_ref(o) else {
+                continue;
+            };
+            let mut ol = ol_ref.lock();
+            if ol.released || ol.targets.contains(&new_t) {
+                continue;
+            }
+            let mut part = self.lock_partition(self.partition_of(&new_t));
+            Self::insert_locked(&mut part, &mut ol, o, new_t);
         }
+        // Copy the summarized csn *after* the owner loop, re-reading it with
+        // both pages' partitions held at once: a holder consolidated while the
+        // loop ran was either copied first (the fold then covers the new page
+        // too, since the copy is in its target set) or skipped via the
+        // tombstone — in which case the fold into the old page has already
+        // completed (consolidate_owner holds the owner mutex throughout), and
+        // this re-read transfers it. The stale pre-loop value would miss it.
+        let mut mg = self.lock_targets([old_t, new_t]);
+        let old_csn = mg
+            .map(self.partition_of(&old_t))
+            .get(&old_t)
+            .and_then(|h| h.old_committed_csn);
         if let Some(csn) = old_csn {
-            let h = st.locks.entry(LockTarget::Page(rel, new_page)).or_default();
+            let h = mg.map(self.partition_of(&new_t)).entry(new_t).or_default();
             h.old_committed_csn = Some(h.old_committed_csn.map_or(csn, |c| c.max(csn)));
         }
     }
@@ -386,55 +599,64 @@ impl SireadLockManager {
     /// used when DDL invalidates physical addressing — table rewrites move tuples,
     /// index drops invalidate gap locks (§5.2.1). `replacement_rel` is the
     /// relation the promoted lock should name (for an index drop, the heap
-    /// relation; otherwise `rel` itself).
+    /// relation; otherwise `rel` itself). Owners are promoted one at a time;
+    /// the summarized-lock fold at the end holds every partition at once so the
+    /// csn is never invisible at both granularities.
     pub fn promote_relation(&self, rel: RelId, replacement_rel: RelId) {
-        let mut st = self.state.lock();
-        let owners: Vec<OwnerId> = st.owners.keys().copied().collect();
-        for o in owners {
-            let victims: Vec<LockTarget> = st
-                .owners
-                .get(&o)
-                .map(|ol| {
-                    ol.targets
-                        .iter()
-                        .filter(|t| t.relation() == rel && t.granularity() > 0)
-                        .copied()
-                        .collect()
-                })
-                .unwrap_or_default();
+        let owners: Vec<(OwnerId, OwnerRef)> = self
+            .owners
+            .read()
+            .iter()
+            .map(|(k, v)| (*k, v.clone()))
+            .collect();
+        let repl_t = LockTarget::Relation(replacement_rel);
+        for (o, ol_ref) in owners {
+            let mut ol = ol_ref.lock();
+            if ol.released {
+                continue;
+            }
+            let victims: Vec<LockTarget> = ol
+                .targets
+                .iter()
+                .filter(|t| t.relation() == rel && t.granularity() > 0)
+                .copied()
+                .collect();
             if victims.is_empty() {
                 continue;
             }
+            let mut mg = self.lock_targets(victims.iter().copied().chain([repl_t]));
+            Self::insert_locked(mg.map(self.partition_of(&repl_t)), &mut ol, o, repl_t);
             for v in victims {
-                self.remove_target(&mut st, o, v);
+                Self::remove_locked(mg.map(self.partition_of(&v)), &mut ol, o, v);
             }
-            self.insert_target(&mut st, o, LockTarget::Relation(replacement_rel));
             self.promotions.bump();
         }
         // Summarized locks on the relation get folded into a relation-level
         // dummy lock as well.
+        let mut mg = self.lock_all();
         let mut max_csn: Option<CommitSeqNo> = None;
-        let stale: Vec<LockTarget> = st
-            .locks
-            .iter()
-            .filter(|(t, h)| {
-                t.relation() == rel && t.granularity() > 0 && h.old_committed_csn.is_some()
-            })
-            .map(|(t, _)| *t)
-            .collect();
-        for t in stale {
-            if let Some(h) = st.locks.get_mut(&t) {
-                max_csn = max_csn.max(h.old_committed_csn);
-                h.old_committed_csn = None;
-                if h.is_empty() {
-                    st.locks.remove(&t);
+        for (_, part) in mg.guards.iter_mut() {
+            let stale: Vec<LockTarget> = part
+                .iter()
+                .filter(|(t, h)| {
+                    t.relation() == rel && t.granularity() > 0 && h.old_committed_csn.is_some()
+                })
+                .map(|(t, _)| *t)
+                .collect();
+            for t in stale {
+                if let Some(h) = part.get_mut(&t) {
+                    max_csn = max_csn.max(h.old_committed_csn);
+                    h.old_committed_csn = None;
+                    if h.is_empty() {
+                        part.remove(&t);
+                    }
                 }
             }
         }
         if let Some(csn) = max_csn {
-            let h = st
-                .locks
-                .entry(LockTarget::Relation(replacement_rel))
+            let h = mg
+                .map(self.partition_of(&repl_t))
+                .entry(repl_t)
                 .or_default();
             h.old_committed_csn = Some(h.old_committed_csn.map_or(csn, |c| c.max(csn)));
         }
@@ -442,27 +664,39 @@ impl SireadLockManager {
 
     /// Targets currently held by `owner` (two-phase commit persistence, tests).
     pub fn held_targets(&self, owner: OwnerId) -> Vec<LockTarget> {
-        self.state
-            .lock()
-            .owners
-            .get(&owner)
-            .map(|ol| ol.targets.iter().copied().collect())
+        self.owner_ref(owner)
+            .map(|r| r.lock().targets.iter().copied().collect())
             .unwrap_or_default()
     }
 
     /// Number of locks held by `owner`.
     pub fn owner_lock_count(&self, owner: OwnerId) -> usize {
-        self.state
-            .lock()
-            .owners
-            .get(&owner)
-            .map(|ol| ol.targets.len())
+        self.owner_ref(owner)
+            .map(|r| r.lock().targets.len())
             .unwrap_or(0)
     }
 
     /// Total number of lock targets in the table (bounded-memory assertions).
     pub fn total_lock_count(&self) -> usize {
-        self.state.lock().locks.len()
+        let mg = self.lock_all();
+        mg.guards.iter().map(|(_, p)| p.len()).sum()
+    }
+
+    /// Per-partition counter snapshot, in partition-index order.
+    pub fn partition_stats(&self) -> Vec<PartitionStats> {
+        self.partitions
+            .iter()
+            .map(|slot| PartitionStats {
+                locks: slot.locks.lock().len(),
+                taken: slot.taken.get(),
+                contended: slot.contended.get(),
+            })
+            .collect()
+    }
+
+    /// Total partition-mutex contention events across the table.
+    pub fn contention_total(&self) -> u64 {
+        self.partitions.iter().map(|s| s.contended.get()).sum()
     }
 }
 
@@ -684,5 +918,63 @@ mod tests {
             .owners;
         owners.sort();
         assert_eq!(owners, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn page_and_its_tuples_share_a_partition() {
+        let m = mgr();
+        for p in 0..32 {
+            let page = m.partition_of(&LockTarget::Page(R, p));
+            for s in 0..8 {
+                assert_eq!(page, m.partition_of(&LockTarget::Tuple(R, p, s)));
+            }
+        }
+    }
+
+    #[test]
+    fn targets_spread_across_partitions() {
+        let m = mgr();
+        assert_eq!(m.partition_count(), 16);
+        let used: HashSet<usize> = (0..256)
+            .map(|p| m.partition_of(&LockTarget::Page(R, p)))
+            .collect();
+        assert!(
+            used.len() > 8,
+            "pages hash to only {} partitions",
+            used.len()
+        );
+    }
+
+    #[test]
+    fn single_partition_config_still_works() {
+        let m = SireadLockManager::new(SsiConfig::single_partition());
+        assert_eq!(m.partition_count(), 1);
+        m.register_owner(1);
+        m.acquire(1, LockTarget::Tuple(R, 0, 5));
+        let chain = LockTarget::Tuple(R, 0, 5).check_chain();
+        assert_eq!(m.conflicting_holders(&chain, 2).owners, vec![1]);
+        m.release_owner(1);
+        assert_eq!(m.total_lock_count(), 0);
+    }
+
+    #[test]
+    fn acquire_after_release_is_a_noop() {
+        let m = mgr();
+        m.register_owner(1);
+        m.release_owner(1);
+        m.acquire(1, LockTarget::Tuple(R, 0, 0));
+        assert_eq!(m.total_lock_count(), 0, "released owner cannot re-acquire");
+    }
+
+    #[test]
+    fn partition_stats_count_taken_mutexes() {
+        let m = mgr();
+        m.register_owner(1);
+        m.acquire(1, LockTarget::Tuple(R, 0, 0));
+        let stats = m.partition_stats();
+        assert_eq!(stats.len(), 16);
+        assert!(stats.iter().map(|s| s.taken).sum::<u64>() > 0);
+        assert_eq!(stats.iter().map(|s| s.locks).sum::<usize>(), 1);
+        assert_eq!(m.contention_total(), 0, "single thread never contends");
     }
 }
