@@ -3,9 +3,18 @@
 //! configurations. Also prints the §8.2 headline row (standard 8% read-only
 //! mix with serialization-failure rates).
 //!
+//! With `--sessions N` the standard-mix table re-runs in *session mode*: `N`
+//! logical DBT-2 terminals with per-terminal think/keying times
+//! (`--think-ms`, `--keying-ms`) multiplexed onto `--workers` pool threads by
+//! `pgssi-server` — the paper's many-mostly-idle-clients shape, which shifts
+//! the concurrency-vs-throughput curve relative to the saturating
+//! thread-per-client harness.
+//!
 //! ```sh
 //! cargo run --release -p pgssi-bench --bin fig5_dbt2 -- --config memory
 //! cargo run --release -p pgssi-bench --bin fig5_dbt2 -- --config disk
+//! cargo run --release -p pgssi-bench --bin fig5_dbt2 -- \
+//!     --sessions 256 --workers 8 --think-ms 10 --keying-ms 5
 //! ```
 
 use std::time::Duration;
@@ -72,6 +81,42 @@ fn main() {
     }
     println!("\npaper's shape: SSI within single-digit % of SI; S2PL below, the gap");
     println!("widening with the read-only fraction; differences compress disk-bound.");
+
+    // Optional session-mode rerun: many think-time terminals on few workers.
+    if let Some(sessions) = arg_value(&args, "--sessions") {
+        let sessions = sessions as usize;
+        let workers = arg_value(&args, "--workers").unwrap_or(threads as u64) as usize;
+        let think = Duration::from_millis(arg_value(&args, "--think-ms").unwrap_or(10));
+        let keying = Duration::from_millis(arg_value(&args, "--keying-ms").unwrap_or(5));
+        println!(
+            "\nsession mode: {sessions} terminals on {workers} workers, \
+             think {think:?} + keying {keying:?} (8% read-only mix):"
+        );
+        let bench = Dbt2 {
+            config: Dbt2Config {
+                read_only_fraction: 0.08,
+                think_time: think,
+                keying_time: keying,
+                ..base.clone()
+            },
+        };
+        for &mode in modes {
+            let db = bench.setup(mode);
+            let r = bench.run_sessions_on(&db, mode, sessions, workers, duration, 7);
+            println!(
+                "  {:<12} {:>9.0} txn/s   failures: {:>6.3}%",
+                mode.label(),
+                r.tps(),
+                100.0 * r.failure_rate()
+            );
+            // These databases carry the session counters; the trailing stats
+            // loop below only covers the thread-per-client runs.
+            print_stats_if_requested(&args, &format!("{} (sessions)", mode.label()), &db);
+        }
+        println!("  (throughput is paced by sessions/(think+keying), not worker count,");
+        println!("   until the worker pool saturates — the paper's Figure 5 client shape)");
+    }
+
     for (mode, db) in &dbs {
         print_stats_if_requested(&args, mode.label(), db);
     }

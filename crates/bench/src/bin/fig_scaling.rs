@@ -8,14 +8,23 @@
 //! that contention off a single mutex, and this binary is the ablation: run it
 //! with `--partitions 1` to restore the old single-mutex behavior and compare.
 //!
+//! With `--json`, every invocation also appends one machine-readable run
+//! record (a single JSON line with the full thread/TPS matrix) to
+//! `BENCH_scaling.json` in the working directory — the data trail for the
+//! lock-partition sizing study in ROADMAP (sweep `--partitions 1/4/16/64`
+//! and pick the default from the recorded trajectory, not from PostgreSQL's
+//! constant).
+//!
 //! ```sh
 //! cargo run --release -p pgssi-bench --bin fig_scaling \
-//!     [-- --duration-ms 800 --max-threads 16 --partitions 16 --rows 1024 --stats]
+//!     [-- --duration-ms 800 --max-threads 16 --partitions 16 --rows 1024 --stats --json]
 //! ```
 
 use std::time::Duration;
 
-use pgssi_bench::harness::{arg_value, print_stats_if_requested, Mode};
+use pgssi_bench::harness::{
+    append_json_record, arg_value, has_flag, json_array, print_stats_if_requested, Mode,
+};
 use pgssi_bench::sibench::Sibench;
 use pgssi_common::IoModel;
 
@@ -55,6 +64,7 @@ fn main() {
         .collect();
 
     let mut base_tps = [0.0f64; Mode::MAIN.len()];
+    let mut series: Vec<Vec<f64>> = vec![Vec::new(); dbs.len()];
     for &t in &threads {
         print!("{t:>8}");
         for (i, (mode, db)) in dbs.iter().enumerate() {
@@ -63,6 +73,7 @@ fn main() {
             if t == threads[0] {
                 base_tps[i] = tps;
             }
+            series[i].push(tps);
             print!("  {:>9.0} {:>6.2}x", tps, tps / base_tps[i].max(1e-9));
         }
         println!();
@@ -71,6 +82,36 @@ fn main() {
     println!("\nexpected shape: SSI tracks SI's scaling curve (the partitioned SIREAD");
     println!("table keeps disjoint reads on disjoint mutexes); with --partitions 1 the");
     println!("SSI curve flattens as every read serializes on one table-wide mutex.");
+
+    if has_flag(&args, "--json") {
+        let unix_ms = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_millis())
+            .unwrap_or(0);
+        let modes = dbs
+            .iter()
+            .zip(&series)
+            .map(|((mode, _), tps)| {
+                format!(
+                    "\"{}\":{}",
+                    mode.label(),
+                    json_array(tps.iter().map(|t| format!("{t:.1}")))
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",");
+        let record = format!(
+            "{{\"bench\":\"fig_scaling\",\"unix_ms\":{unix_ms},\"partitions\":{partitions},\
+             \"rows\":{rows},\"duration_ms\":{},\"threads\":{},\"tps\":{{{modes}}}}}",
+            duration.as_millis(),
+            json_array(threads.iter()),
+        );
+        const JSON_PATH: &str = "BENCH_scaling.json";
+        match append_json_record(JSON_PATH, &record) {
+            Ok(()) => println!("\nappended run record to {JSON_PATH}"),
+            Err(e) => eprintln!("\nfailed to append {JSON_PATH}: {e}"),
+        }
+    }
 
     for (mode, db) in &dbs {
         print_stats_if_requested(&args, mode.label(), db);

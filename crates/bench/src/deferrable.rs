@@ -143,6 +143,8 @@ mod tests {
             customers: 10,
             items: 30,
             read_only_fraction: 0.1,
+            think_time: Duration::ZERO,
+            keying_time: Duration::ZERO,
             io: IoModel::in_memory(),
         };
         let report = run_probe(config, 2, 5, Duration::from_millis(5));

@@ -55,7 +55,11 @@ impl Mode {
             Mode::SsiNoRoOpt => SsiConfig::without_read_only_opt(),
             _ => SsiConfig::default(),
         };
-        EngineConfig { ssi, io }
+        EngineConfig {
+            ssi,
+            io,
+            ..EngineConfig::default()
+        }
     }
 }
 
@@ -188,6 +192,29 @@ pub fn print_stats_if_requested(args: &[String], label: &str, db: &Database) {
     }
 }
 
+/// Format a `[a, b, c]` JSON array from anything `Display`able (numbers).
+pub fn json_array(xs: impl IntoIterator<Item = impl std::fmt::Display>) -> String {
+    let body = xs
+        .into_iter()
+        .map(|x| x.to_string())
+        .collect::<Vec<_>>()
+        .join(",");
+    format!("[{body}]")
+}
+
+/// Append one JSON record (a single line) to `path`, creating the file on
+/// first use. Benchmark binaries use this to grow machine-readable run
+/// trajectories (e.g. `BENCH_scaling.json`, one run record per line) without
+/// pulling in a JSON dependency.
+pub fn append_json_record(path: &str, record: &str) -> std::io::Result<()> {
+    use std::io::Write;
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)?;
+    writeln!(f, "{record}")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -232,6 +259,31 @@ mod tests {
         assert_eq!(arg_value(&args, "--threads"), Some(8));
         assert_eq!(arg_value(&args, "--duration-ms"), Some(250));
         assert_eq!(arg_value(&args, "--nope"), None);
+    }
+
+    #[test]
+    fn json_array_formats_numbers() {
+        assert_eq!(json_array([1, 2, 3]), "[1,2,3]");
+        assert_eq!(json_array(Vec::<i64>::new()), "[]");
+        assert_eq!(json_array(["1.5".to_string()]), "[1.5]");
+    }
+
+    #[test]
+    fn json_records_append_line_by_line() {
+        let path = std::env::temp_dir().join(format!(
+            "pgssi_bench_json_{}_{}.json",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .as_nanos()
+        ));
+        let path = path.to_str().unwrap().to_string();
+        append_json_record(&path, r#"{"a":1}"#).unwrap();
+        append_json_record(&path, r#"{"a":2}"#).unwrap();
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(body, "{\"a\":1}\n{\"a\":2}\n");
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

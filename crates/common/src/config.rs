@@ -103,6 +103,90 @@ impl SsiConfig {
     }
 }
 
+/// Transaction-manager sharding knobs (txid allocation and snapshot caching).
+///
+/// The seed `TxnManager` funneled every `begin`/`snapshot`/`commit` through one
+/// mutex; these knobs size its replacement: txids are handed out in per-shard
+/// blocks carved off a single atomic, and `snapshot()` serves clones of an
+/// epoch-cached snapshot that commits/aborts invalidate.
+#[derive(Clone, Debug)]
+pub struct TxnConfig {
+    /// Number of txid-allocation shards. `begin` takes only its (thread-affine)
+    /// shard's mutex plus one id-striped active-set mutex, so begins on
+    /// different shards never contend. `1` restores a single allocation point
+    /// for ablation runs.
+    pub id_shards: usize,
+    /// Size of the txid block a shard reserves from the global atomic frontier
+    /// when its current block runs out. Larger blocks mean fewer touches of
+    /// the shared cache line, but each partially-consumed block's unissued ids
+    /// ride along in snapshot `xip` lists (they must read as in-progress).
+    pub txid_block: u64,
+}
+
+impl Default for TxnConfig {
+    fn default() -> Self {
+        TxnConfig {
+            // Follow the machine: sharding only pays where threads actually
+            // run in parallel, while every reserved-but-unissued block id
+            // rides along in snapshot xip lists — so a single-core box gets
+            // one shard (near-zero xip padding) and a big box gets up to 8.
+            id_shards: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+                .clamp(1, 8),
+            txid_block: 16,
+        }
+    }
+}
+
+impl TxnConfig {
+    /// Single allocation shard (every `begin` serializes on one mutex again) —
+    /// the pre-sharding ablation configuration.
+    pub fn single_shard() -> Self {
+        TxnConfig {
+            id_shards: 1,
+            ..TxnConfig::default()
+        }
+    }
+}
+
+/// Session-layer configuration for `pgssi-server`'s [`SessionPool`] — the
+/// thread-pooled front-end that multiplexes many logical client sessions
+/// (paper §8 runs hundreds of mostly-idle DBT-2 terminals) onto a small,
+/// fixed set of worker threads.
+///
+/// [`SessionPool`]: https://docs.rs/pgssi-server
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Worker threads executing session activations. Defaults to the machine's
+    /// available parallelism, capped at 16.
+    pub workers: usize,
+    /// Maximum number of concurrently open logical sessions.
+    pub max_sessions: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+                .min(16),
+            max_sessions: 1024,
+        }
+    }
+}
+
+impl ServerConfig {
+    /// Explicit worker count, default session cap.
+    pub fn with_workers(workers: usize) -> Self {
+        ServerConfig {
+            workers: workers.max(1),
+            ..ServerConfig::default()
+        }
+    }
+}
+
 /// Simulated I/O cost model.
 ///
 /// The paper's disk-bound configuration (Figure 5b) exists to show that when I/O
@@ -154,6 +238,8 @@ pub struct EngineConfig {
     pub ssi: SsiConfig,
     /// Simulated I/O model.
     pub io: IoModel,
+    /// Transaction-manager sharding (txid blocks, snapshot cache).
+    pub txn: TxnConfig,
 }
 
 #[cfg(test)]
@@ -185,6 +271,23 @@ mod tests {
     fn partition_counts() {
         assert_eq!(SsiConfig::default().lock_partitions, 16);
         assert_eq!(SsiConfig::single_partition().lock_partitions, 1);
+    }
+
+    #[test]
+    fn txn_config_defaults_and_ablation() {
+        let c = TxnConfig::default();
+        assert!(c.id_shards >= 1);
+        assert!(c.txid_block >= 1);
+        assert_eq!(TxnConfig::single_shard().id_shards, 1);
+    }
+
+    #[test]
+    fn server_config_defaults_are_sane() {
+        let c = ServerConfig::default();
+        assert!(c.workers >= 1 && c.workers <= 16);
+        assert!(c.max_sessions >= c.workers);
+        assert_eq!(ServerConfig::with_workers(0).workers, 1);
+        assert_eq!(ServerConfig::with_workers(3).workers, 3);
     }
 
     #[test]

@@ -91,6 +91,22 @@ pub struct EngineStats {
     pub deferrable_retries: Counter,
 }
 
+/// Session-layer event counters, bumped by `pgssi-server`'s session pool when
+/// it fronts this database. They live on the [`Database`] (not the server) so
+/// that [`Database::stats_report`] stays the single aggregation point every
+/// `--stats` flag prints.
+#[derive(Default)]
+pub struct SessionStats {
+    /// Logical sessions opened against the pool.
+    pub sessions_opened: Counter,
+    /// Requests enqueued onto session inboxes.
+    pub requests_enqueued: Counter,
+    /// Requests executed by pool workers.
+    pub requests_executed: Counter,
+    /// Times a pool worker went to sleep with no runnable session.
+    pub worker_parks: Counter,
+}
+
 /// Aggregated counter snapshot across every layer: engine commit/abort totals,
 /// the SSI core's conflict and abort counters, the partitioned SIREAD lock
 /// table's acquisition/promotion/contention counters, and the S2PL baseline's
@@ -134,6 +150,24 @@ pub struct StatsReport {
     pub s2pl_waits: u64,
     /// S2PL deadlocks broken.
     pub s2pl_deadlocks: u64,
+    /// Transactions (and subtransactions) begun by the txn manager.
+    pub txn_begins: u64,
+    /// Snapshot requests served from the epoch-cached snapshot.
+    pub txn_snapshot_hits: u64,
+    /// Snapshot requests that rebuilt the snapshot (cache invalidated).
+    pub txn_snapshot_rebuilds: u64,
+    /// Txid blocks carved off the global frontier.
+    pub txn_id_blocks: u64,
+    /// Number of txid-allocation shards.
+    pub txn_id_shards: usize,
+    /// Logical sessions opened against the session pool.
+    pub sessions_opened: u64,
+    /// Requests enqueued onto session inboxes.
+    pub session_requests: u64,
+    /// Requests executed by session-pool workers.
+    pub session_executed: u64,
+    /// Times a session-pool worker parked with no runnable session.
+    pub session_worker_parks: u64,
 }
 
 impl StatsReport {
@@ -143,6 +177,16 @@ impl StatsReport {
             0.0
         } else {
             self.siread_partition_contended as f64 / self.siread_partition_taken as f64
+        }
+    }
+
+    /// Fraction of snapshot requests served from the epoch cache.
+    pub fn snapshot_cache_hit_rate(&self) -> f64 {
+        let total = self.txn_snapshot_hits + self.txn_snapshot_rebuilds;
+        if total == 0 {
+            0.0
+        } else {
+            self.txn_snapshot_hits as f64 / total as f64
         }
     }
 }
@@ -178,10 +222,29 @@ impl std::fmt::Display for StatsReport {
             self.siread_partition_contended,
             100.0 * self.siread_contention_rate(),
         )?;
-        write!(
+        writeln!(
             f,
             "s2pl   : grants {}  waits {}  deadlocks {}",
             self.s2pl_grants, self.s2pl_waits, self.s2pl_deadlocks
+        )?;
+        writeln!(
+            f,
+            "txn    : begins {}  snapshot-hits {}  rebuilds {} (hit-rate {:.1}%)  \
+             txid-blocks {}  id-shards {}",
+            self.txn_begins,
+            self.txn_snapshot_hits,
+            self.txn_snapshot_rebuilds,
+            100.0 * self.snapshot_cache_hit_rate(),
+            self.txn_id_blocks,
+            self.txn_id_shards,
+        )?;
+        write!(
+            f,
+            "server : sessions {}  requests {}  executed {}  worker-parks {}",
+            self.sessions_opened,
+            self.session_requests,
+            self.session_executed,
+            self.session_worker_parks
         )
     }
 }
@@ -201,6 +264,7 @@ pub(crate) struct DbInner {
     pub prepared: Mutex<HashMap<String, PreparedTxn>>,
     pub wal: WalStream,
     pub stats: EngineStats,
+    pub session_stats: SessionStats,
 }
 
 impl DbInner {
@@ -232,7 +296,7 @@ impl Database {
         Database {
             inner: Arc::new(DbInner {
                 catalog: Catalog::new(cache),
-                tm: TxnManager::new(),
+                tm: TxnManager::with_config(&config.txn),
                 ssi: RwLock::new(Arc::new(SsiManager::new(config.ssi.clone()))),
                 s2pl: S2plLockManager::new(),
                 unique_stripes: (0..64).map(|_| Mutex::new(())).collect(),
@@ -240,6 +304,7 @@ impl Database {
                 prepared: Mutex::new(HashMap::new()),
                 wal: WalStream::new(),
                 stats: EngineStats::default(),
+                session_stats: SessionStats::default(),
                 config,
             }),
         }
@@ -270,15 +335,27 @@ impl Database {
     /// for a safe snapshot) — and even they always succeed eventually, so the
     /// only error source is option validation.
     pub fn begin_with(&self, opts: BeginOptions) -> Result<Transaction> {
+        self.begin_with_shard(opts, None)
+    }
+
+    /// [`Database::begin_with`] with the txid drawn from an explicit
+    /// allocation shard. The session front-end pins each logical session to a
+    /// shard derived from its session id, so txid allocation spreads across
+    /// shards no matter which worker thread happens to run the session.
+    pub fn begin_with_on_shard(&self, opts: BeginOptions, shard: usize) -> Result<Transaction> {
+        self.begin_with_shard(opts, Some(shard))
+    }
+
+    fn begin_with_shard(&self, opts: BeginOptions, shard: Option<usize>) -> Result<Transaction> {
         if opts.deferrable && !(opts.read_only && opts.isolation == IsolationLevel::Serializable) {
             return Err(Error::Misuse(
                 "DEFERRABLE requires SERIALIZABLE READ ONLY".into(),
             ));
         }
         if opts.deferrable {
-            return Ok(self.begin_deferrable());
+            return Ok(self.begin_deferrable(shard));
         }
-        let txid = self.inner.tm.begin();
+        let txid = self.begin_txid(shard);
         let mut snapshot = None;
         let sx = if opts.isolation == IsolationLevel::Serializable {
             // The snapshot is taken inside `SsiManager::begin`, under the SSI
@@ -305,6 +382,13 @@ impl Database {
         Ok(self.make_txn(txid, snapshot, opts, sx))
     }
 
+    fn begin_txid(&self, shard: Option<usize>) -> TxnId {
+        match shard {
+            Some(s) => self.inner.tm.begin_on_shard(s),
+            None => self.inner.tm.begin(),
+        }
+    }
+
     /// Take a snapshot and register its CSN for the vacuum horizon, atomically
     /// (the horizon must never advance past a snapshot that exists but is not
     /// yet registered).
@@ -317,9 +401,9 @@ impl Database {
 
     /// DEFERRABLE loop (§4.3): acquire a snapshot, wait for its safety to be
     /// decided; retry on unsafe.
-    fn begin_deferrable(&self) -> Transaction {
+    fn begin_deferrable(&self, shard: Option<usize>) -> Transaction {
         loop {
-            let txid = self.inner.tm.begin();
+            let txid = self.begin_txid(shard);
             let ssi = self.inner.ssi();
             let mut snapshot = None;
             let sx = ssi.begin(
@@ -341,7 +425,8 @@ impl Database {
                 }
                 SafetyState::Unsafe | SafetyState::Pending => {
                     ssi.abort(sx);
-                    self.inner.tm.abort(&[txid]);
+                    // The retry loop's discarded txid never wrote anything.
+                    self.inner.tm.abort_readonly(&[txid]);
                     self.inner.stats.deferrable_retries.bump();
                 }
             }
@@ -377,6 +462,22 @@ impl Database {
         &self.inner.stats
     }
 
+    /// Session-layer counters (bumped by `pgssi-server` when it fronts this
+    /// database; all zero for embedded use).
+    pub fn session_stats(&self) -> &SessionStats {
+        &self.inner.session_stats
+    }
+
+    /// Primary-key column positions and column count of `table` (wire
+    /// front-ends need these to derive — and validate — the key of a full
+    /// row sent over the protocol).
+    pub fn table_shape(&self, table: &str) -> Result<(Vec<usize>, usize)> {
+        let t = self.table(table)?;
+        let inner = t.inner.read();
+        let shape = (inner.def.pk.clone(), inner.def.columns.len());
+        Ok(shape)
+    }
+
     /// Aggregate every layer's counters into one [`StatsReport`]: engine
     /// commits/aborts, SSI-core conflict and abort counts, SIREAD lock-table
     /// acquisition/promotion totals with per-partition mutex contention, and
@@ -405,6 +506,15 @@ impl Database {
             s2pl_grants: self.inner.s2pl.grants.get(),
             s2pl_waits: self.inner.s2pl.waits.get(),
             s2pl_deadlocks: self.inner.s2pl.deadlocks.get(),
+            txn_begins: self.inner.tm.stats.begins.get(),
+            txn_snapshot_hits: self.inner.tm.stats.snapshot_hits.get(),
+            txn_snapshot_rebuilds: self.inner.tm.stats.snapshot_rebuilds.get(),
+            txn_id_blocks: self.inner.tm.stats.txid_blocks.get(),
+            txn_id_shards: self.inner.tm.shard_count(),
+            sessions_opened: self.inner.session_stats.sessions_opened.get(),
+            session_requests: self.inner.session_stats.requests_enqueued.get(),
+            session_executed: self.inner.session_stats.requests_executed.get(),
+            session_worker_parks: self.inner.session_stats.worker_parks.get(),
         }
     }
 

@@ -30,7 +30,7 @@ pub mod txn;
 pub mod vacuum;
 
 pub use catalog::{IndexDef, IndexKind, TableDef};
-pub use database::{BeginOptions, Database, IsolationLevel, StatsReport};
+pub use database::{BeginOptions, Database, IsolationLevel, SessionStats, StatsReport};
 pub use replication::{Replica, WalRecord};
 pub use retry::with_retries;
 pub use txn::Transaction;

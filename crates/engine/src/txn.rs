@@ -175,7 +175,13 @@ impl Transaction {
         }
         let mut xids = vec![self.txid];
         xids.extend(&self.subxids);
-        self.db.tm.abort(&xids);
+        if self.wrote {
+            self.db.tm.abort(&xids);
+        } else {
+            // Writeless rollback: skip the snapshot-cache invalidation, same
+            // soundness argument as the writeless commit path.
+            self.db.tm.abort_readonly(&xids);
+        }
         if let Some(sx) = self.sx {
             self.db.ssi().abort(sx);
         }
@@ -979,18 +985,31 @@ impl Transaction {
 
     /// Commit. Runs the SSI pre-commit check (§5.4); on serialization failure
     /// the transaction is rolled back and the error returned for retry.
+    ///
+    /// Transactions that wrote nothing finish through
+    /// [`pgssi_storage::TxnManager::commit_readonly`], which neither advances
+    /// the commit frontier nor invalidates the snapshot cache — the
+    /// read-mostly fast path the session front-end leans on.
     pub fn commit(mut self) -> Result<()> {
         self.ensure_active()?;
         let mut xids = vec![self.txid];
         xids.extend(&self.subxids);
+        let wrote = self.wrote;
+        let tm_commit = |tm: &pgssi_storage::TxnManager| {
+            if wrote {
+                tm.commit(&xids)
+            } else {
+                tm.commit_readonly(&xids)
+            }
+        };
         if let Some(sx) = self.sx {
             let ssi = self.db.ssi();
             if let Err(e) = ssi.precommit(sx, self.db.tm.frontier()) {
                 return Err(self.auto_abort(e));
             }
-            ssi.commit(sx, || self.db.tm.commit(&xids));
+            ssi.commit(sx, || tm_commit(&self.db.tm));
         } else {
-            self.db.tm.commit(&xids);
+            tm_commit(&self.db.tm);
         }
         if self.is_2pl() {
             self.db.s2pl.release_owner(self.txid.0);

@@ -554,3 +554,51 @@ fn hash_index_equality_and_relation_fallback() {
         "hash-index readers must be protected by relation locks"
     );
 }
+
+/// Writeless transactions (any isolation level) commit through the
+/// non-advancing read-only path: they neither move the commit frontier nor
+/// invalidate the snapshot cache, so bursts of read transactions between
+/// writes are served from cached snapshots.
+#[test]
+fn writeless_commits_keep_the_snapshot_cache_warm() {
+    let db = db_with_kv();
+    let mut w = db.begin(IsolationLevel::Serializable);
+    put(&mut w, 1, 10);
+    w.commit().unwrap();
+
+    let frontier = db.txn_manager().frontier();
+    let rebuilds_before = db.stats_report().txn_snapshot_rebuilds;
+    for iso in [
+        IsolationLevel::Serializable,
+        IsolationLevel::RepeatableRead,
+        IsolationLevel::ReadCommitted,
+    ] {
+        for _ in 0..5 {
+            let mut r = db.begin(iso);
+            assert_eq!(r.get("kv", &key(1)).unwrap().unwrap()[1], Value::Int(10));
+            r.commit().unwrap();
+        }
+    }
+    let report = db.stats_report();
+    assert_eq!(
+        db.txn_manager().frontier(),
+        frontier,
+        "read transactions must not advance the commit frontier"
+    );
+    assert!(
+        report.txn_snapshot_rebuilds <= rebuilds_before + 1,
+        "read-only commits invalidated the snapshot cache ({} -> {} rebuilds)",
+        rebuilds_before,
+        report.txn_snapshot_rebuilds
+    );
+    assert!(report.txn_snapshot_hits > 0);
+
+    // A writing commit invalidates, and later snapshots observe it.
+    let mut w = db.begin(IsolationLevel::Serializable);
+    w.update("kv", &key(1), row![1, 11]).unwrap();
+    w.commit().unwrap();
+    assert!(db.txn_manager().frontier() > frontier);
+    let mut r = db.begin(IsolationLevel::Serializable);
+    assert_eq!(r.get("kv", &key(1)).unwrap().unwrap()[1], Value::Int(11));
+    r.commit().unwrap();
+}

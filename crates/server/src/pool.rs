@@ -1,0 +1,500 @@
+//! The session pool: many logical sessions multiplexed onto few workers.
+//!
+//! PostgreSQL gives every connection an OS process; the paper's evaluation
+//! (§8.2) leans on that to run hundreds of mostly-idle DBT-2 terminals. An
+//! embedded engine cannot afford a thread per session, so this pool runs a
+//! fixed set of worker threads ([`ServerConfig::workers`]) and schedules
+//! *session activations* onto them:
+//!
+//! * a session is a [`SessionTask`]; each activation calls
+//!   [`SessionTask::run`] once and the returned [`Next`] decides what happens
+//!   to the session — run again, sleep for a think time, go idle until an
+//!   external [`SessionPool::wake`], or stop;
+//! * sessions with pending work sit in a FIFO ready queue; sessions sleeping
+//!   a think/keying time sit in a deadline heap and are promoted when due;
+//! * at most one worker ever runs a given session (the slot's task is taken
+//!   out while running), so session state needs no internal synchronization
+//!   beyond `Send`.
+//!
+//! A wake that races an activation is never lost: [`SessionPool::wake`] marks
+//! `wake_pending` under the pool mutex, and a task returning [`Next::Idle`]
+//! re-enters the ready queue if the mark is set.
+//!
+//! Blocking inside an activation (row-lock waits, DEFERRABLE safe-snapshot
+//! waits) blocks one worker, exactly like a PostgreSQL backend. Clients that
+//! *pipeline* whole transactions (the `fig_sessions` driver does) never hold
+//! row locks across a scheduling boundary, because one activation drains the
+//! whole pipelined batch; interactive clients can hold locks across
+//! activations, and the engine's deadlock detector plus lock-wait timeout
+//! bound the damage — see `crates/server/tests` for the 1024-sessions-on-4-
+//! workers case.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+use std::time::{Duration, Instant};
+
+use parking_lot::{Condvar, Mutex};
+use pgssi_common::{Error, Result, ServerConfig};
+use pgssi_engine::Database;
+use std::sync::Arc;
+
+/// Identifies a session within its pool.
+pub type SessionId = usize;
+
+/// What a session does after an activation returns.
+pub enum Next {
+    /// Nothing to do until someone calls [`SessionPool::wake`].
+    Idle,
+    /// More work queued: reschedule immediately (fair FIFO, not run-to-death).
+    Again,
+    /// Sleep for a think/keying time, then reschedule.
+    After(Duration),
+    /// Session is finished; drop the task.
+    Stop,
+}
+
+/// A logical session's behavior. `run` is called by exactly one worker at a
+/// time; the task owns all per-session state (open transaction, RNG, inbox).
+pub trait SessionTask: Send {
+    /// One activation. Runs on a pool worker with no pool locks held.
+    fn run(&mut self, db: &Database, sid: SessionId) -> Next;
+
+    /// Called if `run` panics, before the session is retired, so the task can
+    /// unblock anyone waiting on it (the wire layer closes its duplex channel
+    /// here — otherwise a client blocked in `recv` would hang forever).
+    /// Engine transactions the task owns roll back via `Drop` regardless.
+    fn close(&mut self) {}
+}
+
+struct Slot {
+    /// Taken out while a worker runs the task.
+    task: Option<Box<dyn SessionTask>>,
+    /// In the ready queue or deadline heap (prevents double-queueing).
+    queued: bool,
+    /// A wake arrived while the task was running or queued.
+    wake_pending: bool,
+}
+
+struct PoolState {
+    slots: Vec<Option<Slot>>,
+    free: Vec<SessionId>,
+    ready: VecDeque<SessionId>,
+    timed: BinaryHeap<Reverse<(Instant, SessionId)>>,
+    live: usize,
+    shutdown: bool,
+}
+
+struct PoolInner {
+    db: Database,
+    cfg: ServerConfig,
+    state: Mutex<PoolState>,
+    work: Condvar,
+}
+
+/// A fixed-worker pool executing [`SessionTask`] activations.
+pub struct SessionPool {
+    inner: Arc<PoolInner>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl SessionPool {
+    /// Start `cfg.workers` worker threads fronting `db`.
+    pub fn new(db: Database, cfg: ServerConfig) -> SessionPool {
+        let inner = Arc::new(PoolInner {
+            db,
+            cfg: ServerConfig {
+                workers: cfg.workers.max(1),
+                ..cfg
+            },
+            state: Mutex::new(PoolState {
+                slots: Vec::new(),
+                free: Vec::new(),
+                ready: VecDeque::new(),
+                timed: BinaryHeap::new(),
+                live: 0,
+                shutdown: false,
+            }),
+            work: Condvar::new(),
+        });
+        let workers = (0..inner.cfg.workers)
+            .map(|_| {
+                let inner = Arc::clone(&inner);
+                std::thread::spawn(move || worker_loop(&inner))
+            })
+            .collect();
+        SessionPool { inner, workers }
+    }
+
+    /// The database this pool fronts.
+    pub fn db(&self) -> &Database {
+        &self.inner.db
+    }
+
+    /// Worker-thread count.
+    pub fn workers(&self) -> usize {
+        self.inner.cfg.workers
+    }
+
+    /// Open a session and schedule its first activation. Fails once
+    /// [`ServerConfig::max_sessions`] sessions are live.
+    pub fn spawn(&self, task: Box<dyn SessionTask>) -> Result<SessionId> {
+        let mut st = self.inner.state.lock();
+        if st.live >= self.inner.cfg.max_sessions {
+            return Err(Error::Misuse(format!(
+                "session limit reached ({} live)",
+                st.live
+            )));
+        }
+        let sid = match st.free.pop() {
+            Some(sid) => sid,
+            None => {
+                st.slots.push(None);
+                st.slots.len() - 1
+            }
+        };
+        st.slots[sid] = Some(Slot {
+            task: Some(task),
+            queued: true,
+            wake_pending: false,
+        });
+        st.live += 1;
+        st.ready.push_back(sid);
+        drop(st);
+        self.inner.db.session_stats().sessions_opened.bump();
+        self.inner.work.notify_one();
+        Ok(sid)
+    }
+
+    /// Make an idle session runnable (new input arrived). Never lost: if the
+    /// session is currently running, the wake is latched and applied when its
+    /// activation returns [`Next::Idle`].
+    pub fn wake(&self, sid: SessionId) {
+        let mut st = self.inner.state.lock();
+        let Some(Some(slot)) = st.slots.get_mut(sid) else {
+            return;
+        };
+        if slot.task.is_some() && !slot.queued {
+            slot.queued = true;
+            st.ready.push_back(sid);
+            drop(st);
+            self.inner.work.notify_one();
+        } else {
+            slot.wake_pending = true;
+        }
+    }
+
+    /// Live-session count.
+    pub fn live_sessions(&self) -> usize {
+        self.inner.state.lock().live
+    }
+
+    /// Stop the workers and join them. Sessions that are mid-activation finish
+    /// that activation; everything still queued is dropped (open transactions
+    /// roll back via `Transaction`'s `Drop`).
+    pub fn shutdown(mut self) {
+        self.request_shutdown();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+
+    fn request_shutdown(&self) {
+        let mut st = self.inner.state.lock();
+        st.shutdown = true;
+        drop(st);
+        self.inner.work.notify_all();
+    }
+}
+
+impl Drop for SessionPool {
+    fn drop(&mut self) {
+        self.request_shutdown();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(inner: &PoolInner) {
+    let mut st = inner.state.lock();
+    loop {
+        // Shutdown preempts queued work: a task that keeps returning
+        // `Next::Again` must not be able to pin a worker (and thereby hang
+        // `shutdown()`'s join) by re-queueing itself forever. In-flight
+        // activations still finish; everything merely *queued* is dropped.
+        if st.shutdown {
+            break;
+        }
+        // Promote due timers onto the ready queue.
+        let now = Instant::now();
+        while let Some(Reverse((due, sid))) = st.timed.peek().copied() {
+            if due > now {
+                break;
+            }
+            st.timed.pop();
+            st.ready.push_back(sid);
+        }
+
+        if let Some(sid) = st.ready.pop_front() {
+            let Some(Some(slot)) = st.slots.get_mut(sid) else {
+                continue;
+            };
+            slot.queued = false;
+            let Some(mut task) = slot.task.take() else {
+                continue;
+            };
+            drop(st);
+            // Contain panics: one misbehaving session must not kill a worker
+            // (the pool is fixed-size; a dead worker is capacity lost forever)
+            // or strand its client.
+            let outcome =
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| task.run(&inner.db, sid)));
+            let next = match outcome {
+                Ok(next) => next,
+                Err(_) => {
+                    eprintln!("pgssi-server: session {sid} panicked; closing it");
+                    task.close();
+                    drop(task);
+                    st = inner.state.lock();
+                    if let Some(slot @ Some(_)) = st.slots.get_mut(sid) {
+                        *slot = None;
+                        st.free.push(sid);
+                        st.live -= 1;
+                    }
+                    continue;
+                }
+            };
+            st = inner.state.lock();
+            let Some(Some(slot)) = st.slots.get_mut(sid) else {
+                continue;
+            };
+            match next {
+                Next::Stop => {
+                    st.slots[sid] = None;
+                    st.free.push(sid);
+                    st.live -= 1;
+                }
+                Next::Again => {
+                    slot.task = Some(task);
+                    slot.queued = true;
+                    st.ready.push_back(sid);
+                    if st.ready.len() > 1 {
+                        inner.work.notify_one();
+                    }
+                }
+                Next::After(d) => {
+                    slot.task = Some(task);
+                    slot.queued = true;
+                    st.timed.push(Reverse((Instant::now() + d, sid)));
+                    // A parked worker may be in an untimed wait (heap was
+                    // empty) or waiting on a later deadline; wake one so it
+                    // re-reads the heap and re-parks against this deadline —
+                    // otherwise the reactivation stalls until some unrelated
+                    // activation completes.
+                    inner.work.notify_one();
+                }
+                Next::Idle => {
+                    slot.task = Some(task);
+                    if slot.wake_pending {
+                        slot.wake_pending = false;
+                        slot.queued = true;
+                        st.ready.push_back(sid);
+                    }
+                }
+            }
+            continue;
+        }
+
+        inner.db.session_stats().worker_parks.bump();
+        match st.timed.peek().copied() {
+            Some(Reverse((due, _))) => {
+                let _ = inner.work.wait_until(&mut st, due);
+            }
+            None => inner.work.wait(&mut st),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgssi_common::EngineConfig;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    struct CountTo {
+        n: u64,
+        target: u64,
+        total: Arc<AtomicU64>,
+    }
+
+    impl SessionTask for CountTo {
+        fn run(&mut self, _db: &Database, _sid: SessionId) -> Next {
+            self.n += 1;
+            self.total.fetch_add(1, Ordering::Relaxed);
+            if self.n >= self.target {
+                Next::Stop
+            } else {
+                Next::Again
+            }
+        }
+    }
+
+    #[test]
+    fn many_sessions_complete_on_few_workers() {
+        let db = Database::new(EngineConfig::default());
+        let pool = SessionPool::new(db, ServerConfig::with_workers(2));
+        let total = Arc::new(AtomicU64::new(0));
+        for _ in 0..100 {
+            pool.spawn(Box::new(CountTo {
+                n: 0,
+                target: 5,
+                total: Arc::clone(&total),
+            }))
+            .unwrap();
+        }
+        while pool.live_sessions() > 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(total.load(Ordering::Relaxed), 500);
+        assert_eq!(pool.db().stats_report().sessions_opened, 100);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn session_limit_enforced() {
+        let db = Database::new(EngineConfig::default());
+        let cfg = ServerConfig {
+            max_sessions: 2,
+            ..ServerConfig::with_workers(1)
+        };
+        let pool = SessionPool::new(db, cfg);
+        struct Forever;
+        impl SessionTask for Forever {
+            fn run(&mut self, _db: &Database, _sid: SessionId) -> Next {
+                Next::Idle
+            }
+        }
+        pool.spawn(Box::new(Forever)).unwrap();
+        pool.spawn(Box::new(Forever)).unwrap();
+        assert!(pool.spawn(Box::new(Forever)).is_err());
+        pool.shutdown();
+    }
+
+    #[test]
+    fn timed_sessions_fire_after_delay() {
+        let db = Database::new(EngineConfig::default());
+        let pool = SessionPool::new(db, ServerConfig::with_workers(1));
+        struct Pulse {
+            fired: u64,
+            total: Arc<AtomicU64>,
+        }
+        impl SessionTask for Pulse {
+            fn run(&mut self, _db: &Database, _sid: SessionId) -> Next {
+                self.fired += 1;
+                self.total.fetch_add(1, Ordering::Relaxed);
+                if self.fired >= 3 {
+                    Next::Stop
+                } else {
+                    Next::After(Duration::from_millis(5))
+                }
+            }
+        }
+        let total = Arc::new(AtomicU64::new(0));
+        let start = Instant::now();
+        pool.spawn(Box::new(Pulse {
+            fired: 0,
+            total: Arc::clone(&total),
+        }))
+        .unwrap();
+        while pool.live_sessions() > 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(total.load(Ordering::Relaxed), 3);
+        assert!(start.elapsed() >= Duration::from_millis(10));
+        pool.shutdown();
+    }
+
+    #[test]
+    fn shutdown_returns_even_with_a_forever_rescheduling_session() {
+        let db = Database::new(EngineConfig::default());
+        let pool = SessionPool::new(db, ServerConfig::with_workers(1));
+        struct Spinner;
+        impl SessionTask for Spinner {
+            fn run(&mut self, _db: &Database, _sid: SessionId) -> Next {
+                Next::Again // never stops on its own
+            }
+        }
+        pool.spawn(Box::new(Spinner)).unwrap();
+        std::thread::sleep(Duration::from_millis(10)); // let it spin
+        let start = Instant::now();
+        pool.shutdown(); // must preempt the queued re-activation and join
+        assert!(start.elapsed() < Duration::from_secs(5));
+    }
+
+    #[test]
+    fn panicking_session_is_retired_without_killing_the_worker() {
+        let db = Database::new(EngineConfig::default());
+        let pool = SessionPool::new(db, ServerConfig::with_workers(1));
+        struct Bomb {
+            closed: Arc<AtomicU64>,
+        }
+        impl SessionTask for Bomb {
+            fn run(&mut self, _db: &Database, _sid: SessionId) -> Next {
+                panic!("boom");
+            }
+            fn close(&mut self) {
+                self.closed.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        let closed = Arc::new(AtomicU64::new(0));
+        pool.spawn(Box::new(Bomb {
+            closed: Arc::clone(&closed),
+        }))
+        .unwrap();
+        // The single worker must survive the panic and run later sessions.
+        let total = Arc::new(AtomicU64::new(0));
+        pool.spawn(Box::new(CountTo {
+            n: 0,
+            target: 3,
+            total: Arc::clone(&total),
+        }))
+        .unwrap();
+        while pool.live_sessions() > 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(total.load(Ordering::Relaxed), 3);
+        assert_eq!(closed.load(Ordering::SeqCst), 1, "close hook must run");
+        pool.shutdown();
+    }
+
+    #[test]
+    fn wake_is_not_lost_while_running() {
+        let db = Database::new(EngineConfig::default());
+        let pool = SessionPool::new(db, ServerConfig::with_workers(1));
+        // The task sleeps inside its activation; a wake arriving during that
+        // window must re-run it.
+        struct SleepyOnce {
+            runs: Arc<AtomicU64>,
+        }
+        impl SessionTask for SleepyOnce {
+            fn run(&mut self, _db: &Database, _sid: SessionId) -> Next {
+                let n = self.runs.fetch_add(1, Ordering::SeqCst);
+                if n == 0 {
+                    std::thread::sleep(Duration::from_millis(30));
+                }
+                Next::Idle
+            }
+        }
+        let runs = Arc::new(AtomicU64::new(0));
+        let sid = pool
+            .spawn(Box::new(SleepyOnce {
+                runs: Arc::clone(&runs),
+            }))
+            .unwrap();
+        std::thread::sleep(Duration::from_millis(10)); // mid-first-activation
+        pool.wake(sid);
+        std::thread::sleep(Duration::from_millis(60));
+        assert_eq!(runs.load(Ordering::SeqCst), 2);
+        pool.shutdown();
+    }
+}

@@ -1,0 +1,329 @@
+//! The sessioned connection front-end: [`Server`] accepts logical client
+//! sessions over in-process duplex channels and executes their protocol
+//! requests on the shared [`SessionPool`].
+//!
+//! A [`SessionHandle`] is the client end of the channel: `send` enqueues a
+//! request line and wakes the session; a pool worker drains the inbox — one
+//! activation processes *every* queued request, so a client that pipelines a
+//! whole transaction (`BEGIN` … `COMMIT` in one batch) never holds row locks
+//! across a scheduling boundary — and pushes one response line per request,
+//! which `recv` (blocking) or `try_recv` collects.
+//!
+//! Each session owns at most one open [`Transaction`]; its txid allocation is
+//! pinned to a shard derived from the session id, so sessions spread across
+//! the transaction manager's txid shards no matter which worker thread runs
+//! them.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex};
+use pgssi_common::{Result, ServerConfig};
+use pgssi_engine::{Database, Transaction};
+
+use crate::pool::{Next, SessionId, SessionPool, SessionTask};
+use crate::proto::{self, Command};
+
+#[derive(Default)]
+struct Channel {
+    requests: VecDeque<String>,
+    responses: VecDeque<String>,
+    closed: bool,
+}
+
+/// Client/server halves share this duplex channel.
+struct Duplex {
+    chan: Mutex<Channel>,
+    response_ready: Condvar,
+}
+
+/// The server: a session pool plus the accept path.
+pub struct Server {
+    pool: Arc<SessionPool>,
+}
+
+impl Server {
+    /// Start a server fronting `db` with `cfg.workers` worker threads.
+    pub fn new(db: Database, cfg: ServerConfig) -> Server {
+        Server {
+            pool: Arc::new(SessionPool::new(db, cfg)),
+        }
+    }
+
+    /// The database behind the server.
+    pub fn db(&self) -> &Database {
+        self.pool.db()
+    }
+
+    /// Worker-thread count.
+    pub fn workers(&self) -> usize {
+        self.pool.workers()
+    }
+
+    /// Currently live sessions.
+    pub fn live_sessions(&self) -> usize {
+        self.pool.live_sessions()
+    }
+
+    /// Open a logical session; returns the client end of its duplex channel.
+    pub fn connect(&self) -> Result<SessionHandle> {
+        let duplex = Arc::new(Duplex {
+            chan: Mutex::new(Channel::default()),
+            response_ready: Condvar::new(),
+        });
+        let task = WireTask {
+            duplex: Arc::clone(&duplex),
+            txn: None,
+            shapes: HashMap::new(),
+        };
+        let sid = self.pool.spawn(Box::new(task))?;
+        Ok(SessionHandle {
+            pool: Arc::clone(&self.pool),
+            duplex,
+            sid,
+        })
+    }
+
+    /// Stop the workers (open sessions' transactions roll back on drop).
+    pub fn shutdown(self) {
+        match Arc::try_unwrap(self.pool) {
+            Ok(pool) => pool.shutdown(),
+            Err(_) => { /* live handles keep the pool; its Drop joins workers */ }
+        }
+    }
+}
+
+/// Client end of a session's duplex channel. Dropping it closes the session
+/// (any open transaction rolls back).
+pub struct SessionHandle {
+    pool: Arc<SessionPool>,
+    duplex: Arc<Duplex>,
+    sid: SessionId,
+}
+
+impl SessionHandle {
+    /// Enqueue one request line (non-blocking) and wake the session.
+    pub fn send(&self, line: &str) {
+        {
+            let mut c = self.duplex.chan.lock();
+            c.requests.push_back(line.to_string());
+        }
+        self.pool.db().session_stats().requests_enqueued.bump();
+        self.pool.wake(self.sid);
+    }
+
+    /// Blocking receive of the next response line; `None` once closed with an
+    /// empty response queue.
+    pub fn recv(&self) -> Option<String> {
+        let mut c = self.duplex.chan.lock();
+        loop {
+            if let Some(r) = c.responses.pop_front() {
+                return Some(r);
+            }
+            if c.closed {
+                return None;
+            }
+            self.duplex.response_ready.wait(&mut c);
+        }
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Option<String> {
+        self.duplex.chan.lock().responses.pop_front()
+    }
+
+    /// Send one request and wait for its response.
+    pub fn roundtrip(&self, line: &str) -> String {
+        self.send(line);
+        self.recv().expect("session closed mid-roundtrip")
+    }
+
+    /// Pipeline a batch (e.g. a whole transaction) and collect every response.
+    /// Because the batch is enqueued before the session is woken, one worker
+    /// activation executes it back-to-back.
+    pub fn pipeline(&self, lines: &[&str]) -> Vec<String> {
+        {
+            let mut c = self.duplex.chan.lock();
+            for l in lines {
+                c.requests.push_back(l.to_string());
+            }
+        }
+        let stats = self.pool.db().session_stats();
+        stats.requests_enqueued.add(lines.len() as u64);
+        self.pool.wake(self.sid);
+        (0..lines.len())
+            .map(|_| self.recv().expect("session closed mid-pipeline"))
+            .collect()
+    }
+}
+
+impl Drop for SessionHandle {
+    fn drop(&mut self) {
+        self.duplex.chan.lock().closed = true;
+        self.pool.wake(self.sid);
+    }
+}
+
+/// Server-side session state: drains the inbox on each activation.
+struct WireTask {
+    duplex: Arc<Duplex>,
+    txn: Option<Transaction>,
+    /// Per-session cache of `(pk columns, width)` by table, so hot-path PUTs
+    /// don't re-take the catalog and table locks per request. Schemas are
+    /// immutable after `create_table`, so the cache never goes stale.
+    shapes: HashMap<String, (Vec<usize>, usize)>,
+}
+
+impl SessionTask for WireTask {
+    /// Panic path: mark the channel closed and wake the client so a blocked
+    /// `recv` returns `None` instead of hanging on a retired session.
+    fn close(&mut self) {
+        self.txn = None;
+        self.duplex.chan.lock().closed = true;
+        self.duplex.response_ready.notify_all();
+    }
+
+    fn run(&mut self, db: &Database, sid: SessionId) -> Next {
+        loop {
+            let line = {
+                let mut c = self.duplex.chan.lock();
+                if c.closed {
+                    // Roll back any open transaction and retire the session.
+                    self.txn = None;
+                    c.responses.clear();
+                    return Next::Stop;
+                }
+                match c.requests.pop_front() {
+                    Some(l) => l,
+                    None => return Next::Idle,
+                }
+            };
+            let response = execute_line(db, sid, &mut self.txn, &mut self.shapes, &line);
+            db.session_stats().requests_executed.bump();
+            let mut c = self.duplex.chan.lock();
+            c.responses.push_back(response);
+            drop(c);
+            self.duplex.response_ready.notify_all();
+        }
+    }
+}
+
+fn err(msg: impl std::fmt::Display) -> String {
+    // Responses are line-oriented; errors must stay on one line.
+    format!("ERR {}", msg.to_string().replace('\n', " "))
+}
+
+/// Execute one request line against the session's transaction slot.
+fn execute_line(
+    db: &Database,
+    sid: SessionId,
+    txn: &mut Option<Transaction>,
+    shapes: &mut HashMap<String, (Vec<usize>, usize)>,
+    line: &str,
+) -> String {
+    let cmd = match proto::parse(line) {
+        Ok(c) => c,
+        Err(e) => return err(e),
+    };
+    // Retryable failures auto-abort the engine transaction; a dead handle must
+    // not linger as "open".
+    if txn.as_ref().is_some_and(|t| t.is_finished()) {
+        *txn = None;
+    }
+    match cmd {
+        Command::Begin(spec) => {
+            if txn.is_some() {
+                return err("transaction already open");
+            }
+            match db.begin_with_on_shard(spec.options(), sid) {
+                Ok(t) => {
+                    *txn = Some(t);
+                    "OK".to_string()
+                }
+                Err(e) => err(e),
+            }
+        }
+        Command::Commit => match txn.take() {
+            Some(t) => match t.commit() {
+                Ok(()) => "OK".to_string(),
+                Err(e) => err(e),
+            },
+            None => err("no transaction open"),
+        },
+        Command::Abort => match txn.take() {
+            Some(t) => {
+                t.rollback();
+                "OK".to_string()
+            }
+            None => err("no transaction open"),
+        },
+        Command::Get { table, key } => with_txn(txn, |t| {
+            t.get(&table, &key).map(|row| match row {
+                Some(r) => format!("ROW {}", proto::format_row(&r)),
+                None => "NIL".to_string(),
+            })
+        }),
+        Command::Put { table, row } => with_txn(txn, |t| {
+            if !shapes.contains_key(&table) {
+                shapes.insert(table.clone(), db.table_shape(&table)?);
+            }
+            let (pk, width) = &shapes[&table];
+            // Validate arity up front: the engine checks row width on insert
+            // but not on update, and the pk projection below would panic.
+            if row.len() != *width {
+                return Err(pgssi_common::Error::Misuse(format!(
+                    "PUT row width {} != table width {width}",
+                    row.len()
+                )));
+            }
+            let key: pgssi_common::Key = pk.iter().map(|&i| row[i].clone()).collect();
+            if t.update(&table, &key, row.clone())? {
+                Ok("OK".to_string())
+            } else {
+                t.insert(&table, row).map(|()| "OK".to_string())
+            }
+        }),
+        Command::Del { table, key } => with_txn(txn, |t| {
+            t.delete(&table, &key)
+                .map(|hit| format!("OK {}", u8::from(hit)))
+        }),
+        Command::Scan { table } => with_txn(txn, |t| {
+            let rows = t.scan(&table)?;
+            let body = rows
+                .iter()
+                .map(|r| {
+                    r.iter()
+                        .map(proto::format_value)
+                        .collect::<Vec<_>>()
+                        .join(",")
+                })
+                .collect::<Vec<_>>()
+                .join("|");
+            Ok(if body.is_empty() {
+                format!("ROWS {}", rows.len())
+            } else {
+                format!("ROWS {} {body}", rows.len())
+            })
+        }),
+    }
+}
+
+/// Run a data command against the open transaction, mapping errors (and the
+/// no-transaction case) to `ERR` lines and reaping auto-aborted handles.
+fn with_txn(
+    txn: &mut Option<Transaction>,
+    f: impl FnOnce(&mut Transaction) -> Result<String>,
+) -> String {
+    let Some(t) = txn.as_mut() else {
+        return err("no transaction open");
+    };
+    let out = match f(t) {
+        Ok(s) => s,
+        Err(e) => err(e),
+    };
+    if t.is_finished() {
+        // Retryable error rolled the transaction back under us.
+        *txn = None;
+    }
+    out
+}

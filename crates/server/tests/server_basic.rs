@@ -1,0 +1,234 @@
+//! End-to-end tests for the wire front-end: protocol round-trips, isolation
+//! behavior through the protocol, concurrent-session correctness, and the
+//! many-sessions-on-few-workers shape the session layer exists for.
+
+use std::sync::Arc;
+
+use pgssi_common::{EngineConfig, ServerConfig};
+use pgssi_engine::{Database, TableDef};
+use pgssi_server::Server;
+
+fn kv_server(workers: usize, max_sessions: usize) -> Server {
+    let mut config = EngineConfig::default();
+    // Interactive sessions can hold row locks across scheduling quanta; when
+    // every worker blocks on such a lock, progress resumes only at the lock
+    // timeout. Keep it short so contention tests resolve quickly (the module
+    // docs on `pool` explain why pipelined clients never hit this).
+    config.ssi.lock_wait_timeout = std::time::Duration::from_millis(200);
+    let db = Database::new(config);
+    db.create_table(TableDef::new("kv", &["k", "v"], vec![0]))
+        .unwrap();
+    let cfg = ServerConfig {
+        workers,
+        max_sessions,
+    };
+    Server::new(db, cfg)
+}
+
+#[test]
+fn roundtrip_put_get_commit() {
+    let server = kv_server(2, 16);
+    let s = server.connect().unwrap();
+    assert_eq!(s.roundtrip("BEGIN"), "OK");
+    assert_eq!(s.roundtrip("PUT kv 1 10"), "OK");
+    assert_eq!(s.roundtrip("GET kv 1"), "ROW 1 10");
+    assert_eq!(s.roundtrip("COMMIT"), "OK");
+
+    // A second session sees the committed row; PUT upserts.
+    let s2 = server.connect().unwrap();
+    assert_eq!(s2.roundtrip("BEGIN REPEATABLE READ"), "OK");
+    assert_eq!(s2.roundtrip("GET kv 1"), "ROW 1 10");
+    assert_eq!(s2.roundtrip("PUT kv 1 11"), "OK");
+    assert_eq!(s2.roundtrip("GET kv 1"), "ROW 1 11");
+    assert_eq!(s2.roundtrip("SCAN kv"), "ROWS 1 1,11");
+    assert_eq!(s2.roundtrip("DEL kv 1"), "OK 1");
+    assert_eq!(s2.roundtrip("DEL kv 1"), "OK 0");
+    assert_eq!(s2.roundtrip("GET kv 1"), "NIL");
+    assert_eq!(s2.roundtrip("ABORT"), "OK");
+    server.shutdown();
+}
+
+#[test]
+fn protocol_errors_are_reported_not_fatal() {
+    let server = kv_server(1, 4);
+    let s = server.connect().unwrap();
+    assert!(s.roundtrip("GET kv 1").starts_with("ERR no transaction"));
+    assert!(s.roundtrip("COMMIT").starts_with("ERR no transaction"));
+    assert!(s.roundtrip("FLY me to the moon").starts_with("ERR"));
+    assert_eq!(s.roundtrip("BEGIN"), "OK");
+    assert!(s.roundtrip("BEGIN").starts_with("ERR transaction already"));
+    assert!(s.roundtrip("GET missing 1").starts_with("ERR"));
+    // Row-arity mismatches are rejected, not panics, and not persisted.
+    assert!(s.roundtrip("PUT kv 5").starts_with("ERR"));
+    assert!(s.roundtrip("PUT kv 5 50 500").starts_with("ERR"));
+    // The open transaction survived all of the above errors.
+    assert_eq!(s.roundtrip("PUT kv 5 50"), "OK");
+    assert_eq!(s.roundtrip("COMMIT"), "OK");
+    server.shutdown();
+}
+
+#[test]
+fn read_only_session_rejects_writes() {
+    let server = kv_server(1, 4);
+    let s = server.connect().unwrap();
+    assert_eq!(s.roundtrip("BEGIN SERIALIZABLE READ ONLY"), "OK");
+    assert!(s.roundtrip("PUT kv 1 1").starts_with("ERR"));
+    assert_eq!(s.roundtrip("COMMIT"), "OK");
+    // DEFERRABLE with nothing concurrent: safe snapshot immediately.
+    assert_eq!(s.roundtrip("BEGIN SERIALIZABLE READ ONLY DEFERRABLE"), "OK");
+    assert_eq!(s.roundtrip("SCAN kv"), "ROWS 0");
+    assert_eq!(s.roundtrip("COMMIT"), "OK");
+    server.shutdown();
+}
+
+/// The classic write-skew anomaly, driven entirely over the wire protocol:
+/// interactive sessions holding transactions open across scheduling quanta.
+/// Under SERIALIZABLE one of the two must fail; under REPEATABLE READ (plain
+/// SI) both commit.
+#[test]
+fn write_skew_caught_over_the_wire() {
+    for (iso, expect_anomaly_blocked) in [("", true), (" REPEATABLE READ", false)] {
+        let server = kv_server(2, 4);
+        let seed = server.connect().unwrap();
+        for r in seed.pipeline(&["BEGIN READ COMMITTED", "PUT kv 1 1", "PUT kv 2 1", "COMMIT"]) {
+            assert_eq!(r, "OK");
+        }
+        let a = server.connect().unwrap();
+        let b = server.connect().unwrap();
+        assert_eq!(a.roundtrip(&format!("BEGIN{iso}")), "OK");
+        assert_eq!(b.roundtrip(&format!("BEGIN{iso}")), "OK");
+        // Each reads both rows, then writes the *other* row.
+        assert_eq!(a.roundtrip("GET kv 1"), "ROW 1 1");
+        assert_eq!(a.roundtrip("GET kv 2"), "ROW 2 1");
+        assert_eq!(b.roundtrip("GET kv 1"), "ROW 1 1");
+        assert_eq!(b.roundtrip("GET kv 2"), "ROW 2 1");
+        let ra = a.roundtrip("PUT kv 1 0");
+        let rb = b.roundtrip("PUT kv 2 0");
+        let ca = a.roundtrip("COMMIT");
+        let cb = b.roundtrip("COMMIT");
+        let failures = [&ra, &rb, &ca, &cb]
+            .iter()
+            .filter(|r| r.starts_with("ERR"))
+            .count();
+        if expect_anomaly_blocked {
+            assert!(failures > 0, "SSI must abort one side of write skew");
+        } else {
+            assert_eq!(failures, 0, "plain SI permits write skew");
+        }
+        server.shutdown();
+    }
+}
+
+/// Counter increments from many concurrent sessions must not lose updates:
+/// serialization failures may abort attempts, but every committed attempt
+/// must be reflected in the final value.
+#[test]
+fn concurrent_sessions_do_not_lose_updates() {
+    let server = kv_server(4, 64);
+    let setup = server.connect().unwrap();
+    for r in setup.pipeline(&["BEGIN READ COMMITTED", "PUT kv 0 0", "COMMIT"]) {
+        assert_eq!(r, "OK");
+    }
+    let server = Arc::new(server);
+    let committed: u64 = std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let server = Arc::clone(&server);
+            handles.push(scope.spawn(move || {
+                let s = server.connect().unwrap();
+                let mut ok = 0u64;
+                for _ in 0..25 {
+                    if s.roundtrip("BEGIN") != "OK" {
+                        continue;
+                    }
+                    let got = s.roundtrip("GET kv 0");
+                    let Some(v) = got
+                        .strip_prefix("ROW 0 ")
+                        .and_then(|v| v.parse::<i64>().ok())
+                    else {
+                        let _ = s.roundtrip("ABORT");
+                        continue;
+                    };
+                    let put = s.roundtrip(&format!("PUT kv 0 {}", v + 1));
+                    if put != "OK" {
+                        continue; // auto-aborted
+                    }
+                    if s.roundtrip("COMMIT") == "OK" {
+                        ok += 1;
+                    }
+                }
+                ok
+            }));
+        }
+        handles.into_iter().map(|h| h.join().unwrap()).sum()
+    });
+    let check = server.connect().unwrap();
+    assert_eq!(check.roundtrip("BEGIN READ ONLY"), "OK");
+    let got = check.roundtrip("GET kv 0");
+    let v: u64 = got.strip_prefix("ROW 0 ").unwrap().parse().unwrap();
+    assert_eq!(check.roundtrip("COMMIT"), "OK");
+    assert_eq!(
+        v, committed,
+        "committed increments must all be present (no lost updates)"
+    );
+    assert!(committed > 0);
+}
+
+/// The acceptance shape: 1024 logical sessions on 4 workers, pipelined
+/// transactions, no deadlock and real throughput. Also checks the session
+/// and snapshot-cache counters surface through `stats_report`.
+#[test]
+fn a_thousand_sessions_on_four_workers() {
+    let server = kv_server(4, 1100);
+    let setup = server.connect().unwrap();
+    let mut batch = vec!["BEGIN READ COMMITTED".to_string()];
+    for k in 0..64 {
+        batch.push(format!("PUT kv {k} 0"));
+    }
+    batch.push("COMMIT".to_string());
+    let refs: Vec<&str> = batch.iter().map(|s| s.as_str()).collect();
+    for r in setup.pipeline(&refs) {
+        assert_eq!(r, "OK");
+    }
+
+    let sessions: Vec<_> = (0..1024).map(|_| server.connect().unwrap()).collect();
+    assert_eq!(server.live_sessions(), 1025); // + setup session
+                                              // Every session pipelines one read-mostly transaction; 90% read 4 keys,
+                                              // 10% bump one key. All inboxes are loaded before any response is read.
+    for (i, s) in sessions.iter().enumerate() {
+        if i % 10 == 0 {
+            s.send("BEGIN");
+            s.send(&format!("PUT kv {} 1", i % 64));
+            s.send("COMMIT");
+        } else {
+            s.send("BEGIN");
+            for j in 0..4 {
+                s.send(&format!("GET kv {}", (i + j * 17) % 64));
+            }
+            s.send("COMMIT");
+        }
+    }
+    let mut commits = 0;
+    for (i, s) in sessions.iter().enumerate() {
+        let n = if i % 10 == 0 { 3 } else { 6 };
+        let responses: Vec<String> = (0..n).map(|_| s.recv().unwrap()).collect();
+        if responses.last().unwrap() == "OK" {
+            commits += 1;
+        }
+    }
+    assert!(
+        commits > 900,
+        "read-mostly mix should mostly commit, got {commits}/1024"
+    );
+    let report = server.db().stats_report();
+    assert_eq!(report.sessions_opened, 1025);
+    assert!(report.session_requests >= 1024 * 3);
+    assert_eq!(report.session_requests, report.session_executed);
+    assert!(
+        report.txn_snapshot_hits > 0,
+        "read bursts between commits must hit the snapshot cache"
+    );
+    drop(sessions);
+    drop(setup);
+    Arc::try_unwrap(Arc::new(server)).ok().unwrap().shutdown();
+}

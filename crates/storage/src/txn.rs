@@ -1,40 +1,125 @@
-//! Transaction manager: id assignment, snapshots, commit/abort, and waits.
+//! Transaction manager: sharded id assignment, epoch-cached snapshots,
+//! commit/abort, and waits.
 //!
-//! A single mutex orders transaction starts, snapshot acquisition, and commits, so
-//! that a [`Snapshot`]'s `xip` list and its commit-sequence frontier (`csn`) are
-//! mutually consistent — the property the SSI core's "committed before snapshot"
-//! tests (paper §4.1) rely on.
+//! The seed implementation ordered transaction starts, snapshot acquisition,
+//! and commits through **one mutex**; under the session front-end's workloads
+//! (`fig_scaling --stats`, then `fig_sessions`) that mutex is the dominant
+//! begin/snapshot serialization point. This version splits the manager into
+//! independently locked pieces while preserving the paper-§4.1 invariant the
+//! SSI core's "committed before snapshot" tests rely on: a [`Snapshot`]'s
+//! `xip` list and its commit-sequence frontier (`csn`) are mutually
+//! consistent — no observer can see a transaction as simultaneously "not in
+//! progress" and "not committed".
 //!
-//! The manager also implements PostgreSQL's `XactLockTableWait` equivalent: a writer
-//! that finds an in-progress `xmax` in a tuple header waits for that transaction to
-//! finish ([`TxnManager::wait_for`]). Because each transaction waits for at most one
-//! other, the waits-for graph is functional and deadlock detection is a simple
-//! pointer chase performed before sleeping.
+//! * **Txid allocation** (`begin`): ids come from per-shard *blocks* carved
+//!   off a single atomic frontier ([`TxnConfig::txid_block`] ids per
+//!   `fetch_add`). A begin takes only its thread-affine shard mutex plus one
+//!   id-striped active-set mutex; begins on different shards share nothing
+//!   but the (rarely touched) block frontier.
+//! * **Snapshots** (`snapshot`): an epoch-tagged cache. Commits and aborts
+//!   bump the epoch; while it is unchanged, `snapshot()` clones the cached
+//!   snapshot without taking any manager-wide lock. On a miss the snapshot is
+//!   rebuilt under the finish mutex + every shard mutex, which freezes the
+//!   frontier, the active sets, and `next_csn` into one consistent cut.
+//! * **Finishes** (`commit`/`abort`): serialized by the small `finish` mutex
+//!   (they were serialized by the global mutex before). The clog entry is
+//!   published *before* the id leaves its active stripe, so "no longer
+//!   active" always implies "status finalized".
+//!
+//! ## Why unissued block ids ride in `xip`
+//!
+//! `Snapshot::xmax` is the global block frontier, so an id inside an
+//! already-reserved block is *below* `xmax` even before any transaction has
+//! claimed it. Such an id may begin (and even commit) after the snapshot was
+//! taken, and the snapshot must classify it as concurrent; listing the
+//! reserved remainder `[next, end)` of every shard's block in `xip` does
+//! exactly that, at the cost of at most `id_shards × txid_block` extra
+//! entries. Ids are claimed from reserved ranges while *holding the shard
+//! mutex through the active-stripe insert*, so a rebuild (which holds all
+//! shard mutexes) can never observe an id that is neither reserved nor
+//! active.
+//!
+//! ## Lock order
+//!
+//! `finish → alloc shards (ascending) → active stripes → snapshot cache`, and
+//! independently `waits → active stripes`. Finishing transactions touch the
+//! waits mutex only after releasing the finish mutex (to publish condvar
+//! wakeups), so the combined order is acyclic.
+//!
+//! The manager also implements PostgreSQL's `XactLockTableWait` equivalent: a
+//! writer that finds an in-progress `xmax` in a tuple header waits for that
+//! transaction to finish ([`TxnManager::wait_for`]). Because each transaction
+//! waits for at most one other, the waits-for graph is functional and
+//! deadlock detection is a pointer chase performed before sleeping — the
+//! whole chase runs under **one** acquisition of the waits mutex, so a
+//! concurrent edge insertion/removal can never hide a cycle mid-walk.
 
 use std::collections::{BTreeSet, HashMap};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use parking_lot::{Condvar, Mutex};
-use pgssi_common::{CommitSeqNo, Error, Result, Snapshot, TxnId};
+use parking_lot::{Condvar, Mutex, RwLock};
+use pgssi_common::stats::Counter;
+use pgssi_common::{CommitSeqNo, Error, Result, Snapshot, TxnConfig, TxnId};
 
 use crate::clog::{CommitLog, TxnStatus};
 
+/// Event counters for the sharded transaction manager, surfaced through
+/// `Database::stats_report()` so `fig_sessions --stats` can report the
+/// snapshot-cache hit rate directly.
 #[derive(Default)]
-struct TmState {
-    next_txid: u64,
-    next_csn: u64,
-    /// All in-progress transaction ids, including live subtransaction ids.
-    active: BTreeSet<TxnId>,
-    /// waiter -> waitee edges for deadlock detection.
-    waits_for: HashMap<TxnId, TxnId>,
+pub struct TxnStats {
+    /// Transactions (and subtransactions) begun.
+    pub begins: Counter,
+    /// Snapshot requests served by cloning the epoch-cached snapshot.
+    pub snapshot_hits: Counter,
+    /// Snapshot requests that had to rebuild (cache invalidated by a finish).
+    pub snapshot_rebuilds: Counter,
+    /// Txid blocks carved off the global frontier.
+    pub txid_blocks: Counter,
+}
+
+/// A shard's reserved txid block: ids in `[next, end)` are carved off the
+/// global frontier but not yet handed to any transaction.
+#[derive(Default)]
+struct ShardAlloc {
+    next: u64,
+    end: u64,
+}
+
+struct CachedSnapshot {
+    /// Epoch the snapshot was built at; stale once any finish bumps it.
+    epoch: u64,
+    snap: Arc<Snapshot>,
 }
 
 /// Assigns transaction ids and commit sequence numbers, takes snapshots, and
 /// resolves transaction-finish waits.
 pub struct TxnManager {
     clog: CommitLog,
-    state: Mutex<TmState>,
+    /// Global txid frontier; doubles as every snapshot's `xmax`. Advanced only
+    /// while holding the advancing shard's alloc mutex (see module docs).
+    next_txid: AtomicU64,
+    /// Per-shard reserved blocks; a thread always uses the same shard.
+    alloc: Box<[Mutex<ShardAlloc>]>,
+    /// In-progress ids, striped by `id % stripes`, so `commit(xids)` can find
+    /// an id's stripe without knowing which shard issued it.
+    active: Box<[Mutex<BTreeSet<TxnId>>]>,
+    /// Next commit sequence number. Written only under `finish`; read
+    /// lock-free by [`TxnManager::frontier`].
+    next_csn: AtomicU64,
+    /// Serializes commits/aborts against each other and snapshot rebuilds.
+    finish: Mutex<()>,
+    /// Bumped (under `finish`) by every commit/abort; tags the cache.
+    epoch: AtomicU64,
+    cache: RwLock<Option<CachedSnapshot>>,
+    /// waiter -> waitee edges for deadlock detection; also the condvar mutex.
+    waits: Mutex<HashMap<TxnId, TxnId>>,
     finished: Condvar,
+    block: u64,
+    /// Event counters.
+    pub stats: TxnStats,
 }
 
 impl Default for TxnManager {
@@ -43,18 +128,51 @@ impl Default for TxnManager {
     }
 }
 
+/// Monotonic thread slots for shard affinity (stable per thread, cheap).
+static THREAD_SLOTS: AtomicUsize = AtomicUsize::new(0);
+
+fn thread_slot() -> usize {
+    thread_local! {
+        static SLOT: std::cell::Cell<usize> = const { std::cell::Cell::new(usize::MAX) };
+    }
+    SLOT.with(|s| {
+        let mut v = s.get();
+        if v == usize::MAX {
+            v = THREAD_SLOTS.fetch_add(1, Ordering::Relaxed);
+            s.set(v);
+        }
+        v
+    })
+}
+
 impl TxnManager {
-    /// Fresh manager; the first transaction gets [`TxnId::FIRST_NORMAL`].
+    /// Fresh manager with default sharding; the first transaction gets
+    /// [`TxnId::FIRST_NORMAL`].
     pub fn new() -> TxnManager {
+        TxnManager::with_config(&TxnConfig::default())
+    }
+
+    /// Fresh manager with explicit sharding knobs.
+    pub fn with_config(config: &TxnConfig) -> TxnManager {
+        let shards = config.id_shards.max(1);
+        // More stripes than shards so id-keyed lookups rarely collide; the
+        // count only needs to be "a few per shard", not tuned.
+        let stripes = (shards * 4).next_power_of_two();
         TxnManager {
             clog: CommitLog::new(),
-            state: Mutex::new(TmState {
-                next_txid: TxnId::FIRST_NORMAL.0,
-                next_csn: CommitSeqNo::FIRST.0,
-                active: BTreeSet::new(),
-                waits_for: HashMap::new(),
-            }),
+            next_txid: AtomicU64::new(TxnId::FIRST_NORMAL.0),
+            alloc: (0..shards)
+                .map(|_| Mutex::new(ShardAlloc::default()))
+                .collect(),
+            active: (0..stripes).map(|_| Mutex::new(BTreeSet::new())).collect(),
+            next_csn: AtomicU64::new(CommitSeqNo::FIRST.0),
+            finish: Mutex::new(()),
+            epoch: AtomicU64::new(0),
+            cache: RwLock::new(None),
+            waits: Mutex::new(HashMap::new()),
             finished: Condvar::new(),
+            block: config.txid_block.max(1),
+            stats: TxnStats::default(),
         }
     }
 
@@ -64,14 +182,45 @@ impl TxnManager {
         &self.clog
     }
 
-    /// Start a new top-level transaction: assign an id and mark it in progress.
+    /// Number of txid-allocation shards.
+    #[inline]
+    pub fn shard_count(&self) -> usize {
+        self.alloc.len()
+    }
+
+    #[inline]
+    fn stripe(&self, txid: TxnId) -> &Mutex<BTreeSet<TxnId>> {
+        // Stripe count is a power of two.
+        &self.active[(txid.0 as usize) & (self.active.len() - 1)]
+    }
+
+    /// Start a new top-level transaction on the calling thread's shard.
     pub fn begin(&self) -> TxnId {
-        let mut st = self.state.lock();
-        let txid = TxnId(st.next_txid);
-        st.next_txid += 1;
-        st.active.insert(txid);
-        drop(st);
+        self.begin_on_shard(thread_slot())
+    }
+
+    /// Start a new top-level transaction on an explicit shard (session pools
+    /// pin a logical session to a shard; tests use it to force cross-shard
+    /// interleavings). `shard` is taken modulo the shard count.
+    pub fn begin_on_shard(&self, shard: usize) -> TxnId {
+        let mut a = self.alloc[shard % self.alloc.len()].lock();
+        if a.next == a.end {
+            // Carve a fresh block while holding the shard mutex, so a snapshot
+            // rebuild (which holds every shard mutex) either sees the frontier
+            // before this block existed or sees the block as reserved.
+            let start = self.next_txid.fetch_add(self.block, Ordering::Relaxed);
+            a.next = start;
+            a.end = start + self.block;
+            self.stats.txid_blocks.bump();
+        }
+        let txid = TxnId(a.next);
+        a.next += 1;
+        // Move the id from "reserved" to "active" before releasing the shard
+        // mutex: a rebuild must never find it in neither set.
+        self.stripe(txid).lock().insert(txid);
+        drop(a);
         self.clog.register(txid);
+        self.stats.begins.bump();
         txid
     }
 
@@ -83,56 +232,182 @@ impl TxnManager {
     }
 
     /// Take an MVCC snapshot consistent with the current commit frontier.
+    ///
+    /// Fast path: if no transaction has finished since the cached snapshot was
+    /// built, clone it (begins never invalidate the cache — new ids are either
+    /// still listed as reserved in the cached `xip` or lie at/above its
+    /// `xmax`, and both read as in-progress). Slow path: rebuild a consistent
+    /// cut under the finish mutex and refresh the cache.
     pub fn snapshot(&self) -> Snapshot {
-        let st = self.state.lock();
-        let xmax = TxnId(st.next_txid);
-        let xmin = st.active.iter().next().copied().unwrap_or(xmax);
-        Snapshot {
-            xmin,
-            xmax,
-            xip: st.active.iter().copied().collect(),
-            csn: CommitSeqNo(st.next_csn),
+        let epoch = self.epoch.load(Ordering::Acquire);
+        let cached = {
+            let cache = self.cache.read();
+            match &*cache {
+                Some(c) if c.epoch == epoch => Some(Arc::clone(&c.snap)),
+                _ => None,
+            }
+        };
+        if let Some(snap) = cached {
+            self.stats.snapshot_hits.bump();
+            // Clone outside the cache lock so concurrent hits copy in parallel.
+            return (*snap).clone();
         }
+        self.rebuild_snapshot()
+    }
+
+    fn rebuild_snapshot(&self) -> Snapshot {
+        // Freeze finishes, then all allocation shards. With every shard mutex
+        // held no begin can be mid-flight, so the frontier, reserved ranges,
+        // and active stripes form one consistent cut; with the finish mutex
+        // held, `next_csn`, the clog, and the active stripes agree.
+        let _fin = self.finish.lock();
+        // Re-check under the mutex: after a writing commit, every concurrent
+        // snapshotter misses at once and queues here — the first to arrive
+        // rebuilds, the rest clone its work instead of re-walking the shards.
+        let epoch_now = self.epoch.load(Ordering::Acquire);
+        {
+            let cache = self.cache.read();
+            if let Some(c) = &*cache {
+                if c.epoch == epoch_now {
+                    let snap = Arc::clone(&c.snap);
+                    drop(cache);
+                    self.stats.snapshot_hits.bump();
+                    return (*snap).clone();
+                }
+            }
+        }
+        let allocs: Vec<_> = self.alloc.iter().map(|m| m.lock()).collect();
+        let epoch = self.epoch.load(Ordering::Acquire);
+        let xmax = TxnId(self.next_txid.load(Ordering::Relaxed));
+        let mut xip: Vec<TxnId> = Vec::new();
+        for a in &allocs {
+            xip.extend((a.next..a.end).map(TxnId));
+        }
+        for stripe in self.active.iter() {
+            xip.extend(stripe.lock().iter().copied());
+        }
+        drop(allocs);
+        xip.sort_unstable();
+        let snap = Snapshot {
+            xmin: xip.first().copied().unwrap_or(xmax),
+            xmax,
+            xip,
+            csn: CommitSeqNo(self.next_csn.load(Ordering::Acquire)),
+        };
+        *self.cache.write() = Some(CachedSnapshot {
+            epoch,
+            snap: Arc::new(snap.clone()),
+        });
+        self.stats.snapshot_rebuilds.bump();
+        snap
     }
 
     /// Current commit-sequence frontier: the CSN the next commit will receive.
     /// Equivalent to `snapshot().csn` without building the xip list.
+    #[inline]
     pub fn frontier(&self) -> CommitSeqNo {
-        CommitSeqNo(self.state.lock().next_csn)
+        CommitSeqNo(self.next_csn.load(Ordering::Acquire))
     }
 
     /// Commit a transaction together with its live subtransactions. All ids receive
     /// the same commit sequence number, which is returned.
     pub fn commit(&self, xids: &[TxnId]) -> CommitSeqNo {
-        let mut st = self.state.lock();
-        let csn = CommitSeqNo(st.next_csn);
-        st.next_csn += 1;
+        let fin = self.finish.lock();
+        let csn = CommitSeqNo(self.next_csn.load(Ordering::Relaxed));
+        self.next_csn.store(csn.0 + 1, Ordering::Release);
         for &x in xids {
-            st.active.remove(&x);
-            // Publish while holding the lock so no snapshot can observe the id as
-            // both "not active" and "not committed".
+            // Clog first, then the active stripe: "no longer active" must
+            // imply "status finalized" for lock-release waiters that poll
+            // status after `wait_for` returns.
             self.clog.set_committed(x, csn);
+            self.stripe(x).lock().remove(&x);
         }
-        drop(st);
-        self.finished.notify_all();
+        // Invalidate the snapshot cache; rebuilds are excluded until `fin`
+        // drops, so no rebuild can capture a half-applied commit.
+        self.epoch.fetch_add(1, Ordering::Release);
+        drop(fin);
+        self.notify_finished();
+        csn
+    }
+
+    /// Commit a transaction that **wrote nothing** (the engine tracks this; a
+    /// rolled-back savepoint write still counts as having written). The ids
+    /// are marked committed *at* the current frontier without advancing it,
+    /// and — the point — without invalidating the snapshot cache.
+    ///
+    /// Why this is sound: a writeless transaction's id appears in no tuple
+    /// header, so no visibility check ever classifies it. A stale cached
+    /// snapshot that still lists the id in `xip` calls it "concurrent", a
+    /// fresh rebuild calls it "finished"; with nothing written, the two are
+    /// observationally identical. Its frontier-valued CSN ties with the next
+    /// real commit's, which is also safe, but for a sharper reason than "only
+    /// writers' CSNs matter": the SSI core *does* consult a read-only T1's
+    /// commit CSN in the pivot checks (`manager.rs` compares a candidate
+    /// T3's commit `c` against `t1_bound = T1.commit_csn` with `<=`). A
+    /// writer committing strictly after this transaction can share its CSN,
+    /// so those non-strict comparisons may treat "tied" as "committed first"
+    /// — a spurious dangerous-structure flag at worst, never a missed one,
+    /// because every such comparison errs toward aborting. If those `<=`s
+    /// ever become `<` (or this CSN stops tying low), re-derive the argument.
+    ///
+    /// This mirrors PostgreSQL, where read-only transactions never consume an
+    /// xid at all and thus never perturb anyone's xip; here ids are assigned
+    /// at begin, so the write-free case is reconstructed at commit time. In
+    /// read-mostly workloads this is what makes the snapshot cache *hit*:
+    /// only writing commits invalidate it.
+    pub fn commit_readonly(&self, xids: &[TxnId]) -> CommitSeqNo {
+        let fin = self.finish.lock();
+        let csn = CommitSeqNo(self.next_csn.load(Ordering::Relaxed));
+        for &x in xids {
+            self.clog.set_committed(x, csn);
+            self.stripe(x).lock().remove(&x);
+        }
+        drop(fin);
+        self.notify_finished();
         csn
     }
 
     /// Abort a transaction (and its live subtransactions).
     pub fn abort(&self, xids: &[TxnId]) {
-        let mut st = self.state.lock();
+        let fin = self.finish.lock();
         for &x in xids {
-            st.active.remove(&x);
             self.clog.set_aborted(x);
+            self.stripe(x).lock().remove(&x);
         }
-        drop(st);
-        self.finished.notify_all();
+        self.epoch.fetch_add(1, Ordering::Release);
+        drop(fin);
+        self.notify_finished();
+    }
+
+    /// Abort a transaction that **wrote nothing**, without invalidating the
+    /// snapshot cache (the [`TxnManager::commit_readonly`] argument applies a
+    /// fortiori: an aborted id is classified from the clog before any
+    /// snapshot is consulted, so a stale cached `xip` still listing it
+    /// changes nothing). Read transactions that end in ROLLBACK — a common
+    /// wire-client pattern — would otherwise defeat the cache exactly like
+    /// writing commits.
+    pub fn abort_readonly(&self, xids: &[TxnId]) {
+        let fin = self.finish.lock();
+        for &x in xids {
+            self.clog.set_aborted(x);
+            self.stripe(x).lock().remove(&x);
+        }
+        drop(fin);
+        self.notify_finished();
     }
 
     /// Abort a single subtransaction id (ROLLBACK TO SAVEPOINT). The parent remains
     /// active.
     pub fn abort_sub(&self, xid: TxnId) {
         self.abort(&[xid]);
+    }
+
+    /// Wake `wait_for` sleepers. The empty waits critical section pairs with
+    /// the waiter's check-then-sleep: a waiter that observed the old active
+    /// state is guaranteed to be asleep (or gone) by the time we notify.
+    fn notify_finished(&self) {
+        drop(self.waits.lock());
+        self.finished.notify_all();
     }
 
     /// Status of `txid` from the commit log.
@@ -143,12 +418,12 @@ impl TxnManager {
 
     /// Whether `txid` is currently in progress.
     pub fn is_active(&self, txid: TxnId) -> bool {
-        self.state.lock().active.contains(&txid)
+        self.stripe(txid).lock().contains(&txid)
     }
 
     /// Number of in-progress transactions (including subtransactions).
     pub fn active_count(&self) -> usize {
-        self.state.lock().active.len()
+        self.active.iter().map(|s| s.lock().len()).sum()
     }
 
     /// Block until `waitee` is no longer in progress, as a tuple-lock wait does
@@ -156,31 +431,34 @@ impl TxnManager {
     ///
     /// Registers `waiter -> waitee` in the waits-for graph first; if that edge would
     /// close a cycle, returns [`Error::Deadlock`] immediately with `waiter` as the
-    /// victim, mirroring PostgreSQL's deadlock detector aborting the waiter.
+    /// victim, mirroring PostgreSQL's deadlock detector aborting the waiter. The
+    /// cycle chase walks the whole (functional) chain under a single waits-mutex
+    /// guard — edges cannot be added or removed mid-chase.
     pub fn wait_for(&self, waiter: TxnId, waitee: TxnId, timeout: Duration) -> Result<()> {
         let deadline = Instant::now() + timeout;
-        let mut st = self.state.lock();
-        if !st.active.contains(&waitee) {
+        let mut w = self.waits.lock();
+        if !self.is_active(waitee) {
             return Ok(());
         }
-        // Deadlock check: follow the (functional) waits-for chain from waitee.
+        // Deadlock check: follow the waits-for chain from waitee, all hops
+        // under the one guard already held.
         let mut cur = waitee;
-        while let Some(&next) = st.waits_for.get(&cur) {
+        while let Some(&next) = w.get(&cur) {
             if next == waiter {
                 return Err(Error::Deadlock { victim: waiter });
             }
             cur = next;
         }
-        st.waits_for.insert(waiter, waitee);
+        w.insert(waiter, waitee);
         let result = loop {
-            if !st.active.contains(&waitee) {
+            if !self.is_active(waitee) {
                 break Ok(());
             }
-            if self.finished.wait_until(&mut st, deadline).timed_out() {
+            if self.finished.wait_until(&mut w, deadline).timed_out() {
                 break Err(Error::LockTimeout);
             }
         };
-        st.waits_for.remove(&waiter);
+        w.remove(&waiter);
         result
     }
 }
@@ -249,6 +527,128 @@ mod tests {
     }
 
     #[test]
+    fn cross_shard_ids_all_read_as_in_progress() {
+        let tm = TxnManager::with_config(&TxnConfig {
+            id_shards: 4,
+            txid_block: 8,
+        });
+        let ids: Vec<TxnId> = (0..4).map(|s| tm.begin_on_shard(s)).collect();
+        let snap = tm.snapshot();
+        for &id in &ids {
+            assert!(snap.is_in_progress(id), "{id:?} must be in progress");
+        }
+        // Unissued ids from every reserved block must also read in-progress:
+        // they can begin (and commit) after this snapshot was taken.
+        for &id in &ids {
+            assert!(
+                snap.is_in_progress(TxnId(id.0 + 1)),
+                "reserved successor of {id:?} must be in progress"
+            );
+        }
+        // xip is sorted and duplicate-free (binary_search contract).
+        assert!(snap.xip.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn snapshot_cache_hits_between_finishes_and_invalidates_on_commit() {
+        let tm = TxnManager::new();
+        let a = tm.begin();
+        let _ = tm.snapshot(); // rebuild
+        let rebuilds = tm.stats.snapshot_rebuilds.get();
+        let s1 = tm.snapshot(); // hit
+        let b = tm.begin(); // begins do not invalidate
+        let s2 = tm.snapshot(); // still a hit
+        assert_eq!(tm.stats.snapshot_rebuilds.get(), rebuilds);
+        assert!(tm.stats.snapshot_hits.get() >= 2);
+        assert_eq!(s1, s2);
+        // The cached snapshot still classifies the new begin as in-progress
+        // (it came from a reserved block id below xmax, or sits above xmax).
+        assert!(s2.is_in_progress(b));
+        tm.commit(&[a]);
+        let s3 = tm.snapshot(); // invalidated: rebuild
+        assert_eq!(tm.stats.snapshot_rebuilds.get(), rebuilds + 1);
+        assert!(!s3.is_in_progress(a));
+        assert!(s3.committed_before(tm.clog().commit_csn(a).unwrap()));
+    }
+
+    #[test]
+    fn readonly_commit_neither_advances_frontier_nor_invalidates_cache() {
+        let tm = TxnManager::new();
+        let w = tm.begin();
+        let wc = tm.commit(&[w]); // establish a real frontier
+        let snap = tm.snapshot(); // rebuild + cache
+        let rebuilds = tm.stats.snapshot_rebuilds.get();
+        let frontier = tm.frontier();
+
+        let r = tm.begin();
+        let rc = tm.commit_readonly(&[r]);
+        assert_eq!(rc, frontier, "read-only commit pins to the frontier");
+        assert_eq!(tm.frontier(), frontier, "frontier must not advance");
+        assert!(tm.status(r).is_committed());
+        assert!(!tm.is_active(r));
+        let after = tm.snapshot();
+        assert_eq!(
+            tm.stats.snapshot_rebuilds.get(),
+            rebuilds,
+            "read-only commits must be cache hits for later snapshots"
+        );
+        assert_eq!(snap, after);
+        // A writing commit still invalidates.
+        let w2 = tm.begin();
+        let w2c = tm.commit(&[w2]);
+        assert!(w2c > wc);
+        let fresh = tm.snapshot();
+        assert_eq!(tm.stats.snapshot_rebuilds.get(), rebuilds + 1);
+        assert!(!fresh.is_in_progress(w2));
+    }
+
+    #[test]
+    fn readonly_abort_does_not_invalidate_cache() {
+        let tm = TxnManager::new();
+        let _ = tm.snapshot(); // prime the cache
+        let rebuilds = tm.stats.snapshot_rebuilds.get();
+        let r = tm.begin();
+        tm.abort_readonly(&[r]);
+        assert_eq!(tm.status(r), TxnStatus::Aborted);
+        assert!(!tm.is_active(r));
+        let snap = tm.snapshot();
+        assert_eq!(
+            tm.stats.snapshot_rebuilds.get(),
+            rebuilds,
+            "writeless aborts must be cache hits for later snapshots"
+        );
+        // The stale cached snapshot may still call the id in-progress; the
+        // clog-first classification makes that unobservable — but the clog
+        // itself must be final.
+        let _ = snap;
+        let w = tm.begin();
+        tm.abort(&[w]); // writing-abort path still invalidates
+        tm.snapshot();
+        assert_eq!(tm.stats.snapshot_rebuilds.get(), rebuilds + 1);
+    }
+
+    #[test]
+    fn readonly_commit_wakes_waiters() {
+        let tm = Arc::new(TxnManager::new());
+        let a = tm.begin();
+        let b = tm.begin();
+        let tm2 = Arc::clone(&tm);
+        let h = std::thread::spawn(move || tm2.wait_for(b, a, Duration::from_secs(5)));
+        std::thread::sleep(Duration::from_millis(20));
+        tm.commit_readonly(&[a]);
+        assert!(h.join().unwrap().is_ok());
+    }
+
+    #[test]
+    fn single_shard_config_still_works() {
+        let tm = TxnManager::with_config(&TxnConfig::single_shard());
+        assert_eq!(tm.shard_count(), 1);
+        let a = tm.begin_on_shard(7); // modulo: lands on shard 0
+        let csn = tm.commit(&[a]);
+        assert!(tm.snapshot().committed_before(csn));
+    }
+
+    #[test]
     fn wait_for_returns_when_waitee_finishes() {
         let tm = Arc::new(TxnManager::new());
         let a = tm.begin();
@@ -312,6 +712,37 @@ mod tests {
         assert!(h2.join().unwrap().is_ok());
         tm.abort(&[b]);
         assert!(h1.join().unwrap().is_ok());
+    }
+
+    /// Regression for the waits-for chase: a 3-hop chain whose closing edge is
+    /// registered while earlier waiters are asleep must be caught in a single
+    /// chase (the chain is walked under one guard; were the guard dropped per
+    /// hop, a concurrently vanishing edge could hide the cycle).
+    #[test]
+    fn four_party_chain_then_cycle_is_detected() {
+        let tm = Arc::new(TxnManager::new());
+        let ids: Vec<TxnId> = (0..4).map(|_| tm.begin()).collect();
+        let mut handles = Vec::new();
+        for w in 0..3 {
+            let tm2 = Arc::clone(&tm);
+            let (waiter, waitee) = (ids[w], ids[w + 1]);
+            handles.push(std::thread::spawn(move || {
+                tm2.wait_for(waiter, waitee, Duration::from_secs(5))
+            }));
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        // ids[3] -> ids[0] closes a 4-cycle; the chase must traverse all three
+        // existing hops to find it.
+        let err = tm
+            .wait_for(ids[3], ids[0], Duration::from_secs(5))
+            .unwrap_err();
+        assert!(matches!(err, Error::Deadlock { victim } if victim == ids[3]));
+        for i in (0..4).rev() {
+            tm.abort(&[ids[i]]);
+        }
+        for h in handles {
+            assert!(h.join().unwrap().is_ok());
+        }
     }
 
     #[test]
