@@ -2,28 +2,36 @@
 //! as the worker-thread count sweeps 1 → 16, on the SIBENCH read-mostly mix
 //! (90% four-point-read transactions, 10% single-key updates).
 //!
-//! This is the repo's first self-measured scalability figure. The paper (§7,
-//! §8) attributes SSI's residual overhead largely to contention on the lock
-//! manager's lightweight locks; the partitioned SIREAD table exists to move
-//! that contention off a single mutex, and this binary is the ablation: run it
-//! with `--partitions 1` to restore the old single-mutex behavior and compare.
+//! This is the repo's self-measured scalability figure. The paper (§7, §8)
+//! attributes SSI's residual overhead largely to contention on the lock
+//! manager's lightweight locks; the partitioned SIREAD table and the sharded
+//! conflict-graph registry exist to move that contention off single mutexes,
+//! and this binary is the ablation for both: `--partitions 1` restores the
+//! old single-mutex SIREAD table, `--graph-shards 1` the single-map record
+//! registry (the per-sxact edge locks stay).
 //!
-//! With `--json`, every invocation also appends one machine-readable run
-//! record (a single JSON line with the full thread/TPS matrix) to
-//! `BENCH_scaling.json` in the working directory — the data trail for the
-//! lock-partition sizing study in ROADMAP (sweep `--partitions 1/4/16/64`
-//! and pick the default from the recorded trajectory, not from PostgreSQL's
-//! constant).
+//! Both flags accept **comma-separated sweep lists** — one invocation of
+//!
+//! ```sh
+//! fig_scaling --json --partitions 1,4,16,64 --graph-shards 1,4,16
+//! ```
+//!
+//! measures the full cross product and, with `--json`, appends one
+//! machine-readable run record (a single JSON line with the thread/TPS
+//! matrix) **per point** to `BENCH_scaling.json` in the working directory —
+//! the data trail for the lock-partition sizing study in ROADMAP (pick the
+//! defaults from the recorded trajectory, not from PostgreSQL's constants).
 //!
 //! ```sh
 //! cargo run --release -p pgssi-bench --bin fig_scaling \
-//!     [-- --duration-ms 800 --max-threads 16 --partitions 16 --rows 1024 --stats --json]
+//!     [-- --duration-ms 800 --max-threads 16 --partitions 16 --graph-shards 16 \
+//!         --rows 1024 --stats --json]
 //! ```
 
 use std::time::Duration;
 
 use pgssi_bench::harness::{
-    append_json_record, arg_value, has_flag, json_array, print_stats_if_requested, Mode,
+    append_json_record, arg_list, arg_value, has_flag, json_array, print_stats_if_requested, Mode,
 };
 use pgssi_bench::sibench::Sibench;
 use pgssi_common::IoModel;
@@ -34,7 +42,8 @@ fn main() {
     let max_threads = arg_value(&args, "--max-threads")
         .or_else(|| arg_value(&args, "--threads"))
         .unwrap_or(16) as usize;
-    let partitions = arg_value(&args, "--partitions").unwrap_or(16) as usize;
+    let partitions_sweep = arg_list(&args, "--partitions").unwrap_or_else(|| vec![16]);
+    let graph_shards_sweep = arg_list(&args, "--graph-shards").unwrap_or_else(|| vec![16]);
     let rows = arg_value(&args, "--rows").unwrap_or(1024) as i64;
 
     let mut threads: Vec<usize> = vec![1, 2, 4, 8, 16];
@@ -45,7 +54,41 @@ fn main() {
 
     let bench = Sibench { table_size: rows };
     println!("Throughput scaling: SIBENCH read-mostly mix (90% 4-point-reads, 10% updates)");
-    println!("table: {rows} rows; SIREAD lock partitions: {partitions}; {duration:?} per cell\n");
+    println!(
+        "table: {rows} rows; {duration:?} per cell; sweep: partitions {partitions_sweep:?} × \
+         graph-shards {graph_shards_sweep:?}"
+    );
+
+    for &partitions in &partitions_sweep {
+        for &graph_shards in &graph_shards_sweep {
+            run_point(
+                &args,
+                &bench,
+                &threads,
+                duration,
+                rows,
+                partitions as usize,
+                graph_shards as usize,
+            );
+        }
+    }
+
+    println!("\nexpected shape: SSI tracks SI's scaling curve (the partitioned SIREAD");
+    println!("table and sharded conflict graph keep disjoint work on disjoint mutexes);");
+    println!("with --partitions 1 the SSI curve flattens as every read serializes on one");
+    println!("table-wide mutex, and --graph-shards 1 funnels record lookups the same way.");
+}
+
+fn run_point(
+    args: &[String],
+    bench: &Sibench,
+    threads: &[usize],
+    duration: Duration,
+    rows: i64,
+    partitions: usize,
+    graph_shards: usize,
+) {
+    println!("\n── SIREAD partitions: {partitions}; graph shards: {graph_shards} ──");
     print!("{:>8}", "threads");
     for mode in Mode::MAIN {
         print!("  {:>9} {:>7}", mode.label(), "x1thr");
@@ -59,13 +102,14 @@ fn main() {
         .map(|mode| {
             let mut config = mode.config(IoModel::in_memory());
             config.ssi.lock_partitions = partitions;
+            config.ssi.graph_shards = graph_shards;
             (*mode, bench.setup_with(config))
         })
         .collect();
 
     let mut base_tps = [0.0f64; Mode::MAIN.len()];
     let mut series: Vec<Vec<f64>> = vec![Vec::new(); dbs.len()];
-    for &t in &threads {
+    for &t in threads {
         print!("{t:>8}");
         for (i, (mode, db)) in dbs.iter().enumerate() {
             let r = bench.run_read_mostly_on(db, *mode, t, duration, 42);
@@ -79,11 +123,7 @@ fn main() {
         println!();
     }
 
-    println!("\nexpected shape: SSI tracks SI's scaling curve (the partitioned SIREAD");
-    println!("table keeps disjoint reads on disjoint mutexes); with --partitions 1 the");
-    println!("SSI curve flattens as every read serializes on one table-wide mutex.");
-
-    if has_flag(&args, "--json") {
+    if has_flag(args, "--json") {
         let unix_ms = std::time::SystemTime::now()
             .duration_since(std::time::UNIX_EPOCH)
             .map(|d| d.as_millis())
@@ -102,18 +142,23 @@ fn main() {
             .join(",");
         let record = format!(
             "{{\"bench\":\"fig_scaling\",\"unix_ms\":{unix_ms},\"partitions\":{partitions},\
-             \"rows\":{rows},\"duration_ms\":{},\"threads\":{},\"tps\":{{{modes}}}}}",
+             \"graph_shards\":{graph_shards},\"rows\":{rows},\"duration_ms\":{},\
+             \"threads\":{},\"tps\":{{{modes}}}}}",
             duration.as_millis(),
             json_array(threads.iter()),
         );
         const JSON_PATH: &str = "BENCH_scaling.json";
         match append_json_record(JSON_PATH, &record) {
-            Ok(()) => println!("\nappended run record to {JSON_PATH}"),
-            Err(e) => eprintln!("\nfailed to append {JSON_PATH}: {e}"),
+            Ok(()) => println!("appended run record to {JSON_PATH}"),
+            Err(e) => eprintln!("failed to append {JSON_PATH}: {e}"),
         }
     }
 
     for (mode, db) in &dbs {
-        print_stats_if_requested(&args, mode.label(), db);
+        print_stats_if_requested(
+            args,
+            &format!("{} p{partitions} g{graph_shards}", mode.label()),
+            db,
+        );
     }
 }

@@ -182,6 +182,25 @@ pub fn has_flag(args: &[String], name: &str) -> bool {
     args.iter().any(|a| a == name)
 }
 
+/// Parse `--partitions 1,4,16,64`-style comma-separated sweep lists (a single
+/// value is a one-element list). Returns `None` if the flag is absent or
+/// nothing parses, so callers can supply their default point.
+pub fn arg_list(args: &[String], name: &str) -> Option<Vec<u64>> {
+    let raw = args
+        .iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))?;
+    let vals: Vec<u64> = raw
+        .split(',')
+        .filter_map(|v| v.trim().parse().ok())
+        .collect();
+    if vals.is_empty() {
+        None
+    } else {
+        Some(vals)
+    }
+}
+
 /// Print the database's aggregated [`pgssi_engine::StatsReport`] when the
 /// binary was invoked with `--stats`. Every figure binary calls this after its
 /// final (or per-mode) run.
@@ -284,6 +303,17 @@ mod tests {
         let body = std::fs::read_to_string(&path).unwrap();
         assert_eq!(body, "{\"a\":1}\n{\"a\":2}\n");
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn arg_list_parses_sweeps_and_single_values() {
+        let args: Vec<String> = ["x", "--partitions", "1,4,16,64", "--graph-shards", "8"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(arg_list(&args, "--partitions"), Some(vec![1, 4, 16, 64]));
+        assert_eq!(arg_list(&args, "--graph-shards"), Some(vec![8]));
+        assert_eq!(arg_list(&args, "--nope"), None);
     }
 
     #[test]

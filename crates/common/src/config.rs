@@ -17,6 +17,13 @@ pub struct SsiConfig {
     /// disjoint mutexes; `1` degenerates to a single table-wide mutex (the
     /// pre-partitioning behavior, kept for ablation runs).
     pub lock_partitions: usize,
+    /// Number of shards the SSI transaction-record registry (`sxacts` /
+    /// `by_txid` in the conflict-graph manager) is hashed into. Registry
+    /// lookups and insertions on different shards share nothing; the conflict
+    /// edges themselves are guarded by per-transaction locks, so this knob
+    /// only sizes the id→record maps. `1` reproduces the old single-map
+    /// behavior for ablation runs (`--graph-shards 1`).
+    pub graph_shards: usize,
     /// Soft cap on SIREAD locks a single transaction may hold before the lock
     /// manager starts promoting its fine-grained locks to coarser granularity
     /// (PostgreSQL: `max_pred_locks_per_transaction`).
@@ -56,6 +63,7 @@ impl Default for SsiConfig {
     fn default() -> Self {
         SsiConfig {
             lock_partitions: 16,
+            graph_shards: 16,
             max_predicate_locks_per_txn: 4096,
             promote_tuple_threshold: 16,
             promote_page_threshold: 64,
@@ -85,6 +93,17 @@ impl SsiConfig {
     pub fn single_partition() -> Self {
         SsiConfig {
             lock_partitions: 1,
+            ..SsiConfig::default()
+        }
+    }
+
+    /// Configuration with a single conflict-graph registry shard: every
+    /// record lookup serializes on one map mutex, reproducing the
+    /// pre-sharding registry shape for scaling ablations (the per-sxact edge
+    /// locks are unaffected).
+    pub fn single_graph_shard() -> Self {
+        SsiConfig {
+            graph_shards: 1,
             ..SsiConfig::default()
         }
     }
@@ -271,6 +290,9 @@ mod tests {
     fn partition_counts() {
         assert_eq!(SsiConfig::default().lock_partitions, 16);
         assert_eq!(SsiConfig::single_partition().lock_partitions, 1);
+        assert_eq!(SsiConfig::default().graph_shards, 16);
+        assert_eq!(SsiConfig::single_graph_shard().graph_shards, 1);
+        assert_eq!(SsiConfig::single_graph_shard().lock_partitions, 16);
     }
 
     #[test]

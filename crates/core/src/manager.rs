@@ -1,36 +1,73 @@
 //! The SSI runtime: conflict flagging, dangerous-structure detection, safe-retry
 //! victim selection, read-only optimizations, cleanup, and summarization.
 //!
-//! This is the Rust analog of PostgreSQL's `predicate.c`. One mutex guards the
-//! transaction graph (PostgreSQL uses `SerializableXactHashLock` much the same
-//! way); the SIREAD lock table is partitioned into
-//! [`SsiConfig::lock_partitions`] mutexes with its own internal hierarchy
-//! (owner directory → per-owner mutex → partitions in ascending order — see
-//! `pgssi_lockmgr::siread`).
+//! This is the Rust analog of PostgreSQL's `predicate.c` — minus its single
+//! `SerializableXactHashLock`. PostgreSQL guards the whole transaction graph
+//! with one lightweight lock and the paper (§7, §8.3) calls it out as a
+//! contention point; here the graph is decentralized the way Wang & Johnson's
+//! SSN keeps per-transaction summary state:
+//!
+//! * the **record registry** (`SxactId → record`, `TxnId → record`) is hashed
+//!   into [`SsiConfig::graph_shards`] mutex-guarded maps (`--graph-shards 1`
+//!   reproduces a single-map registry for ablation);
+//! * each record's conflict-edge state has **its own lock** ([`Sxact::lock`]),
+//!   and scalar facts third parties need (phase, commit/prepare CSN, wrote,
+//!   read-only safety, doomed) are lock-free atomics on the record;
+//! * a small **commit-order mutex** guards only begin/commit/abort *membership*
+//!   (the active set and the committed-in-order queue) and the §6.1 horizon
+//!   computation. The hot conflict paths (`on_read`, `on_write`,
+//!   `on_mvcc_events`) never touch it.
 //!
 //! ## Lock-ordering invariant
 //!
-//! The graph lock sits strictly *above* every lock inside the SIREAD manager:
-//! it may be held while calling into the lock table, and the lock table never
-//! calls back into this module, so the combined order is acyclic. To keep the
-//! graph lock's critical sections short, this module additionally
+//! The hierarchy, outermost first:
 //!
-//! * probes the SIREAD table (`conflicting_holders`) **before** taking the
-//!   graph lock in [`SsiManager::on_write`], and decodes/dedups visibility
-//!   events before taking it in [`SsiManager::on_mvcc_events`];
-//! * acquires SIREAD read locks **outside** the graph lock (the lock manager's
-//!   released-owner tombstone makes a racing safe-snapshot release benign);
-//! * defers whole-table SIREAD mutations discovered under the graph lock
-//!   (owner releases from cleanup and safe-snapshot downgrades, the §6.1
-//!   summarized-lock horizon sweep) until after the lock is dropped — delaying
-//!   a lock *release* is always conservative. The one exception is §6.2
-//!   consolidation, which must stay under the graph lock: the summarized csn
-//!   has to become visible in the lock table atomically with the removal of
-//!   the owner's transaction record, or a concurrent writer could observe a
-//!   live owner id with no record and skip a real conflict. A writer whose
-//!   *probe* ran before a consolidation but whose graph-lock section runs
-//!   after it closes the same window by re-reading the chain's summarized csn
-//!   (under the graph lock) whenever a probed holder's record has vanished.
+//! 1. the **commit-order mutex** (`order`): begin/commit/abort/recover and the
+//!    safety condvar. Never taken by conflict flagging.
+//! 2. **per-record edge locks**: at most two held at once, always acquired in
+//!    ascending [`SxactId`] order ([`crate::sxact::lock_pair`]). Holding the
+//!    order mutex, records may be locked **one at a time** (commit's CSN fold,
+//!    read-only tracking, cleanup's peer fix-ups); never hold one record's
+//!    lock while acquiring another outside `lock_pair`.
+//! 3. **registry shard mutexes**: leaf-level — lookups clone the `Arc` and
+//!    release the shard before any record lock is taken; insertion/removal may
+//!    run under the order mutex or a record lock.
+//! 4. the SIREAD lock manager and the serial table sit strictly below all of
+//!    the above (either may be called with graph locks held; neither calls
+//!    back in). The transaction manager's locks (via the `begin`/`commit`
+//!    closures) are also below the order mutex and record locks.
+//!
+//! Dangerous-structure checks run under the **two endpoint locks** of the edge
+//! being flagged (PostgreSQL's §3.1 two-edge test needs no global view): the
+//! pivot's edge sets and earliest-out-conflict bound are read under its held
+//! lock, and third-party T1/T3 facts are read from their records' atomic tier.
+//! A stale atomic read always errs conservatively — an unseen commit reads as
+//! "uncommitted", which can only *widen* the set of structures judged
+//! dangerous — and every fact is re-validated by the counterpart's own later
+//! check (each edge's last flagger re-runs both pivot checks; every committer
+//! re-runs them at `precommit` under its own lock). Victims that are not an
+//! endpoint of the held pair are doomed *after* the pair is released via
+//! [`Sxact::doom_if_abortable`], which re-checks abortability under the
+//! victim's lock — if the victim prepared first, the acting transaction aborts
+//! instead (always safe, §5.4).
+//!
+//! ## Removal protocol (abort, §6.1 cleanup, §6.2 summarization)
+//!
+//! Records are removed in a fixed order so concurrent flaggers never lose
+//! conflict information: (1) publish anything that must outlive the record
+//! (§6.2 folds the commit CSN into the SIREAD table via `consolidate_owner`
+//! and writes the serial-table entry *first*); (2) set the `gone` tombstone
+//! under the record's lock — from here flaggers fall back to the
+//! vanished-record paths, which are guaranteed to see the folded csn; (3) fix
+//! up peers' edge sets (degrading edges to summary flags for §6.2); (4) remove
+//! the registry entries. A peer's edge set therefore only names ids that are
+//! still resolvable, and a failed lookup means the record was provably
+//! irrelevant (cleaned) or its information had already been folded.
+//!
+//! §6.2's O(degree) summarization walk runs *outside* the commit-order mutex:
+//! commit only pops the over-limit records from the committed queue under the
+//! mutex and degrades their edges afterwards, so huge conflict fan-out cannot
+//! stall concurrent begins/commits.
 //!
 //! ## Where conflicts come from (paper §5.2)
 //!
@@ -50,6 +87,8 @@
 //! never abort a prepared transaction.
 
 use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex};
@@ -60,8 +99,11 @@ use pgssi_storage::clog::{CommitLog, TxnStatus};
 use pgssi_storage::visibility::VisEvent;
 
 use crate::serial::SerialTable;
-use crate::sxact::{Phase, Sxact, SxactId};
+use crate::sxact::{lock_pair, Phase, Sxact, SxactId, SxactMut};
 use crate::twophase::PreparedSsi;
+
+/// Shared handle to a serializable-transaction record.
+type SxRef = Arc<Sxact>;
 
 /// Whether a read-only transaction's snapshot has been proven safe (§4.2).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -99,22 +141,77 @@ pub struct SsiStats {
     pub cleaned: Counter,
 }
 
-struct SsiState {
-    sxacts: HashMap<SxactId, Sxact>,
-    by_txid: HashMap<TxnId, SxactId>,
-    next_id: u64,
-    /// Committed, retained records in commit order (front = oldest).
-    committed: VecDeque<SxactId>,
-    /// Active + prepared records.
-    active: HashSet<SxactId>,
+/// Sharded record registry: `SxactId → record` and `TxnId → record`
+/// (subtransaction aliases included). Shard mutexes are leaf-level.
+struct Registry {
+    by_id: Box<[Mutex<HashMap<u64, SxRef>>]>,
+    by_txid: Box<[Mutex<HashMap<TxnId, SxRef>>]>,
 }
 
-/// SIREAD-table mutations decided under the graph lock but executed after it
-/// is released, so whole-table work never extends the graph critical section.
+impl Registry {
+    fn new(shards: usize) -> Registry {
+        let shards = shards.max(1);
+        Registry {
+            by_id: (0..shards).map(|_| Mutex::new(HashMap::new())).collect(),
+            by_txid: (0..shards).map(|_| Mutex::new(HashMap::new())).collect(),
+        }
+    }
+
+    #[inline]
+    fn id_shard(&self, id: SxactId) -> &Mutex<HashMap<u64, SxRef>> {
+        &self.by_id[(id.0 as usize) % self.by_id.len()]
+    }
+
+    #[inline]
+    fn txid_shard(&self, txid: TxnId) -> &Mutex<HashMap<TxnId, SxRef>> {
+        &self.by_txid[(txid.0 as usize) % self.by_txid.len()]
+    }
+
+    fn get(&self, id: SxactId) -> Option<SxRef> {
+        self.id_shard(id).lock().get(&id.0).cloned()
+    }
+
+    fn get_txid(&self, txid: TxnId) -> Option<SxRef> {
+        self.txid_shard(txid).lock().get(&txid).cloned()
+    }
+
+    fn insert(&self, rec: &SxRef) {
+        self.id_shard(rec.id)
+            .lock()
+            .insert(rec.id.0, Arc::clone(rec));
+        self.insert_txid(rec.txid, rec);
+    }
+
+    fn insert_txid(&self, txid: TxnId, rec: &SxRef) {
+        self.txid_shard(txid).lock().insert(txid, Arc::clone(rec));
+    }
+
+    fn remove(&self, id: SxactId, txid: TxnId, aliases: &[TxnId]) {
+        self.id_shard(id).lock().remove(&id.0);
+        self.txid_shard(txid).lock().remove(&txid);
+        for a in aliases {
+            self.txid_shard(*a).lock().remove(a);
+        }
+    }
+
+    fn record_count(&self) -> usize {
+        self.by_id.iter().map(|s| s.lock().len()).sum()
+    }
+}
+
+/// Membership state guarded by the commit-order mutex: who is active/prepared,
+/// and the committed records retained in commit order (front = oldest).
+struct CommitOrder {
+    active: HashMap<SxactId, SxRef>,
+    committed: VecDeque<SxRef>,
+}
+
+/// SIREAD-table mutations decided under graph locks but executed after they
+/// are released, so whole-table work never extends a critical section.
 /// Everything collected here *removes* locks, and removing a SIREAD lock late
 /// is conservative: the worst case is a spurious rw-conflict flag, never a
-/// missed one. (§6.2 consolidation is deliberately NOT deferrable — see the
-/// module docs.)
+/// missed one. (§6.2 consolidation instead runs *before* the record becomes
+/// unresolvable — see the module docs' removal protocol.)
 #[derive(Default)]
 struct DeferredLockOps {
     /// Owners whose SIREAD locks should be released wholesale.
@@ -151,7 +248,10 @@ pub struct SsiManager {
     config: SsiConfig,
     siread: SireadLockManager,
     serial: SerialTable,
-    state: Mutex<SsiState>,
+    reg: Registry,
+    /// Next record id; 0 is the dummy old-committed owner.
+    next_id: AtomicU64,
+    order: Mutex<CommitOrder>,
     safety_cv: Condvar,
     /// Event counters.
     pub stats: SsiStats,
@@ -163,13 +263,12 @@ impl SsiManager {
         SsiManager {
             siread: SireadLockManager::new(config.clone()),
             serial: SerialTable::new(config.serial_ram_pages),
+            reg: Registry::new(config.graph_shards),
             config,
-            state: Mutex::new(SsiState {
-                sxacts: HashMap::new(),
-                by_txid: HashMap::new(),
-                next_id: 1, // 0 is the dummy old-committed owner
+            next_id: AtomicU64::new(1),
+            order: Mutex::new(CommitOrder {
+                active: HashMap::new(),
                 committed: VecDeque::new(),
-                active: HashSet::new(),
             }),
             safety_cv: Condvar::new(),
             stats: SsiStats::default(),
@@ -191,16 +290,22 @@ impl SsiManager {
         &self.serial
     }
 
+    /// Number of registry shards (diagnostics).
+    pub fn graph_shards(&self) -> usize {
+        self.reg.by_id.len()
+    }
+
     // ------------------------------------------------------------------
     // Lifecycle
     // ------------------------------------------------------------------
 
-    /// Register a serializable transaction. `acquire_snapshot` runs **under the
-    /// graph lock** and must take the transaction's MVCC snapshot; holding the
-    /// lock guarantees that no commit (and in particular no horizon cleanup or
-    /// summarization, §6) can slip between the snapshot and the registration —
-    /// otherwise a concurrent committed transaction's record could be freed
-    /// while this transaction still needs its conflict data.
+    /// Register a serializable transaction. `acquire_snapshot` runs **under
+    /// the commit-order mutex** and must take the transaction's MVCC snapshot;
+    /// commits and aborts also hold that mutex, so no commit (and in
+    /// particular no horizon cleanup or summarization trigger, §6) can slip
+    /// between the snapshot and the registration — otherwise a concurrent
+    /// committed transaction's record could be freed while this transaction
+    /// still needs its conflict data.
     ///
     /// For declared read-only transactions (with the read-only optimization
     /// enabled), records the set of concurrent read/write serializable
@@ -214,35 +319,39 @@ impl SsiManager {
         declared_read_only: bool,
         deferrable: bool,
     ) -> SxactId {
-        let mut st = self.state.lock();
+        let mut order = self.order.lock();
         let snapshot_csn = acquire_snapshot();
-        let id = SxactId(st.next_id);
-        st.next_id += 1;
-        let mut sx = Sxact::new(id, txid, snapshot_csn, declared_read_only, deferrable);
+        let id = SxactId(self.next_id.fetch_add(1, Ordering::Relaxed));
+        let rec = Arc::new(Sxact::new(
+            id,
+            txid,
+            snapshot_csn,
+            declared_read_only,
+            deferrable,
+        ));
         if declared_read_only && self.config.enable_read_only_opt {
-            let rw: Vec<SxactId> = st
+            let rw: Vec<SxRef> = order
                 .active
-                .iter()
-                .filter(|a| !st.sxacts[a].declared_read_only)
-                .copied()
+                .values()
+                .filter(|a| !a.declared_read_only)
+                .cloned()
                 .collect();
             if rw.is_empty() {
-                sx.ro_safe = true;
+                rec.set_ro_safe();
                 self.stats.safe_immediate.bump();
             } else {
                 for w in &rw {
-                    st.sxacts.get_mut(w).unwrap().ro_trackers.insert(id);
+                    w.lock().ro_trackers.insert(id);
                 }
-                sx.possible_unsafe = rw.into_iter().collect();
+                rec.lock().possible_unsafe = rw.iter().map(|w| w.id).collect();
             }
         }
-        let needs_locks = !sx.ro_safe;
-        st.active.insert(id);
-        st.by_txid.insert(txid, id);
-        st.sxacts.insert(id, sx);
-        drop(st);
+        let needs_locks = !rec.ro_safe();
+        order.active.insert(id, Arc::clone(&rec));
+        self.reg.insert(&rec);
+        drop(order);
         if needs_locks {
-            // Registered after the graph lock is dropped: this transaction's
+            // Registered after the order mutex is dropped: this transaction's
             // own thread is the only one that will acquire locks for it, and
             // it cannot do so before `begin` returns. A concurrent
             // safe-snapshot release racing ahead of the registration just
@@ -255,19 +364,23 @@ impl SsiManager {
     /// Register a subtransaction id (savepoint, §7.3) as an alias of `sx`:
     /// MVCC conflict events naming the subxid resolve to the parent's record.
     pub fn register_subxid(&self, sx: SxactId, subxid: TxnId) {
-        let mut st = self.state.lock();
-        if let Some(x) = st.sxacts.get_mut(&sx) {
-            x.alias_txids.push(subxid);
-            st.by_txid.insert(subxid, sx);
+        let Some(rec) = self.reg.get(sx) else { return };
+        let mut g = rec.lock();
+        if g.gone {
+            return;
         }
+        g.alias_txids.push(subxid);
+        // Registered while the record's lock is held (registry shards are
+        // leaf-level): a racing removal either sees the alias in the list (it
+        // drains aliases under this same lock) or has already set `gone`.
+        self.reg.insert_txid(subxid, &rec);
     }
 
     /// Return [`Error::SerializationFailure`] if another transaction marked this
     /// one for death (§5.4). The engine calls this at every operation and aborts
-    /// the transaction on error.
+    /// the transaction on error. Lock-free.
     pub fn check_doomed(&self, sx: SxactId) -> Result<()> {
-        let st = self.state.lock();
-        match st.sxacts.get(&sx) {
+        match self.reg.get(sx) {
             Some(x) if x.is_doomed() => Err(Error::serialization(
                 SerializationKind::Doomed,
                 format!("{:?} was chosen as a serialization-failure victim", x.txid),
@@ -279,18 +392,15 @@ impl SsiManager {
     /// Take SIREAD locks for a read (relation/page/tuple targets as appropriate
     /// for the access path). No-op for transactions on safe snapshots.
     ///
-    /// The safety flag is read under the graph lock, but the acquisitions run
-    /// *outside* it: if a concurrent safe-snapshot determination releases this
-    /// owner between the check and the acquisitions (§4.2), the lock manager
-    /// drops acquisitions for released owners, so the transaction still ends
-    /// holding nothing — without serializing every read on the graph lock.
+    /// The safety flag is an atomic on the record, so this path takes no graph
+    /// lock at all beyond the registry-shard lookup: if a concurrent
+    /// safe-snapshot determination releases this owner between the check and
+    /// the acquisitions (§4.2), the lock manager drops acquisitions for
+    /// released owners, so the transaction still ends holding nothing.
     pub fn on_read(&self, sx: SxactId, targets: &[LockTarget]) {
-        {
-            let st = self.state.lock();
-            match st.sxacts.get(&sx) {
-                Some(x) if !x.ro_safe => {}
-                _ => return,
-            }
+        let Some(rec) = self.reg.get(sx) else { return };
+        if rec.ro_safe() {
+            return;
         }
         for t in targets {
             self.siread.acquire(sx.0, *t);
@@ -298,9 +408,9 @@ impl SsiManager {
     }
 
     /// [`SsiManager::on_read`] for transactions *not* declared read-only: they
-    /// can never become RO-safe, so the safety check (and its graph-lock
-    /// acquisition) is unnecessary — only the SIREAD table is touched. This is
-    /// the hot path for every read in a read/write serializable transaction.
+    /// can never become RO-safe, so even the registry lookup is unnecessary —
+    /// only the SIREAD table is touched. This is the hot path for every read
+    /// in a read/write serializable transaction.
     pub fn on_read_rw(&self, sx: SxactId, targets: &[LockTarget]) {
         for t in targets {
             self.siread.acquire(sx.0, *t);
@@ -314,7 +424,7 @@ impl SsiManager {
             return Ok(());
         }
         // Decode and dedup the events, and pre-probe the commit log, before
-        // taking the graph lock — pure computation has no business inside it.
+        // taking any record lock — pure computation has no business inside one.
         let mut writers: Vec<TxnId> = Vec::with_capacity(events.len());
         {
             let mut seen: HashSet<TxnId> = HashSet::with_capacity(events.len());
@@ -326,11 +436,10 @@ impl SsiManager {
             }
         }
         let statuses: Vec<TxnStatus> = writers.iter().map(|w| clog.status(*w)).collect();
-        let mut st = self.state.lock();
-        let Some(me) = st.sxacts.get(&sx) else {
+        let Some(me) = self.reg.get(sx) else {
             return Ok(());
         };
-        if me.ro_safe {
+        if me.ro_safe() {
             return Ok(()); // safe snapshot: no tracking, no abort risk (§4.2)
         }
         if me.is_doomed() {
@@ -341,66 +450,81 @@ impl SsiManager {
         }
         let my_snapshot = me.snapshot_csn;
         for (w, pre_status) in writers.into_iter().zip(statuses) {
-            if let Some(&wid) = st.by_txid.get(&w) {
-                if wid == sx {
+            let mut vanished = false;
+            if let Some(wrec) = self.reg.get_txid(w) {
+                if wrec.id == sx {
                     continue;
                 }
-                let wx = &st.sxacts[&wid];
-                if wx.phase == Phase::Aborted || wx.is_doomed() {
-                    trace!("mvcc event {sx:?} -> writer {w:?} skipped (aborted/doomed)");
-                    continue;
-                }
-                // A writer that committed before our snapshot is not concurrent;
-                // its lingering record is not a conflict.
-                if let Some(wc) = wx.commit_csn {
-                    if wc < my_snapshot {
+                let mut dooms: Vec<SxRef> = Vec::new();
+                let res = {
+                    let (mut mg, mut wg) = lock_pair(&me, &wrec);
+                    if wg.gone {
+                        // Removed between lookup and lock: fall through to the
+                        // summarized/clog path, which is guaranteed to see any
+                        // folded state (removal publishes it first).
+                        vanished = true;
+                        Ok(())
+                    } else if wrec.phase() == Phase::Aborted || wrec.is_doomed() {
+                        trace!("mvcc event {sx:?} -> writer {w:?} skipped (aborted/doomed)");
+                        Ok(())
+                    } else if wrec.commit_csn().is_some_and(|wc| wc < my_snapshot) {
+                        // A writer that committed before our snapshot is not
+                        // concurrent; its lingering record is not a conflict.
                         trace!("mvcc event {sx:?} -> writer {w:?} skipped (pre-snapshot)");
-                        continue;
+                        Ok(())
+                    } else {
+                        self.flag_conflict_locked(&me, &mut mg, &wrec, &mut wg, sx, &mut dooms)
                     }
-                }
-                self.flag_conflict(&mut st, sx, wid, sx)?;
-            } else {
-                // No record: the writer committed long ago, was summarized, or was
-                // not serializable. Only a concurrent committed serializable
-                // writer matters. The pre-probed status is authoritative when it
-                // says Committed/Aborted (both final); an InProgress reading is
-                // stale if the writer committed *and was summarized* between the
-                // probe and the graph lock, so it is re-read under the lock.
-                let status = match pre_status {
-                    TxnStatus::InProgress => clog.status(w),
-                    s => s,
                 };
-                let TxnStatus::Committed(wcsn) = status else {
-                    continue;
-                };
-                if wcsn < my_snapshot {
+                self.finish_checks(res, dooms)?;
+                if !vanished {
                     continue;
                 }
-                let Some(e) = self.serial.lookup(w) else {
-                    continue; // non-serializable writer
-                };
-                self.conflict_out_to_summarized(&mut st, sx, wcsn, e)?;
             }
+            // No (live) record: the writer committed long ago, was summarized,
+            // or was not serializable. Only a concurrent committed serializable
+            // writer matters. The pre-probed status is authoritative when it
+            // says Committed/Aborted (both final); an InProgress reading is
+            // stale if the writer committed *and was summarized* between the
+            // probe and this point, so it is re-read here (the serial-table
+            // entry is published before the record becomes unresolvable).
+            let status = match pre_status {
+                TxnStatus::InProgress => clog.status(w),
+                s => s,
+            };
+            let TxnStatus::Committed(wcsn) = status else {
+                continue;
+            };
+            if wcsn < my_snapshot {
+                continue;
+            }
+            let Some(e) = self.serial.lookup(w) else {
+                continue; // non-serializable writer
+            };
+            let mut dooms: Vec<SxRef> = Vec::new();
+            let res = {
+                let mut mg = me.lock();
+                self.conflict_out_to_summarized(&me, &mut mg, wcsn, e, &mut dooms)
+            };
+            self.finish_checks(res, dooms)?;
         }
         Ok(())
     }
 
     /// Edge to a summarized committed writer `W` (`me –rw→ W`), with `e` = W's
-    /// earliest out-conflict commit from the serial table (§6.2).
+    /// earliest out-conflict commit from the serial table (§6.2). Runs with
+    /// `me`'s lock held (`mg`).
     fn conflict_out_to_summarized(
         &self,
-        st: &mut SsiState,
-        sx: SxactId,
+        me: &SxRef,
+        mg: &mut SxactMut,
         w_commit: CommitSeqNo,
         e: CommitSeqNo,
+        dooms: &mut Vec<SxRef>,
     ) -> Result<()> {
         self.stats.conflicts_flagged.bump();
-        {
-            let me = st.sxacts.get_mut(&sx).unwrap();
-            me.summary_conflict_out = true;
-            me.earliest_out_conflict_commit = me.earliest_out_conflict_commit.min(w_commit);
-        }
-        let me = &st.sxacts[&sx];
+        mg.summary_conflict_out = true;
+        mg.earliest_out_conflict_commit = mg.earliest_out_conflict_commit.min(w_commit);
         // Structure A': t1 = me, t2 = W (committed), t3 from the serial table.
         // Conservative conditions (slightly stricter than PostgreSQL's
         // `e < my snapshot`; see DESIGN.md): t3 committed first (e < W's commit)
@@ -422,7 +546,7 @@ impl SsiManager {
             }
         }
         // Structure B: t2 = me (pivot), t3 = W committed at w_commit.
-        self.check_pivot_in(st, sx, None, Some(w_commit), sx)
+        self.check_pivot_in_with_t3(me, mg, Some(w_commit), me.id, dooms)
     }
 
     /// Process a write: check SIREAD locks coarse-to-fine for read-before-write
@@ -436,10 +560,9 @@ impl SsiManager {
         written_tuple: Option<LockTarget>,
         in_subtransaction: bool,
     ) -> Result<()> {
-        // Probe the (partitioned) SIREAD table before taking the graph lock:
-        // the probe touches at most two partitions and never nests inside the
-        // graph critical section, so concurrent writers on disjoint data don't
-        // serialize here.
+        // Probe the (partitioned) SIREAD table before any record lock: the
+        // probe touches at most two partitions, so concurrent writers on
+        // disjoint data don't serialize here.
         let check = self.siread.conflicting_holders(chain, sx.0);
         trace!(
             "on_write {:?} chain={:?} holders={:?}",
@@ -447,24 +570,24 @@ impl SsiManager {
             chain,
             check.owners
         );
-        let mut st = self.state.lock();
-        {
-            let Some(me) = st.sxacts.get_mut(&sx) else {
-                return Ok(());
-            };
-            if me.is_doomed() {
-                return Err(Error::serialization(
-                    SerializationKind::Doomed,
-                    "doomed transaction attempted a write",
-                ));
-            }
-            me.wrote = true;
+        let Some(me) = self.reg.get(sx) else {
+            return Ok(());
+        };
+        if me.is_doomed() {
+            return Err(Error::serialization(
+                SerializationKind::Doomed,
+                "doomed transaction attempted a write",
+            ));
         }
-        let my_snapshot = st.sxacts[&sx].snapshot_csn;
+        me.set_wrote();
+        let my_snapshot = me.snapshot_csn;
         let mut vanished_holder = false;
         for holder in check.owners {
             let hid = SxactId(holder);
-            let Some(h) = st.sxacts.get(&hid) else {
+            if hid == sx {
+                continue;
+            }
+            let Some(h) = self.reg.get(hid) else {
                 // The record vanished between the pre-lock probe and here:
                 // cleaned (committed before every active snapshot — provably
                 // no conflict), aborted, or §6.2-summarized. Only the last
@@ -472,24 +595,29 @@ impl SsiManager {
                 vanished_holder = true;
                 continue;
             };
-            if hid == sx || h.phase == Phase::Aborted || h.is_doomed() {
-                continue;
-            }
-            // Reader committed before our snapshot: not concurrent.
-            if let Some(hc) = h.commit_csn {
-                if hc < my_snapshot {
-                    continue;
+            let mut dooms: Vec<SxRef> = Vec::new();
+            let res = {
+                let (mut hg, mut mg) = lock_pair(&h, &me);
+                if hg.gone {
+                    vanished_holder = true;
+                    Ok(())
+                } else if h.phase() == Phase::Aborted || h.is_doomed() {
+                    Ok(())
+                } else if h.commit_csn().is_some_and(|hc| hc < my_snapshot) {
+                    // Reader committed before our snapshot: not concurrent.
+                    Ok(())
+                } else {
+                    self.flag_conflict_locked(&h, &mut hg, &me, &mut mg, sx, &mut dooms)
                 }
-            }
-            self.flag_conflict(&mut st, hid, sx, sx)?;
+            };
+            self.finish_checks(res, dooms)?;
         }
         let mut summarized_csn = check.old_committed_csn;
         if vanished_holder {
-            // A probed holder was summarized after the probe. Summarization
-            // runs under the graph lock — which we now hold — and
-            // `consolidate_owner` completes its csn fold before the record's
-            // absence can be observed, so re-reading the table here is
-            // guaranteed to see the folded csn.
+            // A probed holder was summarized (or cleaned) after the probe.
+            // Summarization folds its csn into the lock table *before* the
+            // record becomes unresolvable (removal protocol, module docs), so
+            // re-reading the table here is guaranteed to see the folded csn.
             summarized_csn = summarized_csn.max(self.siread.summarized_csn(chain));
         }
         if let Some(c) = summarized_csn {
@@ -498,33 +626,36 @@ impl SsiManager {
                 // identity is lost (§6.2). Flag it and check the pivot structure
                 // with t1 = "some transaction that committed at or before c".
                 self.stats.conflicts_flagged.bump();
-                let me = st.sxacts.get_mut(&sx).unwrap();
-                me.summary_conflict_in = true;
-                let me = &st.sxacts[&sx];
-                let e = me.earliest_out_conflict_commit;
-                let has_out = !me.out_conflicts.is_empty()
-                    || me.summary_conflict_out
-                    || e != CommitSeqNo::MAX;
-                let dangerous = if self.config.enable_commit_ordering_opt {
-                    // t3 must have committed before t1 (bounded above by c) and
-                    // before me (uncommitted → unbounded).
-                    e != CommitSeqNo::MAX && e < c
-                } else {
-                    has_out
+                let res = {
+                    let mut mg = me.lock();
+                    mg.summary_conflict_in = true;
+                    let e = mg.earliest_out_conflict_commit;
+                    let has_out = !mg.out_conflicts.is_empty()
+                        || mg.summary_conflict_out
+                        || e != CommitSeqNo::MAX;
+                    let dangerous = if self.config.enable_commit_ordering_opt {
+                        // t3 must have committed before t1 (bounded above by c)
+                        // and before me (uncommitted → unbounded).
+                        e != CommitSeqNo::MAX && e < c
+                    } else {
+                        has_out
+                    };
+                    if dangerous {
+                        self.stats.dangerous_structures.bump();
+                        self.stats.summary_aborts.bump();
+                        self.stats.aborts_self.bump();
+                        Err(Error::serialization(
+                            SerializationKind::SummaryConflict,
+                            "identified as pivot against a summarized reader",
+                        ))
+                    } else {
+                        Ok(())
+                    }
                 };
-                if dangerous {
-                    self.stats.dangerous_structures.bump();
-                    self.stats.summary_aborts.bump();
-                    self.stats.aborts_self.bump();
-                    return Err(Error::serialization(
-                        SerializationKind::SummaryConflict,
-                        "identified as pivot against a summarized reader",
-                    ));
-                }
+                res?;
             }
         }
-        let allow_drop = !in_subtransaction && !st.sxacts[&sx].ro_safe;
-        drop(st);
+        let allow_drop = !in_subtransaction && !me.ro_safe();
         if allow_drop {
             if let Some(t) = written_tuple {
                 self.siread.release_target(sx.0, t);
@@ -537,64 +668,63 @@ impl SsiManager {
     // Conflict flagging and dangerous-structure checks
     // ------------------------------------------------------------------
 
-    /// Record `reader –rw→ writer` and run the failure checks. `acting` is the
-    /// transaction performing the current operation; if it must die, an error is
-    /// returned (other victims are doomed in place).
-    fn flag_conflict(
+    /// Record `reader –rw→ writer` and run the failure checks. Runs with both
+    /// endpoints' locks held (`rg`/`wg`); `acting` is the transaction
+    /// performing the current operation. If it must die, an error is returned;
+    /// pivot victims are doomed in place (under their held lock), and
+    /// third-party T1 victims are pushed into `dooms` for the caller to claim
+    /// after the pair is released.
+    fn flag_conflict_locked(
         &self,
-        st: &mut SsiState,
-        reader: SxactId,
-        writer: SxactId,
+        reader: &SxRef,
+        rg: &mut SxactMut,
+        writer: &SxRef,
+        wg: &mut SxactMut,
         acting: SxactId,
+        dooms: &mut Vec<SxRef>,
     ) -> Result<()> {
-        if reader == writer {
+        if reader.id == writer.id {
             return Ok(());
         }
-        let new_edge = !st.sxacts[&reader].out_conflicts.contains(&writer);
+        let new_edge = !rg.out_conflicts.contains(&writer.id);
         if new_edge {
-            let writer_commit = st.sxacts[&writer].commit_csn;
-            let r = st.sxacts.get_mut(&reader).unwrap();
-            r.out_conflicts.insert(writer);
-            if let Some(wc) = writer_commit {
-                r.earliest_out_conflict_commit = r.earliest_out_conflict_commit.min(wc);
+            rg.out_conflicts.insert(writer.id);
+            if let Some(wc) = writer.commit_csn() {
+                rg.earliest_out_conflict_commit = rg.earliest_out_conflict_commit.min(wc);
             }
-            st.sxacts
-                .get_mut(&writer)
-                .unwrap()
-                .in_conflicts
-                .insert(reader);
+            wg.in_conflicts.insert(reader.id);
             self.stats.conflicts_flagged.bump();
             trace!(
                 "edge {:?}(txid {:?}) -rw-> {:?}(txid {:?}) acting={:?}",
-                reader,
-                st.sxacts[&reader].txid,
-                writer,
-                st.sxacts[&writer].txid,
+                reader.id,
+                reader.txid,
+                writer.id,
+                writer.txid,
                 acting
             );
         }
         // Structure A: writer is the pivot (t1 = reader, t2 = writer, t3 = some
         // committed out-conflict of the writer).
-        self.check_pivot_out(st, reader, writer, acting)?;
+        self.check_pivot_out(reader, writer, wg, acting, dooms)?;
         // Structure B: reader is the pivot (t1 ∈ reader's in-conflicts,
-        // t2 = reader, t3 = writer).
-        let t3_csn = st.sxacts[&writer].commit_or_prepare_csn();
-        self.check_pivot_in(st, reader, Some(writer), t3_csn, acting)?;
+        // t2 = reader, t3 = writer). The writer's lock is held, so its
+        // commit-or-prepare CSN is exact.
+        let t3_csn = writer.commit_or_prepare_csn();
+        self.check_pivot_in_with_t3(reader, rg, t3_csn, acting, dooms)?;
         Ok(())
     }
 
     /// Structure A: is `t2` a pivot with a committed out-conflict, completing a
-    /// dangerous structure with the (new) in-edge from `t1`?
+    /// dangerous structure with the (new) in-edge from `t1`? Both locks held.
     fn check_pivot_out(
         &self,
-        st: &mut SsiState,
-        t1: SxactId,
-        t2: SxactId,
+        t1: &SxRef,
+        t2: &SxRef,
+        t2g: &SxactMut,
         acting: SxactId,
+        dooms: &mut Vec<SxRef>,
     ) -> Result<()> {
-        let t2x = &st.sxacts[&t2];
-        let t1x = &st.sxacts[&t1];
-        let e = t2x.earliest_out_conflict_commit;
+        let e = t2g.earliest_out_conflict_commit;
         let dangerous = if self.config.enable_commit_ordering_opt {
             // T3 must be the first of the three to commit (§3.3.1). The
             // comparisons are non-strict because T1 and T3 may be the *same*
@@ -602,11 +732,11 @@ impl SsiManager {
             // the structure is still dangerous. Prepared-but-uncommitted
             // transactions count as "not committed yet" (bound = ∞): their
             // prepare CSN is only a lower bound on the eventual commit.
-            let t1_bound = t1x.commit_csn.unwrap_or(CommitSeqNo::MAX);
-            let t2_bound = t2x.commit_csn.unwrap_or(CommitSeqNo::MAX);
+            let t1_bound = t1.commit_csn().unwrap_or(CommitSeqNo::MAX);
+            let t2_bound = t2.commit_csn().unwrap_or(CommitSeqNo::MAX);
             e != CommitSeqNo::MAX && e <= t1_bound && e <= t2_bound
         } else {
-            !t2x.out_conflicts.is_empty() || t2x.summary_conflict_out || e != CommitSeqNo::MAX
+            !t2g.out_conflicts.is_empty() || t2g.summary_conflict_out || e != CommitSeqNo::MAX
         };
         if !dangerous {
             return Ok(());
@@ -614,55 +744,62 @@ impl SsiManager {
         // Read-only rule (Theorem 3): a read-only T1 is only part of an anomaly
         // if T3 committed before T1's snapshot.
         if self.config.enable_read_only_opt
-            && t1x.is_read_only()
-            && !(e != CommitSeqNo::MAX && e < t1x.snapshot_csn)
+            && t1.is_read_only()
+            && !(e != CommitSeqNo::MAX && e < t1.snapshot_csn)
         {
             return Ok(());
         }
         self.stats.dangerous_structures.bump();
-        self.resolve_failure(st, Some(t1), t2, acting)
+        self.resolve_failure(Some(t1), t2, acting, dooms)
     }
 
     /// Structure B: is `t2` a pivot whose out-edge reaches a committed `t3`?
     /// Iterates `t2`'s in-conflicts (plus the summarized-in flag) as T1
-    /// candidates. `t3` is `None` when T3 is a summarized transaction.
-    fn check_pivot_in(
+    /// candidates, reading each candidate's facts from its atomic tier
+    /// (conservative when stale). `t3_csn` is `None` while T3 is uncommitted.
+    /// Runs with `t2`'s lock held; T1 may legitimately be T3 itself (2-cycles
+    /// like write skew) — the in-edge from t3 still completes the cycle, so no
+    /// candidate is excluded.
+    fn check_pivot_in_with_t3(
         &self,
-        st: &mut SsiState,
-        t2: SxactId,
-        t3: Option<SxactId>,
+        t2: &SxRef,
+        t2g: &SxactMut,
         t3_csn: Option<CommitSeqNo>,
         acting: SxactId,
+        dooms: &mut Vec<SxRef>,
     ) -> Result<()> {
         if self.config.enable_commit_ordering_opt && t3_csn.is_none() {
             // Nothing to do until T3 commits (safe-retry rule 1, §5.4); the
             // pre-commit check on T3 handles it.
             return Ok(());
         }
-        let t2x = &st.sxacts[&t2];
-        if let (Some(c), Some(t2_commit)) = (t3_csn, t2x.commit_csn) {
+        if let (Some(c), Some(t2_commit)) = (t3_csn, t2.commit_csn()) {
             if self.config.enable_commit_ordering_opt && c > t2_commit {
                 return Ok(()); // T2 committed before T3: T3 is not first
             }
         }
-        let mut candidates: Vec<Option<SxactId>> =
-            t2x.in_conflicts.iter().map(|&x| Some(x)).collect();
-        if t2x.summary_conflict_in {
+        // BTreeSet iteration: candidates are visited in ascending id order, so
+        // victim choice is deterministic across registry-shard counts.
+        let mut candidates: Vec<Option<SxRef>> = t2g
+            .in_conflicts
+            .iter()
+            .filter_map(|x| self.reg.get(*x))
+            .map(Some)
+            .collect();
+        if t2g.summary_conflict_in {
             candidates.push(None); // summarized T1: commit time unknown, not RO
         }
         for t1 in candidates {
-            if t1 == t3 && t1.is_some() {
-                // The same transaction can legitimately be both T1 and T3
-                // (2-cycles like write skew) — but then the edge pair is
-                // (t3 → t2, t2 → t3); here t1 == t3 means the in-edge *is* from
-                // t3 itself, which still forms the 2-cycle. Keep checking.
-            }
-            let dangerous = match t1 {
-                Some(t1id) => {
-                    let t1x = &st.sxacts[&t1id];
+            let dangerous = match &t1 {
+                Some(t1x) => {
+                    if t1x.phase() == Phase::Aborted {
+                        // Mid-removal aborted peer still listed: never part of
+                        // a cycle (under one global lock this was unobservable).
+                        continue;
+                    }
                     // Non-strict: T1 may be T3 itself (2-cycles). Prepared
                     // counts as uncommitted (see check_pivot_out).
-                    let t1_bound = t1x.commit_csn.unwrap_or(CommitSeqNo::MAX);
+                    let t1_bound = t1x.commit_csn().unwrap_or(CommitSeqNo::MAX);
                     let commit_order_ok = if self.config.enable_commit_ordering_opt {
                         t3_csn.map(|c| c <= t1_bound).unwrap_or(false)
                     } else {
@@ -681,7 +818,7 @@ impl SsiManager {
             };
             if dangerous {
                 self.stats.dangerous_structures.bump();
-                self.resolve_failure(st, t1, t2, acting)?;
+                self.resolve_failure(t1.as_ref(), t2, acting, dooms)?;
             }
         }
         Ok(())
@@ -689,38 +826,39 @@ impl SsiManager {
 
     /// Safe-retry victim selection (§5.4): prefer the pivot `t2`; fall back to
     /// `t1`; if neither can be aborted (committed or prepared), the acting
-    /// transaction dies. Victims other than the acting transaction are doomed in
-    /// place and discover it at their next operation.
+    /// transaction dies. Runs with `t2`'s lock held (its doom is applied in
+    /// place); a T1 victim is *deferred* into `dooms` — the caller claims it
+    /// via [`Sxact::doom_if_abortable`] after releasing its pair, and aborts
+    /// the acting transaction if the victim prepared first.
     fn resolve_failure(
         &self,
-        st: &mut SsiState,
-        t1: Option<SxactId>,
-        t2: SxactId,
+        t1: Option<&SxRef>,
+        t2: &SxRef,
         acting: SxactId,
+        dooms: &mut Vec<SxRef>,
     ) -> Result<()> {
-        if st.sxacts[&t2].is_abortable() {
-            if t2 == acting {
+        if t2.is_abortable() {
+            if t2.id == acting {
                 self.stats.aborts_self.bump();
                 return Err(Error::serialization(
                     SerializationKind::PivotAbort,
                     "this transaction is the pivot of a dangerous structure",
                 ));
             }
-            st.sxacts[&t2].doom();
+            t2.doom();
             self.stats.doomed_set.bump();
             return Ok(());
         }
-        if let Some(t1id) = t1 {
-            if st.sxacts[&t1id].is_abortable() {
-                if t1id == acting {
+        if let Some(t1x) = t1 {
+            if t1x.is_abortable() {
+                if t1x.id == acting {
                     self.stats.aborts_self.bump();
                     return Err(Error::serialization(
                         SerializationKind::NonPivotAbort,
                         "pivot already committed/prepared; aborting the reader",
                     ));
                 }
-                st.sxacts[&t1id].doom();
-                self.stats.doomed_set.bump();
+                dooms.push(Arc::clone(t1x));
                 return Ok(());
             }
         }
@@ -729,6 +867,36 @@ impl SsiManager {
             SerializationKind::NonPivotAbort,
             "all other participants committed or prepared; aborting self",
         ))
+    }
+
+    /// Claim deferred third-party victims (no locks held). A victim that
+    /// prepared before it could be doomed forces the acting transaction to
+    /// abort instead (§5.4/§7.1: never abort a prepared transaction).
+    fn apply_dooms(&self, dooms: Vec<SxRef>) -> Result<()> {
+        for v in dooms {
+            if v.doom_if_abortable() {
+                self.stats.doomed_set.bump();
+            } else {
+                self.stats.aborts_self.bump();
+                return Err(Error::serialization(
+                    SerializationKind::NonPivotAbort,
+                    "victim prepared before it could be doomed; aborting self",
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Propagate `res`, claiming deferred dooms either way (when the acting
+    /// transaction is already dying, victims of *other* structures found in
+    /// the same call are still claimed best-effort, as the one-lock
+    /// implementation did in place).
+    fn finish_checks(&self, res: Result<()>, dooms: Vec<SxRef>) -> Result<()> {
+        if res.is_err() {
+            let _ = self.apply_dooms(dooms);
+            return res;
+        }
+        self.apply_dooms(dooms)
     }
 
     // ------------------------------------------------------------------
@@ -743,10 +911,17 @@ impl SsiManager {
     /// victim (mirroring PostgreSQL's marking during commit processing and
     /// PREPARE TRANSACTION, §7.1). `frontier` is the current commit-sequence
     /// frontier, recorded as a conservative bound on the eventual commit CSN.
+    ///
+    /// The prepared phase is entered *first* (tentatively, under this record's
+    /// lock) and reverted on failure: an edge flagged into this transaction
+    /// after that point observes the prepare CSN and runs the T3 checks
+    /// itself, while every edge flagged before it is visible to the
+    /// in-conflict clone below — so no structure can slip through the gap
+    /// between this check and the phase transition.
     pub fn precommit(&self, sx: SxactId, frontier: CommitSeqNo) -> Result<()> {
-        let mut st = self.state.lock();
-        {
-            let me = &st.sxacts[&sx];
+        let me = self.reg.get(sx).expect("precommit on unknown record");
+        let t2s: Vec<SxactId> = {
+            let g = me.lock();
             if me.is_doomed() {
                 self.stats.aborts_self.bump();
                 return Err(Error::serialization(
@@ -754,184 +929,281 @@ impl SsiManager {
                     "doomed transaction reached commit",
                 ));
             }
-        }
-        // Role T3: structures t1 → t2 → me where neither t1 nor t2 committed.
-        let t2s: Vec<SxactId> = st.sxacts[&sx].in_conflicts.iter().copied().collect();
-        for t2 in t2s {
-            let t2x = &st.sxacts[&t2];
-            if t2x.is_committed() || t2x.is_doomed() || t2x.phase == Phase::Aborted {
-                continue;
+            me.set_phase(Phase::Prepared);
+            me.set_prepare_csn(Some(frontier));
+            g.in_conflicts.iter().copied().collect()
+        };
+        match self.precommit_checks(&me, sx, t2s) {
+            Ok(()) => {
+                let g = me.lock();
+                trace!(
+                    "precommit ok {:?}(txid {:?}) in={:?} out={:?} e={:?}",
+                    sx,
+                    me.txid,
+                    g.in_conflicts,
+                    g.out_conflicts,
+                    g.earliest_out_conflict_commit
+                );
+                drop(g);
+                Ok(())
             }
-            let mut candidates: Vec<Option<SxactId>> =
-                t2x.in_conflicts.iter().map(|&x| Some(x)).collect();
-            if t2x.summary_conflict_in {
+            Err(e) => {
+                // Revert the tentative prepare; the engine aborts us next.
+                let _g = me.lock();
+                me.set_phase(Phase::Active);
+                me.set_prepare_csn(None);
+                Err(e)
+            }
+        }
+    }
+
+    fn precommit_checks(&self, me: &SxRef, sx: SxactId, t2s: Vec<SxactId>) -> Result<()> {
+        // Role T3: structures t1 → t2 → me where neither t1 nor t2 committed.
+        for t2id in t2s {
+            let Some(t2) = self.reg.get(t2id) else {
+                continue;
+            };
+            let mut dooms: Vec<SxRef> = Vec::new();
+            let res = {
+                let t2g = t2.lock();
+                if t2g.gone || t2.is_committed() || t2.is_doomed() || t2.phase() == Phase::Aborted {
+                    Ok(())
+                } else {
+                    self.precommit_check_t2(me, sx, &t2, &t2g, &mut dooms)
+                }
+            };
+            self.finish_checks(res, dooms)?;
+        }
+        // Role T2 (early detection; the authoritative run happens again at
+        // commit under the order mutex — see `pivot_commit_check`).
+        self.pivot_commit_check(me)
+    }
+
+    /// Role-T2 dangerous-pivot validation: my own in-edge + committed
+    /// out-conflict pair (read from my folded `earliest_out_conflict_commit`
+    /// under my lock). Called twice: once from `precommit` (cheap early
+    /// abort), and once from [`SsiManager::commit_checked`] **under the
+    /// commit-order mutex**, where it is authoritative — every earlier
+    /// committer folded its CSN into my bound inside its own order-mutex
+    /// section, so acquiring the mutex happens-after all of them. Without the
+    /// commit-time run, a pivot's precommit could interleave between a T3's
+    /// CSN assignment and its fold, miss the conflict, and commit a dangerous
+    /// structure (the one-big-mutex implementation made {assign, fold} atomic
+    /// with every check, closing this by construction).
+    fn pivot_commit_check(&self, me: &SxRef) -> Result<()> {
+        let g = me.lock();
+        let e = g.earliest_out_conflict_commit;
+        if e != CommitSeqNo::MAX {
+            let mut candidates: Vec<Option<SxRef>> = g
+                .in_conflicts
+                .iter()
+                .filter_map(|x| self.reg.get(*x))
+                .map(Some)
+                .collect();
+            if g.summary_conflict_in {
                 candidates.push(None);
             }
-            let dangerous_t1s: Vec<Option<SxactId>> = candidates
-                .into_iter()
-                .filter(|t1| match t1 {
-                    Some(t1id) => {
-                        let t1x = &st.sxacts[t1id];
-                        // T1 already committed → I would not be the first
-                        // committer of the structure.
-                        if t1x.is_committed() {
-                            return false;
+            for t1 in candidates {
+                let dangerous = match &t1 {
+                    Some(t1x) => {
+                        if t1x.phase() == Phase::Aborted {
+                            continue;
                         }
-                        // Read-only rule: I am committing *now*, after T1's
-                        // snapshot, so a read-only T1 cannot complete a cycle.
-                        !(self.config.enable_read_only_opt && t1x.is_read_only())
+                        // Non-strict: T1 may be T3 itself (2-cycles).
+                        let t1_bound = t1x.commit_csn().unwrap_or(CommitSeqNo::MAX);
+                        let co = !self.config.enable_commit_ordering_opt || e <= t1_bound;
+                        let ro = !(self.config.enable_read_only_opt && t1x.is_read_only())
+                            || e < t1x.snapshot_csn;
+                        co && ro
                     }
-                    None => true, // summarized T1: conservative
-                })
-                .collect();
-            if dangerous_t1s.is_empty() {
-                continue;
-            }
-            self.stats.dangerous_structures.bump();
-            // Preferred victim: the pivot — one abort kills every structure
-            // through it (§5.4 rule 2).
-            if st.sxacts[&t2].is_abortable() {
-                st.sxacts[&t2].doom();
-                self.stats.doomed_set.bump();
-                continue;
-            }
-            // Pivot is prepared (§7.1): each dangerous T1 must die instead —
-            // and if one of them is me, I am the victim.
-            for t1 in dangerous_t1s {
-                match t1 {
-                    Some(t1id) if t1id == sx => {
-                        self.stats.aborts_self.bump();
-                        return Err(Error::serialization(
-                            SerializationKind::NonPivotAbort,
-                            "pivot is prepared; committing T3 is also its T1",
-                        ));
-                    }
-                    Some(t1id) if st.sxacts[&t1id].is_abortable() => {
-                        st.sxacts[&t1id].doom();
-                        self.stats.doomed_set.bump();
-                    }
-                    _ => {
-                        // Summarized or unabortable T1 with an unabortable
-                        // pivot: only I can yield.
-                        self.stats.aborts_self.bump();
-                        return Err(Error::serialization(
-                            SerializationKind::NonPivotAbort,
-                            "dangerous structure with no abortable participant but me",
-                        ));
-                    }
+                    None => true,
+                };
+                if dangerous {
+                    self.stats.dangerous_structures.bump();
+                    self.stats.aborts_self.bump();
+                    return Err(Error::serialization(
+                        SerializationKind::PivotAbort,
+                        "pivot with committed out-conflict detected at commit",
+                    ));
                 }
             }
         }
-        // Role T2 (defense in depth; normally caught at edge creation): my own
-        // in+out pair with a committed T3.
-        {
-            let me = &st.sxacts[&sx];
-            let e = me.earliest_out_conflict_commit;
-            if e != CommitSeqNo::MAX {
-                let mut candidates: Vec<Option<SxactId>> =
-                    me.in_conflicts.iter().map(|&x| Some(x)).collect();
-                if me.summary_conflict_in {
-                    candidates.push(None);
-                }
-                for t1 in candidates {
-                    let dangerous = match t1 {
-                        Some(t1id) => {
-                            let t1x = &st.sxacts[&t1id];
-                            // Non-strict: T1 may be T3 itself (2-cycles).
-                            let t1_bound = t1x.commit_csn.unwrap_or(CommitSeqNo::MAX);
-                            let co = !self.config.enable_commit_ordering_opt || e <= t1_bound;
-                            let ro = !(self.config.enable_read_only_opt && t1x.is_read_only())
-                                || e < t1x.snapshot_csn;
-                            co && ro
-                        }
-                        None => true,
-                    };
-                    if dangerous {
-                        self.stats.dangerous_structures.bump();
-                        self.stats.aborts_self.bump();
-                        return Err(Error::serialization(
-                            SerializationKind::PivotAbort,
-                            "pivot with committed out-conflict detected at commit",
-                        ));
-                    }
-                }
-            }
-        }
-        let me = st.sxacts.get_mut(&sx).unwrap();
-        me.phase = Phase::Prepared;
-        me.prepare_csn = Some(frontier);
-        trace!(
-            "precommit ok {:?}(txid {:?}) in={:?} out={:?} e={:?}",
-            sx,
-            me.txid,
-            me.in_conflicts,
-            me.out_conflicts,
-            me.earliest_out_conflict_commit
-        );
         Ok(())
     }
 
-    /// Finalize a commit. `assign_csn` runs under the graph lock (it should
-    /// perform the actual transaction-manager commit), so that no conflict can
-    /// be flagged between the commit becoming visible and the graph learning the
-    /// commit CSN.
+    /// One pivot candidate of the committing T3 (`me`): `t2`'s lock is held.
+    fn precommit_check_t2(
+        &self,
+        _me: &SxRef,
+        sx: SxactId,
+        t2: &SxRef,
+        t2g: &SxactMut,
+        dooms: &mut Vec<SxRef>,
+    ) -> Result<()> {
+        let mut candidates: Vec<Option<SxRef>> = t2g
+            .in_conflicts
+            .iter()
+            .filter_map(|x| self.reg.get(*x))
+            .map(Some)
+            .collect();
+        if t2g.summary_conflict_in {
+            candidates.push(None);
+        }
+        let dangerous_t1s: Vec<Option<SxRef>> = candidates
+            .into_iter()
+            .filter(|t1| match t1 {
+                Some(t1x) => {
+                    // T1 already committed → I would not be the first
+                    // committer of the structure; an aborted T1 is no T1.
+                    if t1x.is_committed() || t1x.phase() == Phase::Aborted {
+                        return false;
+                    }
+                    // Read-only rule: I am committing *now*, after T1's
+                    // snapshot, so a read-only T1 cannot complete a cycle.
+                    !(self.config.enable_read_only_opt && t1x.is_read_only())
+                }
+                None => true, // summarized T1: conservative
+            })
+            .collect();
+        if dangerous_t1s.is_empty() {
+            return Ok(());
+        }
+        self.stats.dangerous_structures.bump();
+        // Preferred victim: the pivot — one abort kills every structure
+        // through it (§5.4 rule 2). Its lock is held: the doom is exact.
+        if t2.is_abortable() {
+            t2.doom();
+            self.stats.doomed_set.bump();
+            return Ok(());
+        }
+        // Pivot is prepared (§7.1): each dangerous T1 must die instead —
+        // and if one of them is me, I am the victim.
+        for t1 in dangerous_t1s {
+            match t1 {
+                Some(t1x) if t1x.id == sx => {
+                    self.stats.aborts_self.bump();
+                    return Err(Error::serialization(
+                        SerializationKind::NonPivotAbort,
+                        "pivot is prepared; committing T3 is also its T1",
+                    ));
+                }
+                Some(t1x) if t1x.is_abortable() => dooms.push(t1x),
+                _ => {
+                    // Summarized or unabortable T1 with an unabortable
+                    // pivot: only I can yield.
+                    self.stats.aborts_self.bump();
+                    return Err(Error::serialization(
+                        SerializationKind::NonPivotAbort,
+                        "dangerous structure with no abortable participant but me",
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// [`SsiManager::commit`] plus the authoritative dangerous-pivot
+    /// re-validation under the commit-order mutex (see
+    /// [`SsiManager::pivot_commit_check`]): if a concurrent T3 committed
+    /// between this transaction's precommit and now, the fold of its CSN into
+    /// our bound is guaranteed visible here, and the commit fails *before*
+    /// `assign_csn` runs — nothing is published and the engine simply aborts
+    /// us instead. This is the normal single-phase commit entry point; the
+    /// two-phase path uses the unchecked [`SsiManager::commit`], because
+    /// `COMMIT PREPARED` must not fail (§7.1 — a prepared pivot's structures
+    /// are instead broken by aborting their T1s at *their* operations).
+    pub fn commit_checked(
+        &self,
+        sx: SxactId,
+        assign_csn: impl FnOnce() -> CommitSeqNo,
+    ) -> Result<CommitSeqNo> {
+        self.commit_inner(sx, assign_csn, true)
+    }
+
+    /// Finalize a commit unconditionally (the `COMMIT PREPARED` path — the
+    /// §5.4 checks ran at `prepare`, and a prepared transaction can no longer
+    /// be chosen as a victim).
     pub fn commit(&self, sx: SxactId, assign_csn: impl FnOnce() -> CommitSeqNo) -> CommitSeqNo {
+        self.commit_inner(sx, assign_csn, false)
+            .expect("unchecked commit cannot fail")
+    }
+
+    /// Finalize a commit. `assign_csn` runs under the commit-order mutex *and*
+    /// this record's lock (it should perform the actual transaction-manager
+    /// commit), so that no conflict can be flagged against this record between
+    /// the commit becoming visible and the record learning the commit CSN —
+    /// flaggers serialize on the record's lock.
+    fn commit_inner(
+        &self,
+        sx: SxactId,
+        assign_csn: impl FnOnce() -> CommitSeqNo,
+        enforce_pivot_check: bool,
+    ) -> Result<CommitSeqNo> {
         let mut ops = DeferredLockOps::default();
-        let mut st = self.state.lock();
-        let csn = assign_csn();
-        {
-            let me = st.sxacts.get_mut(&sx).unwrap();
+        let mut order = self.order.lock();
+        let me = self.reg.get(sx).expect("commit on unknown record");
+        if enforce_pivot_check {
+            // Order-mutex-authoritative: every earlier commit's CSN fold
+            // happened inside its own order section. Failing here is clean —
+            // the transaction manager has not committed yet, and the engine
+            // rolls us back like any precommit failure.
+            self.pivot_commit_check(&me)?;
+        }
+        let csn;
+        let in_sources: Vec<SxactId> = {
+            let g = me.lock();
+            csn = assign_csn();
             debug_assert!(
-                me.phase == Phase::Prepared,
+                me.phase() == Phase::Prepared,
                 "commit without precommit/prepare"
             );
-            me.phase = Phase::Committed;
-            me.commit_csn = Some(csn);
-        }
-        st.active.remove(&sx);
+            me.set_phase(Phase::Committed);
+            me.set_commit_csn(csn);
+            g.in_conflicts.iter().copied().collect()
+        };
+        order.active.remove(&sx);
         // Our commit fixes the CSN of every in-source's out-conflict to us.
-        let in_sources: Vec<SxactId> = st.sxacts[&sx].in_conflicts.iter().copied().collect();
+        // (An edge flagged after the clone above sees our commit CSN itself,
+        // because its flagger serializes on our lock; min() is idempotent.)
         for s in in_sources {
-            if let Some(sx2) = st.sxacts.get_mut(&s) {
-                sx2.earliest_out_conflict_commit = sx2.earliest_out_conflict_commit.min(csn);
+            if let Some(sx2) = self.reg.get(s) {
+                let mut sg = sx2.lock();
+                sg.earliest_out_conflict_commit = sg.earliest_out_conflict_commit.min(csn);
             }
         }
         // Read-only safety resolution (§4.2): each read-only transaction watching
         // us now learns whether we committed with a conflict out to something
         // before its snapshot.
-        let trackers: Vec<SxactId> = st
-            .sxacts
-            .get_mut(&sx)
-            .unwrap()
-            .ro_trackers
-            .drain()
-            .collect();
-        let my_earliest = st.sxacts[&sx].earliest_out_conflict_commit;
+        let (trackers, my_earliest) = {
+            let mut g = me.lock();
+            let t: Vec<SxactId> = std::mem::take(&mut g.ro_trackers).into_iter().collect();
+            (t, g.earliest_out_conflict_commit)
+        };
         for r in trackers {
-            self.resolve_ro_tracking(&mut st, r, sx, Some(my_earliest), &mut ops);
+            self.resolve_ro_tracking(r, sx, Some(my_earliest), &mut ops);
         }
         // If we were a read-only transaction still being tracked, unhook.
-        let watched: Vec<SxactId> = st
-            .sxacts
-            .get_mut(&sx)
-            .unwrap()
-            .possible_unsafe
-            .drain()
+        let watched: Vec<SxactId> = std::mem::take(&mut me.lock().possible_unsafe)
+            .into_iter()
             .collect();
         for w in watched {
-            if let Some(wx) = st.sxacts.get_mut(&w) {
-                wx.ro_trackers.remove(&sx);
+            if let Some(wx) = self.reg.get(w) {
+                wx.lock().ro_trackers.remove(&sx);
             }
         }
         trace!("commit {:?} csn={:?}", sx, csn);
-        st.committed.push_back(sx);
-        self.cleanup_locked(&mut st, &mut ops);
-        self.maybe_summarize_locked(&mut st);
-        drop(st);
-        // Whole-table SIREAD work runs after the graph lock is released.
+        order.committed.push_back(Arc::clone(&me));
+        self.cleanup_locked(&mut order, &mut ops);
+        let excess = self.pop_excess_committed(&mut order);
+        drop(order);
+        // The O(degree) summarization walks and whole-table SIREAD work run
+        // after the commit-order mutex is released.
+        for rec in excess {
+            self.summarize_record(&rec);
+        }
         ops.run(&self.siread);
         self.safety_cv.notify_all();
-        csn
+        Ok(csn)
     }
 
     /// Abort: remove the record and its edges, release its SIREAD locks, and
@@ -939,37 +1211,47 @@ impl SsiManager {
     /// unsafe).
     pub fn abort(&self, sx: SxactId) {
         let mut ops = DeferredLockOps::default();
-        let mut st = self.state.lock();
-        let Some(mut me) = st.sxacts.remove(&sx) else {
+        let mut order = self.order.lock();
+        let Some(me) = self.reg.get(sx) else {
             return;
         };
-        me.phase = Phase::Aborted;
-        st.active.remove(&sx);
-        st.by_txid.remove(&me.txid);
-        for a in &me.alias_txids {
-            st.by_txid.remove(a);
-        }
-        for o in &me.out_conflicts {
-            if let Some(ox) = st.sxacts.get_mut(o) {
-                ox.in_conflicts.remove(&sx);
+        let (outs, ins, poss, trackers, aliases) = {
+            let mut g = me.lock();
+            if g.gone {
+                return;
+            }
+            me.set_phase(Phase::Aborted);
+            g.gone = true;
+            (
+                std::mem::take(&mut g.out_conflicts),
+                std::mem::take(&mut g.in_conflicts),
+                std::mem::take(&mut g.possible_unsafe),
+                std::mem::take(&mut g.ro_trackers),
+                std::mem::take(&mut g.alias_txids),
+            )
+        };
+        order.active.remove(&sx);
+        for o in &outs {
+            if let Some(ox) = self.reg.get(*o) {
+                ox.lock().in_conflicts.remove(&sx);
             }
         }
-        for i in &me.in_conflicts {
-            if let Some(ix) = st.sxacts.get_mut(i) {
-                ix.out_conflicts.remove(&sx);
+        for i in &ins {
+            if let Some(ix) = self.reg.get(*i) {
+                ix.lock().out_conflicts.remove(&sx);
             }
         }
-        for w in me.possible_unsafe.drain() {
-            if let Some(wx) = st.sxacts.get_mut(&w) {
-                wx.ro_trackers.remove(&sx);
+        for w in &poss {
+            if let Some(wx) = self.reg.get(*w) {
+                wx.lock().ro_trackers.remove(&sx);
             }
         }
-        let trackers: Vec<SxactId> = me.ro_trackers.drain().collect();
         for r in trackers {
-            self.resolve_ro_tracking(&mut st, r, sx, None, &mut ops);
+            self.resolve_ro_tracking(r, sx, None, &mut ops);
         }
-        self.cleanup_locked(&mut st, &mut ops);
-        drop(st);
+        self.reg.remove(sx, me.txid, &aliases);
+        self.cleanup_locked(&mut order, &mut ops);
+        drop(order);
         self.siread.release_owner(sx.0);
         ops.run(&self.siread);
         self.safety_cv.notify_all();
@@ -977,43 +1259,46 @@ impl SsiManager {
 
     /// A read/write transaction `w` finished; update read-only transaction `r`'s
     /// safety bookkeeping. `w_earliest` is `Some(earliest out-conflict CSN)` if
-    /// `w` committed, `None` if it aborted. SIREAD releases for newly-safe
-    /// snapshots are deferred into `ops` (run after the graph lock drops).
+    /// `w` committed, `None` if it aborted. Called with the commit-order mutex
+    /// held; SIREAD releases for newly-safe snapshots are deferred into `ops`.
     fn resolve_ro_tracking(
         &self,
-        st: &mut SsiState,
         r: SxactId,
         w: SxactId,
         w_earliest: Option<CommitSeqNo>,
         ops: &mut DeferredLockOps,
     ) {
-        let Some(rx) = st.sxacts.get(&r) else { return };
-        let r_snapshot = rx.snapshot_csn;
+        let Some(rx) = self.reg.get(r) else { return };
         let made_unsafe = match w_earliest {
-            Some(e) => e != CommitSeqNo::MAX && e < r_snapshot,
+            Some(e) => e != CommitSeqNo::MAX && e < rx.snapshot_csn,
             None => false,
         };
-        let rx = st.sxacts.get_mut(&r).unwrap();
-        rx.possible_unsafe.remove(&w);
-        if made_unsafe {
-            if !rx.ro_unsafe {
-                rx.ro_unsafe = true;
-                self.stats.unsafe_snapshots.bump();
+        let mut unhook: Vec<SxactId> = Vec::new();
+        {
+            let mut g = rx.lock();
+            if g.gone {
+                return;
             }
-            let rest: Vec<SxactId> = rx.possible_unsafe.drain().collect();
-            for other in rest {
-                if let Some(ox) = st.sxacts.get_mut(&other) {
-                    ox.ro_trackers.remove(&r);
+            g.possible_unsafe.remove(&w);
+            if made_unsafe {
+                if !rx.ro_unsafe() {
+                    rx.set_ro_unsafe();
+                    self.stats.unsafe_snapshots.bump();
                 }
-            }
-        } else if st.sxacts[&r].possible_unsafe.is_empty() && !st.sxacts[&r].ro_unsafe {
-            let rx = st.sxacts.get_mut(&r).unwrap();
-            if !rx.ro_safe {
-                rx.ro_safe = true;
+                unhook = std::mem::take(&mut g.possible_unsafe).into_iter().collect();
+            } else if g.possible_unsafe.is_empty() && !rx.ro_unsafe() && !rx.ro_safe() {
+                rx.set_ro_safe();
                 self.stats.safe_established.bump();
-                // Safe: drop SIREAD locks (deferred past the graph lock); no
+                // Safe: drop SIREAD locks (deferred past the graph locks); no
                 // further SSI overhead (§4.2).
                 ops.release_owners.push(r.0);
+            }
+        }
+        // Peer unhooking happens after `r`'s lock is released (one record lock
+        // at a time outside lock_pair — see the module docs).
+        for other in unhook {
+            if let Some(ox) = self.reg.get(other) {
+                ox.lock().ro_trackers.remove(&r);
             }
         }
     }
@@ -1022,12 +1307,11 @@ impl SsiManager {
     // Safe snapshots and deferrable transactions (§4.2–4.3)
     // ------------------------------------------------------------------
 
-    /// Current safety state of a read-only transaction's snapshot.
+    /// Current safety state of a read-only transaction's snapshot. Lock-free.
     pub fn snapshot_safety(&self, sx: SxactId) -> SafetyState {
-        let st = self.state.lock();
-        match st.sxacts.get(&sx) {
-            Some(x) if x.ro_safe => SafetyState::Safe,
-            Some(x) if x.ro_unsafe => SafetyState::Unsafe,
+        match self.reg.get(sx) {
+            Some(x) if x.ro_safe() => SafetyState::Safe,
+            Some(x) if x.ro_unsafe() => SafetyState::Unsafe,
             Some(_) => SafetyState::Pending,
             None => SafetyState::Unsafe,
         }
@@ -1035,20 +1319,16 @@ impl SsiManager {
 
     /// Block until the snapshot is proven safe or unsafe (deferrable
     /// transactions, §4.3), or until `timeout` elapses (returns `Pending`).
+    /// The wait parks on the commit-order mutex — safety flags flip under it.
     pub fn wait_for_safety(&self, sx: SxactId, timeout: Duration) -> SafetyState {
         let deadline = Instant::now() + timeout;
-        let mut st = self.state.lock();
+        let mut order = self.order.lock();
         loop {
-            let state = match st.sxacts.get(&sx) {
-                Some(x) if x.ro_safe => SafetyState::Safe,
-                Some(x) if x.ro_unsafe => SafetyState::Unsafe,
-                Some(_) => SafetyState::Pending,
-                None => SafetyState::Unsafe,
-            };
+            let state = self.snapshot_safety(sx);
             if state != SafetyState::Pending {
                 return state;
             }
-            if self.safety_cv.wait_until(&mut st, deadline).timed_out() {
+            if self.safety_cv.wait_until(&mut order, deadline).timed_out() {
                 return SafetyState::Pending;
             }
         }
@@ -1063,14 +1343,13 @@ impl SsiManager {
     /// deliberately not persisted — recovery assumes conflicts both ways).
     pub fn prepare(&self, sx: SxactId, frontier: CommitSeqNo) -> Result<PreparedSsi> {
         self.precommit(sx, frontier)?;
-        let st = self.state.lock();
-        let me = &st.sxacts[&sx];
+        let me = self.reg.get(sx).expect("prepare on unknown record");
         Ok(PreparedSsi {
             txid: me.txid,
             snapshot_csn: me.snapshot_csn,
-            prepare_csn: me.prepare_csn.unwrap_or(frontier),
+            prepare_csn: me.prepare_csn().unwrap_or(frontier),
             siread_locks: self.siread.held_targets(sx.0),
-            wrote: me.wrote,
+            wrote: me.wrote(),
         })
     }
 
@@ -1079,20 +1358,23 @@ impl SsiManager {
     /// in and out (§7.1); the recorded earliest out-conflict bound is its prepare
     /// CSN (anything later cannot have committed first).
     pub fn recover_prepared(&self, rec: &PreparedSsi) -> SxactId {
-        let mut st = self.state.lock();
-        let id = SxactId(st.next_id);
-        st.next_id += 1;
-        let mut sx = Sxact::new(id, rec.txid, rec.snapshot_csn, false, false);
-        sx.phase = Phase::Prepared;
-        sx.prepare_csn = Some(rec.prepare_csn);
-        sx.wrote = rec.wrote;
-        sx.summary_conflict_in = true;
-        sx.summary_conflict_out = true;
-        sx.earliest_out_conflict_commit = rec.prepare_csn;
-        st.active.insert(id);
-        st.by_txid.insert(rec.txid, id);
-        st.sxacts.insert(id, sx);
-        drop(st);
+        let mut order = self.order.lock();
+        let id = SxactId(self.next_id.fetch_add(1, Ordering::Relaxed));
+        let sx = Arc::new(Sxact::new(id, rec.txid, rec.snapshot_csn, false, false));
+        sx.set_phase(Phase::Prepared);
+        sx.set_prepare_csn(Some(rec.prepare_csn));
+        if rec.wrote {
+            sx.set_wrote();
+        }
+        {
+            let mut g = sx.lock();
+            g.summary_conflict_in = true;
+            g.summary_conflict_out = true;
+            g.earliest_out_conflict_commit = rec.prepare_csn;
+        }
+        order.active.insert(id, Arc::clone(&sx));
+        self.reg.insert(&sx);
+        drop(order);
         self.siread.register_owner(id.0);
         for t in &rec.siread_locks {
             self.siread.acquire(id.0, *t);
@@ -1106,107 +1388,137 @@ impl SsiManager {
 
     /// Free committed records older than every active transaction's snapshot
     /// (§6.1): no active transaction can be concurrent with them, so neither
-    /// their locks nor their edges can matter again. The SIREAD releases and
-    /// the summarized-lock sweep are deferred into `ops`: delaying a release is
-    /// conservative (a record freed here committed before every active
-    /// snapshot, so a probe that still sees its owner id finds no record and
-    /// correctly treats it as no conflict).
-    fn cleanup_locked(&self, st: &mut SsiState, ops: &mut DeferredLockOps) {
-        let horizon = st
+    /// their locks nor their edges can matter again. Runs under the
+    /// commit-order mutex; the SIREAD releases and the summarized-lock sweep
+    /// are deferred into `ops` (delaying a release is conservative — a record
+    /// freed here committed before every active snapshot, so a probe that
+    /// still sees its owner id finds no record and correctly treats it as no
+    /// conflict).
+    fn cleanup_locked(&self, order: &mut CommitOrder, ops: &mut DeferredLockOps) {
+        let horizon = order
             .active
-            .iter()
-            .map(|a| st.sxacts[a].snapshot_csn)
+            .values()
+            .map(|a| a.snapshot_csn)
             .min()
             .unwrap_or(CommitSeqNo::MAX);
-        while let Some(&oldest) = st.committed.front() {
-            let done = match st.sxacts.get(&oldest) {
-                Some(x) => x.commit_csn.map(|c| c < horizon).unwrap_or(true),
-                None => true,
-            };
+        while let Some(front) = order.committed.front() {
+            let done = front.commit_csn().map(|c| c < horizon).unwrap_or(true);
             if !done {
                 break;
             }
-            st.committed.pop_front();
-            self.drop_committed_record(st, oldest, ops);
+            let rec = order.committed.pop_front().expect("front checked above");
+            self.drop_committed_record(&rec, ops);
             self.stats.cleaned.bump();
         }
         ops.drop_summarized_before = Some(horizon);
         // §6.1: when only read-only transactions remain active, no committed
         // transaction's SIREAD locks can ever be needed again (no one can write).
-        let any_rw_active = st.active.iter().any(|a| !st.sxacts[a].declared_read_only);
+        let any_rw_active = order.active.values().any(|a| !a.declared_read_only);
         if !any_rw_active {
-            ops.release_owners.extend(st.committed.iter().map(|c| c.0));
+            ops.release_owners
+                .extend(order.committed.iter().map(|c| c.id.0));
         }
     }
 
-    fn drop_committed_record(&self, st: &mut SsiState, id: SxactId, ops: &mut DeferredLockOps) {
-        let Some(me) = st.sxacts.remove(&id) else {
-            return;
+    /// §6.1 removal (no information outlives the record). Follows the removal
+    /// protocol: tombstone under the record's lock, peer fix-ups, then the
+    /// registry entries.
+    fn drop_committed_record(&self, rec: &SxRef, ops: &mut DeferredLockOps) {
+        let (outs, ins, aliases) = {
+            let mut g = rec.lock();
+            if g.gone {
+                return;
+            }
+            g.gone = true;
+            (
+                std::mem::take(&mut g.out_conflicts),
+                std::mem::take(&mut g.in_conflicts),
+                std::mem::take(&mut g.alias_txids),
+            )
         };
-        st.by_txid.remove(&me.txid);
-        for a in &me.alias_txids {
-            st.by_txid.remove(a);
-        }
-        for o in &me.out_conflicts {
-            if let Some(ox) = st.sxacts.get_mut(o) {
-                ox.in_conflicts.remove(&id);
+        for o in &outs {
+            if let Some(ox) = self.reg.get(*o) {
+                ox.lock().in_conflicts.remove(&rec.id);
             }
         }
-        for i in &me.in_conflicts {
-            if let Some(ix) = st.sxacts.get_mut(i) {
-                ix.out_conflicts.remove(&id);
+        for i in &ins {
+            if let Some(ix) = self.reg.get(*i) {
+                ix.lock().out_conflicts.remove(&rec.id);
                 // Its commit CSN was already folded into the peer's
                 // earliest_out_conflict_commit at commit time.
             }
         }
-        ops.release_owners.push(id.0);
+        self.reg.remove(rec.id, rec.txid, &aliases);
+        ops.release_owners.push(rec.id.0);
     }
 
-    /// Summarize the oldest committed records once more than
-    /// `max_committed_sxacts` are retained (§6.2): locks consolidate onto the
-    /// dummy owner, the earliest out-conflict CSN goes to the serial table, and
-    /// edges degrade to summary flags on the surviving peers.
-    fn maybe_summarize_locked(&self, st: &mut SsiState) {
-        while st.committed.len() > self.config.max_committed_sxacts {
-            let Some(oldest) = st.committed.pop_front() else {
+    /// Pop the oldest committed records beyond `max_committed_sxacts` (§6.2)
+    /// under the commit-order mutex; the caller summarizes them after
+    /// releasing it.
+    fn pop_excess_committed(&self, order: &mut CommitOrder) -> Vec<SxRef> {
+        let mut excess = Vec::new();
+        while order.committed.len() > self.config.max_committed_sxacts {
+            let Some(oldest) = order.committed.pop_front() else {
                 break;
             };
-            let Some(me) = st.sxacts.remove(&oldest) else {
-                continue;
-            };
-            st.by_txid.remove(&me.txid);
-            let commit_csn = me.commit_csn.expect("summarizing an uncommitted record");
-            // Deliberately NOT deferred: the summarized csn must be visible in
-            // the lock table before any writer can observe the record's absence
-            // from the graph, or a real conflict with a still-concurrent
-            // summarized reader would be skipped (see module docs).
-            self.siread.consolidate_owner(oldest.0, commit_csn);
-            self.serial.record(me.txid, me.earliest_out_conflict_commit);
-            // Subtransaction writes carry the subxid in tuple headers; record
-            // each alias so later MVCC lookups still find the conflict data.
-            for a in &me.alias_txids {
-                st.by_txid.remove(a);
-                self.serial.record(*a, me.earliest_out_conflict_commit);
-            }
-            for o in &me.out_conflicts {
-                if let Some(ox) = st.sxacts.get_mut(o) {
-                    ox.in_conflicts.remove(&oldest);
-                    ox.summary_conflict_in = true;
-                }
-            }
-            for i in &me.in_conflicts {
-                if let Some(ix) = st.sxacts.get_mut(i) {
-                    ix.out_conflicts.remove(&oldest);
-                    ix.summary_conflict_out = true;
-                }
-            }
-            for w in &me.possible_unsafe {
-                if let Some(wx) = st.sxacts.get_mut(w) {
-                    wx.ro_trackers.remove(&oldest);
-                }
-            }
-            self.stats.summarized.bump();
+            excess.push(oldest);
         }
+        excess
+    }
+
+    /// Summarize one committed record (§6.2): locks consolidate onto the dummy
+    /// owner, the earliest out-conflict CSN goes to the serial table, and
+    /// edges degrade to summary flags on the surviving peers. Runs with **no**
+    /// commit-order mutex held — this is the O(degree) walk that used to
+    /// extend the global critical section. Ordering per the removal protocol:
+    /// csn fold and serial entry first, then the tombstone, peers, registry.
+    fn summarize_record(&self, rec: &SxRef) {
+        let commit_csn = rec.commit_csn().expect("summarizing an uncommitted record");
+        // The summarized csn must be visible in the lock table before any
+        // writer can observe the record's absence, or a real conflict with a
+        // still-concurrent summarized reader would be skipped.
+        self.siread.consolidate_owner(rec.id.0, commit_csn);
+        let (outs, ins, poss, aliases) = {
+            let mut g = rec.lock();
+            if g.gone {
+                return;
+            }
+            // Serial entries (top-level xid and each subxact alias, whose
+            // writes carry the subxid in tuple headers) are published before
+            // the tombstone, so the on_mvcc vanished path always finds them.
+            self.serial.record(rec.txid, g.earliest_out_conflict_commit);
+            for a in &g.alias_txids {
+                self.serial.record(*a, g.earliest_out_conflict_commit);
+            }
+            g.gone = true;
+            (
+                std::mem::take(&mut g.out_conflicts),
+                std::mem::take(&mut g.in_conflicts),
+                std::mem::take(&mut g.possible_unsafe),
+                std::mem::take(&mut g.alias_txids),
+            )
+        };
+        for o in &outs {
+            if let Some(ox) = self.reg.get(*o) {
+                let mut og = ox.lock();
+                og.in_conflicts.remove(&rec.id);
+                og.summary_conflict_in = true;
+            }
+        }
+        for i in &ins {
+            if let Some(ix) = self.reg.get(*i) {
+                let mut ig = ix.lock();
+                ig.out_conflicts.remove(&rec.id);
+                ig.summary_conflict_out = true;
+            }
+        }
+        for w in &poss {
+            if let Some(wx) = self.reg.get(*w) {
+                wx.lock().ro_trackers.remove(&rec.id);
+            }
+        }
+        self.reg.remove(rec.id, rec.txid, &aliases);
+        self.stats.summarized.bump();
     }
 
     // ------------------------------------------------------------------
@@ -1215,40 +1527,35 @@ impl SsiManager {
 
     /// Number of active (and prepared) serializable transactions.
     pub fn active_count(&self) -> usize {
-        self.state.lock().active.len()
+        self.order.lock().active.len()
     }
 
     /// Number of committed records currently retained.
     pub fn committed_retained(&self) -> usize {
-        self.state.lock().committed.len()
+        self.order.lock().committed.len()
     }
 
     /// Total transaction records (bounded-memory assertions).
     pub fn record_count(&self) -> usize {
-        self.state.lock().sxacts.len()
+        self.reg.record_count()
     }
 
     /// Whether the given transaction id currently has a serializable record.
     pub fn is_tracked(&self, txid: TxnId) -> bool {
-        self.state.lock().by_txid.contains_key(&txid)
+        self.reg.get_txid(txid).is_some()
     }
 
     /// The record's doomed flag (tests).
     pub fn is_doomed(&self, sx: SxactId) -> bool {
-        self.state
-            .lock()
-            .sxacts
-            .get(&sx)
-            .map(|x| x.is_doomed())
-            .unwrap_or(false)
+        self.reg.get(sx).map(|x| x.is_doomed()).unwrap_or(false)
     }
 
     /// Shared handle to the record's doomed flag: the owning session polls it
-    /// per operation without taking the graph lock.
+    /// per operation without taking any graph lock.
     pub fn doomed_handle(
         &self,
         sx: SxactId,
     ) -> Option<std::sync::Arc<std::sync::atomic::AtomicBool>> {
-        self.state.lock().sxacts.get(&sx).map(|x| x.doomed.clone())
+        self.reg.get(sx).map(|x| x.doomed.clone())
     }
 }

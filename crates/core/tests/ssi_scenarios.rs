@@ -85,8 +85,9 @@ impl Harness {
 
     fn commit(&self, t: T) -> Result<CommitSeqNo> {
         self.ssi.precommit(t.sx, self.tm.snapshot().csn)?;
-        let csn = self.ssi.commit(t.sx, || self.tm.commit(&[t.txid]));
-        Ok(csn)
+        // Engine-faithful: the order-mutex-authoritative pivot re-check runs
+        // at commit (`commit_checked`), exactly as `Transaction::commit` does.
+        self.ssi.commit_checked(t.sx, || self.tm.commit(&[t.txid]))
     }
 
     fn abort(&self, t: T) {

@@ -105,6 +105,9 @@ pub struct SessionStats {
     pub requests_executed: Counter,
     /// Times a pool worker went to sleep with no runnable session.
     pub worker_parks: Counter,
+    /// Times a worker about to park on a row lock priority-woke the lock
+    /// holder's descheduled session (lock-aware scheduling).
+    pub lock_holder_wakeups: Counter,
 }
 
 /// Aggregated counter snapshot across every layer: engine commit/abort totals,
@@ -132,6 +135,8 @@ pub struct StatsReport {
     pub ssi_safe_snapshots: u64,
     /// Committed transactions summarized under memory pressure.
     pub ssi_summarized: u64,
+    /// Number of conflict-graph registry shards.
+    pub ssi_graph_shards: usize,
     /// SIREAD lock acquisitions.
     pub siread_acquisitions: u64,
     /// SIREAD granularity promotions (tuple→page, page→relation).
@@ -152,14 +157,19 @@ pub struct StatsReport {
     pub s2pl_deadlocks: u64,
     /// Transactions (and subtransactions) begun by the txn manager.
     pub txn_begins: u64,
-    /// Snapshot requests served from the epoch-cached snapshot.
+    /// Snapshot requests served from the maintained snapshot cache.
     pub txn_snapshot_hits: u64,
-    /// Snapshot requests that rebuilt the snapshot (cache invalidated).
-    pub txn_snapshot_rebuilds: u64,
+    /// Writing finishes applied to the cached snapshot copy-on-write.
+    pub txn_snapshot_incremental: u64,
+    /// Snapshot requests that walked every allocation shard from scratch
+    /// (cold start; ≈ 0 in steady state).
+    pub txn_snapshot_full_rebuilds: u64,
     /// Txid blocks carved off the global frontier.
     pub txn_id_blocks: u64,
     /// Number of txid-allocation shards.
     pub txn_id_shards: usize,
+    /// Row-lock waits that reported their blocking txid to the session pool.
+    pub txn_wait_reports: u64,
     /// Logical sessions opened against the session pool.
     pub sessions_opened: u64,
     /// Requests enqueued onto session inboxes.
@@ -168,6 +178,8 @@ pub struct StatsReport {
     pub session_executed: u64,
     /// Times a session-pool worker parked with no runnable session.
     pub session_worker_parks: u64,
+    /// Lock-holder sessions priority-woken by a worker about to park.
+    pub session_lock_wakeups: u64,
 }
 
 impl StatsReport {
@@ -180,9 +192,9 @@ impl StatsReport {
         }
     }
 
-    /// Fraction of snapshot requests served from the epoch cache.
+    /// Fraction of snapshot requests served from the maintained cache.
     pub fn snapshot_cache_hit_rate(&self) -> f64 {
-        let total = self.txn_snapshot_hits + self.txn_snapshot_rebuilds;
+        let total = self.txn_snapshot_hits + self.txn_snapshot_full_rebuilds;
         if total == 0 {
             0.0
         } else {
@@ -201,7 +213,7 @@ impl std::fmt::Display for StatsReport {
         writeln!(
             f,
             "ssi    : conflicts {}  dangerous {}  self-aborts {}  doomed {}  \
-             summary-aborts {}  safe-snapshots {}  summarized {}",
+             summary-aborts {}  safe-snapshots {}  summarized {}  graph-shards {}",
             self.ssi_conflicts_flagged,
             self.ssi_dangerous_structures,
             self.ssi_aborts_self,
@@ -209,6 +221,7 @@ impl std::fmt::Display for StatsReport {
             self.ssi_summary_aborts,
             self.ssi_safe_snapshots,
             self.ssi_summarized,
+            self.ssi_graph_shards,
         )?;
         writeln!(
             f,
@@ -229,22 +242,25 @@ impl std::fmt::Display for StatsReport {
         )?;
         writeln!(
             f,
-            "txn    : begins {}  snapshot-hits {}  rebuilds {} (hit-rate {:.1}%)  \
-             txid-blocks {}  id-shards {}",
+            "txn    : begins {}  snapshot-hits {}  incremental {}  full-rebuilds {} \
+             (hit-rate {:.1}%)  txid-blocks {}  id-shards {}  wait-reports {}",
             self.txn_begins,
             self.txn_snapshot_hits,
-            self.txn_snapshot_rebuilds,
+            self.txn_snapshot_incremental,
+            self.txn_snapshot_full_rebuilds,
             100.0 * self.snapshot_cache_hit_rate(),
             self.txn_id_blocks,
             self.txn_id_shards,
+            self.txn_wait_reports,
         )?;
         write!(
             f,
-            "server : sessions {}  requests {}  executed {}  worker-parks {}",
+            "server : sessions {}  requests {}  executed {}  worker-parks {}  lock-wakeups {}",
             self.sessions_opened,
             self.session_requests,
             self.session_executed,
-            self.session_worker_parks
+            self.session_worker_parks,
+            self.session_lock_wakeups
         )
     }
 }
@@ -497,6 +513,7 @@ impl Database {
             ssi_summary_aborts: s.summary_aborts.get(),
             ssi_safe_snapshots: s.safe_immediate.get() + s.safe_established.get(),
             ssi_summarized: s.summarized.get(),
+            ssi_graph_shards: ssi.graph_shards(),
             siread_acquisitions: siread.acquisitions.get(),
             siread_promotions: siread.promotions.get(),
             siread_partitions: siread.partition_count(),
@@ -508,19 +525,30 @@ impl Database {
             s2pl_deadlocks: self.inner.s2pl.deadlocks.get(),
             txn_begins: self.inner.tm.stats.begins.get(),
             txn_snapshot_hits: self.inner.tm.stats.snapshot_hits.get(),
-            txn_snapshot_rebuilds: self.inner.tm.stats.snapshot_rebuilds.get(),
+            txn_snapshot_incremental: self.inner.tm.stats.snapshot_incremental.get(),
+            txn_snapshot_full_rebuilds: self.inner.tm.stats.snapshot_full_rebuilds.get(),
             txn_id_blocks: self.inner.tm.stats.txid_blocks.get(),
             txn_id_shards: self.inner.tm.shard_count(),
+            txn_wait_reports: self.inner.tm.stats.wait_reports.get(),
             sessions_opened: self.inner.session_stats.sessions_opened.get(),
             session_requests: self.inner.session_stats.requests_enqueued.get(),
             session_executed: self.inner.session_stats.requests_executed.get(),
             session_worker_parks: self.inner.session_stats.worker_parks.get(),
+            session_lock_wakeups: self.inner.session_stats.lock_holder_wakeups.get(),
         }
     }
 
     /// The transaction manager (tests).
     pub fn txn_manager(&self) -> &TxnManager {
         &self.inner.tm
+    }
+
+    /// Register a row-lock wait observer: `(waiter, holder)` is reported just
+    /// before a transaction parks waiting for another to finish. The session
+    /// pool installs one so it can priority-schedule the holder's session
+    /// (lock-aware scheduling). Replaces any previous observer.
+    pub fn set_wait_observer(&self, obs: pgssi_storage::WaitObserver) {
+        self.inner.tm.set_wait_observer(obs);
     }
 
     /// The WAL stream (replication).

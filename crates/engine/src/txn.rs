@@ -1007,7 +1007,14 @@ impl Transaction {
             if let Err(e) = ssi.precommit(sx, self.db.tm.frontier()) {
                 return Err(self.auto_abort(e));
             }
-            ssi.commit(sx, || tm_commit(&self.db.tm));
+            // The checked commit re-validates the dangerous-pivot condition
+            // under the commit-order mutex (a concurrent T3 may have
+            // committed since the precommit) and fails *before* the
+            // transaction-manager commit runs, so rolling back here is
+            // exactly like a precommit failure.
+            if let Err(e) = ssi.commit_checked(sx, || tm_commit(&self.db.tm)) {
+                return Err(self.auto_abort(e));
+            }
         } else {
             tm_commit(&self.db.tm);
         }

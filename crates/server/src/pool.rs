@@ -30,13 +30,13 @@
 //! workers case.
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::{BinaryHeap, HashMap, VecDeque};
 use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex};
-use pgssi_common::{Error, Result, ServerConfig};
+use pgssi_common::{Error, Result, ServerConfig, TxnId};
 use pgssi_engine::Database;
-use std::sync::Arc;
+use std::sync::{Arc, Weak};
 
 /// Identifies a session within its pool.
 pub type SessionId = usize;
@@ -89,6 +89,10 @@ struct PoolInner {
     cfg: ServerConfig,
     state: Mutex<PoolState>,
     work: Condvar,
+    /// Which session owns which open transaction (maintained by the tasks via
+    /// [`SessionPool::note_txn`]/[`SessionPool::forget_txn`]), so the wait
+    /// observer can map a blocking txid back to its session.
+    txn_owners: Mutex<HashMap<TxnId, SessionId>>,
 }
 
 /// A fixed-worker pool executing [`SessionTask`] activations.
@@ -115,7 +119,20 @@ impl SessionPool {
                 shutdown: false,
             }),
             work: Condvar::new(),
+            txn_owners: Mutex::new(HashMap::new()),
         });
+        // Lock-aware scheduling: a worker about to park on a row lock tells
+        // us the holder's txid; if that transaction belongs to a descheduled
+        // session, jump it to the front of the ready queue so the lock is
+        // released as soon as a worker frees up instead of stalling until the
+        // lock timeout. The observer holds only a weak handle (the Database
+        // outlives pools fronting it; a dead pool's observer is a no-op).
+        let weak: Weak<PoolInner> = Arc::downgrade(&inner);
+        inner.db.set_wait_observer(Arc::new(move |_waiter, holder| {
+            if let Some(pool) = weak.upgrade() {
+                pool.wake_txn_owner(holder);
+            }
+        }));
         let workers = (0..inner.cfg.workers)
             .map(|_| {
                 let inner = Arc::clone(&inner);
@@ -183,6 +200,18 @@ impl SessionPool {
         }
     }
 
+    /// Record that `sid`'s open transaction is `txid` (wire tasks call this
+    /// on BEGIN). The wait observer uses the mapping to priority-schedule the
+    /// session when another worker blocks on that transaction's locks.
+    pub fn note_txn(&self, txid: TxnId, sid: SessionId) {
+        self.inner.txn_owners.lock().insert(txid, sid);
+    }
+
+    /// Forget a finished transaction's ownership (COMMIT/ABORT/close).
+    pub fn forget_txn(&self, txid: TxnId) {
+        self.inner.txn_owners.lock().remove(&txid);
+    }
+
     /// Live-session count.
     pub fn live_sessions(&self) -> usize {
         self.inner.state.lock().live
@@ -211,6 +240,52 @@ impl Drop for SessionPool {
         self.request_shutdown();
         for h in self.workers.drain(..) {
             let _ = h.join();
+        }
+    }
+}
+
+impl PoolInner {
+    /// Priority-wake the session owning `txid` (wait-observer path): a
+    /// descheduled holder jumps the FIFO so its lock release is the very next
+    /// thing a free worker runs. Counted only when it actually changes the
+    /// schedule; a running or already-front session needs no help.
+    fn wake_txn_owner(&self, txid: TxnId) {
+        let Some(sid) = self.txn_owners.lock().get(&txid).copied() else {
+            return;
+        };
+        let mut st = self.state.lock();
+        let Some(Some(slot)) = st.slots.get_mut(sid) else {
+            return;
+        };
+        if slot.task.is_some() {
+            if slot.queued {
+                // Parked in the ready queue behind others: move it to the front.
+                if let Some(pos) = st.ready.iter().position(|s| *s == sid) {
+                    if pos > 0 {
+                        st.ready.remove(pos);
+                        st.ready.push_front(sid);
+                        drop(st);
+                        self.db.session_stats().lock_holder_wakeups.bump();
+                        self.work.notify_one();
+                    }
+                }
+                // Sleeping a think time (deadline heap): leave it — promoting
+                // a thinking terminal would fake the workload's pacing.
+            } else {
+                // Idle (or latched): schedule it at the front right away.
+                slot.queued = true;
+                st.ready.push_front(sid);
+                drop(st);
+                self.db.session_stats().lock_holder_wakeups.bump();
+                self.work.notify_one();
+            }
+        } else {
+            // Mid-activation on another worker: latch the wake so the session
+            // reschedules the moment its activation returns Idle. Still a
+            // lock-holder wakeup — the latch is what keeps it runnable.
+            slot.wake_pending = true;
+            drop(st);
+            self.db.session_stats().lock_holder_wakeups.bump();
         }
     }
 }

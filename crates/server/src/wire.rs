@@ -18,7 +18,7 @@ use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
 use parking_lot::{Condvar, Mutex};
-use pgssi_common::{Result, ServerConfig};
+use pgssi_common::{Result, ServerConfig, TxnId};
 use pgssi_engine::{Database, Transaction};
 
 use crate::pool::{Next, SessionId, SessionPool, SessionTask};
@@ -73,6 +73,7 @@ impl Server {
         });
         let task = WireTask {
             duplex: Arc::clone(&duplex),
+            pool: Arc::downgrade(&self.pool),
             txn: None,
             shapes: HashMap::new(),
         };
@@ -167,6 +168,9 @@ impl Drop for SessionHandle {
 /// Server-side session state: drains the inbox on each activation.
 struct WireTask {
     duplex: Arc<Duplex>,
+    /// Back-reference for transaction-ownership bookkeeping (weak: tasks live
+    /// inside the pool's slots, so a strong handle would be a cycle).
+    pool: std::sync::Weak<SessionPool>,
     txn: Option<Transaction>,
     /// Per-session cache of `(pk columns, width)` by table, so hot-path PUTs
     /// don't re-take the catalog and table locks per request. Schemas are
@@ -174,11 +178,43 @@ struct WireTask {
     shapes: HashMap<String, (Vec<usize>, usize)>,
 }
 
+impl WireTask {
+    /// Update the pool's txid→session map to match the transaction slot:
+    /// registered on BEGIN, forgotten on COMMIT/ABORT/auto-abort/close. The
+    /// map is what lets a blocking worker priority-wake this session.
+    fn track_txn(&self, sid: SessionId, prev: Option<TxnId>) {
+        let Some(pool) = self.pool.upgrade() else {
+            return;
+        };
+        let now = self.txn.as_ref().map(|t| t.txid());
+        if prev == now {
+            return;
+        }
+        if let Some(old) = prev {
+            pool.forget_txn(old);
+        }
+        if let Some(new) = now {
+            pool.note_txn(new, sid);
+        }
+    }
+
+    /// Drop and forget the open transaction (rolls back via `Drop`): the
+    /// retirement paths, where only the ownership *removal* matters and no
+    /// session id is meaningful.
+    fn drop_txn(&mut self) {
+        if let Some(t) = self.txn.take() {
+            if let Some(pool) = self.pool.upgrade() {
+                pool.forget_txn(t.txid());
+            }
+        }
+    }
+}
+
 impl SessionTask for WireTask {
     /// Panic path: mark the channel closed and wake the client so a blocked
     /// `recv` returns `None` instead of hanging on a retired session.
     fn close(&mut self) {
-        self.txn = None;
+        self.drop_txn();
         self.duplex.chan.lock().closed = true;
         self.duplex.response_ready.notify_all();
     }
@@ -188,17 +224,24 @@ impl SessionTask for WireTask {
             let line = {
                 let mut c = self.duplex.chan.lock();
                 if c.closed {
-                    // Roll back any open transaction and retire the session.
-                    self.txn = None;
                     c.responses.clear();
-                    return Next::Stop;
-                }
-                match c.requests.pop_front() {
-                    Some(l) => l,
-                    None => return Next::Idle,
+                    None
+                } else {
+                    match c.requests.pop_front() {
+                        Some(l) => Some(l),
+                        None => return Next::Idle,
+                    }
                 }
             };
+            let Some(line) = line else {
+                // Channel closed: roll back any open transaction (forgetting
+                // its pool ownership) and retire the session.
+                self.drop_txn();
+                return Next::Stop;
+            };
+            let prev = self.txn.as_ref().map(|t| t.txid());
             let response = execute_line(db, sid, &mut self.txn, &mut self.shapes, &line);
+            self.track_txn(sid, prev);
             db.session_stats().requests_executed.bump();
             let mut c = self.duplex.chan.lock();
             c.responses.push_back(response);

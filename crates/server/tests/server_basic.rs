@@ -232,3 +232,55 @@ fn a_thousand_sessions_on_four_workers() {
     drop(setup);
     Arc::try_unwrap(Arc::new(server)).ok().unwrap().shutdown();
 }
+
+/// Lock-aware scheduling: a worker about to park on a row lock reports the
+/// holder's txid, and the pool priority-wakes the holder's descheduled
+/// session. The wait must resolve by the holder committing — well inside the
+/// lock timeout — not by timing out.
+#[test]
+fn blocked_worker_priority_wakes_the_lock_holder_session() {
+    let server = kv_server(2, 8);
+    let setup = server.connect().unwrap();
+    assert_eq!(setup.roundtrip("BEGIN"), "OK");
+    assert_eq!(setup.roundtrip("PUT kv 7 70"), "OK");
+    assert_eq!(setup.roundtrip("COMMIT"), "OK");
+    drop(setup);
+
+    let holder = server.connect().unwrap();
+    // Interactive transaction: holds the row lock across activations.
+    assert_eq!(holder.roundtrip("BEGIN REPEATABLE READ"), "OK");
+    assert_eq!(holder.roundtrip("PUT kv 7 71"), "OK");
+
+    // A second session updates the same row and blocks on the holder's txid
+    // (READ COMMITTED: after the holder commits, the update re-applies to the
+    // new version instead of failing).
+    let waiter = server.connect().unwrap();
+    assert_eq!(waiter.roundtrip("BEGIN READ COMMITTED"), "OK");
+    waiter.send("PUT kv 7 72"); // blocks inside the activation
+
+    // The blocking worker must have reported the holder and woken its session.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(2);
+    loop {
+        let r = server.db().stats_report();
+        if r.txn_wait_reports >= 1 && r.session_lock_wakeups >= 1 {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "wait observer never fired: {r:?}"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+
+    // The holder commits; the waiter's PUT must now succeed (not time out).
+    assert_eq!(holder.roundtrip("COMMIT"), "OK");
+    assert_eq!(waiter.recv().unwrap(), "OK");
+    assert_eq!(waiter.roundtrip("COMMIT"), "OK");
+
+    let check = server.connect().unwrap();
+    assert_eq!(check.roundtrip("BEGIN"), "OK");
+    assert_eq!(check.roundtrip("GET kv 7"), "ROW 7 72");
+    assert_eq!(check.roundtrip("COMMIT"), "OK");
+    drop((holder, waiter, check));
+    server.shutdown();
+}

@@ -29,5 +29,5 @@ pub mod visibility;
 pub use clog::{CommitLog, TxnStatus};
 pub use heap::{Heap, HeapTuple, LockOutcome, TUPLES_PER_PAGE};
 pub use io::BufferCache;
-pub use txn::{TxnManager, TxnStats};
+pub use txn::{TxnManager, TxnStats, WaitObserver};
 pub use visibility::{check_mvcc, OwnXids, SingleXid, VisCheck, VisEvent};

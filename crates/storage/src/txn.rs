@@ -16,15 +16,38 @@
 //!   `fetch_add`). A begin takes only its thread-affine shard mutex plus one
 //!   id-striped active-set mutex; begins on different shards share nothing
 //!   but the (rarely touched) block frontier.
-//! * **Snapshots** (`snapshot`): an epoch-tagged cache. Commits and aborts
-//!   bump the epoch; while it is unchanged, `snapshot()` clones the cached
-//!   snapshot without taking any manager-wide lock. On a miss the snapshot is
-//!   rebuilt under the finish mutex + every shard mutex, which freezes the
-//!   frontier, the active sets, and `next_csn` into one consistent cut.
+//! * **Snapshots** (`snapshot`): a cache that is maintained *incrementally*
+//!   and therefore never stale. Every writing commit/abort applies its own
+//!   xids to a copy-on-write of the cached `Arc<Snapshot>` under the `finish`
+//!   mutex ([`TxnManager::apply_finish_to_cache`]): remove the finishing ids,
+//!   advance `xmax` to the current frontier (classifying the delta range as
+//!   in-progress), stamp the new `csn`. `snapshot()` clones the cache without
+//!   any manager-wide lock; the full shard walk that freezes the frontier,
+//!   the active sets, and `next_csn` into one consistent cut survives only as
+//!   the cold-start path (counted separately as `snapshot_full_rebuilds`).
 //! * **Finishes** (`commit`/`abort`): serialized by the small `finish` mutex
 //!   (they were serialized by the global mutex before). The clog entry is
 //!   published *before* the id leaves its active stripe, so "no longer
 //!   active" always implies "status finalized".
+//!
+//! ## Why the incremental cache update is a consistent cut
+//!
+//! Under the `finish` mutex the cache always satisfies: `xmax` = the frontier
+//! observed at the last writing finish, and `xip` ⊇ every id below that
+//! `xmax` still in progress (plus, transiently, writeless-finished ids — see
+//! below). A new writing finish extends `xmax` to the current frontier and
+//! carries over `old xip` plus the whole delta range `[old_xmax, frontier)`,
+//! dropping its own xids and every id whose clog status is already final:
+//! what remains is exactly reserved-or-active — any *writing* finish since
+//! the last update is impossible (they all update the cache, serialized by
+//! `finish`), finished ids are caught by the clog filter, and ids mid-begin
+//! read `InProgress` (the clog's default). The filter is also what keeps
+//! `xip` bounded: *writeless* finishes skip the refresh entirely (the
+//! [`TxnManager::commit_readonly`] argument, below — a stale "in-progress"
+//! entry for a writeless id is unobservable, since the id appears in no
+//! tuple header), so the next writing finish sweeps them out. Begins never
+//! touch the cache: an id issued after the last update is at or above the
+//! cached `xmax` and correctly reads as in-progress.
 //!
 //! ## Why unissued block ids ride in `xip`
 //!
@@ -72,12 +95,20 @@ use crate::clog::{CommitLog, TxnStatus};
 pub struct TxnStats {
     /// Transactions (and subtransactions) begun.
     pub begins: Counter,
-    /// Snapshot requests served by cloning the epoch-cached snapshot.
+    /// Snapshot requests served by cloning the cached snapshot.
     pub snapshot_hits: Counter,
-    /// Snapshot requests that had to rebuild (cache invalidated by a finish).
-    pub snapshot_rebuilds: Counter,
+    /// Writing finishes that refreshed the cache incrementally (copy-on-write
+    /// apply of the finishing xids instead of a shard walk).
+    pub snapshot_incremental: Counter,
+    /// Snapshot requests that walked every allocation shard from scratch.
+    /// Cold-start only in steady state — the incremental path keeps the cache
+    /// perpetually fresh.
+    pub snapshot_full_rebuilds: Counter,
     /// Txid blocks carved off the global frontier.
     pub txid_blocks: Counter,
+    /// `wait_for` sleeps that reported their blocking txid to a registered
+    /// wait observer (the session pool's lock-aware scheduling hook).
+    pub wait_reports: Counter,
 }
 
 /// A shard's reserved txid block: ids in `[next, end)` are carved off the
@@ -88,11 +119,11 @@ struct ShardAlloc {
     end: u64,
 }
 
-struct CachedSnapshot {
-    /// Epoch the snapshot was built at; stale once any finish bumps it.
-    epoch: u64,
-    snap: Arc<Snapshot>,
-}
+/// Callback invoked (while the waits mutex is held, just before the first
+/// sleep) with `(waiter, holder)` when a transaction is about to park on
+/// another's finish. The session pool uses it to priority-schedule the
+/// holder's session. Must not call back into the transaction manager.
+pub type WaitObserver = Arc<dyn Fn(TxnId, TxnId) + Send + Sync>;
 
 /// Assigns transaction ids and commit sequence numbers, takes snapshots, and
 /// resolves transaction-finish waits.
@@ -111,12 +142,14 @@ pub struct TxnManager {
     next_csn: AtomicU64,
     /// Serializes commits/aborts against each other and snapshot rebuilds.
     finish: Mutex<()>,
-    /// Bumped (under `finish`) by every commit/abort; tags the cache.
-    epoch: AtomicU64,
-    cache: RwLock<Option<CachedSnapshot>>,
+    /// The maintained snapshot: never stale (every writing finish refreshes
+    /// it in place under `finish`), `None` only before the first snapshot.
+    cache: RwLock<Option<Arc<Snapshot>>>,
     /// waiter -> waitee edges for deadlock detection; also the condvar mutex.
     waits: Mutex<HashMap<TxnId, TxnId>>,
     finished: Condvar,
+    /// Lock-aware scheduling hook (see [`WaitObserver`]).
+    wait_observer: RwLock<Option<WaitObserver>>,
     block: u64,
     /// Event counters.
     pub stats: TxnStats,
@@ -167,10 +200,10 @@ impl TxnManager {
             active: (0..stripes).map(|_| Mutex::new(BTreeSet::new())).collect(),
             next_csn: AtomicU64::new(CommitSeqNo::FIRST.0),
             finish: Mutex::new(()),
-            epoch: AtomicU64::new(0),
             cache: RwLock::new(None),
             waits: Mutex::new(HashMap::new()),
             finished: Condvar::new(),
+            wait_observer: RwLock::new(None),
             block: config.txid_block.max(1),
             stats: TxnStats::default(),
         }
@@ -233,51 +266,43 @@ impl TxnManager {
 
     /// Take an MVCC snapshot consistent with the current commit frontier.
     ///
-    /// Fast path: if no transaction has finished since the cached snapshot was
-    /// built, clone it (begins never invalidate the cache — new ids are either
-    /// still listed as reserved in the cached `xip` or lie at/above its
-    /// `xmax`, and both read as in-progress). Slow path: rebuild a consistent
-    /// cut under the finish mutex and refresh the cache.
+    /// Fast path: clone the maintained cache — it is never stale, because
+    /// every writing finish refreshes it in place under the finish mutex
+    /// (begins never need to: new ids are either still listed as reserved in
+    /// the cached `xip` or lie at/above its `xmax`, and both read as
+    /// in-progress). Slow path (cold start only): walk every allocation shard
+    /// under the finish mutex and prime the cache.
     pub fn snapshot(&self) -> Snapshot {
-        let epoch = self.epoch.load(Ordering::Acquire);
-        let cached = {
-            let cache = self.cache.read();
-            match &*cache {
-                Some(c) if c.epoch == epoch => Some(Arc::clone(&c.snap)),
-                _ => None,
-            }
-        };
+        let cached = self.cache.read().clone();
         if let Some(snap) = cached {
             self.stats.snapshot_hits.bump();
             // Clone outside the cache lock so concurrent hits copy in parallel.
             return (*snap).clone();
         }
-        self.rebuild_snapshot()
+        self.cold_snapshot()
     }
 
-    fn rebuild_snapshot(&self) -> Snapshot {
-        // Freeze finishes, then all allocation shards. With every shard mutex
-        // held no begin can be mid-flight, so the frontier, reserved ranges,
-        // and active stripes form one consistent cut; with the finish mutex
-        // held, `next_csn`, the clog, and the active stripes agree.
+    fn cold_snapshot(&self) -> Snapshot {
         let _fin = self.finish.lock();
-        // Re-check under the mutex: after a writing commit, every concurrent
-        // snapshotter misses at once and queues here — the first to arrive
-        // rebuilds, the rest clone its work instead of re-walking the shards.
-        let epoch_now = self.epoch.load(Ordering::Acquire);
-        {
-            let cache = self.cache.read();
-            if let Some(c) = &*cache {
-                if c.epoch == epoch_now {
-                    let snap = Arc::clone(&c.snap);
-                    drop(cache);
-                    self.stats.snapshot_hits.bump();
-                    return (*snap).clone();
-                }
-            }
+        // Re-check under the mutex: on a cold cache every concurrent
+        // snapshotter queues here — the first to arrive walks the shards, the
+        // rest clone its work.
+        if let Some(snap) = self.cache.read().clone() {
+            self.stats.snapshot_hits.bump();
+            return (*snap).clone();
         }
+        let snap = self.rebuild_locked();
+        *self.cache.write() = Some(Arc::new(snap.clone()));
+        self.stats.snapshot_full_rebuilds.bump();
+        snap
+    }
+
+    /// Full shard walk. Caller holds `finish`: with every shard mutex held no
+    /// begin can be mid-flight, so the frontier, reserved ranges, and active
+    /// stripes form one consistent cut; with the finish mutex held,
+    /// `next_csn`, the clog, and the active stripes agree.
+    fn rebuild_locked(&self) -> Snapshot {
         let allocs: Vec<_> = self.alloc.iter().map(|m| m.lock()).collect();
-        let epoch = self.epoch.load(Ordering::Acquire);
         let xmax = TxnId(self.next_txid.load(Ordering::Relaxed));
         let mut xip: Vec<TxnId> = Vec::new();
         for a in &allocs {
@@ -288,18 +313,62 @@ impl TxnManager {
         }
         drop(allocs);
         xip.sort_unstable();
-        let snap = Snapshot {
+        Snapshot {
             xmin: xip.first().copied().unwrap_or(xmax),
             xmax,
             xip,
             csn: CommitSeqNo(self.next_csn.load(Ordering::Acquire)),
+        }
+    }
+
+    /// Apply a writing finish to the maintained snapshot (caller holds
+    /// `finish`, clog entries already final): copy-on-write the cached
+    /// snapshot minus the finishing `xids`, with `xmax` advanced to the
+    /// current frontier and the delta range `[old_xmax, frontier)` classified
+    /// in-progress (see the module docs for why that is a consistent cut).
+    ///
+    /// Both the carried-over `xip` and the delta are filtered against the
+    /// clog: an id whose status is already final reads exactly like a full
+    /// rebuild would classify it (finished — its commit CSN, if any, is below
+    /// the `csn` stamped here), and dropping it is what keeps `xip` *bounded*.
+    /// Without the filter, writeless-finished reader ids — whose finishes
+    /// deliberately skip this refresh — would accumulate forever and every
+    /// snapshot clone would pay for them. Unclaimed reserved ids and ids
+    /// mid-begin read `InProgress` (the clog's default encoding), so nothing
+    /// live is ever dropped. A cold cache has nothing to maintain — the next
+    /// `snapshot()` walks.
+    fn apply_finish_to_cache(&self, xids: &[TxnId]) {
+        let mut cache = self.cache.write();
+        let Some(old) = &*cache else { return };
+        let new_xmax = TxnId(self.next_txid.load(Ordering::Relaxed));
+        let delta = (new_xmax.0.saturating_sub(old.xmax.0)) as usize;
+        let still_open =
+            |x: &TxnId| !xids.contains(x) && matches!(self.clog.status(*x), TxnStatus::InProgress);
+        let mut xip: Vec<TxnId> = Vec::with_capacity(old.xip.len() + delta);
+        xip.extend(old.xip.iter().copied().filter(&still_open));
+        xip.extend((old.xmax.0..new_xmax.0).map(TxnId).filter(&still_open));
+        *cache = Some(Arc::new(Snapshot {
+            xmin: xip.first().copied().unwrap_or(new_xmax),
+            xmax: new_xmax,
+            xip,
+            csn: CommitSeqNo(self.next_csn.load(Ordering::Acquire)),
+        }));
+        self.stats.snapshot_incremental.bump();
+    }
+
+    /// The incrementally-maintained snapshot and a from-scratch shard-walk
+    /// rebuild, taken under one `finish` critical section so they describe
+    /// the same instant (validation and diagnostics; the incremental-snapshot
+    /// stress test asserts their equivalence). On a cold cache both sides are
+    /// the fresh rebuild.
+    pub fn snapshot_and_rebuild(&self) -> (Snapshot, Snapshot) {
+        let _fin = self.finish.lock();
+        let rebuilt = self.rebuild_locked();
+        let maintained = match &*self.cache.read() {
+            Some(snap) => (**snap).clone(),
+            None => rebuilt.clone(),
         };
-        *self.cache.write() = Some(CachedSnapshot {
-            epoch,
-            snap: Arc::new(snap.clone()),
-        });
-        self.stats.snapshot_rebuilds.bump();
-        snap
+        (maintained, rebuilt)
     }
 
     /// Current commit-sequence frontier: the CSN the next commit will receive.
@@ -322,9 +391,10 @@ impl TxnManager {
             self.clog.set_committed(x, csn);
             self.stripe(x).lock().remove(&x);
         }
-        // Invalidate the snapshot cache; rebuilds are excluded until `fin`
-        // drops, so no rebuild can capture a half-applied commit.
-        self.epoch.fetch_add(1, Ordering::Release);
+        // Refresh the maintained snapshot in place; cold snapshotters are
+        // excluded until `fin` drops, so none can capture a half-applied
+        // commit.
+        self.apply_finish_to_cache(xids);
         drop(fin);
         self.notify_finished();
         csn
@@ -374,7 +444,7 @@ impl TxnManager {
             self.clog.set_aborted(x);
             self.stripe(x).lock().remove(&x);
         }
-        self.epoch.fetch_add(1, Ordering::Release);
+        self.apply_finish_to_cache(xids);
         drop(fin);
         self.notify_finished();
     }
@@ -426,6 +496,14 @@ impl TxnManager {
         self.active.iter().map(|s| s.lock().len()).sum()
     }
 
+    /// Register a [`WaitObserver`] called whenever a transaction is about to
+    /// park waiting on another's finish. The session pool installs one so a
+    /// worker about to block can priority-schedule the lock holder's session
+    /// (ROADMAP's lock-aware scheduling). Replaces any previous observer.
+    pub fn set_wait_observer(&self, obs: WaitObserver) {
+        *self.wait_observer.write() = Some(obs);
+    }
+
     /// Block until `waitee` is no longer in progress, as a tuple-lock wait does
     /// (paper §5.1: conflicting writers wait on the lock holder's transaction).
     ///
@@ -434,6 +512,10 @@ impl TxnManager {
     /// victim, mirroring PostgreSQL's deadlock detector aborting the waiter. The
     /// cycle chase walks the whole (functional) chain under a single waits-mutex
     /// guard — edges cannot be added or removed mid-chase.
+    ///
+    /// Just before the first sleep the registered [`WaitObserver`] (if any) is
+    /// told `(waiter, waitee)`, so the session layer can wake the blocking
+    /// transaction's descheduled session rather than stall until the timeout.
     pub fn wait_for(&self, waiter: TxnId, waitee: TxnId, timeout: Duration) -> Result<()> {
         let deadline = Instant::now() + timeout;
         let mut w = self.waits.lock();
@@ -450,6 +532,15 @@ impl TxnManager {
             cur = next;
         }
         w.insert(waiter, waitee);
+        // Tell the session layer who blocks us before parking. The observer
+        // only touches pool state (never this manager), so calling it under
+        // the waits mutex cannot recurse; the clone keeps the read guard
+        // from being held across the callback.
+        let obs = self.wait_observer.read().clone();
+        if let Some(obs) = obs {
+            self.stats.wait_reports.bump();
+            obs(waiter, waitee);
+        }
         let result = loop {
             if !self.is_active(waitee) {
                 break Ok(());
@@ -550,34 +641,78 @@ mod tests {
     }
 
     #[test]
-    fn snapshot_cache_hits_between_finishes_and_invalidates_on_commit() {
+    fn snapshot_cache_stays_fresh_across_commits_without_full_rebuilds() {
         let tm = TxnManager::new();
         let a = tm.begin();
-        let _ = tm.snapshot(); // rebuild
-        let rebuilds = tm.stats.snapshot_rebuilds.get();
+        let _ = tm.snapshot(); // cold start: one full rebuild primes the cache
+        let full = tm.stats.snapshot_full_rebuilds.get();
+        assert_eq!(full, 1);
         let s1 = tm.snapshot(); // hit
-        let b = tm.begin(); // begins do not invalidate
+        let b = tm.begin(); // begins do not touch the cache
         let s2 = tm.snapshot(); // still a hit
-        assert_eq!(tm.stats.snapshot_rebuilds.get(), rebuilds);
+        assert_eq!(tm.stats.snapshot_full_rebuilds.get(), full);
         assert!(tm.stats.snapshot_hits.get() >= 2);
         assert_eq!(s1, s2);
         // The cached snapshot still classifies the new begin as in-progress
         // (it came from a reserved block id below xmax, or sits above xmax).
         assert!(s2.is_in_progress(b));
         tm.commit(&[a]);
-        let s3 = tm.snapshot(); // invalidated: rebuild
-        assert_eq!(tm.stats.snapshot_rebuilds.get(), rebuilds + 1);
+        // The commit refreshed the cache incrementally: the next snapshot is
+        // a *hit* that nonetheless sees the commit.
+        let s3 = tm.snapshot();
+        assert_eq!(tm.stats.snapshot_full_rebuilds.get(), full);
+        assert!(tm.stats.snapshot_incremental.get() >= 1);
         assert!(!s3.is_in_progress(a));
         assert!(s3.committed_before(tm.clog().commit_csn(a).unwrap()));
+        assert!(s3.is_in_progress(b));
     }
 
     #[test]
-    fn readonly_commit_neither_advances_frontier_nor_invalidates_cache() {
+    fn incremental_snapshot_matches_full_rebuild() {
+        let tm = TxnManager::with_config(&TxnConfig {
+            id_shards: 4,
+            txid_block: 4,
+        });
+        let _ = tm.snapshot(); // prime
+        let mut open: Vec<TxnId> = Vec::new();
+        for round in 0..40 {
+            let id = tm.begin_on_shard(round % 4);
+            open.push(id);
+            if round % 3 == 0 {
+                let victim = open.remove(round % open.len());
+                if round % 6 == 0 {
+                    tm.commit(&[victim]);
+                } else {
+                    tm.abort(&[victim]);
+                }
+            }
+            let (maintained, rebuilt) = tm.snapshot_and_rebuild();
+            assert_eq!(maintained.csn, rebuilt.csn, "round {round}");
+            // Observational equality: same in-progress verdict for every id
+            // up to the fresh frontier (the maintained xmax may lag behind —
+            // ids above it read in-progress either way).
+            for id in 0..rebuilt.xmax.0 + 2 {
+                assert_eq!(
+                    maintained.is_in_progress(TxnId(id)),
+                    rebuilt.is_in_progress(TxnId(id)),
+                    "round {round}, txid {id}"
+                );
+            }
+        }
+        assert_eq!(
+            tm.stats.snapshot_full_rebuilds.get(),
+            1,
+            "steady state must stay on the incremental path"
+        );
+    }
+
+    #[test]
+    fn readonly_commit_neither_advances_frontier_nor_touches_cache() {
         let tm = TxnManager::new();
         let w = tm.begin();
         let wc = tm.commit(&[w]); // establish a real frontier
-        let snap = tm.snapshot(); // rebuild + cache
-        let rebuilds = tm.stats.snapshot_rebuilds.get();
+        let snap = tm.snapshot(); // cold rebuild + cache
+        let incremental = tm.stats.snapshot_incremental.get();
         let frontier = tm.frontier();
 
         let r = tm.begin();
@@ -588,43 +723,71 @@ mod tests {
         assert!(!tm.is_active(r));
         let after = tm.snapshot();
         assert_eq!(
-            tm.stats.snapshot_rebuilds.get(),
-            rebuilds,
-            "read-only commits must be cache hits for later snapshots"
+            tm.stats.snapshot_incremental.get(),
+            incremental,
+            "read-only commits must not pay even the incremental refresh"
         );
         assert_eq!(snap, after);
-        // A writing commit still invalidates.
+        // A writing commit refreshes the cache incrementally — no full walk.
+        let full = tm.stats.snapshot_full_rebuilds.get();
         let w2 = tm.begin();
         let w2c = tm.commit(&[w2]);
         assert!(w2c > wc);
         let fresh = tm.snapshot();
-        assert_eq!(tm.stats.snapshot_rebuilds.get(), rebuilds + 1);
+        assert_eq!(tm.stats.snapshot_incremental.get(), incremental + 1);
+        assert_eq!(tm.stats.snapshot_full_rebuilds.get(), full);
         assert!(!fresh.is_in_progress(w2));
     }
 
     #[test]
-    fn readonly_abort_does_not_invalidate_cache() {
+    fn readonly_abort_does_not_touch_cache() {
         let tm = TxnManager::new();
         let _ = tm.snapshot(); // prime the cache
-        let rebuilds = tm.stats.snapshot_rebuilds.get();
+        let incremental = tm.stats.snapshot_incremental.get();
         let r = tm.begin();
         tm.abort_readonly(&[r]);
         assert_eq!(tm.status(r), TxnStatus::Aborted);
         assert!(!tm.is_active(r));
         let snap = tm.snapshot();
         assert_eq!(
-            tm.stats.snapshot_rebuilds.get(),
-            rebuilds,
-            "writeless aborts must be cache hits for later snapshots"
+            tm.stats.snapshot_incremental.get(),
+            incremental,
+            "writeless aborts must not pay even the incremental refresh"
         );
         // The stale cached snapshot may still call the id in-progress; the
         // clog-first classification makes that unobservable — but the clog
         // itself must be final.
         let _ = snap;
         let w = tm.begin();
-        tm.abort(&[w]); // writing-abort path still invalidates
-        tm.snapshot();
-        assert_eq!(tm.stats.snapshot_rebuilds.get(), rebuilds + 1);
+        tm.abort(&[w]); // writing aborts refresh incrementally
+        let after = tm.snapshot();
+        assert_eq!(tm.stats.snapshot_incremental.get(), incremental + 1);
+        assert!(!after.is_in_progress(w));
+    }
+
+    #[test]
+    fn wait_observer_reports_blocker_before_parking() {
+        use std::sync::atomic::AtomicU64;
+        let tm = Arc::new(TxnManager::new());
+        let a = tm.begin();
+        let b = tm.begin();
+        let seen = Arc::new(AtomicU64::new(0));
+        let seen2 = Arc::clone(&seen);
+        tm.set_wait_observer(Arc::new(move |waiter, holder| {
+            assert_ne!(waiter, holder);
+            seen2.store(holder.0, Ordering::SeqCst);
+        }));
+        let tm2 = Arc::clone(&tm);
+        let h = std::thread::spawn(move || tm2.wait_for(b, a, Duration::from_secs(5)));
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(seen.load(Ordering::SeqCst), a.0, "holder reported");
+        assert_eq!(tm.stats.wait_reports.get(), 1);
+        tm.commit(&[a]);
+        assert!(h.join().unwrap().is_ok());
+        // A wait satisfied without parking reports nothing.
+        let c = tm.begin();
+        assert!(tm.wait_for(c, a, Duration::from_millis(1)).is_ok());
+        assert_eq!(tm.stats.wait_reports.get(), 1);
     }
 
     #[test]
