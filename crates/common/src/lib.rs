@@ -16,7 +16,9 @@ pub mod stats;
 pub mod target;
 pub mod value;
 
-pub use config::{EngineConfig, IoModel, ServerConfig, SsiConfig, TxnConfig};
+pub use config::{
+    EngineConfig, IoModel, ReplicationConfig, ReplicationMode, ServerConfig, SsiConfig, TxnConfig,
+};
 pub use error::{Error, Result, SerializationKind};
 pub use ids::{CommitSeqNo, PageNo, RelId, SlotNo, TupleId, TxnId};
 pub use snapshot::Snapshot;

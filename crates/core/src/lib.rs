@@ -29,6 +29,6 @@ pub mod serial;
 pub mod sxact;
 pub mod twophase;
 
-pub use manager::{SafetyState, SsiManager, SsiStats};
+pub use manager::{CommitDigest, SafetyState, SsiManager, SsiStats};
 pub use sxact::SxactId;
 pub use twophase::PreparedSsi;

@@ -105,6 +105,61 @@ use crate::twophase::PreparedSsi;
 /// Shared handle to a serializable-transaction record.
 type SxRef = Arc<Sxact>;
 
+/// §8.4 commit metadata: everything a WAL follower needs to decide snapshot
+/// safety locally, captured **inside the commit-order mutex** at the instant
+/// the commit order is decided. That placement is what makes the digest
+/// authoritative: serializable `begin`s take their snapshots under the same
+/// mutex, so the `concurrent_rw` set is exactly the set of serializable
+/// read/write transactions whose fate decides the safety of any snapshot
+/// taken in the same critical section — no begin can slip between the
+/// membership read and the snapshot (the same argument
+/// [`SsiManager::commit_checked`] relies on for the pivot re-check).
+#[derive(Clone, Debug)]
+pub struct CommitDigest {
+    /// The committing transaction's top-level xid.
+    pub txid: TxnId,
+    /// Its commit sequence number.
+    pub commit_csn: CommitSeqNo,
+    /// Whether the committer ran under SSI (false for SI/RC/2PL commits
+    /// observed via [`SsiManager::observe_commit`]).
+    pub serializable: bool,
+    /// Declared `READ ONLY` (never shipped; can make no snapshot unsafe).
+    pub declared_read_only: bool,
+    /// Performed at least one write.
+    pub wrote: bool,
+    /// Had at least one rw-antidependency in at commit (`T –rw→ me`),
+    /// including summarized ones.
+    pub had_in_conflict: bool,
+    /// Had at least one rw-antidependency out at commit (`me –rw→ T`),
+    /// including summarized ones.
+    pub had_out_conflict: bool,
+    /// Earliest commit CSN among committed out-conflict targets at commit
+    /// time (`CommitSeqNo::MAX` = none). A snapshot `S` concurrent with this
+    /// transaction is made unsafe by this commit iff the transaction wrote
+    /// and this bound is `< S.csn` (§4.2). Later folds into the live record
+    /// can only add CSNs greater than this commit's own, which are `≥` every
+    /// candidate snapshot's csn taken at or before it — so the value shipped
+    /// here is final for every snapshot a follower will ever judge with it.
+    pub earliest_out_conflict_commit: CommitSeqNo,
+    /// Serializable read/write transactions (active or prepared, declared
+    /// read-only excluded) in flight at this commit — the transactions
+    /// concurrent with a snapshot taken in the same commit-order section.
+    pub concurrent_rw: Vec<TxnId>,
+}
+
+impl CommitDigest {
+    /// Does this commit make a snapshot with frontier `snapshot_csn`, taken
+    /// while this transaction was in flight, unsafe for serializable
+    /// read-only use (§4.2)? A writeless commit never does — no reader can
+    /// have an rw-antidependency out to a transaction that wrote nothing.
+    pub fn makes_unsafe(&self, snapshot_csn: CommitSeqNo) -> bool {
+        self.wrote
+            && self.earliest_out_conflict_commit != CommitSeqNo::MAX
+            && self.earliest_out_conflict_commit.is_valid()
+            && self.earliest_out_conflict_commit < snapshot_csn
+    }
+}
+
 /// Whether a read-only transaction's snapshot has been proven safe (§4.2).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum SafetyState {
@@ -1117,15 +1172,96 @@ impl SsiManager {
         sx: SxactId,
         assign_csn: impl FnOnce() -> CommitSeqNo,
     ) -> Result<CommitSeqNo> {
-        self.commit_inner(sx, assign_csn, true)
+        self.commit_inner(sx, assign_csn, true, |_| {})
+    }
+
+    /// [`SsiManager::commit_checked`] with a `publish` hook that receives the
+    /// §8.4 [`CommitDigest`] **inside the commit-order critical section**,
+    /// after the commit CSN is assigned. Replication uses it to append the
+    /// commit record (and capture the post-commit snapshot) atomically with
+    /// the digest: because serializable begins, commits, and aborts all
+    /// serialize on the same mutex, the shipped stream order matches the
+    /// decided commit order, and every transaction a digest names as
+    /// concurrent is guaranteed to resolve *later* in the stream.
+    pub fn commit_checked_with(
+        &self,
+        sx: SxactId,
+        assign_csn: impl FnOnce() -> CommitSeqNo,
+        publish: impl FnOnce(CommitDigest),
+    ) -> Result<CommitSeqNo> {
+        self.commit_inner(sx, assign_csn, true, publish)
     }
 
     /// Finalize a commit unconditionally (the `COMMIT PREPARED` path — the
     /// §5.4 checks ran at `prepare`, and a prepared transaction can no longer
     /// be chosen as a victim).
     pub fn commit(&self, sx: SxactId, assign_csn: impl FnOnce() -> CommitSeqNo) -> CommitSeqNo {
-        self.commit_inner(sx, assign_csn, false)
+        self.commit_inner(sx, assign_csn, false, |_| {})
             .expect("unchecked commit cannot fail")
+    }
+
+    /// [`SsiManager::commit`] with the §8.4 publish hook (see
+    /// [`SsiManager::commit_checked_with`]).
+    pub fn commit_with(
+        &self,
+        sx: SxactId,
+        assign_csn: impl FnOnce() -> CommitSeqNo,
+        publish: impl FnOnce(CommitDigest),
+    ) -> CommitSeqNo {
+        self.commit_inner(sx, assign_csn, false, publish)
+            .expect("unchecked commit cannot fail")
+    }
+
+    /// Capture a [`CommitDigest`] for a commit that did *not* run under SSI
+    /// (SI / READ COMMITTED / 2PL writers). The digest carries no conflict
+    /// facts, but the `concurrent_rw` membership — and anything `publish`
+    /// captures alongside it, such as the post-commit snapshot and the WAL
+    /// append — must still be read under the commit-order mutex, or a
+    /// serializable begin could slip between the membership read and the
+    /// snapshot (the marker race this API exists to close).
+    pub fn observe_commit(
+        &self,
+        txid: TxnId,
+        commit_csn: CommitSeqNo,
+        publish: impl FnOnce(CommitDigest),
+    ) {
+        let order = self.order.lock();
+        let digest = CommitDigest {
+            txid,
+            commit_csn,
+            serializable: false,
+            declared_read_only: false,
+            wrote: true,
+            had_in_conflict: false,
+            had_out_conflict: false,
+            earliest_out_conflict_commit: CommitSeqNo::MAX,
+            concurrent_rw: Self::concurrent_rw(&order),
+        };
+        publish(digest);
+        drop(order);
+    }
+
+    /// Run `f` inside a commit-order critical section without touching any
+    /// state. Replication uses this as an attach barrier: a WAL consumer
+    /// registering itself here is totally ordered against every commit/abort
+    /// publish section, so "every record published after my attach" is a
+    /// well-defined set.
+    pub fn commit_order_barrier<T>(&self, f: impl FnOnce() -> T) -> T {
+        let _order = self.order.lock();
+        f()
+    }
+
+    /// Serializable read/write (non-declared-read-only) transactions currently
+    /// active or prepared. Callers hold the commit-order mutex.
+    fn concurrent_rw(order: &CommitOrder) -> Vec<TxnId> {
+        let mut rw: Vec<TxnId> = order
+            .active
+            .values()
+            .filter(|a| !a.declared_read_only)
+            .map(|a| a.txid)
+            .collect();
+        rw.sort_unstable();
+        rw
     }
 
     /// Finalize a commit. `assign_csn` runs under the commit-order mutex *and*
@@ -1138,6 +1274,7 @@ impl SsiManager {
         sx: SxactId,
         assign_csn: impl FnOnce() -> CommitSeqNo,
         enforce_pivot_check: bool,
+        publish: impl FnOnce(CommitDigest),
     ) -> Result<CommitSeqNo> {
         let mut ops = DeferredLockOps::default();
         let mut order = self.order.lock();
@@ -1150,7 +1287,7 @@ impl SsiManager {
             self.pivot_commit_check(&me)?;
         }
         let csn;
-        let in_sources: Vec<SxactId> = {
+        let (in_sources, summary_in): (Vec<SxactId>, bool) = {
             let g = me.lock();
             csn = assign_csn();
             debug_assert!(
@@ -1159,13 +1296,16 @@ impl SsiManager {
             );
             me.set_phase(Phase::Committed);
             me.set_commit_csn(csn);
-            g.in_conflicts.iter().copied().collect()
+            (
+                g.in_conflicts.iter().copied().collect(),
+                g.summary_conflict_in,
+            )
         };
         order.active.remove(&sx);
         // Our commit fixes the CSN of every in-source's out-conflict to us.
         // (An edge flagged after the clone above sees our commit CSN itself,
         // because its flagger serializes on our lock; min() is idempotent.)
-        for s in in_sources {
+        for &s in &in_sources {
             if let Some(sx2) = self.reg.get(s) {
                 let mut sg = sx2.lock();
                 sg.earliest_out_conflict_commit = sg.earliest_out_conflict_commit.min(csn);
@@ -1174,11 +1314,30 @@ impl SsiManager {
         // Read-only safety resolution (§4.2): each read-only transaction watching
         // us now learns whether we committed with a conflict out to something
         // before its snapshot.
-        let (trackers, my_earliest) = {
+        let (trackers, my_earliest, had_out) = {
             let mut g = me.lock();
             let t: Vec<SxactId> = std::mem::take(&mut g.ro_trackers).into_iter().collect();
-            (t, g.earliest_out_conflict_commit)
+            let had_out = !g.out_conflicts.is_empty()
+                || g.summary_conflict_out
+                || g.earliest_out_conflict_commit != CommitSeqNo::MAX;
+            (t, g.earliest_out_conflict_commit, had_out)
         };
+        // §8.4 digest: the same facts `resolve_ro_tracking` feeds the master's
+        // own safe-snapshot tracking, exported for WAL followers. Built (and
+        // published) inside the commit-order section so the concurrent set is
+        // exact for any snapshot the hook captures alongside it.
+        let digest = CommitDigest {
+            txid: me.txid,
+            commit_csn: csn,
+            serializable: true,
+            declared_read_only: me.declared_read_only,
+            wrote: me.wrote(),
+            had_in_conflict: !in_sources.is_empty() || summary_in,
+            had_out_conflict: had_out,
+            earliest_out_conflict_commit: my_earliest,
+            concurrent_rw: Self::concurrent_rw(&order),
+        };
+        publish(digest);
         for r in trackers {
             self.resolve_ro_tracking(r, sx, Some(my_earliest), &mut ops);
         }
@@ -1210,6 +1369,16 @@ impl SsiManager {
     /// resolve read-only tracking (an aborted writer cannot make a snapshot
     /// unsafe).
     pub fn abort(&self, sx: SxactId) {
+        self.abort_with(sx, |_| {});
+    }
+
+    /// [`SsiManager::abort`] with a publish hook: `publish(txid)` runs inside
+    /// the commit-order critical section, after the record leaves the active
+    /// set, and only for read/write (non-declared-read-only) transactions —
+    /// the ones WAL followers may be waiting on. Running it under the mutex
+    /// keeps the shipped stream in commit order: no commit record can name
+    /// this transaction as concurrent *after* its abort is published.
+    pub fn abort_with(&self, sx: SxactId, publish: impl FnOnce(TxnId)) {
         let mut ops = DeferredLockOps::default();
         let mut order = self.order.lock();
         let Some(me) = self.reg.get(sx) else {
@@ -1231,6 +1400,9 @@ impl SsiManager {
             )
         };
         order.active.remove(&sx);
+        if !me.declared_read_only {
+            publish(me.txid);
+        }
         for o in &outs {
             if let Some(ox) = self.reg.get(*o) {
                 ox.lock().in_conflicts.remove(&sx);

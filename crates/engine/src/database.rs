@@ -14,7 +14,7 @@ use pgssi_lockmgr::s2pl::S2plLockManager;
 use pgssi_storage::{BufferCache, TxnManager};
 
 use crate::catalog::{Catalog, Table, TableDef};
-use crate::replication::WalStream;
+use crate::replication::{ReplicationStats, WalStream};
 use crate::twophase::PreparedTxn;
 use crate::txn::Transaction;
 
@@ -180,6 +180,25 @@ pub struct StatsReport {
     pub session_worker_parks: u64,
     /// Lock-holder sessions priority-woken by a worker about to park.
     pub session_lock_wakeups: u64,
+    /// WAL records shipped (all kinds).
+    pub repl_records: u64,
+    /// Safe-snapshot markers shipped (marker mode).
+    pub repl_markers_shipped: u64,
+    /// Resolution records shipped (metadata mode).
+    pub repl_resolves_shipped: u64,
+    /// Safe snapshots replicas derived locally from §8.4 metadata.
+    pub repl_safe_local: u64,
+    /// Safe snapshots replicas adopted from shipped §7.2 markers.
+    pub repl_safe_marker: u64,
+    /// Locally derived safe snapshots the marker protocol would have waited
+    /// on (their candidate had serializable read/write txns in flight).
+    pub repl_marker_waits_avoided: u64,
+    /// Candidate snapshots proven unsafe and discarded.
+    pub repl_unsafe_candidates: u64,
+    /// Replica catch-up calls.
+    pub repl_catch_ups: u64,
+    /// Sum of records-behind over catch-ups (mean lag = this / catch-ups).
+    pub repl_lag_records: u64,
 }
 
 impl StatsReport {
@@ -189,6 +208,20 @@ impl StatsReport {
             0.0
         } else {
             self.siread_partition_contended as f64 / self.siread_partition_taken as f64
+        }
+    }
+
+    /// Total safe snapshots replicas obtained, however derived.
+    pub fn repl_safe_snapshots(&self) -> u64 {
+        self.repl_safe_local + self.repl_safe_marker
+    }
+
+    /// Mean replication lag in records per catch-up.
+    pub fn repl_mean_lag(&self) -> f64 {
+        if self.repl_catch_ups == 0 {
+            0.0
+        } else {
+            self.repl_lag_records as f64 / self.repl_catch_ups as f64
         }
     }
 
@@ -253,7 +286,7 @@ impl std::fmt::Display for StatsReport {
             self.txn_id_shards,
             self.txn_wait_reports,
         )?;
-        write!(
+        writeln!(
             f,
             "server : sessions {}  requests {}  executed {}  worker-parks {}  lock-wakeups {}",
             self.sessions_opened,
@@ -261,6 +294,20 @@ impl std::fmt::Display for StatsReport {
             self.session_executed,
             self.session_worker_parks,
             self.session_lock_wakeups
+        )?;
+        write!(
+            f,
+            "repl   : records {}  markers {}  resolves {}  safe-local {}  safe-marker {}  \
+             marker-waits-avoided {}  unsafe-candidates {}  catch-ups {}  mean-lag {:.2}",
+            self.repl_records,
+            self.repl_markers_shipped,
+            self.repl_resolves_shipped,
+            self.repl_safe_local,
+            self.repl_safe_marker,
+            self.repl_marker_waits_avoided,
+            self.repl_unsafe_candidates,
+            self.repl_catch_ups,
+            self.repl_mean_lag(),
         )
     }
 }
@@ -281,6 +328,9 @@ pub(crate) struct DbInner {
     pub wal: WalStream,
     pub stats: EngineStats,
     pub session_stats: SessionStats,
+    /// Replication counters (master-side shipping + replica-side derivation;
+    /// replicas bump their master's counters so `stats_report` sees both).
+    pub repl_stats: ReplicationStats,
 }
 
 impl DbInner {
@@ -321,6 +371,7 @@ impl Database {
                 wal: WalStream::new(),
                 stats: EngineStats::default(),
                 session_stats: SessionStats::default(),
+                repl_stats: ReplicationStats::default(),
                 config,
             }),
         }
@@ -535,6 +586,15 @@ impl Database {
             session_executed: self.inner.session_stats.requests_executed.get(),
             session_worker_parks: self.inner.session_stats.worker_parks.get(),
             session_lock_wakeups: self.inner.session_stats.lock_holder_wakeups.get(),
+            repl_records: self.inner.repl_stats.records.get(),
+            repl_markers_shipped: self.inner.repl_stats.markers_shipped.get(),
+            repl_resolves_shipped: self.inner.repl_stats.resolves_shipped.get(),
+            repl_safe_local: self.inner.repl_stats.safe_local.get(),
+            repl_safe_marker: self.inner.repl_stats.safe_marker.get(),
+            repl_marker_waits_avoided: self.inner.repl_stats.marker_waits_avoided.get(),
+            repl_unsafe_candidates: self.inner.repl_stats.unsafe_candidates.get(),
+            repl_catch_ups: self.inner.repl_stats.catch_ups.get(),
+            repl_lag_records: self.inner.repl_stats.lag_records.get(),
         }
     }
 
@@ -569,13 +629,22 @@ impl Database {
             .remove(gid)
             .ok_or_else(|| Error::NotFound(format!("prepared transaction {gid:?}")))?;
         let ssi = self.inner.ssi();
+        let inner = &self.inner;
         if let Some(sx) = rec.sx {
-            ssi.commit(sx, || self.inner.tm.commit(&rec.xids));
+            ssi.commit_with(
+                sx,
+                || inner.tm.commit(&rec.xids),
+                |digest| inner.wal.publish_commit(inner, digest),
+            );
         } else {
-            self.inner.tm.commit(&rec.xids);
+            let csn = inner.tm.commit(&rec.xids);
+            if inner.wal.has_consumers() {
+                ssi.observe_commit(rec.txid, csn, |digest| {
+                    inner.wal.publish_commit(inner, digest)
+                });
+            }
         }
         self.inner.active_snapshots.lock().remove(&rec.txid);
-        self.inner.wal.append_commit(&self.inner, rec.txid);
         self.inner.stats.commits.bump();
         Ok(())
     }
@@ -590,7 +659,10 @@ impl Database {
             .remove(gid)
             .ok_or_else(|| Error::NotFound(format!("prepared transaction {gid:?}")))?;
         if let Some(sx) = rec.sx {
-            self.inner.ssi().abort(sx);
+            let inner = &self.inner;
+            self.inner
+                .ssi()
+                .abort_with(sx, |txid| inner.wal.publish_abort(inner, txid));
         }
         self.inner.tm.abort(&rec.xids);
         self.inner.active_snapshots.lock().remove(&rec.txid);
@@ -631,6 +703,11 @@ impl Database {
             .collect();
         for x in &in_flight {
             self.inner.tm.abort(&[*x]);
+            // Recovery writes abort records for in-flight transactions, so a
+            // follower pinned on one (its sxact died with the discarded SSI
+            // state below) does not wait forever. Non-serializable ids are
+            // noise a follower ignores.
+            self.inner.wal.publish_abort(&self.inner, *x);
         }
         self.inner
             .active_snapshots

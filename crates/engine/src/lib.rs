@@ -14,8 +14,9 @@
 //!
 //! Feature interactions from §7 are implemented: two-phase commit persists
 //! SIREAD locks and recovers conservatively (§7.1); log-shipping replication
-//! ships safe-snapshot markers so replicas only run read-only queries on safe
-//! snapshots (§7.2); savepoints keep SIREAD locks on subtransaction rollback and
+//! ships §8.4 commit-order/conflict metadata so a follower derives safe
+//! snapshots locally (the §7.2 marker protocol survives as an ablation);
+//! savepoints keep SIREAD locks on subtransaction rollback and
 //! suppress the write-lock-drop optimization (§7.3); hash indexes, lacking
 //! predicate-lock support, fall back to relation-level locks (§7.4); and DDL
 //! (`recluster`, `drop_index`) promotes physical SIREAD locks to relation
@@ -31,6 +32,7 @@ pub mod vacuum;
 
 pub use catalog::{IndexDef, IndexKind, TableDef};
 pub use database::{BeginOptions, Database, IsolationLevel, SessionStats, StatsReport};
-pub use replication::{Replica, WalRecord};
+pub use pgssi_core::CommitDigest;
+pub use replication::{Replica, ReplicationStats, WalRecord, WalStream};
 pub use retry::with_retries;
 pub use txn::Transaction;

@@ -104,6 +104,13 @@ impl Transaction {
         self.opts.isolation
     }
 
+    /// The snapshot this transaction currently reads at (per-statement under
+    /// READ COMMITTED, transaction-scoped otherwise). Tests and staleness
+    /// measurements use its `csn`.
+    pub fn snapshot(&self) -> &Snapshot {
+        &self.snapshot
+    }
+
     /// Whether `commit`/`rollback` has already run (or an error auto-aborted).
     pub fn is_finished(&self) -> bool {
         self.finished
@@ -183,7 +190,9 @@ impl Transaction {
             self.db.tm.abort_readonly(&xids);
         }
         if let Some(sx) = self.sx {
-            self.db.ssi().abort(sx);
+            let db = &self.db;
+            db.ssi()
+                .abort_with(sx, |txid| db.wal.publish_abort(db, txid));
         }
         if self.is_2pl() {
             self.db.s2pl.release_owner(self.txid.0);
@@ -1011,20 +1020,36 @@ impl Transaction {
             // under the commit-order mutex (a concurrent T3 may have
             // committed since the precommit) and fails *before* the
             // transaction-manager commit runs, so rolling back here is
-            // exactly like a precommit failure.
-            if let Err(e) = ssi.commit_checked(sx, || tm_commit(&self.db.tm)) {
+            // exactly like a precommit failure. The publish hook ships the
+            // WAL record(s) in the same critical section, so the §8.4 digest,
+            // the post-commit snapshot, and the stream position are captured
+            // atomically with respect to serializable begins.
+            let db = &self.db;
+            if let Err(e) = ssi.commit_checked_with(
+                sx,
+                || tm_commit(&db.tm),
+                |digest| db.wal.publish_commit(db, digest),
+            ) {
                 return Err(self.auto_abort(e));
             }
         } else {
-            tm_commit(&self.db.tm);
+            let csn = tm_commit(&self.db.tm);
+            if wrote && self.db.wal.has_consumers() {
+                // Non-serializable commits publish through the SSI
+                // commit-order section: the shipped concurrent-rw set and the
+                // snapshot a follower will judge with it must be captured
+                // atomically with respect to serializable begins. With no
+                // replica attached the section is skipped entirely — SI/RC
+                // traffic pays nothing for the replication layer.
+                let db = &self.db;
+                db.ssi()
+                    .observe_commit(self.txid, csn, |digest| db.wal.publish_commit(db, digest));
+            }
         }
         if self.is_2pl() {
             self.db.s2pl.release_owner(self.txid.0);
         }
         self.db.active_snapshots.lock().remove(&self.txid);
-        if self.wrote {
-            self.db.wal.append_commit(&self.db, self.txid);
-        }
         self.db.stats.commits.bump();
         self.finished = true;
         Ok(())

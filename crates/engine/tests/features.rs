@@ -1,6 +1,8 @@
 //! Feature interactions from §7: two-phase commit (with crash recovery and the
-//! degraded safe-retry case), streaming replication with safe-snapshot
-//! markers, and deferrable transactions.
+//! degraded safe-retry case), streaming replication (§8.4 metadata shipping in
+//! the default configuration — the concurrent suite and the race regression
+//! tests cover it and the §7.2 marker ablation in depth), and deferrable
+//! transactions.
 
 use pgssi_common::{row, Value};
 use pgssi_engine::{BeginOptions, Database, IsolationLevel, Replica, TableDef, Transaction};
@@ -202,10 +204,10 @@ fn replica_stale_query_exposes_anomaly_safe_query_does_not() {
         .unwrap();
     db.create_table(TableDef::new("receipts", &["rid", "batch"], vec![0]))
         .unwrap();
+    let replica = Replica::connect(&db); // attach first: shipping starts here
     let mut s = db.begin(IsolationLevel::ReadCommitted);
     s.insert("control", row![0, 1]).unwrap();
     s.commit().unwrap();
-    let replica = Replica::connect(&db);
     replica.catch_up();
 
     // T2 (NEW-RECEIPT) in flight, serializable.

@@ -282,6 +282,19 @@ impl TxnManager {
         self.cold_snapshot()
     }
 
+    /// [`TxnManager::snapshot`] as a shared handle: the maintained cache's
+    /// `Arc` is cloned without copying the `xip` vector. Callers that store
+    /// or ship many snapshots (the replication WAL) use this to keep the
+    /// deep copy off their critical sections.
+    pub fn snapshot_arc(&self) -> Arc<Snapshot> {
+        let cached = self.cache.read().clone();
+        if let Some(snap) = cached {
+            self.stats.snapshot_hits.bump();
+            return snap;
+        }
+        Arc::new(self.cold_snapshot())
+    }
+
     fn cold_snapshot(&self) -> Snapshot {
         let _fin = self.finish.lock();
         // Re-check under the mutex: on a cold cache every concurrent
