@@ -5,17 +5,14 @@
 //! cargo run --release -p pgssi-bench --bin fig4_sibench [-- --duration-ms 1500 --threads 4 --stats]
 //! ```
 
-use std::time::Duration;
-
-use pgssi_bench::harness::{
-    arg_value, print_header, print_normalized_row, print_stats_if_requested, Mode,
-};
+use pgssi_bench::args::BenchArgs;
+use pgssi_bench::harness::{print_header, print_normalized_row, Mode};
 use pgssi_bench::sibench::Sibench;
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let duration = Duration::from_millis(arg_value(&args, "--duration-ms").unwrap_or(1200));
-    let threads = arg_value(&args, "--threads").unwrap_or(8) as usize;
+    let args = BenchArgs::parse();
+    let duration = args.duration_or(1200);
+    let threads = args.usize_or("--threads", 8);
     let sizes: Vec<i64> = vec![10, 100, 1000, 10_000];
 
     println!("Figure 4: SIBENCH throughput, normalized to SI");
@@ -37,7 +34,7 @@ fn main() {
         print_normalized_row(&size.to_string(), &results);
     }
     for (mode, db) in &last_dbs {
-        print_stats_if_requested(&args, mode.label(), db);
+        args.print_stats(mode.label(), db);
     }
     println!("\npaper's shape: S2PL well below SI (readers block writers);");
     println!("SSI close to SI (10-20% CPU overhead), r/o optimization narrowing");

@@ -19,17 +19,17 @@
 
 use std::time::Duration;
 
+use pgssi_bench::args::BenchArgs;
 use pgssi_bench::dbt2::{Dbt2, Dbt2Config};
-use pgssi_bench::harness::{
-    arg_value, print_header, print_normalized_row, print_stats_if_requested, Mode,
-};
+use pgssi_bench::harness::{print_header, print_normalized_row, Mode};
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let duration = Duration::from_millis(arg_value(&args, "--duration-ms").unwrap_or(1200));
-    let threads = arg_value(&args, "--threads").unwrap_or(4) as usize; // paper: concurrency 4 in-memory
-    let disk = args.iter().any(|a| a == "disk" || a == "--disk")
+    let args = BenchArgs::parse();
+    let duration = args.duration_or(1200);
+    let threads = args.usize_or("--threads", 4); // paper: concurrency 4 in-memory
+    let disk = args.raw().iter().any(|a| a == "disk" || a == "--disk")
         || args
+            .raw()
             .windows(2)
             .any(|w| w[0] == "--config" && w[1] == "disk");
 
@@ -83,11 +83,11 @@ fn main() {
     println!("widening with the read-only fraction; differences compress disk-bound.");
 
     // Optional session-mode rerun: many think-time terminals on few workers.
-    if let Some(sessions) = arg_value(&args, "--sessions") {
+    if let Some(sessions) = args.value("--sessions") {
         let sessions = sessions as usize;
-        let workers = arg_value(&args, "--workers").unwrap_or(threads as u64) as usize;
-        let think = Duration::from_millis(arg_value(&args, "--think-ms").unwrap_or(10));
-        let keying = Duration::from_millis(arg_value(&args, "--keying-ms").unwrap_or(5));
+        let workers = args.usize_or("--workers", threads);
+        let think = Duration::from_millis(args.value_or("--think-ms", 10));
+        let keying = Duration::from_millis(args.value_or("--keying-ms", 5));
         println!(
             "\nsession mode: {sessions} terminals on {workers} workers, \
              think {think:?} + keying {keying:?} (8% read-only mix):"
@@ -111,13 +111,13 @@ fn main() {
             );
             // These databases carry the session counters; the trailing stats
             // loop below only covers the thread-per-client runs.
-            print_stats_if_requested(&args, &format!("{} (sessions)", mode.label()), &db);
+            args.print_stats(&format!("{} (sessions)", mode.label()), &db);
         }
         println!("  (throughput is paced by sessions/(think+keying), not worker count,");
         println!("   until the worker pool saturates — the paper's Figure 5 client shape)");
     }
 
     for (mode, db) in &dbs {
-        print_stats_if_requested(&args, mode.label(), db);
+        args.print_stats(mode.label(), db);
     }
 }

@@ -5,15 +5,14 @@
 //! cargo run --release -p pgssi-bench --bin fig6_rubis [-- --duration-ms 2000]
 //! ```
 
-use std::time::Duration;
-
-use pgssi_bench::harness::{arg_value, print_stats_if_requested, Mode};
+use pgssi_bench::args::BenchArgs;
+use pgssi_bench::harness::Mode;
 use pgssi_bench::rubis::{Rubis, RubisConfig};
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let duration = Duration::from_millis(arg_value(&args, "--duration-ms").unwrap_or(2000));
-    let threads = arg_value(&args, "--threads").unwrap_or(8) as usize;
+    let args = BenchArgs::parse();
+    let duration = args.duration_or(2000);
+    let threads = args.usize_or("--threads", 8);
     let config = RubisConfig::default();
 
     println!("Figure 6: RUBiS bidding mix (85% read-only / 15% read-write)");
@@ -47,6 +46,6 @@ fn main() {
     println!("shape to match: SSI within a few % of SI; S2PL near half, with the");
     println!("highest failure rate (deadlocks from category-scan vs bid conflicts).");
     for (mode, db) in &dbs {
-        print_stats_if_requested(&args, mode.label(), db);
+        args.print_stats(mode.label(), db);
     }
 }

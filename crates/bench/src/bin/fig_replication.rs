@@ -24,16 +24,17 @@
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::Duration;
 
-use pgssi_bench::harness::{append_json_record, arg_value, has_flag, print_stats_if_requested};
+use pgssi_bench::args::BenchArgs;
+use pgssi_bench::harness::append_json_record;
 use pgssi_common::{row, EngineConfig, ReplicationConfig, ReplicationMode};
 use pgssi_engine::{Database, IsolationLevel, Replica, TableDef};
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let duration = Duration::from_millis(arg_value(&args, "--duration-ms").unwrap_or(800));
-    let writers = arg_value(&args, "--writers").unwrap_or(4) as usize;
-    let rows = arg_value(&args, "--rows").unwrap_or(256) as i64;
-    let markers = has_flag(&args, "--markers");
+    let args = BenchArgs::parse();
+    let duration = args.duration_or(800);
+    let writers = args.usize_or("--writers", 4);
+    let rows = args.value_or("--rows", 256) as i64;
+    let markers = args.flag("--markers");
 
     let mode = if markers {
         ReplicationMode::ShipMarkers
@@ -176,7 +177,7 @@ fn main() {
         report.repl_records
     );
 
-    if has_flag(&args, "--json") {
+    if args.json() {
         let unix_ms = std::time::SystemTime::now()
             .duration_since(std::time::UNIX_EPOCH)
             .map(|d| d.as_millis())
@@ -210,7 +211,7 @@ fn main() {
             Err(e) => eprintln!("failed to append {JSON_PATH}: {e}"),
         }
     }
-    print_stats_if_requested(&args, &format!("fig_replication {mode_label}"), &db);
+    args.print_stats(&format!("fig_replication {mode_label}"), &db);
 
     println!(
         "\nexpected shape: locally-derived safe snapshots ≥ marker-mode safe snapshots on the"

@@ -30,21 +30,21 @@
 
 use std::time::Duration;
 
-use pgssi_bench::harness::{
-    append_json_record, arg_list, arg_value, has_flag, json_array, print_stats_if_requested, Mode,
-};
+use pgssi_bench::args::BenchArgs;
+use pgssi_bench::harness::{append_json_record, json_array, Mode};
 use pgssi_bench::sibench::Sibench;
 use pgssi_common::IoModel;
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let duration = Duration::from_millis(arg_value(&args, "--duration-ms").unwrap_or(800));
-    let max_threads = arg_value(&args, "--max-threads")
-        .or_else(|| arg_value(&args, "--threads"))
+    let args = BenchArgs::parse();
+    let duration = args.duration_or(800);
+    let max_threads = args
+        .value("--max-threads")
+        .or_else(|| args.value("--threads"))
         .unwrap_or(16) as usize;
-    let partitions_sweep = arg_list(&args, "--partitions").unwrap_or_else(|| vec![16]);
-    let graph_shards_sweep = arg_list(&args, "--graph-shards").unwrap_or_else(|| vec![16]);
-    let rows = arg_value(&args, "--rows").unwrap_or(1024) as i64;
+    let partitions_sweep = args.list("--partitions").unwrap_or_else(|| vec![16]);
+    let graph_shards_sweep = args.list("--graph-shards").unwrap_or_else(|| vec![16]);
+    let rows = args.value_or("--rows", 1024) as i64;
 
     let mut threads: Vec<usize> = vec![1, 2, 4, 8, 16];
     threads.retain(|t| *t <= max_threads.max(1));
@@ -80,7 +80,7 @@ fn main() {
 }
 
 fn run_point(
-    args: &[String],
+    args: &BenchArgs,
     bench: &Sibench,
     threads: &[usize],
     duration: Duration,
@@ -123,7 +123,7 @@ fn run_point(
         println!();
     }
 
-    if has_flag(args, "--json") {
+    if args.json() {
         let unix_ms = std::time::SystemTime::now()
             .duration_since(std::time::UNIX_EPOCH)
             .map(|d| d.as_millis())
@@ -155,8 +155,7 @@ fn run_point(
     }
 
     for (mode, db) in &dbs {
-        print_stats_if_requested(
-            args,
+        args.print_stats(
             &format!("{} p{partitions} g{graph_shards}", mode.label()),
             db,
         );

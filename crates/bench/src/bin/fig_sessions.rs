@@ -8,9 +8,11 @@
 //! backend-per-connection model; `pgssi-server` reproduces that shape by
 //! multiplexing sessions onto a small worker pool, and this binary measures
 //! what it costs: every transaction travels the wire protocol
-//! (`BEGIN`/`GET`/`PUT`/`COMMIT` lines over in-process duplex channels),
-//! pipelined per transaction so sessions never hold row locks across a
-//! scheduling boundary.
+//! (`BEGIN`/`GET`/`PUT`/`COMMIT` lines), pipelined per transaction so
+//! sessions never hold row locks across a scheduling boundary. By default the
+//! terminals speak over in-process duplex channels; with `--tcp` each
+//! terminal is a real `TcpClient` socket against the server's TCP front-end,
+//! so the sweep additionally pays kernel socket wakeups and line framing.
 //!
 //! The companion ablation is the transaction manager itself: begins draw
 //! txids from per-shard blocks and snapshots clone an epoch-cached snapshot,
@@ -21,25 +23,28 @@
 //! ```sh
 //! cargo run --release -p pgssi-bench --bin fig_sessions \
 //!     [-- --duration-ms 400 --workers 16 --max-sessions 1024 --rows 1024 \
-//!         --id-shards 8 --stats]
+//!         --id-shards 8 --tcp --stats]
 //! ```
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use pgssi_bench::harness::{arg_value, print_stats_if_requested, seed_for, Mode};
+use pgssi_bench::args::BenchArgs;
+use pgssi_bench::harness::{seed_for, Mode};
 use pgssi_bench::sibench::Sibench;
 use pgssi_common::{IoModel, ServerConfig};
-use pgssi_server::{Server, SessionHandle};
+use pgssi_server::{Server, TcpClient, Transport};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 /// One driver-side terminal: composes pipelined transactions against its
 /// session and tallies outcomes. A handful of driver threads each pace many
-/// terminals — the server, not the driver, is the thing under test.
+/// terminals — the server, not the driver, is the thing under test. The
+/// transport is either an in-process [`pgssi_server::SessionHandle`] or a
+/// [`TcpClient`] socket, behind the same [`Transport`] trait.
 struct Terminal {
-    handle: SessionHandle,
+    handle: Box<dyn Transport>,
     rng: SmallRng,
     /// Responses still expected for the in-flight pipelined transaction.
     pending: usize,
@@ -51,17 +56,17 @@ impl Terminal {
         if self.rng.gen_range(0..10) == 0 {
             let k = self.rng.gen_range(0..rows);
             let v = self.rng.gen_range(0..1_000_000);
-            self.handle.send("BEGIN");
-            self.handle.send(&format!("PUT si {k} {v}"));
-            self.handle.send("COMMIT");
+            self.handle.send("BEGIN").expect("send");
+            self.handle.send(&format!("PUT si {k} {v}")).expect("send");
+            self.handle.send("COMMIT").expect("send");
             self.pending = 3;
         } else {
-            self.handle.send("BEGIN");
+            self.handle.send("BEGIN").expect("send");
             for _ in 0..4 {
                 let k = self.rng.gen_range(0..rows);
-                self.handle.send(&format!("GET si {k}"));
+                self.handle.send(&format!("GET si {k}")).expect("send");
             }
-            self.handle.send("COMMIT");
+            self.handle.send("COMMIT").expect("send");
             self.pending = 6;
         }
     }
@@ -71,7 +76,7 @@ impl Terminal {
     fn poll(&mut self) -> Option<bool> {
         let mut last = None;
         while self.pending > 0 {
-            match self.handle.try_recv() {
+            match self.handle.try_recv().expect("session alive") {
                 Some(resp) => {
                     self.pending -= 1;
                     last = Some(resp);
@@ -84,7 +89,7 @@ impl Terminal {
 }
 
 fn run_sweep_cell(
-    server: &Arc<Server>,
+    connect: &(dyn Fn() -> Box<dyn Transport> + Sync),
     sessions: usize,
     rows: i64,
     duration: Duration,
@@ -99,7 +104,6 @@ fn run_sweep_cell(
     let mut elapsed = Duration::ZERO;
     std::thread::scope(|scope| {
         for d in 0..drivers {
-            let server = Arc::clone(server);
             let committed = Arc::clone(&committed);
             let aborted = Arc::clone(&aborted);
             let stop = Arc::clone(&stop);
@@ -107,7 +111,7 @@ fn run_sweep_cell(
             scope.spawn(move || {
                 let mut terminals: Vec<Terminal> = (0..mine)
                     .map(|t| Terminal {
-                        handle: server.connect().expect("session capacity"),
+                        handle: connect(),
                         rng: SmallRng::seed_from_u64(seed_for(seed, d * 4096 + t)),
                         pending: 0,
                     })
@@ -136,7 +140,7 @@ fn run_sweep_cell(
                 // with idle sessions (handles drop here and close them).
                 for t in &mut terminals {
                     while t.pending > 0 {
-                        if t.handle.recv().is_none() {
+                        if t.handle.recv().is_err() {
                             break;
                         }
                         t.pending -= 1;
@@ -159,15 +163,14 @@ fn run_sweep_cell(
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let duration = Duration::from_millis(arg_value(&args, "--duration-ms").unwrap_or(400));
-    let workers = arg_value(&args, "--workers")
-        .map(|w| w as usize)
-        .unwrap_or_else(|| ServerConfig::default().workers);
-    let max_sessions = arg_value(&args, "--max-sessions").unwrap_or(1024) as usize;
-    let rows = arg_value(&args, "--rows").unwrap_or(1024) as i64;
-    let id_shards = arg_value(&args, "--id-shards").map(|s| s as usize);
-    let graph_shards = arg_value(&args, "--graph-shards").map(|s| s as usize);
+    let args = BenchArgs::parse();
+    let duration = args.duration_or(400);
+    let workers = args.usize_or("--workers", ServerConfig::default().workers);
+    let max_sessions = args.usize_or("--max-sessions", 1024);
+    let rows = args.value_or("--rows", 1024) as i64;
+    let id_shards = args.value("--id-shards").map(|s| s as usize);
+    let graph_shards = args.value("--graph-shards").map(|s| s as usize);
+    let tcp = args.flag("--tcp");
 
     let mut sweep: Vec<usize> = vec![16, 64, 256, 1024];
     sweep.retain(|s| *s <= max_sessions.max(1));
@@ -193,10 +196,27 @@ fn main() {
             max_sessions: max_sessions + 64,
         },
     ));
+    let front = if tcp {
+        Some(server.listen("127.0.0.1:0").expect("bind TCP front-end"))
+    } else {
+        None
+    };
+    let connect: Box<dyn Fn() -> Box<dyn Transport> + Sync> = match &front {
+        Some(front) => {
+            let addr = front.local_addr();
+            Box::new(move || Box::new(TcpClient::connect(addr).expect("connect")) as _)
+        }
+        None => {
+            let server = Arc::clone(&server);
+            Box::new(move || Box::new(server.connect().expect("session capacity")) as _)
+        }
+    };
 
+    let wire = if tcp { "TCP sockets" } else { "in-process" };
     println!("Session scaling: SSI read-mostly mix over the pgssi-server wire protocol");
     println!(
-        "table: {rows} rows; {workers} workers; {shards} txid shards; {duration:?} per cell\n"
+        "table: {rows} rows; {workers} workers; {shards} txid shards; {duration:?} per cell; \
+         transport: {wire}\n"
     );
     println!(
         "{:>10}  {:>10}  {:>9}  {:>10}  {:>13}",
@@ -210,7 +230,8 @@ fn main() {
             std::thread::sleep(Duration::from_millis(1));
         }
         let before = server.db().stats_report();
-        let (committed, aborted, elapsed) = run_sweep_cell(&server, sessions, rows, duration, 42);
+        let (committed, aborted, elapsed) =
+            run_sweep_cell(connect.as_ref(), sessions, rows, duration, 42);
         let after = server.db().stats_report();
         let hits = after.txn_snapshot_hits - before.txn_snapshot_hits;
         let rebuilds = after.txn_snapshot_full_rebuilds - before.txn_snapshot_full_rebuilds;
@@ -230,7 +251,11 @@ fn main() {
     println!("sessions far exceed workers — the pool multiplexes idle sessions for free,");
     println!("and the sharded txid allocator + incrementally-maintained snapshot keep");
     println!("begin/snapshot off any single mutex (compare --id-shards 1; snap-hit%");
-    println!("should sit at ~100 since only cold starts walk the shards).");
+    println!("should sit at ~100 since only cold starts walk the shards). --tcp adds a");
+    println!("per-message socket round trip but the curve's shape should survive it.");
 
-    print_stats_if_requested(&args, "SSI", server.db());
+    args.print_stats("SSI", server.db());
+    if let Some(front) = front {
+        front.shutdown();
+    }
 }

@@ -12,14 +12,15 @@
 
 use std::time::Duration;
 
+use pgssi_bench::args::BenchArgs;
 use pgssi_bench::dbt2::{Dbt2, Dbt2Config};
 use pgssi_bench::deferrable::run_probe_on;
-use pgssi_bench::harness::{arg_value, print_stats_if_requested, Mode};
+use pgssi_bench::harness::Mode;
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let probes = arg_value(&args, "--probes").unwrap_or(200) as usize;
-    let threads = arg_value(&args, "--threads").unwrap_or(8) as usize;
+    let args = BenchArgs::parse();
+    let probes = args.usize_or("--probes", 200);
+    let threads = args.usize_or("--threads", 8);
 
     println!(
         "§8.4: deferrable transactions vs a DBT-2++ load ({threads} threads, {probes} probes)\n"
@@ -63,5 +64,5 @@ fn main() {
     );
     println!("\npaper: median 1.98 s, p90 <= 6 s, max <= 20 s on their testbed —");
     println!("bounded waits of a few concurrent-transaction lifetimes, never starving.");
-    print_stats_if_requested(&args, "SSI", &db);
+    args.print_stats("SSI", &db);
 }

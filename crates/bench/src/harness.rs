@@ -5,7 +5,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 use pgssi_common::{EngineConfig, IoModel, SsiConfig};
-use pgssi_engine::{Database, IsolationLevel};
+use pgssi_engine::IsolationLevel;
 
 /// The isolation modes compared in the paper's evaluation.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -169,48 +169,6 @@ pub fn seed_for(base: u64, thread: usize) -> u64 {
     base ^ (thread as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)
 }
 
-/// Parse `--duration-ms N`, `--threads N` style overrides from argv.
-pub fn arg_value(args: &[String], name: &str) -> Option<u64> {
-    args.iter()
-        .position(|a| a == name)
-        .and_then(|i| args.get(i + 1))
-        .and_then(|v| v.parse().ok())
-}
-
-/// True if the standalone flag `name` appears in argv.
-pub fn has_flag(args: &[String], name: &str) -> bool {
-    args.iter().any(|a| a == name)
-}
-
-/// Parse `--partitions 1,4,16,64`-style comma-separated sweep lists (a single
-/// value is a one-element list). Returns `None` if the flag is absent or
-/// nothing parses, so callers can supply their default point.
-pub fn arg_list(args: &[String], name: &str) -> Option<Vec<u64>> {
-    let raw = args
-        .iter()
-        .position(|a| a == name)
-        .and_then(|i| args.get(i + 1))?;
-    let vals: Vec<u64> = raw
-        .split(',')
-        .filter_map(|v| v.trim().parse().ok())
-        .collect();
-    if vals.is_empty() {
-        None
-    } else {
-        Some(vals)
-    }
-}
-
-/// Print the database's aggregated [`pgssi_engine::StatsReport`] when the
-/// binary was invoked with `--stats`. Every figure binary calls this after its
-/// final (or per-mode) run.
-pub fn print_stats_if_requested(args: &[String], label: &str, db: &Database) {
-    if has_flag(args, "--stats") {
-        println!("\n[{label}] aggregated stats:");
-        println!("{}", db.stats_report());
-    }
-}
-
 /// Format a `[a, b, c]` JSON array from anything `Display`able (numbers).
 pub fn json_array(xs: impl IntoIterator<Item = impl std::fmt::Display>) -> String {
     let body = xs
@@ -270,17 +228,6 @@ mod tests {
     }
 
     #[test]
-    fn arg_parsing() {
-        let args: Vec<String> = ["x", "--threads", "8", "--duration-ms", "250"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect();
-        assert_eq!(arg_value(&args, "--threads"), Some(8));
-        assert_eq!(arg_value(&args, "--duration-ms"), Some(250));
-        assert_eq!(arg_value(&args, "--nope"), None);
-    }
-
-    #[test]
     fn json_array_formats_numbers() {
         assert_eq!(json_array([1, 2, 3]), "[1,2,3]");
         assert_eq!(json_array(Vec::<i64>::new()), "[]");
@@ -303,24 +250,6 @@ mod tests {
         let body = std::fs::read_to_string(&path).unwrap();
         assert_eq!(body, "{\"a\":1}\n{\"a\":2}\n");
         let _ = std::fs::remove_file(&path);
-    }
-
-    #[test]
-    fn arg_list_parses_sweeps_and_single_values() {
-        let args: Vec<String> = ["x", "--partitions", "1,4,16,64", "--graph-shards", "8"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect();
-        assert_eq!(arg_list(&args, "--partitions"), Some(vec![1, 4, 16, 64]));
-        assert_eq!(arg_list(&args, "--graph-shards"), Some(vec![8]));
-        assert_eq!(arg_list(&args, "--nope"), None);
-    }
-
-    #[test]
-    fn flag_parsing() {
-        let args: Vec<String> = ["x", "--stats"].iter().map(|s| s.to_string()).collect();
-        assert!(has_flag(&args, "--stats"));
-        assert!(!has_flag(&args, "--nope"));
     }
 
     #[test]

@@ -23,10 +23,12 @@
 //! single-mutex behavior for ablation). Every binary accepts `--stats` to
 //! print the aggregated [`pgssi_engine::Database::stats_report`] after the run.
 
+pub mod args;
 pub mod dbt2;
 pub mod deferrable;
 pub mod harness;
 pub mod rubis;
 pub mod sibench;
 
+pub use args::BenchArgs;
 pub use harness::{Mode, RunResult};

@@ -249,6 +249,53 @@ impl ServerConfig {
     }
 }
 
+/// Where the durable write-ahead log lives (DESIGN.md §5).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum WalMode {
+    /// In-memory log (the default): redo records are captured behind the same
+    /// `WalStore` trait as the file log, but `sync` is free and nothing
+    /// survives process exit — today's all-in-memory behavior.
+    Memory,
+    /// File-backed log under the given directory (`wal.log` + `checkpoint.bin`).
+    /// Commits park until their record's sync epoch is fsynced; reopening the
+    /// same directory recovers by checkpoint load + WAL replay.
+    File {
+        /// Directory holding the log and checkpoint files; created on open.
+        dir: std::path::PathBuf,
+    },
+}
+
+/// Durability configuration.
+#[derive(Clone, Debug)]
+pub struct WalConfig {
+    /// Log placement (in-memory vs file-backed).
+    pub mode: WalMode,
+    /// Batch fsyncs across concurrent committers (group commit): a commit whose
+    /// record is not yet durable elects one leader to fsync everything buffered
+    /// so far while the rest park on the sync epoch. `false` is the ablation —
+    /// every committer pays its own fsync (`fig_recovery --group-commit 1`).
+    pub group_commit: bool,
+}
+
+impl Default for WalConfig {
+    fn default() -> Self {
+        WalConfig {
+            mode: WalMode::Memory,
+            group_commit: true,
+        }
+    }
+}
+
+impl WalConfig {
+    /// File-backed durable log under `dir` with group commit on.
+    pub fn file(dir: impl Into<std::path::PathBuf>) -> Self {
+        WalConfig {
+            mode: WalMode::File { dir: dir.into() },
+            group_commit: true,
+        }
+    }
+}
+
 /// Simulated I/O cost model.
 ///
 /// The paper's disk-bound configuration (Figure 5b) exists to show that when I/O
@@ -304,6 +351,8 @@ pub struct EngineConfig {
     pub txn: TxnConfig,
     /// Replication WAL-shipping mode (§7.2 markers vs §8.4 metadata).
     pub replication: ReplicationConfig,
+    /// Durable-WAL placement and group-commit policy.
+    pub wal: WalConfig,
 }
 
 #[cfg(test)]
@@ -371,6 +420,16 @@ mod tests {
             EngineConfig::default().replication.mode,
             ReplicationMode::ShipMetadata
         );
+    }
+
+    #[test]
+    fn wal_defaults_to_memory_with_group_commit() {
+        let c = WalConfig::default();
+        assert_eq!(c.mode, WalMode::Memory);
+        assert!(c.group_commit);
+        let f = WalConfig::file("/tmp/x");
+        assert!(matches!(f.mode, WalMode::File { .. }));
+        assert_eq!(EngineConfig::default().wal.mode, WalMode::Memory);
     }
 
     #[test]

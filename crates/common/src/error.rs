@@ -44,6 +44,14 @@ pub enum Error {
     InvalidState(String),
     /// Lock wait exceeded the configured timeout.
     LockTimeout,
+    /// The transport peer (server, session, or socket) is gone: sends are
+    /// dropped and no further responses will arrive. Not retryable — the
+    /// client must reconnect.
+    Disconnected(String),
+    /// Durable-WAL I/O failure (append, fsync, checkpoint, or recovery).
+    /// Carries the rendered `std::io::Error` (the error type itself must stay
+    /// `Clone + Eq`).
+    Wal(String),
     /// Configuration or usage error.
     Misuse(String),
 }
@@ -64,6 +72,11 @@ impl Error {
             kind,
             detail: detail.into(),
         }
+    }
+
+    /// Wrap a WAL/checkpoint I/O failure.
+    pub fn wal(e: std::io::Error) -> Error {
+        Error::Wal(e.to_string())
     }
 }
 
@@ -123,6 +136,8 @@ impl fmt::Display for Error {
             Error::NotFound(w) => write!(f, "{w} not found"),
             Error::InvalidState(w) => write!(f, "invalid transaction state: {w}"),
             Error::LockTimeout => write!(f, "lock wait timeout exceeded"),
+            Error::Disconnected(w) => write!(f, "connection closed: {w}"),
+            Error::Wal(w) => write!(f, "WAL I/O error: {w}"),
             Error::Misuse(w) => write!(f, "misuse: {w}"),
         }
     }
@@ -149,6 +164,8 @@ mod tests {
         assert!(Error::Deadlock { victim: TxnId(3) }.is_retryable());
         assert!(!Error::NoSuchTable("x".into()).is_retryable());
         assert!(!Error::DuplicateKey { index: "i".into() }.is_retryable());
+        assert!(!Error::Disconnected("peer".into()).is_retryable());
+        assert!(!Error::Wal("fsync".into()).is_retryable());
     }
 
     #[test]

@@ -18,6 +18,7 @@ pub mod value;
 
 pub use config::{
     EngineConfig, IoModel, ReplicationConfig, ReplicationMode, ServerConfig, SsiConfig, TxnConfig,
+    WalConfig, WalMode,
 };
 pub use error::{Error, Result, SerializationKind};
 pub use ids::{CommitSeqNo, PageNo, RelId, SlotNo, TupleId, TxnId};

@@ -26,7 +26,7 @@ pub enum IndexKind {
 }
 
 /// Definition of a secondary index.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct IndexDef {
     /// Index name, unique within the database.
     pub name: String,
@@ -39,7 +39,7 @@ pub struct IndexDef {
 }
 
 /// Definition of a table.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct TableDef {
     /// Table name.
     pub name: String,

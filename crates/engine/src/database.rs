@@ -7,13 +7,19 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use parking_lot::{Mutex, RwLock};
+use pgssi_common::config::WalMode;
 use pgssi_common::stats::Counter;
-use pgssi_common::{CommitSeqNo, EngineConfig, Error, Result, Snapshot, TxnId};
+use pgssi_common::{CommitSeqNo, EngineConfig, Error, Key, Result, Snapshot, TxnId};
 use pgssi_core::{SafetyState, SsiManager, SxactId};
 use pgssi_lockmgr::s2pl::S2plLockManager;
+use pgssi_storage::wal::Lsn;
 use pgssi_storage::{BufferCache, TxnManager};
 
 use crate::catalog::{Catalog, Table, TableDef};
+use crate::durability::{
+    decode_checkpoint, decode_commit, encode_checkpoint, encode_commit, Checkpoint, DurableWal,
+    RedoOp, CHECKPOINT_FILE,
+};
 use crate::replication::{ReplicationStats, WalStream};
 use crate::twophase::PreparedTxn;
 use crate::txn::Transaction;
@@ -199,6 +205,20 @@ pub struct StatsReport {
     pub repl_catch_ups: u64,
     /// Sum of records-behind over catch-ups (mean lag = this / catch-ups).
     pub repl_lag_records: u64,
+    /// Durable-WAL commit records appended.
+    pub wal_records: u64,
+    /// Durable-WAL length in bytes (end LSN).
+    pub wal_bytes: u64,
+    /// Fsyncs issued (group commit batches many records per fsync).
+    pub wal_syncs: u64,
+    /// Commits that parked on another committer's fsync (group-commit rides).
+    pub wal_sync_waits: u64,
+    /// Records replayed by the most recent recovery.
+    pub wal_recovered_records: u64,
+    /// Torn-tail bytes truncated when the log was opened.
+    pub wal_torn_bytes: u64,
+    /// Whether group commit is in force.
+    pub wal_group_commit: bool,
 }
 
 impl StatsReport {
@@ -295,7 +315,7 @@ impl std::fmt::Display for StatsReport {
             self.session_worker_parks,
             self.session_lock_wakeups
         )?;
-        write!(
+        writeln!(
             f,
             "repl   : records {}  markers {}  resolves {}  safe-local {}  safe-marker {}  \
              marker-waits-avoided {}  unsafe-candidates {}  catch-ups {}  mean-lag {:.2}",
@@ -308,6 +328,18 @@ impl std::fmt::Display for StatsReport {
             self.repl_unsafe_candidates,
             self.repl_catch_ups,
             self.repl_mean_lag(),
+        )?;
+        write!(
+            f,
+            "wal    : records {}  bytes {}  syncs {}  sync-waits {}  recovered {}  \
+             torn-bytes {}  group-commit {}",
+            self.wal_records,
+            self.wal_bytes,
+            self.wal_syncs,
+            self.wal_sync_waits,
+            self.wal_recovered_records,
+            self.wal_torn_bytes,
+            if self.wal_group_commit { "on" } else { "off" },
         )
     }
 }
@@ -326,6 +358,9 @@ pub(crate) struct DbInner {
     pub active_snapshots: Mutex<HashMap<TxnId, CommitSeqNo>>,
     pub prepared: Mutex<HashMap<String, PreparedTxn>>,
     pub wal: WalStream,
+    /// Durable logical redo log (DESIGN.md §5). Orthogonal to `wal`, which is
+    /// the in-memory replication stream of SSI metadata.
+    pub dwal: DurableWal,
     pub stats: EngineStats,
     pub session_stats: SessionStats,
     /// Replication counters (master-side shipping + replica-side derivation;
@@ -356,8 +391,24 @@ pub struct Database {
 }
 
 impl Database {
-    /// Open a fresh in-memory database with the given configuration.
+    /// Open a database with the given configuration. With the default
+    /// in-memory WAL this is a fresh empty database; with
+    /// [`WalMode::File`] it delegates to [`Database::open_durable`]
+    /// (recovering any existing log) and panics on I/O errors — call
+    /// `open_durable` directly to handle them.
     pub fn new(config: EngineConfig) -> Database {
+        match &config.wal.mode {
+            WalMode::Memory => {
+                let dwal = DurableWal::new(&config.wal);
+                Database::fresh(config, dwal)
+            }
+            WalMode::File { .. } => {
+                Database::open_durable(config).expect("failed to open durable database")
+            }
+        }
+    }
+
+    fn fresh(config: EngineConfig, dwal: DurableWal) -> Database {
         let cache = Arc::new(BufferCache::new(config.io.clone()));
         Database {
             inner: Arc::new(DbInner {
@@ -369,6 +420,7 @@ impl Database {
                 active_snapshots: Mutex::new(HashMap::new()),
                 prepared: Mutex::new(HashMap::new()),
                 wal: WalStream::new(),
+                dwal,
                 stats: EngineStats::default(),
                 session_stats: SessionStats::default(),
                 repl_stats: ReplicationStats::default(),
@@ -382,9 +434,154 @@ impl Database {
         Database::new(EngineConfig::default())
     }
 
-    /// Create a table.
+    /// Open (or create) a durable database: the WAL directory's torn tail is
+    /// truncated at the first bad checksum, the newest valid checkpoint is
+    /// bulk-loaded, and every log record past the checkpoint is replayed —
+    /// rebuilding heap, clog, and the transaction-manager frontier. Requires
+    /// [`WalMode::File`]; with an in-memory WAL it is just [`Database::new`].
+    pub fn open_durable(config: EngineConfig) -> Result<Database> {
+        let WalMode::File { dir } = config.wal.mode.clone() else {
+            return Ok(Database::new(config));
+        };
+        std::fs::create_dir_all(&dir).map_err(Error::wal)?;
+        let dwal = DurableWal::open_file(&dir, config.wal.group_commit).map_err(Error::wal)?;
+        let db = Database::fresh(config, dwal);
+        // Replayed writes must not be re-logged.
+        db.inner.dwal.set_capture(false);
+        let mut applied_lsn: Lsn = 0;
+        if let Ok(bytes) = std::fs::read(dir.join(CHECKPOINT_FILE)) {
+            // A bad checkpoint (torn rename, corruption) falls back to
+            // replaying the whole log.
+            if let Some(ckpt) = decode_checkpoint(&bytes) {
+                db.load_checkpoint(&ckpt)?;
+                applied_lsn = ckpt.applied_lsn;
+            }
+        }
+        let frames = db.inner.dwal.store().read_all().map_err(Error::wal)?;
+        for (lsn, payload) in frames {
+            if lsn <= applied_lsn {
+                continue;
+            }
+            let (_txid, ops) = decode_commit(&payload)
+                .ok_or_else(|| Error::Wal(format!("malformed WAL record ending at {lsn}")))?;
+            db.replay_record(ops)?;
+            db.inner.dwal.stats.recovered_records.bump();
+        }
+        db.inner.dwal.set_capture(true);
+        Ok(db)
+    }
+
+    /// Bulk-load a checkpoint image: recreate each table and insert its rows
+    /// stamped [`TxnId::FROZEN`] (visible to every snapshot, like bootstrap
+    /// data), indexing as we go.
+    fn load_checkpoint(&self, ckpt: &Checkpoint) -> Result<()> {
+        for (def, rows) in &ckpt.tables {
+            let table = self.inner.catalog.create_table(def.clone())?;
+            let inner = table.inner.read();
+            for row in rows {
+                let tid = inner.heap.insert(row.clone(), TxnId::FROZEN);
+                inner.pk.insert(inner.pk.key_of(row), tid);
+                for s in &inner.secondaries {
+                    s.insert(s.key_of(row), tid);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Replay one commit record as a real READ COMMITTED transaction (so the
+    /// clog and frontier advance exactly as a live commit would). Replay is
+    /// idempotent: upserts overwrite, deletes ignore missing rows, DDL
+    /// tolerates existing tables.
+    fn replay_record(&self, ops: Vec<RedoOp>) -> Result<()> {
+        let mut txn: Option<Transaction> = None;
+        for op in ops {
+            match op {
+                RedoOp::CreateTable(def) => match self.inner.catalog.create_table(def) {
+                    Ok(_) | Err(Error::Misuse(_)) => {}
+                    Err(e) => return Err(e),
+                },
+                RedoOp::Upsert { table, row } => {
+                    let t = txn.get_or_insert_with(|| self.begin(IsolationLevel::ReadCommitted));
+                    let (pk, width) = self.table_shape(&table)?;
+                    if row.len() != width || pk.iter().any(|&i| i >= row.len()) {
+                        return Err(Error::Wal(format!("redo row shape mismatch for {table}")));
+                    }
+                    let key: Key = pk.iter().map(|&i| row[i].clone()).collect();
+                    if !t.update(&table, &key, row.clone())? {
+                        t.insert(&table, row)?;
+                    }
+                }
+                RedoOp::Delete { table, key } => {
+                    let t = txn.get_or_insert_with(|| self.begin(IsolationLevel::ReadCommitted));
+                    t.delete(&table, &key)?;
+                }
+            }
+        }
+        if let Some(t) = txn {
+            t.commit()?;
+        }
+        Ok(())
+    }
+
+    /// Write a checkpoint: the latest committed rows of every table plus the
+    /// WAL position they cover, atomically captured (no commit can land
+    /// between the snapshot and the recorded LSN), written tmp-then-rename.
+    /// Recovery replays only records past the returned LSN. A no-op (returns
+    /// 0) with an in-memory WAL.
+    pub fn checkpoint(&self) -> Result<Lsn> {
+        let WalMode::File { dir } = &self.inner.config.wal.mode else {
+            return Ok(0);
+        };
+        let (snapshot, applied_lsn) = self.inner.dwal.quiesced(|| self.inner.tm.snapshot());
+        let reader = pgssi_storage::SingleXid(TxnId::INVALID);
+        let mut tables = Vec::new();
+        for name in self.inner.catalog.table_names() {
+            let t = self.inner.catalog.table(&name)?;
+            let inner = t.inner.read();
+            let mut rows = Vec::new();
+            inner.heap.for_each_root(|root| {
+                let read = inner
+                    .heap
+                    .read_chain(root, &snapshot, self.inner.tm.clog(), &reader);
+                if let Some((_, row)) = read.visible {
+                    rows.push(row);
+                }
+            });
+            tables.push((inner.def.clone(), rows));
+        }
+        let bytes = encode_checkpoint(&Checkpoint {
+            applied_lsn,
+            tables,
+        });
+        let tmp = dir.join("checkpoint.tmp");
+        std::fs::write(&tmp, &bytes).map_err(Error::wal)?;
+        let f = std::fs::File::open(&tmp).map_err(Error::wal)?;
+        f.sync_all().map_err(Error::wal)?;
+        std::fs::rename(&tmp, dir.join(CHECKPOINT_FILE)).map_err(Error::wal)?;
+        // The log itself is durable through the checkpoint position too.
+        self.inner.dwal.flush();
+        Ok(applied_lsn)
+    }
+
+    /// The durable WAL handle (stats, flush, recovery inspection).
+    pub fn durable_wal(&self) -> &DurableWal {
+        &self.inner.dwal
+    }
+
+    /// Create a table. Durable: the DDL is logged (and fsynced, in file mode)
+    /// before this returns.
     pub fn create_table(&self, def: TableDef) -> Result<()> {
-        self.inner.catalog.create_table(def).map(|_| ())
+        let logged = self
+            .inner
+            .dwal
+            .capturing()
+            .then(|| encode_commit(TxnId::INVALID, &[RedoOp::CreateTable(def.clone())]));
+        self.inner.catalog.create_table(def)?;
+        if let Some(payload) = logged {
+            self.inner.dwal.append_ddl(&payload);
+        }
+        Ok(())
     }
 
     /// Look up a table handle (mostly for tests/tools).
@@ -595,6 +792,13 @@ impl Database {
             repl_unsafe_candidates: self.inner.repl_stats.unsafe_candidates.get(),
             repl_catch_ups: self.inner.repl_stats.catch_ups.get(),
             repl_lag_records: self.inner.repl_stats.lag_records.get(),
+            wal_records: self.inner.dwal.stats.records.get(),
+            wal_bytes: self.inner.dwal.store().end_lsn(),
+            wal_syncs: self.inner.dwal.stats.syncs.get(),
+            wal_sync_waits: self.inner.dwal.stats.sync_waits.get(),
+            wal_recovered_records: self.inner.dwal.stats.recovered_records.get(),
+            wal_torn_bytes: self.inner.dwal.stats.torn_bytes.get(),
+            wal_group_commit: self.inner.dwal.group_commit(),
         }
     }
 
@@ -630,14 +834,24 @@ impl Database {
             .ok_or_else(|| Error::NotFound(format!("prepared transaction {gid:?}")))?;
         let ssi = self.inner.ssi();
         let inner = &self.inner;
+        let mut wal_lsn = None;
         if let Some(sx) = rec.sx {
             ssi.commit_with(
                 sx,
-                || inner.tm.commit(&rec.xids),
+                || {
+                    let (csn, lsn) = inner
+                        .dwal
+                        .commit_durably(rec.redo_payload.as_deref(), || inner.tm.commit(&rec.xids));
+                    wal_lsn = lsn;
+                    csn
+                },
                 |digest| inner.wal.publish_commit(inner, digest),
             );
         } else {
-            let csn = inner.tm.commit(&rec.xids);
+            let (csn, lsn) = inner
+                .dwal
+                .commit_durably(rec.redo_payload.as_deref(), || inner.tm.commit(&rec.xids));
+            wal_lsn = lsn;
             if inner.wal.has_consumers() {
                 ssi.observe_commit(rec.txid, csn, |digest| {
                     inner.wal.publish_commit(inner, digest)
@@ -646,6 +860,9 @@ impl Database {
         }
         self.inner.active_snapshots.lock().remove(&rec.txid);
         self.inner.stats.commits.bump();
+        if let Some(lsn) = wal_lsn {
+            self.inner.dwal.wait_durable(lsn);
+        }
         Ok(())
     }
 

@@ -1,0 +1,736 @@
+//! Durable logical WAL: redo capture, group commit, checkpoint + recovery
+//! (DESIGN.md §5).
+//!
+//! The replication stream in [`crate::replication`] ships SSI *metadata*
+//! (digests, snapshots) to live followers; this module is the orthogonal
+//! durability layer: every committed writing transaction appends one
+//! **logical redo record** (the rows it upserted/deleted) to a
+//! [`WalStore`], and reopening the same directory replays those records to
+//! rebuild heap, clog, and the `TxnManager` frontier.
+//!
+//! Three invariants carry the design:
+//!
+//! 1. **Log order = commit order.** The record append happens under the same
+//!    mutex as the clog commit ([`DurableWal::commit_durably`]), so if T2's
+//!    write depended on T1's commit (tuple lock order), T1's record precedes
+//!    T2's in the log. Replaying the prefix in order therefore visits only
+//!    states that existed (a transaction-consistent history).
+//! 2. **Commit ⇒ durable.** A committing transaction does not return success
+//!    until the log is fsynced past its record ([`DurableWal::wait_durable`]).
+//!    With group commit, one *leader* fsyncs everything buffered so far while
+//!    the other committers park on the sync epoch — the classic batched-fsync
+//!    amortization.
+//! 3. **Torn tail = uncommitted.** A crash mid-append leaves at most one torn
+//!    frame at the tail; open-time truncation (see `pgssi_storage::wal`)
+//!    discards it, which is safe because the commit that wrote it never
+//!    reported success (it was still parked in `wait_durable`).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use parking_lot::{Condvar, Mutex};
+use pgssi_common::config::{WalConfig, WalMode};
+use pgssi_common::stats::Counter;
+use pgssi_common::{CommitSeqNo, Key, Row, TxnId, Value};
+use pgssi_storage::wal::{FileWalStore, Lsn, MemWalStore, WalStore};
+
+use crate::catalog::{IndexDef, IndexKind, TableDef};
+
+/// Log file name inside a [`WalMode::File`] directory.
+pub const WAL_FILE: &str = "wal.log";
+/// Checkpoint file name inside a [`WalMode::File`] directory.
+pub const CHECKPOINT_FILE: &str = "checkpoint.bin";
+
+// ---------------------------------------------------------------------------
+// Redo records
+// ---------------------------------------------------------------------------
+
+/// One logical redo operation. Replay is idempotent: `Upsert` inserts or
+/// overwrites by primary key, `Delete` ignores missing rows, `CreateTable`
+/// tolerates an existing table.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RedoOp {
+    /// DDL: create a table (logged as its own record at `create_table` time).
+    CreateTable(TableDef),
+    /// Insert or update: the full new row (its primary key is derivable).
+    Upsert {
+        /// Target table.
+        table: String,
+        /// Complete new row version.
+        row: Row,
+    },
+    /// Delete by primary key.
+    Delete {
+        /// Target table.
+        table: String,
+        /// Primary key of the deleted row.
+        key: Key,
+    },
+}
+
+fn put_bytes(out: &mut Vec<u8>, b: &[u8]) {
+    out.extend_from_slice(&(b.len() as u32).to_le_bytes());
+    out.extend_from_slice(b);
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_bytes(out, s.as_bytes());
+}
+
+fn put_value(out: &mut Vec<u8>, v: &Value) {
+    match v {
+        Value::Null => out.push(0),
+        Value::Bool(b) => {
+            out.push(1);
+            out.push(*b as u8);
+        }
+        Value::Int(i) => {
+            out.push(2);
+            out.extend_from_slice(&i.to_le_bytes());
+        }
+        Value::Text(s) => {
+            out.push(3);
+            put_str(out, s);
+        }
+    }
+}
+
+fn put_row(out: &mut Vec<u8>, row: &[Value]) {
+    out.extend_from_slice(&(row.len() as u32).to_le_bytes());
+    for v in row {
+        put_value(out, v);
+    }
+}
+
+fn put_op(out: &mut Vec<u8>, op: &RedoOp) {
+    match op {
+        RedoOp::CreateTable(def) => {
+            out.push(0);
+            put_str(out, &def.name);
+            out.extend_from_slice(&(def.columns.len() as u32).to_le_bytes());
+            for c in &def.columns {
+                put_str(out, c);
+            }
+            out.extend_from_slice(&(def.pk.len() as u32).to_le_bytes());
+            for &p in &def.pk {
+                out.extend_from_slice(&(p as u32).to_le_bytes());
+            }
+            out.extend_from_slice(&(def.indexes.len() as u32).to_le_bytes());
+            for idx in &def.indexes {
+                put_str(out, &idx.name);
+                out.extend_from_slice(&(idx.cols.len() as u32).to_le_bytes());
+                for &c in &idx.cols {
+                    out.extend_from_slice(&(c as u32).to_le_bytes());
+                }
+                out.push(idx.unique as u8);
+                out.push(match idx.kind {
+                    IndexKind::BTree => 0,
+                    IndexKind::Hash => 1,
+                });
+            }
+        }
+        RedoOp::Upsert { table, row } => {
+            out.push(1);
+            put_str(out, table);
+            put_row(out, row);
+        }
+        RedoOp::Delete { table, key } => {
+            out.push(2);
+            put_str(out, table);
+            put_row(out, key);
+        }
+    }
+}
+
+/// Encode one commit record: the committing txid plus its redo ops.
+pub fn encode_commit(txid: TxnId, ops: &[RedoOp]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16 + ops.len() * 24);
+    out.extend_from_slice(&txid.0.to_le_bytes());
+    out.extend_from_slice(&(ops.len() as u32).to_le_bytes());
+    for op in ops {
+        put_op(&mut out, op);
+    }
+    out
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(n)?;
+        if end > self.buf.len() {
+            return None;
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Some(s)
+    }
+
+    fn u8(&mut self) -> Option<u8> {
+        Some(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        Some(u32::from_le_bytes(self.take(4)?.try_into().ok()?))
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        Some(u64::from_le_bytes(self.take(8)?.try_into().ok()?))
+    }
+
+    fn str(&mut self) -> Option<String> {
+        let n = self.u32()? as usize;
+        String::from_utf8(self.take(n)?.to_vec()).ok()
+    }
+
+    fn value(&mut self) -> Option<Value> {
+        Some(match self.u8()? {
+            0 => Value::Null,
+            1 => Value::Bool(self.u8()? != 0),
+            2 => Value::Int(i64::from_le_bytes(self.take(8)?.try_into().ok()?)),
+            3 => Value::Text(self.str()?),
+            _ => return None,
+        })
+    }
+
+    fn row(&mut self) -> Option<Row> {
+        let n = self.u32()? as usize;
+        let mut row = Vec::with_capacity(n.min(1024));
+        for _ in 0..n {
+            row.push(self.value()?);
+        }
+        Some(row)
+    }
+
+    fn op(&mut self) -> Option<RedoOp> {
+        Some(match self.u8()? {
+            0 => {
+                let name = self.str()?;
+                let ncols = self.u32()? as usize;
+                let mut columns = Vec::with_capacity(ncols.min(1024));
+                for _ in 0..ncols {
+                    columns.push(self.str()?);
+                }
+                let npk = self.u32()? as usize;
+                let mut pk = Vec::with_capacity(npk.min(1024));
+                for _ in 0..npk {
+                    pk.push(self.u32()? as usize);
+                }
+                let nidx = self.u32()? as usize;
+                let mut indexes = Vec::with_capacity(nidx.min(1024));
+                for _ in 0..nidx {
+                    let iname = self.str()?;
+                    let nic = self.u32()? as usize;
+                    let mut cols = Vec::with_capacity(nic.min(1024));
+                    for _ in 0..nic {
+                        cols.push(self.u32()? as usize);
+                    }
+                    let unique = self.u8()? != 0;
+                    let kind = match self.u8()? {
+                        0 => IndexKind::BTree,
+                        1 => IndexKind::Hash,
+                        _ => return None,
+                    };
+                    indexes.push(IndexDef {
+                        name: iname,
+                        cols,
+                        unique,
+                        kind,
+                    });
+                }
+                RedoOp::CreateTable(TableDef {
+                    name,
+                    columns,
+                    pk,
+                    indexes,
+                })
+            }
+            1 => RedoOp::Upsert {
+                table: self.str()?,
+                row: self.row()?,
+            },
+            2 => RedoOp::Delete {
+                table: self.str()?,
+                key: self.row()?,
+            },
+            _ => return None,
+        })
+    }
+}
+
+/// Decode a commit record produced by [`encode_commit`]. `None` on any
+/// malformed byte (a checksummed frame should never produce one, so callers
+/// treat `None` as corruption and stop replay).
+pub fn decode_commit(payload: &[u8]) -> Option<(TxnId, Vec<RedoOp>)> {
+    let mut r = Reader {
+        buf: payload,
+        pos: 0,
+    };
+    let txid = TxnId(r.u64()?);
+    let n = r.u32()? as usize;
+    let mut ops = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        ops.push(r.op()?);
+    }
+    if r.pos != payload.len() {
+        return None;
+    }
+    Some((txid, ops))
+}
+
+// ---------------------------------------------------------------------------
+// DurableWal
+// ---------------------------------------------------------------------------
+
+/// Durability counters, folded into `Database::stats_report`.
+#[derive(Default)]
+pub struct WalStats {
+    /// Commit records appended.
+    pub records: Counter,
+    /// Fsyncs issued (group commit batches many records per fsync).
+    pub syncs: Counter,
+    /// Commits that parked waiting for another committer's fsync to cover them.
+    pub sync_waits: Counter,
+    /// Records replayed during the most recent recovery.
+    pub recovered_records: Counter,
+    /// Torn-tail bytes truncated at open.
+    pub torn_bytes: Counter,
+}
+
+struct SyncState {
+    /// The log is fsynced up to here.
+    synced: Lsn,
+    /// A leader is currently inside `sync()` on behalf of the current epoch.
+    leader_running: bool,
+}
+
+/// The engine's handle on the durable log: redo appends serialized with clog
+/// commits, plus the group-commit machinery.
+pub struct DurableWal {
+    store: Box<dyn WalStore>,
+    group_commit: bool,
+    /// Redo capture switch: off while recovery replays the log (replayed
+    /// writes must not be re-logged).
+    capture: AtomicBool,
+    /// Serializes `{clog commit; buffered append}` so log order equals commit
+    /// order (invariant 1 above). Checkpointing also takes it to capture a
+    /// `(snapshot, end_lsn)` pair atomically.
+    append_lock: Mutex<()>,
+    sync_state: Mutex<SyncState>,
+    sync_cv: Condvar,
+    /// Counters (exposed via `Database::stats_report`).
+    pub stats: WalStats,
+}
+
+impl DurableWal {
+    /// Build from config: `Memory` mode gets a [`MemWalStore`] (no fsync, no
+    /// parking); `File` mode must come through [`DurableWal::with_store`]
+    /// because opening the file can fail.
+    pub fn new(config: &WalConfig) -> DurableWal {
+        debug_assert!(
+            matches!(config.mode, WalMode::Memory),
+            "File-mode DurableWal is built by Database::open_durable"
+        );
+        DurableWal::with_store(Box::new(MemWalStore::new()), config.group_commit)
+    }
+
+    /// Wrap an already-open store.
+    pub fn with_store(store: Box<dyn WalStore>, group_commit: bool) -> DurableWal {
+        DurableWal {
+            store,
+            group_commit,
+            capture: AtomicBool::new(true),
+            append_lock: Mutex::new(()),
+            sync_state: Mutex::new(SyncState {
+                synced: 0,
+                leader_running: false,
+            }),
+            sync_cv: Condvar::new(),
+            stats: WalStats::default(),
+        }
+    }
+
+    /// Open the file store under `dir`, truncating any torn tail.
+    pub fn open_file(dir: &std::path::Path, group_commit: bool) -> std::io::Result<DurableWal> {
+        let store = FileWalStore::open(dir.join(WAL_FILE))?;
+        let torn = store.truncated_tail();
+        let wal = DurableWal::with_store(Box::new(store), group_commit);
+        wal.stats.torn_bytes.add(torn);
+        Ok(wal)
+    }
+
+    /// Whether transactions should capture redo ops right now.
+    pub fn capturing(&self) -> bool {
+        self.capture.load(Ordering::Relaxed)
+    }
+
+    /// Suspend/resume redo capture (recovery replay runs with it off).
+    pub fn set_capture(&self, on: bool) {
+        self.capture.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether commits actually park for fsync (file-backed store).
+    pub fn is_durable(&self) -> bool {
+        self.store.is_durable()
+    }
+
+    /// Group-commit policy in force.
+    pub fn group_commit(&self) -> bool {
+        self.group_commit
+    }
+
+    /// The underlying store (recovery, checkpointing, benchmarks).
+    pub fn store(&self) -> &dyn WalStore {
+        &*self.store
+    }
+
+    /// Run the clog commit and, if `payload` is present, append it to the log
+    /// in the same critical section — making the record's log position atomic
+    /// with the commit's visibility (invariant 1). Returns the commit CSN and
+    /// the record's LSN to later [`wait_durable`](DurableWal::wait_durable) on.
+    ///
+    /// A WAL append failure is unrecoverable mid-commit (the clog commit has
+    /// already happened), so it panics — the PostgreSQL response to a WAL
+    /// write error is likewise a PANIC.
+    pub fn commit_durably(
+        &self,
+        payload: Option<&[u8]>,
+        commit: impl FnOnce() -> CommitSeqNo,
+    ) -> (CommitSeqNo, Option<Lsn>) {
+        match payload {
+            None => (commit(), None),
+            Some(p) => {
+                let _g = self.append_lock.lock();
+                let csn = commit();
+                let lsn = self.store.append(p).expect("WAL append failed");
+                self.stats.records.bump();
+                (csn, Some(lsn))
+            }
+        }
+    }
+
+    /// Append a standalone (non-transactional) record — DDL — and make it
+    /// durable before returning.
+    pub fn append_ddl(&self, payload: &[u8]) {
+        let lsn = {
+            let _g = self.append_lock.lock();
+            let lsn = self.store.append(payload).expect("WAL append failed");
+            self.stats.records.bump();
+            lsn
+        };
+        self.wait_durable(lsn);
+    }
+
+    /// Capture a `(snapshot end, log end)` pair with no commit in flight:
+    /// every commit with `lsn <= end_lsn` is visible to a snapshot taken
+    /// inside `f`, and none after. Checkpointing uses this.
+    pub fn quiesced<T>(&self, f: impl FnOnce() -> T) -> (T, Lsn) {
+        let _g = self.append_lock.lock();
+        let t = f();
+        (t, self.store.end_lsn())
+    }
+
+    /// Block until the log is durable past `lsn`. No-op for the in-memory
+    /// store. With group commit, the first committer to find no fsync in
+    /// flight becomes the leader and syncs everything buffered (covering
+    /// every record appended before its call); the rest park on the sync
+    /// epoch and are woken exactly once, when `synced` passes them.
+    pub fn wait_durable(&self, lsn: Lsn) {
+        if !self.store.is_durable() {
+            return;
+        }
+        if !self.group_commit {
+            // Ablation: every committer pays a full fsync of its own.
+            let end = self.store.sync().expect("WAL fsync failed");
+            self.stats.syncs.bump();
+            let mut st = self.sync_state.lock();
+            if end > st.synced {
+                st.synced = end;
+            }
+            drop(st);
+            self.sync_cv.notify_all();
+            return;
+        }
+        let mut st = self.sync_state.lock();
+        while st.synced < lsn {
+            if st.leader_running {
+                // A leader's fsync is in flight; it may have started before
+                // our append, so re-check after it finishes.
+                self.stats.sync_waits.bump();
+                self.sync_cv.wait(&mut st);
+            } else {
+                st.leader_running = true;
+                drop(st);
+                // Everything appended before this call — ours and any records
+                // buffered since the last sync — rides this one fsync.
+                let end = self.store.sync().expect("WAL fsync failed");
+                self.stats.syncs.bump();
+                st = self.sync_state.lock();
+                st.leader_running = false;
+                if end > st.synced {
+                    st.synced = end;
+                }
+                self.sync_cv.notify_all();
+            }
+        }
+    }
+
+    /// Fsync whatever is buffered (shutdown, tests).
+    pub fn flush(&self) {
+        if self.store.is_durable() {
+            let end = self.store.sync().expect("WAL fsync failed");
+            let mut st = self.sync_state.lock();
+            if end > st.synced {
+                st.synced = end;
+            }
+            drop(st);
+            self.sync_cv.notify_all();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint encoding
+// ---------------------------------------------------------------------------
+
+const CKPT_MAGIC: &[u8; 8] = b"PGSSICK1";
+
+/// A decoded checkpoint: the WAL position it covers and the table contents.
+pub struct Checkpoint {
+    /// Replay must start at the first record with `lsn > applied_lsn`.
+    pub applied_lsn: Lsn,
+    /// Per table: definition + latest committed rows at checkpoint time.
+    pub tables: Vec<(TableDef, Vec<Row>)>,
+}
+
+/// Encode a checkpoint image (body is CRC-protected; see
+/// [`decode_checkpoint`]).
+pub fn encode_checkpoint(ckpt: &Checkpoint) -> Vec<u8> {
+    let mut body = Vec::new();
+    body.extend_from_slice(&ckpt.applied_lsn.to_le_bytes());
+    body.extend_from_slice(&(ckpt.tables.len() as u32).to_le_bytes());
+    for (def, rows) in &ckpt.tables {
+        let mut defop = Vec::new();
+        put_op(&mut defop, &RedoOp::CreateTable(def.clone()));
+        body.extend_from_slice(&defop);
+        body.extend_from_slice(&(rows.len() as u64).to_le_bytes());
+        for row in rows {
+            put_row(&mut body, row);
+        }
+    }
+    let mut out = Vec::with_capacity(body.len() + 12);
+    out.extend_from_slice(CKPT_MAGIC);
+    out.extend_from_slice(&pgssi_storage::crc32(&body).to_le_bytes());
+    out.extend_from_slice(&body);
+    out
+}
+
+/// Decode a checkpoint file. `None` on bad magic, bad CRC, or malformed body
+/// — the caller falls back to full-log replay.
+pub fn decode_checkpoint(bytes: &[u8]) -> Option<Checkpoint> {
+    if bytes.len() < 12 || &bytes[..8] != CKPT_MAGIC {
+        return None;
+    }
+    let crc = u32::from_le_bytes(bytes[8..12].try_into().ok()?);
+    let body = &bytes[12..];
+    if pgssi_storage::crc32(body) != crc {
+        return None;
+    }
+    let mut r = Reader { buf: body, pos: 0 };
+    let applied_lsn = r.u64()?;
+    let ntables = r.u32()? as usize;
+    let mut tables = Vec::with_capacity(ntables.min(1024));
+    for _ in 0..ntables {
+        let RedoOp::CreateTable(def) = r.op()? else {
+            return None;
+        };
+        let nrows = r.u64()? as usize;
+        let mut rows = Vec::with_capacity(nrows.min(1 << 20));
+        for _ in 0..nrows {
+            rows.push(r.row()?);
+        }
+        tables.push((def, rows));
+    }
+    if r.pos != body.len() {
+        return None;
+    }
+    Some(Checkpoint {
+        applied_lsn,
+        tables,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pgssi_common::row;
+    use std::sync::atomic::AtomicU64;
+    use std::sync::Arc;
+
+    #[test]
+    fn commit_record_roundtrip() {
+        let def = TableDef::new("t", &["id", "v"], vec![0]).with_index(IndexDef {
+            name: "t_v".into(),
+            cols: vec![1],
+            unique: true,
+            kind: IndexKind::Hash,
+        });
+        let ops = vec![
+            RedoOp::CreateTable(def),
+            RedoOp::Upsert {
+                table: "t".into(),
+                row: row![1, "x"],
+            },
+            RedoOp::Upsert {
+                table: "t".into(),
+                row: vec![Value::Null, Value::Bool(true), Value::Int(-7)],
+            },
+            RedoOp::Delete {
+                table: "t".into(),
+                key: row![1],
+            },
+        ];
+        let enc = encode_commit(TxnId(42), &ops);
+        let (txid, dec) = decode_commit(&enc).unwrap();
+        assert_eq!(txid, TxnId(42));
+        assert_eq!(dec, ops);
+    }
+
+    #[test]
+    fn decode_rejects_truncation_and_trailing_garbage() {
+        let enc = encode_commit(
+            TxnId(7),
+            &[RedoOp::Delete {
+                table: "t".into(),
+                key: row![1],
+            }],
+        );
+        for cut in 0..enc.len() {
+            assert!(decode_commit(&enc[..cut]).is_none(), "cut at {cut}");
+        }
+        let mut garbage = enc.clone();
+        garbage.push(0);
+        assert!(decode_commit(&garbage).is_none());
+    }
+
+    #[test]
+    fn checkpoint_roundtrip_and_corruption() {
+        let ckpt = Checkpoint {
+            applied_lsn: 1234,
+            tables: vec![(
+                TableDef::new("t", &["id", "v"], vec![0]),
+                vec![row![1, 10], row![2, 20]],
+            )],
+        };
+        let enc = encode_checkpoint(&ckpt);
+        let dec = decode_checkpoint(&enc).unwrap();
+        assert_eq!(dec.applied_lsn, 1234);
+        assert_eq!(dec.tables.len(), 1);
+        assert_eq!(dec.tables[0].1, vec![row![1, 10], row![2, 20]]);
+        let mut bad = enc.clone();
+        let last = bad.len() - 1;
+        bad[last] ^= 1;
+        assert!(decode_checkpoint(&bad).is_none());
+        assert!(decode_checkpoint(&enc[..6]).is_none());
+    }
+
+    /// A store whose sync is slow and counted, to observe group-commit
+    /// batching deterministically.
+    struct SlowSyncStore {
+        inner: MemWalStore,
+        syncs: Arc<AtomicU64>,
+    }
+
+    impl WalStore for SlowSyncStore {
+        fn append(&self, payload: &[u8]) -> std::io::Result<Lsn> {
+            self.inner.append(payload)
+        }
+        fn sync(&self) -> std::io::Result<Lsn> {
+            // A real fsync only covers bytes written before it started; capture
+            // the watermark first so appends made during the (slow) sync must
+            // ride the next one.
+            let covered = self.inner.end_lsn();
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            self.syncs.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+            self.inner.sync()?;
+            Ok(covered)
+        }
+        fn end_lsn(&self) -> Lsn {
+            self.inner.end_lsn()
+        }
+        fn is_durable(&self) -> bool {
+            true
+        }
+        fn read_all(&self) -> std::io::Result<Vec<(Lsn, Vec<u8>)>> {
+            self.inner.read_all()
+        }
+    }
+
+    /// Group commit wakes every waiter in a synced epoch exactly once, and
+    /// batches: with one slow fsync in flight, the stragglers' records all
+    /// ride the next fsync (2 syncs for N committers, not N).
+    #[test]
+    fn group_commit_wakes_every_waiter_once() {
+        let sync_count = Arc::new(AtomicU64::new(0));
+        let store = Box::new(SlowSyncStore {
+            inner: MemWalStore::new(),
+            syncs: Arc::clone(&sync_count),
+        });
+        let wal = Arc::new(DurableWal::with_store(store, true));
+
+        // Leader: appended first, starts the first (slow) fsync.
+        let leader = {
+            let wal = Arc::clone(&wal);
+            let (_, lsn) = wal.commit_durably(Some(b"leader"), || CommitSeqNo(1));
+            std::thread::spawn(move || wal.wait_durable(lsn.unwrap()))
+        };
+        // Give the leader time to enter sync().
+        std::thread::sleep(std::time::Duration::from_millis(3));
+        // Followers: append while the leader's fsync is in flight, then wait.
+        let woken = Arc::new(AtomicU64::new(0));
+        let followers: Vec<_> = (0..8)
+            .map(|i| {
+                let wal = Arc::clone(&wal);
+                let woken = Arc::clone(&woken);
+                std::thread::spawn(move || {
+                    let (_, lsn) =
+                        wal.commit_durably(Some(format!("f{i}").as_bytes()), || CommitSeqNo(2 + i));
+                    wal.wait_durable(lsn.unwrap());
+                    // Exactly-once: each waiter returns from wait_durable once.
+                    woken.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                })
+            })
+            .collect();
+        leader.join().unwrap();
+        for f in followers {
+            f.join().unwrap();
+        }
+        assert_eq!(woken.load(std::sync::atomic::Ordering::SeqCst), 8);
+        let syncs = sync_count.load(std::sync::atomic::Ordering::SeqCst);
+        assert!(
+            (2..8).contains(&syncs),
+            "expected batched fsyncs, got {syncs}"
+        );
+        assert_eq!(wal.stats.syncs.get(), syncs);
+        // Everything committed is durable and readable.
+        assert_eq!(wal.store().read_all().unwrap().len(), 9);
+    }
+
+    /// With group commit off, every committer issues its own fsync.
+    #[test]
+    fn no_group_commit_syncs_per_committer() {
+        let store = Box::new(SlowSyncStore {
+            inner: MemWalStore::new(),
+            syncs: Arc::new(AtomicU64::new(0)),
+        });
+        let wal = DurableWal::with_store(store, false);
+        for i in 0..5 {
+            let (_, lsn) = wal.commit_durably(Some(b"x"), || CommitSeqNo(i + 1));
+            wal.wait_durable(lsn.unwrap());
+        }
+        assert_eq!(wal.stats.syncs.get(), 5);
+        assert_eq!(wal.stats.sync_waits.get(), 0);
+    }
+}

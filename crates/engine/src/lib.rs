@@ -24,6 +24,7 @@
 
 pub mod catalog;
 pub mod database;
+pub mod durability;
 pub mod replication;
 pub mod retry;
 pub mod twophase;
@@ -32,6 +33,7 @@ pub mod vacuum;
 
 pub use catalog::{IndexDef, IndexKind, TableDef};
 pub use database::{BeginOptions, Database, IsolationLevel, SessionStats, StatsReport};
+pub use durability::{decode_commit, encode_commit, DurableWal, RedoOp, CHECKPOINT_FILE, WAL_FILE};
 pub use pgssi_core::CommitDigest;
 pub use replication::{Replica, ReplicationStats, WalRecord, WalStream};
 pub use retry::with_retries;

@@ -18,4 +18,7 @@ pub struct PreparedTxn {
     pub ssi: Option<PreparedSsi>,
     /// 2PL owner whose locks must be released at resolution.
     pub s2pl_owner: Option<u64>,
+    /// Encoded redo record to append to the durable WAL at COMMIT PREPARED
+    /// (None if the transaction wrote nothing or capture is off).
+    pub redo_payload: Option<Vec<u8>>,
 }

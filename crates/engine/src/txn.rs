@@ -37,6 +37,7 @@ use pgssi_storage::TxnStatus;
 
 use crate::catalog::{IndexImpl, IndexSlot, Table, TableInner};
 use crate::database::{BeginOptions, DbInner, IsolationLevel};
+use crate::durability::{encode_commit, RedoOp};
 
 /// Answers "is this xid mine?" for visibility: top-level xid plus live subxids.
 struct TxnXids<'a> {
@@ -67,6 +68,10 @@ pub struct Transaction {
     sx: Option<SxactId>,
     /// Lock-free view of the SSI doomed flag (polled every operation).
     doomed: Option<std::sync::Arc<std::sync::atomic::AtomicBool>>,
+    /// Redo ops captured for the durable WAL, tagged with the subtransaction
+    /// depth at capture time so savepoint rollback can discard exactly the
+    /// ops belonging to aborted subtransactions.
+    redo: Vec<(usize, RedoOp)>,
     wrote: bool,
     finished: bool,
 }
@@ -89,6 +94,7 @@ impl Transaction {
             opts,
             sx,
             doomed,
+            redo: Vec::new(),
             wrote: false,
             finished: false,
         }
@@ -245,6 +251,27 @@ impl Transaction {
             return Err(Error::ReadOnlyTransaction);
         }
         Ok(())
+    }
+
+    /// Record a redo op for the durable WAL (skipped during recovery replay,
+    /// when the log already contains it).
+    fn capture_redo(&mut self, op: RedoOp) {
+        if self.db.dwal.capturing() {
+            self.redo.push((self.subxids.len(), op));
+        }
+    }
+
+    /// Encode the captured redo ops as this transaction's commit record, or
+    /// `None` if there is nothing to log.
+    fn take_redo_payload(&mut self) -> Option<Vec<u8>> {
+        if self.redo.is_empty() {
+            return None;
+        }
+        let ops: Vec<RedoOp> = std::mem::take(&mut self.redo)
+            .into_iter()
+            .map(|(_, op)| op)
+            .collect();
+        Some(encode_commit(self.txid, &ops))
     }
 
     // ------------------------------------------------------------------
@@ -561,6 +588,10 @@ impl Transaction {
                     let new_tid = inner.heap.insert(row.clone(), self.xid_for_writes());
                     drop(guard);
                     self.wrote = true;
+                    self.capture_redo(RedoOp::Upsert {
+                        table: table.to_string(),
+                        row: row.clone(),
+                    });
                     self.finish_insert(&t, &inner, &row, new_tid)?;
                     return Ok(());
                 }
@@ -688,6 +719,10 @@ impl Transaction {
                     inner
                         .heap
                         .append_version(vis_tid, new_row.clone(), self.xid_for_writes());
+                    self.capture_redo(RedoOp::Upsert {
+                        table: table.to_string(),
+                        row: new_row.clone(),
+                    });
                     // Secondary-index maintenance for changed keys.
                     for slot in &inner.secondaries {
                         let old_k = slot.key_of(&old_row);
@@ -723,6 +758,10 @@ impl Transaction {
                     let tuple_target = LockTarget::tuple(t.heap_rel, vis_tid);
                     self.ssi_write(&tuple_target.check_chain(), Some(tuple_target))?;
                     // The stamped xmax *is* the delete; nothing else to do.
+                    self.capture_redo(RedoOp::Delete {
+                        table: table.to_string(),
+                        key: key.clone(),
+                    });
                     return Ok(true);
                 }
                 VersionLock::Retry => continue,
@@ -966,6 +1005,9 @@ impl Transaction {
         for &sub in &self.subxids[cut..] {
             self.db.tm.abort_sub(sub);
         }
+        // Redo ops captured inside the aborted subtransactions (depth beyond
+        // the cut) must not reach the durable log.
+        self.redo.retain(|(depth, _)| *depth <= cut);
         self.subxids.truncate(cut);
         self.savepoints.truncate(pos + 1);
         // The savepoint continues with a fresh subtransaction.
@@ -1004,6 +1046,12 @@ impl Transaction {
         let mut xids = vec![self.txid];
         xids.extend(&self.subxids);
         let wrote = self.wrote;
+        let payload = if wrote {
+            self.take_redo_payload()
+        } else {
+            None
+        };
+        let mut wal_lsn = None;
         let tm_commit = |tm: &pgssi_storage::TxnManager| {
             if wrote {
                 tm.commit(&xids)
@@ -1027,13 +1075,26 @@ impl Transaction {
             let db = &self.db;
             if let Err(e) = ssi.commit_checked_with(
                 sx,
-                || tm_commit(&db.tm),
+                || {
+                    let (csn, lsn) = db
+                        .dwal
+                        .commit_durably(payload.as_deref(), || tm_commit(&db.tm));
+                    wal_lsn = lsn;
+                    csn
+                },
                 |digest| db.wal.publish_commit(db, digest),
             ) {
                 return Err(self.auto_abort(e));
             }
         } else {
-            let csn = tm_commit(&self.db.tm);
+            let csn = {
+                let db = &self.db;
+                let (csn, lsn) = db
+                    .dwal
+                    .commit_durably(payload.as_deref(), || tm_commit(&db.tm));
+                wal_lsn = lsn;
+                csn
+            };
             if wrote && self.db.wal.has_consumers() {
                 // Non-serializable commits publish through the SSI
                 // commit-order section: the shipped concurrent-rw set and the
@@ -1045,6 +1106,11 @@ impl Transaction {
                 db.ssi()
                     .observe_commit(self.txid, csn, |digest| db.wal.publish_commit(db, digest));
             }
+        }
+        // Commit is acknowledged only once the record is on stable storage
+        // (group commit batches the fsync with concurrent committers).
+        if let Some(lsn) = wal_lsn {
+            self.db.dwal.wait_durable(lsn);
         }
         if self.is_2pl() {
             self.db.s2pl.release_owner(self.txid.0);
@@ -1077,12 +1143,18 @@ impl Transaction {
             }
             None => None,
         };
+        let redo_payload = if self.wrote {
+            self.take_redo_payload()
+        } else {
+            None
+        };
         let rec = crate::twophase::PreparedTxn {
             txid: self.txid,
             xids,
             sx: self.sx,
             ssi: ssi_rec,
             s2pl_owner: self.is_2pl().then_some(self.txid.0),
+            redo_payload,
         };
         let mut prepared = self.db.prepared.lock();
         if prepared.contains_key(gid) {

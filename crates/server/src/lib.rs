@@ -15,6 +15,11 @@
 //!   `SCAN`/`COMMIT`/`ABORT`, see [`proto`]) over in-process duplex
 //!   channels, so tests and load generators can drive the engine like a
 //!   network client without sockets.
+//! * [`Transport`] — the client-side abstraction over both connection
+//!   kinds: [`SessionHandle`] (in-process) and [`TcpClient`] (real sockets
+//!   against a [`Server::listen`] accept loop, see [`tcp`]) expose one
+//!   `send`/`recv`/`roundtrip`/`pipeline` surface, with closed sessions
+//!   surfacing uniformly as [`pgssi_common::Error::Disconnected`].
 //!
 //! Underneath, the reworked `TxnManager` makes the many-session shape cheap:
 //! txids come from per-shard blocks (each session is pinned to a shard via
@@ -27,9 +32,13 @@
 
 pub mod pool;
 pub mod proto;
+pub mod tcp;
+pub mod transport;
 pub mod wire;
 
 pub use pgssi_common::ServerConfig;
 pub use pool::{Next, SessionId, SessionPool, SessionTask};
 pub use proto::{BeginSpec, Command};
+pub use tcp::{TcpClient, TcpFrontEnd};
+pub use transport::Transport;
 pub use wire::{Server, SessionHandle};

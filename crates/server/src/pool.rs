@@ -225,6 +225,15 @@ impl SessionPool {
         for h in self.workers.drain(..) {
             let _ = h.join();
         }
+        self.inner.close_all_slots();
+    }
+
+    /// Stop accepting work and close every live session, without consuming the
+    /// pool: blocked clients observe `Disconnected` instead of hanging.
+    /// Workers wind down; they are joined when the last pool handle drops.
+    pub fn close_sessions(&self) {
+        self.request_shutdown();
+        self.inner.close_all_slots();
     }
 
     fn request_shutdown(&self) {
@@ -241,10 +250,31 @@ impl Drop for SessionPool {
         for h in self.workers.drain(..) {
             let _ = h.join();
         }
+        self.inner.close_all_slots();
     }
 }
 
 impl PoolInner {
+    /// Retire every live slot, calling each resident task's `close` hook so
+    /// blocked clients unblock. Tasks that are mid-activation (taken out by a
+    /// worker) are closed by that worker when it finds the slot retired.
+    fn close_all_slots(&self) {
+        let mut st = self.state.lock();
+        for sid in 0..st.slots.len() {
+            let Some(s @ Some(_)) = st.slots.get_mut(sid) else {
+                continue;
+            };
+            if let Some(task) = s.as_mut().and_then(|slot| slot.task.as_mut()) {
+                task.close();
+            }
+            *s = None;
+            st.free.push(sid);
+            st.live -= 1;
+        }
+        drop(st);
+        self.work.notify_all();
+    }
+
     /// Priority-wake the session owning `txid` (wait-observer path): a
     /// descheduled holder jumps the FIFO so its lock release is the very next
     /// thing a free worker runs. Counted only when it actually changes the
@@ -341,6 +371,11 @@ fn worker_loop(inner: &PoolInner) {
             };
             st = inner.state.lock();
             let Some(Some(slot)) = st.slots.get_mut(sid) else {
+                // Slot retired while this activation ran (pool-wide session
+                // close): run the close hook so the task's client unblocks.
+                // `close` touches only task-owned state, never pool state, so
+                // holding the state lock here is fine.
+                task.close();
                 continue;
             };
             match next {

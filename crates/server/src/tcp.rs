@@ -1,0 +1,261 @@
+//! Real-socket front-end: a [`std::net::TcpListener`] accept loop feeding the
+//! same [`SessionPool`](crate::SessionPool) the in-process wire layer uses.
+//!
+//! Each accepted connection becomes one logical session: a reader thread
+//! parses request lines off the socket into the session's inbox and wakes the
+//! pool (exactly what [`Transport::send`] does in-process), while the pool
+//! worker executing the session writes response lines straight back to the
+//! socket. Execution stays on the pool's fixed worker set — a thousand idle
+//! connections cost a thousand parked reader threads but zero executors,
+//! preserving the backend-per-connection shape the paper's evaluation (§8.2)
+//! leans on.
+//!
+//! [`TcpClient`] is the matching client: the same line protocol over a socket,
+//! speaking [`Transport`] so harnesses can swap it for a
+//! [`SessionHandle`](crate::SessionHandle) without code changes.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::Mutex;
+use pgssi_common::{Error, Result};
+
+use crate::pool::SessionPool;
+use crate::transport::Transport;
+use crate::wire::{Duplex, ResponseSink, Server, WireTask};
+
+fn io_disconnected(what: &str, e: std::io::Error) -> Error {
+    Error::Disconnected(format!("{what}: {e}"))
+}
+
+impl Server {
+    /// Start accepting real TCP connections on `addr` (use port 0 to let the
+    /// OS pick; read the chosen port back from
+    /// [`TcpFrontEnd::local_addr`]). Sessions accepted here share the pool —
+    /// and its `max_sessions` cap — with in-process [`Server::connect`]
+    /// sessions; over-cap connections are dropped, which the client observes
+    /// as a disconnect.
+    pub fn listen(&self, addr: impl ToSocketAddrs) -> Result<TcpFrontEnd> {
+        let listener =
+            TcpListener::bind(addr).map_err(|e| io_disconnected("TCP bind failed", e))?;
+        let local_addr = listener
+            .local_addr()
+            .map_err(|e| io_disconnected("TCP local_addr failed", e))?;
+        // Non-blocking accept so shutdown is a flag check, not a poke from a
+        // sacrificial connection.
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| io_disconnected("TCP set_nonblocking failed", e))?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept_thread = {
+            let pool = Arc::clone(&self.pool);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            // Capacity errors drop the stream: the client sees
+                            // EOF, exactly like a refused backend.
+                            let _ = serve_connection(&pool, stream);
+                        }
+                        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                            std::thread::sleep(Duration::from_millis(2));
+                        }
+                        Err(_) => break,
+                    }
+                }
+            })
+        };
+        Ok(TcpFrontEnd {
+            local_addr,
+            stop,
+            accept_thread: Some(accept_thread),
+        })
+    }
+}
+
+/// Wire one accepted socket up as a pool session.
+fn serve_connection(pool: &Arc<SessionPool>, stream: TcpStream) -> Result<()> {
+    // One small write per response line; batching happens at the protocol
+    // level (pipelined transactions), so Nagle only adds latency here.
+    let _ = stream.set_nodelay(true);
+    let writer = stream
+        .try_clone()
+        .map_err(|e| io_disconnected("TCP clone failed", e))?;
+    let duplex = Arc::new(Duplex::new());
+    let task = WireTask::new(
+        Arc::clone(&duplex),
+        Arc::downgrade(pool),
+        ResponseSink::Socket(Arc::new(Mutex::new(writer))),
+    );
+    let sid = pool.spawn(Box::new(task))?;
+    let pool = Arc::clone(pool);
+    std::thread::spawn(move || {
+        let mut reader = BufReader::new(stream);
+        let mut line = String::new();
+        loop {
+            line.clear();
+            match reader.read_line(&mut line) {
+                // EOF or socket error: client hung up.
+                Ok(0) | Err(_) => break,
+                Ok(_) => {
+                    let trimmed = line.trim_end_matches(['\r', '\n']);
+                    {
+                        let mut c = duplex.chan.lock();
+                        if c.closed {
+                            break;
+                        }
+                        c.requests.push_back(trimmed.to_string());
+                    }
+                    pool.db().session_stats().requests_enqueued.bump();
+                    pool.wake(sid);
+                }
+            }
+        }
+        // Close the inbox and wake the session so it retires (rolling back
+        // any open transaction).
+        duplex.chan.lock().closed = true;
+        pool.wake(sid);
+    });
+    Ok(())
+}
+
+/// Handle on a running TCP accept loop. Dropping it (or calling
+/// [`TcpFrontEnd::shutdown`]) stops accepting; established connections live
+/// until their clients hang up.
+pub struct TcpFrontEnd {
+    local_addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl TcpFrontEnd {
+    /// The address the listener actually bound (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Stop the accept loop and join its thread.
+    pub fn shutdown(mut self) {
+        self.stop_accepting();
+    }
+
+    fn stop_accepting(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for TcpFrontEnd {
+    fn drop(&mut self) {
+        self.stop_accepting();
+    }
+}
+
+/// Socket state behind [`TcpClient::recv`]/`try_recv`: raw bytes are buffered
+/// here and handed out a line at a time, so a nonblocking `try_recv` that
+/// catches half a response keeps the fragment for the next call.
+struct LineReader {
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+impl LineReader {
+    /// Pop one complete line from the buffer, if any.
+    fn pop_line(&mut self) -> Option<String> {
+        let pos = self.buf.iter().position(|&b| b == b'\n')?;
+        let mut line: Vec<u8> = self.buf.drain(..=pos).collect();
+        line.pop(); // the '\n'
+        if line.last() == Some(&b'\r') {
+            line.pop();
+        }
+        Some(String::from_utf8_lossy(&line).into_owned())
+    }
+
+    /// Read more bytes into the buffer; `Ok(0)` means EOF.
+    fn fill(&mut self) -> std::io::Result<usize> {
+        let mut chunk = [0u8; 4096];
+        let n = self.stream.read(&mut chunk)?;
+        self.buf.extend_from_slice(&chunk[..n]);
+        Ok(n)
+    }
+}
+
+/// A real-socket client speaking the pgssi line protocol; the TCP counterpart
+/// of [`SessionHandle`](crate::SessionHandle). Dropping it closes the socket,
+/// which closes the server-side session (open transactions roll back).
+pub struct TcpClient {
+    writer: Mutex<TcpStream>,
+    reader: Mutex<LineReader>,
+}
+
+impl TcpClient {
+    /// Connect to a [`TcpFrontEnd`] at `addr`.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<TcpClient> {
+        let stream =
+            TcpStream::connect(addr).map_err(|e| io_disconnected("TCP connect failed", e))?;
+        let _ = stream.set_nodelay(true);
+        let writer = stream
+            .try_clone()
+            .map_err(|e| io_disconnected("TCP clone failed", e))?;
+        Ok(TcpClient {
+            writer: Mutex::new(writer),
+            reader: Mutex::new(LineReader {
+                stream,
+                buf: Vec::new(),
+            }),
+        })
+    }
+}
+
+impl Transport for TcpClient {
+    fn send(&self, line: &str) -> Result<()> {
+        let mut w = self.writer.lock();
+        w.write_all(line.as_bytes())
+            .and_then(|()| w.write_all(b"\n"))
+            .map_err(|e| io_disconnected("TCP send failed", e))
+    }
+
+    fn recv(&self) -> Result<String> {
+        let mut r = self.reader.lock();
+        loop {
+            if let Some(line) = r.pop_line() {
+                return Ok(line);
+            }
+            match r.fill() {
+                Ok(0) => return Err(Error::Disconnected("connection closed".to_string())),
+                Ok(_) => {}
+                Err(e) => return Err(io_disconnected("TCP recv failed", e)),
+            }
+        }
+    }
+
+    fn try_recv(&self) -> Result<Option<String>> {
+        let mut r = self.reader.lock();
+        if let Some(line) = r.pop_line() {
+            return Ok(Some(line));
+        }
+        r.stream
+            .set_nonblocking(true)
+            .map_err(|e| io_disconnected("TCP set_nonblocking failed", e))?;
+        let filled = r.fill();
+        let _ = r.stream.set_nonblocking(false);
+        match filled {
+            Ok(0) => Err(Error::Disconnected("connection closed".to_string())),
+            Ok(_) => Ok(r.pop_line()),
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => Ok(None),
+            Err(e) => Err(io_disconnected("TCP recv failed", e)),
+        }
+    }
+}
+
+impl Drop for TcpClient {
+    fn drop(&mut self) {
+        let _ = self.writer.lock().shutdown(Shutdown::Both);
+    }
+}

@@ -1,0 +1,41 @@
+//! Client-side transport abstraction: one request/response line-stream
+//! interface whether the session lives on an in-process duplex channel
+//! ([`crate::SessionHandle`]) or a real TCP socket ([`crate::TcpClient`]).
+//!
+//! Every method returns `Result` so closed-server and closed-socket paths
+//! surface uniformly as [`pgssi_common::Error::Disconnected`] instead of an
+//! `Option`/panic mix per backend.
+
+use pgssi_common::Result;
+
+/// A client connection to a pgssi server session: send request lines, receive
+/// response lines, one response per request, in order.
+pub trait Transport: Send + Sync {
+    /// Enqueue one request line without waiting for its response.
+    fn send(&self, line: &str) -> Result<()>;
+
+    /// Blocking receive of the next response line.
+    ///
+    /// Fails with [`pgssi_common::Error::Disconnected`] once the session is
+    /// closed and no buffered responses remain.
+    fn recv(&self) -> Result<String>;
+
+    /// Non-blocking receive: `Ok(None)` when no response has arrived yet.
+    fn try_recv(&self) -> Result<Option<String>>;
+
+    /// Send one request and wait for its response.
+    fn roundtrip(&self, line: &str) -> Result<String> {
+        self.send(line)?;
+        self.recv()
+    }
+
+    /// Send a batch (e.g. a whole transaction) and collect every response.
+    /// Implementations may override this to enqueue the batch atomically so
+    /// one server activation executes it back-to-back.
+    fn pipeline(&self, lines: &[&str]) -> Result<Vec<String>> {
+        for line in lines {
+            self.send(line)?;
+        }
+        lines.iter().map(|_| self.recv()).collect()
+    }
+}

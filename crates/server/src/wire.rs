@@ -15,31 +15,54 @@
 //! them.
 
 use std::collections::{HashMap, VecDeque};
+use std::io::Write;
 use std::sync::Arc;
 
 use parking_lot::{Condvar, Mutex};
-use pgssi_common::{Result, ServerConfig, TxnId};
+use pgssi_common::{Error, Result, ServerConfig, TxnId};
 use pgssi_engine::{Database, Transaction};
 
 use crate::pool::{Next, SessionId, SessionPool, SessionTask};
 use crate::proto::{self, Command};
+use crate::transport::Transport;
 
 #[derive(Default)]
-struct Channel {
-    requests: VecDeque<String>,
+pub(crate) struct Channel {
+    pub(crate) requests: VecDeque<String>,
     responses: VecDeque<String>,
-    closed: bool,
+    pub(crate) closed: bool,
 }
 
-/// Client/server halves share this duplex channel.
-struct Duplex {
-    chan: Mutex<Channel>,
+/// Client/server halves share this duplex channel. For TCP sessions only the
+/// request direction is used (the connection's reader thread is the "client
+/// half"); responses go straight to the socket.
+pub(crate) struct Duplex {
+    pub(crate) chan: Mutex<Channel>,
     response_ready: Condvar,
+}
+
+impl Duplex {
+    pub(crate) fn new() -> Duplex {
+        Duplex {
+            chan: Mutex::new(Channel::default()),
+            response_ready: Condvar::new(),
+        }
+    }
+}
+
+/// Where a session's response lines go: back onto the duplex channel for
+/// in-process clients, or straight down a socket for TCP clients.
+pub(crate) enum ResponseSink {
+    /// Push onto `Duplex::responses` and signal `response_ready`.
+    InProcess,
+    /// Write `line\n` to the shared socket writer. Write failures mark the
+    /// channel closed so the session retires on its next activation.
+    Socket(Arc<Mutex<std::net::TcpStream>>),
 }
 
 /// The server: a session pool plus the accept path.
 pub struct Server {
-    pool: Arc<SessionPool>,
+    pub(crate) pool: Arc<SessionPool>,
 }
 
 impl Server {
@@ -67,16 +90,12 @@ impl Server {
 
     /// Open a logical session; returns the client end of its duplex channel.
     pub fn connect(&self) -> Result<SessionHandle> {
-        let duplex = Arc::new(Duplex {
-            chan: Mutex::new(Channel::default()),
-            response_ready: Condvar::new(),
-        });
-        let task = WireTask {
-            duplex: Arc::clone(&duplex),
-            pool: Arc::downgrade(&self.pool),
-            txn: None,
-            shapes: HashMap::new(),
-        };
+        let duplex = Arc::new(Duplex::new());
+        let task = WireTask::new(
+            Arc::clone(&duplex),
+            Arc::downgrade(&self.pool),
+            ResponseSink::InProcess,
+        );
         let sid = self.pool.spawn(Box::new(task))?;
         Ok(SessionHandle {
             pool: Arc::clone(&self.pool),
@@ -85,11 +104,14 @@ impl Server {
         })
     }
 
-    /// Stop the workers (open sessions' transactions roll back on drop).
+    /// Stop the workers and close every live session (open transactions roll
+    /// back; clients blocked in `recv` observe `Disconnected`).
     pub fn shutdown(self) {
         match Arc::try_unwrap(self.pool) {
             Ok(pool) => pool.shutdown(),
-            Err(_) => { /* live handles keep the pool; its Drop joins workers */ }
+            // Live handles keep the pool allocated (its Drop joins the
+            // workers), but their sessions close now.
+            Err(pool) => pool.close_sessions(),
         }
     }
 }
@@ -102,49 +124,60 @@ pub struct SessionHandle {
     sid: SessionId,
 }
 
-impl SessionHandle {
+fn disconnected() -> Error {
+    Error::Disconnected("session closed".to_string())
+}
+
+impl Transport for SessionHandle {
     /// Enqueue one request line (non-blocking) and wake the session.
-    pub fn send(&self, line: &str) {
+    fn send(&self, line: &str) -> Result<()> {
         {
             let mut c = self.duplex.chan.lock();
+            if c.closed {
+                return Err(disconnected());
+            }
             c.requests.push_back(line.to_string());
         }
         self.pool.db().session_stats().requests_enqueued.bump();
         self.pool.wake(self.sid);
+        Ok(())
     }
 
-    /// Blocking receive of the next response line; `None` once closed with an
-    /// empty response queue.
-    pub fn recv(&self) -> Option<String> {
+    /// Blocking receive of the next response line; fails with
+    /// [`Error::Disconnected`] once closed with an empty response queue.
+    fn recv(&self) -> Result<String> {
         let mut c = self.duplex.chan.lock();
         loop {
             if let Some(r) = c.responses.pop_front() {
-                return Some(r);
+                return Ok(r);
             }
             if c.closed {
-                return None;
+                return Err(disconnected());
             }
             self.duplex.response_ready.wait(&mut c);
         }
     }
 
     /// Non-blocking receive.
-    pub fn try_recv(&self) -> Option<String> {
-        self.duplex.chan.lock().responses.pop_front()
-    }
-
-    /// Send one request and wait for its response.
-    pub fn roundtrip(&self, line: &str) -> String {
-        self.send(line);
-        self.recv().expect("session closed mid-roundtrip")
+    fn try_recv(&self) -> Result<Option<String>> {
+        let mut c = self.duplex.chan.lock();
+        match c.responses.pop_front() {
+            Some(r) => Ok(Some(r)),
+            None if c.closed => Err(disconnected()),
+            None => Ok(None),
+        }
     }
 
     /// Pipeline a batch (e.g. a whole transaction) and collect every response.
     /// Because the batch is enqueued before the session is woken, one worker
-    /// activation executes it back-to-back.
-    pub fn pipeline(&self, lines: &[&str]) -> Vec<String> {
+    /// activation executes it back-to-back — the override enqueues under one
+    /// lock acquisition where the default method would wake per line.
+    fn pipeline(&self, lines: &[&str]) -> Result<Vec<String>> {
         {
             let mut c = self.duplex.chan.lock();
+            if c.closed {
+                return Err(disconnected());
+            }
             for l in lines {
                 c.requests.push_back(l.to_string());
             }
@@ -152,9 +185,7 @@ impl SessionHandle {
         let stats = self.pool.db().session_stats();
         stats.requests_enqueued.add(lines.len() as u64);
         self.pool.wake(self.sid);
-        (0..lines.len())
-            .map(|_| self.recv().expect("session closed mid-pipeline"))
-            .collect()
+        (0..lines.len()).map(|_| self.recv()).collect()
     }
 }
 
@@ -166,11 +197,12 @@ impl Drop for SessionHandle {
 }
 
 /// Server-side session state: drains the inbox on each activation.
-struct WireTask {
+pub(crate) struct WireTask {
     duplex: Arc<Duplex>,
     /// Back-reference for transaction-ownership bookkeeping (weak: tasks live
     /// inside the pool's slots, so a strong handle would be a cycle).
     pool: std::sync::Weak<SessionPool>,
+    sink: ResponseSink,
     txn: Option<Transaction>,
     /// Per-session cache of `(pk columns, width)` by table, so hot-path PUTs
     /// don't re-take the catalog and table locks per request. Schemas are
@@ -179,6 +211,44 @@ struct WireTask {
 }
 
 impl WireTask {
+    pub(crate) fn new(
+        duplex: Arc<Duplex>,
+        pool: std::sync::Weak<SessionPool>,
+        sink: ResponseSink,
+    ) -> WireTask {
+        WireTask {
+            duplex,
+            pool,
+            sink,
+            txn: None,
+            shapes: HashMap::new(),
+        }
+    }
+
+    /// Deliver one response line to the client.
+    fn respond(&self, response: String) {
+        match &self.sink {
+            ResponseSink::InProcess => {
+                let mut c = self.duplex.chan.lock();
+                c.responses.push_back(response);
+                drop(c);
+                self.duplex.response_ready.notify_all();
+            }
+            ResponseSink::Socket(writer) => {
+                let mut w = writer.lock();
+                let failed = w
+                    .write_all(response.as_bytes())
+                    .and_then(|()| w.write_all(b"\n"))
+                    .is_err();
+                drop(w);
+                if failed {
+                    // Client gone mid-response: retire the session on its
+                    // next loop iteration (open transaction rolls back).
+                    self.duplex.chan.lock().closed = true;
+                }
+            }
+        }
+    }
     /// Update the pool's txid→session map to match the transaction slot:
     /// registered on BEGIN, forgotten on COMMIT/ABORT/auto-abort/close. The
     /// map is what lets a blocking worker priority-wake this session.
@@ -212,11 +282,16 @@ impl WireTask {
 
 impl SessionTask for WireTask {
     /// Panic path: mark the channel closed and wake the client so a blocked
-    /// `recv` returns `None` instead of hanging on a retired session.
+    /// `recv` fails with [`Error::Disconnected`] instead of hanging on a
+    /// retired session. TCP clients learn the same thing from the socket
+    /// shutting down.
     fn close(&mut self) {
         self.drop_txn();
         self.duplex.chan.lock().closed = true;
         self.duplex.response_ready.notify_all();
+        if let ResponseSink::Socket(writer) = &self.sink {
+            let _ = writer.lock().shutdown(std::net::Shutdown::Both);
+        }
     }
 
     fn run(&mut self, db: &Database, sid: SessionId) -> Next {
@@ -243,10 +318,7 @@ impl SessionTask for WireTask {
             let response = execute_line(db, sid, &mut self.txn, &mut self.shapes, &line);
             self.track_txn(sid, prev);
             db.session_stats().requests_executed.bump();
-            let mut c = self.duplex.chan.lock();
-            c.responses.push_back(response);
-            drop(c);
-            self.duplex.response_ready.notify_all();
+            self.respond(response);
         }
     }
 }

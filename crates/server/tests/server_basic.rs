@@ -1,12 +1,16 @@
 //! End-to-end tests for the wire front-end: protocol round-trips, isolation
 //! behavior through the protocol, concurrent-session correctness, and the
 //! many-sessions-on-few-workers shape the session layer exists for.
+//!
+//! The protocol tests run generically over [`Transport`], once per connection
+//! kind — in-process [`SessionHandle`]s and real-socket [`TcpClient`]s — so
+//! the two front-ends can't drift apart.
 
 use std::sync::Arc;
 
-use pgssi_common::{EngineConfig, ServerConfig};
+use pgssi_common::{EngineConfig, Error, ServerConfig};
 use pgssi_engine::{Database, TableDef};
-use pgssi_server::Server;
+use pgssi_server::{Server, TcpClient, TcpFrontEnd, Transport};
 
 fn kv_server(workers: usize, max_sessions: usize) -> Server {
     let mut config = EngineConfig::default();
@@ -25,97 +29,158 @@ fn kv_server(workers: usize, max_sessions: usize) -> Server {
     Server::new(db, cfg)
 }
 
+/// One server plus a way to mint clients of a given transport kind.
+struct Rig {
+    server: Server,
+    tcp: Option<TcpFrontEnd>,
+}
+
+impl Rig {
+    fn in_process(workers: usize, max_sessions: usize) -> Rig {
+        Rig {
+            server: kv_server(workers, max_sessions),
+            tcp: None,
+        }
+    }
+
+    fn tcp(workers: usize, max_sessions: usize) -> Rig {
+        let server = kv_server(workers, max_sessions);
+        let tcp = server.listen("127.0.0.1:0").unwrap();
+        Rig {
+            server,
+            tcp: Some(tcp),
+        }
+    }
+
+    fn client(&self) -> Box<dyn Transport> {
+        match &self.tcp {
+            Some(front) => Box::new(TcpClient::connect(front.local_addr()).unwrap()),
+            None => Box::new(self.server.connect().unwrap()),
+        }
+    }
+
+    fn shutdown(self) {
+        if let Some(front) = self.tcp {
+            front.shutdown();
+        }
+        self.server.shutdown();
+    }
+}
+
+/// Both connection kinds, for the generic protocol tests.
+fn rigs(workers: usize, max_sessions: usize) -> Vec<Rig> {
+    vec![
+        Rig::in_process(workers, max_sessions),
+        Rig::tcp(workers, max_sessions),
+    ]
+}
+
+fn ok(t: &dyn Transport, line: &str) -> String {
+    t.roundtrip(line).unwrap()
+}
+
 #[test]
 fn roundtrip_put_get_commit() {
-    let server = kv_server(2, 16);
-    let s = server.connect().unwrap();
-    assert_eq!(s.roundtrip("BEGIN"), "OK");
-    assert_eq!(s.roundtrip("PUT kv 1 10"), "OK");
-    assert_eq!(s.roundtrip("GET kv 1"), "ROW 1 10");
-    assert_eq!(s.roundtrip("COMMIT"), "OK");
+    for rig in rigs(2, 16) {
+        let s = rig.client();
+        assert_eq!(ok(&*s, "BEGIN"), "OK");
+        assert_eq!(ok(&*s, "PUT kv 1 10"), "OK");
+        assert_eq!(ok(&*s, "GET kv 1"), "ROW 1 10");
+        assert_eq!(ok(&*s, "COMMIT"), "OK");
 
-    // A second session sees the committed row; PUT upserts.
-    let s2 = server.connect().unwrap();
-    assert_eq!(s2.roundtrip("BEGIN REPEATABLE READ"), "OK");
-    assert_eq!(s2.roundtrip("GET kv 1"), "ROW 1 10");
-    assert_eq!(s2.roundtrip("PUT kv 1 11"), "OK");
-    assert_eq!(s2.roundtrip("GET kv 1"), "ROW 1 11");
-    assert_eq!(s2.roundtrip("SCAN kv"), "ROWS 1 1,11");
-    assert_eq!(s2.roundtrip("DEL kv 1"), "OK 1");
-    assert_eq!(s2.roundtrip("DEL kv 1"), "OK 0");
-    assert_eq!(s2.roundtrip("GET kv 1"), "NIL");
-    assert_eq!(s2.roundtrip("ABORT"), "OK");
-    server.shutdown();
+        // A second session sees the committed row; PUT upserts.
+        let s2 = rig.client();
+        assert_eq!(ok(&*s2, "BEGIN REPEATABLE READ"), "OK");
+        assert_eq!(ok(&*s2, "GET kv 1"), "ROW 1 10");
+        assert_eq!(ok(&*s2, "PUT kv 1 11"), "OK");
+        assert_eq!(ok(&*s2, "GET kv 1"), "ROW 1 11");
+        assert_eq!(ok(&*s2, "SCAN kv"), "ROWS 1 1,11");
+        assert_eq!(ok(&*s2, "DEL kv 1"), "OK 1");
+        assert_eq!(ok(&*s2, "DEL kv 1"), "OK 0");
+        assert_eq!(ok(&*s2, "GET kv 1"), "NIL");
+        assert_eq!(ok(&*s2, "ABORT"), "OK");
+        drop((s, s2));
+        rig.shutdown();
+    }
 }
 
 #[test]
 fn protocol_errors_are_reported_not_fatal() {
-    let server = kv_server(1, 4);
-    let s = server.connect().unwrap();
-    assert!(s.roundtrip("GET kv 1").starts_with("ERR no transaction"));
-    assert!(s.roundtrip("COMMIT").starts_with("ERR no transaction"));
-    assert!(s.roundtrip("FLY me to the moon").starts_with("ERR"));
-    assert_eq!(s.roundtrip("BEGIN"), "OK");
-    assert!(s.roundtrip("BEGIN").starts_with("ERR transaction already"));
-    assert!(s.roundtrip("GET missing 1").starts_with("ERR"));
-    // Row-arity mismatches are rejected, not panics, and not persisted.
-    assert!(s.roundtrip("PUT kv 5").starts_with("ERR"));
-    assert!(s.roundtrip("PUT kv 5 50 500").starts_with("ERR"));
-    // The open transaction survived all of the above errors.
-    assert_eq!(s.roundtrip("PUT kv 5 50"), "OK");
-    assert_eq!(s.roundtrip("COMMIT"), "OK");
-    server.shutdown();
+    for rig in rigs(1, 4) {
+        let s = rig.client();
+        assert!(ok(&*s, "GET kv 1").starts_with("ERR no transaction"));
+        assert!(ok(&*s, "COMMIT").starts_with("ERR no transaction"));
+        assert!(ok(&*s, "FLY me to the moon").starts_with("ERR"));
+        assert_eq!(ok(&*s, "BEGIN"), "OK");
+        assert!(ok(&*s, "BEGIN").starts_with("ERR transaction already"));
+        assert!(ok(&*s, "GET missing 1").starts_with("ERR"));
+        // Row-arity mismatches are rejected, not panics, and not persisted.
+        assert!(ok(&*s, "PUT kv 5").starts_with("ERR"));
+        assert!(ok(&*s, "PUT kv 5 50 500").starts_with("ERR"));
+        // The open transaction survived all of the above errors.
+        assert_eq!(ok(&*s, "PUT kv 5 50"), "OK");
+        assert_eq!(ok(&*s, "COMMIT"), "OK");
+        drop(s);
+        rig.shutdown();
+    }
 }
 
 #[test]
 fn read_only_session_rejects_writes() {
-    let server = kv_server(1, 4);
-    let s = server.connect().unwrap();
-    assert_eq!(s.roundtrip("BEGIN SERIALIZABLE READ ONLY"), "OK");
-    assert!(s.roundtrip("PUT kv 1 1").starts_with("ERR"));
-    assert_eq!(s.roundtrip("COMMIT"), "OK");
-    // DEFERRABLE with nothing concurrent: safe snapshot immediately.
-    assert_eq!(s.roundtrip("BEGIN SERIALIZABLE READ ONLY DEFERRABLE"), "OK");
-    assert_eq!(s.roundtrip("SCAN kv"), "ROWS 0");
-    assert_eq!(s.roundtrip("COMMIT"), "OK");
-    server.shutdown();
+    for rig in rigs(1, 4) {
+        let s = rig.client();
+        assert_eq!(ok(&*s, "BEGIN SERIALIZABLE READ ONLY"), "OK");
+        assert!(ok(&*s, "PUT kv 1 1").starts_with("ERR"));
+        assert_eq!(ok(&*s, "COMMIT"), "OK");
+        // DEFERRABLE with nothing concurrent: safe snapshot immediately.
+        assert_eq!(ok(&*s, "BEGIN SERIALIZABLE READ ONLY DEFERRABLE"), "OK");
+        assert_eq!(ok(&*s, "SCAN kv"), "ROWS 0");
+        assert_eq!(ok(&*s, "COMMIT"), "OK");
+        drop(s);
+        rig.shutdown();
+    }
 }
 
 /// The classic write-skew anomaly, driven entirely over the wire protocol:
 /// interactive sessions holding transactions open across scheduling quanta.
 /// Under SERIALIZABLE one of the two must fail; under REPEATABLE READ (plain
-/// SI) both commit.
+/// SI) both commit. Runs over both transports.
 #[test]
 fn write_skew_caught_over_the_wire() {
     for (iso, expect_anomaly_blocked) in [("", true), (" REPEATABLE READ", false)] {
-        let server = kv_server(2, 4);
-        let seed = server.connect().unwrap();
-        for r in seed.pipeline(&["BEGIN READ COMMITTED", "PUT kv 1 1", "PUT kv 2 1", "COMMIT"]) {
-            assert_eq!(r, "OK");
+        for rig in rigs(2, 4) {
+            let seed = rig.client();
+            for r in seed
+                .pipeline(&["BEGIN READ COMMITTED", "PUT kv 1 1", "PUT kv 2 1", "COMMIT"])
+                .unwrap()
+            {
+                assert_eq!(r, "OK");
+            }
+            let a = rig.client();
+            let b = rig.client();
+            assert_eq!(ok(&*a, &format!("BEGIN{iso}")), "OK");
+            assert_eq!(ok(&*b, &format!("BEGIN{iso}")), "OK");
+            // Each reads both rows, then writes the *other* row.
+            assert_eq!(ok(&*a, "GET kv 1"), "ROW 1 1");
+            assert_eq!(ok(&*a, "GET kv 2"), "ROW 2 1");
+            assert_eq!(ok(&*b, "GET kv 1"), "ROW 1 1");
+            assert_eq!(ok(&*b, "GET kv 2"), "ROW 2 1");
+            let ra = ok(&*a, "PUT kv 1 0");
+            let rb = ok(&*b, "PUT kv 2 0");
+            let ca = ok(&*a, "COMMIT");
+            let cb = ok(&*b, "COMMIT");
+            let failures = [&ra, &rb, &ca, &cb]
+                .iter()
+                .filter(|r| r.starts_with("ERR"))
+                .count();
+            if expect_anomaly_blocked {
+                assert!(failures > 0, "SSI must abort one side of write skew");
+            } else {
+                assert_eq!(failures, 0, "plain SI permits write skew");
+            }
+            drop((seed, a, b));
+            rig.shutdown();
         }
-        let a = server.connect().unwrap();
-        let b = server.connect().unwrap();
-        assert_eq!(a.roundtrip(&format!("BEGIN{iso}")), "OK");
-        assert_eq!(b.roundtrip(&format!("BEGIN{iso}")), "OK");
-        // Each reads both rows, then writes the *other* row.
-        assert_eq!(a.roundtrip("GET kv 1"), "ROW 1 1");
-        assert_eq!(a.roundtrip("GET kv 2"), "ROW 2 1");
-        assert_eq!(b.roundtrip("GET kv 1"), "ROW 1 1");
-        assert_eq!(b.roundtrip("GET kv 2"), "ROW 2 1");
-        let ra = a.roundtrip("PUT kv 1 0");
-        let rb = b.roundtrip("PUT kv 2 0");
-        let ca = a.roundtrip("COMMIT");
-        let cb = b.roundtrip("COMMIT");
-        let failures = [&ra, &rb, &ca, &cb]
-            .iter()
-            .filter(|r| r.starts_with("ERR"))
-            .count();
-        if expect_anomaly_blocked {
-            assert!(failures > 0, "SSI must abort one side of write skew");
-        } else {
-            assert_eq!(failures, 0, "plain SI permits write skew");
-        }
-        server.shutdown();
     }
 }
 
@@ -126,7 +191,10 @@ fn write_skew_caught_over_the_wire() {
 fn concurrent_sessions_do_not_lose_updates() {
     let server = kv_server(4, 64);
     let setup = server.connect().unwrap();
-    for r in setup.pipeline(&["BEGIN READ COMMITTED", "PUT kv 0 0", "COMMIT"]) {
+    for r in setup
+        .pipeline(&["BEGIN READ COMMITTED", "PUT kv 0 0", "COMMIT"])
+        .unwrap()
+    {
         assert_eq!(r, "OK");
     }
     let server = Arc::new(server);
@@ -138,10 +206,10 @@ fn concurrent_sessions_do_not_lose_updates() {
                 let s = server.connect().unwrap();
                 let mut ok = 0u64;
                 for _ in 0..25 {
-                    if s.roundtrip("BEGIN") != "OK" {
+                    if s.roundtrip("BEGIN").unwrap() != "OK" {
                         continue;
                     }
-                    let got = s.roundtrip("GET kv 0");
+                    let got = s.roundtrip("GET kv 0").unwrap();
                     let Some(v) = got
                         .strip_prefix("ROW 0 ")
                         .and_then(|v| v.parse::<i64>().ok())
@@ -149,11 +217,11 @@ fn concurrent_sessions_do_not_lose_updates() {
                         let _ = s.roundtrip("ABORT");
                         continue;
                     };
-                    let put = s.roundtrip(&format!("PUT kv 0 {}", v + 1));
+                    let put = s.roundtrip(&format!("PUT kv 0 {}", v + 1)).unwrap();
                     if put != "OK" {
                         continue; // auto-aborted
                     }
-                    if s.roundtrip("COMMIT") == "OK" {
+                    if s.roundtrip("COMMIT").unwrap() == "OK" {
                         ok += 1;
                     }
                 }
@@ -163,10 +231,10 @@ fn concurrent_sessions_do_not_lose_updates() {
         handles.into_iter().map(|h| h.join().unwrap()).sum()
     });
     let check = server.connect().unwrap();
-    assert_eq!(check.roundtrip("BEGIN READ ONLY"), "OK");
-    let got = check.roundtrip("GET kv 0");
+    assert_eq!(check.roundtrip("BEGIN READ ONLY").unwrap(), "OK");
+    let got = check.roundtrip("GET kv 0").unwrap();
     let v: u64 = got.strip_prefix("ROW 0 ").unwrap().parse().unwrap();
-    assert_eq!(check.roundtrip("COMMIT"), "OK");
+    assert_eq!(check.roundtrip("COMMIT").unwrap(), "OK");
     assert_eq!(
         v, committed,
         "committed increments must all be present (no lost updates)"
@@ -187,7 +255,7 @@ fn a_thousand_sessions_on_four_workers() {
     }
     batch.push("COMMIT".to_string());
     let refs: Vec<&str> = batch.iter().map(|s| s.as_str()).collect();
-    for r in setup.pipeline(&refs) {
+    for r in setup.pipeline(&refs).unwrap() {
         assert_eq!(r, "OK");
     }
 
@@ -197,15 +265,15 @@ fn a_thousand_sessions_on_four_workers() {
                                               // 10% bump one key. All inboxes are loaded before any response is read.
     for (i, s) in sessions.iter().enumerate() {
         if i % 10 == 0 {
-            s.send("BEGIN");
-            s.send(&format!("PUT kv {} 1", i % 64));
-            s.send("COMMIT");
+            s.send("BEGIN").unwrap();
+            s.send(&format!("PUT kv {} 1", i % 64)).unwrap();
+            s.send("COMMIT").unwrap();
         } else {
-            s.send("BEGIN");
+            s.send("BEGIN").unwrap();
             for j in 0..4 {
-                s.send(&format!("GET kv {}", (i + j * 17) % 64));
+                s.send(&format!("GET kv {}", (i + j * 17) % 64)).unwrap();
             }
-            s.send("COMMIT");
+            s.send("COMMIT").unwrap();
         }
     }
     let mut commits = 0;
@@ -241,22 +309,22 @@ fn a_thousand_sessions_on_four_workers() {
 fn blocked_worker_priority_wakes_the_lock_holder_session() {
     let server = kv_server(2, 8);
     let setup = server.connect().unwrap();
-    assert_eq!(setup.roundtrip("BEGIN"), "OK");
-    assert_eq!(setup.roundtrip("PUT kv 7 70"), "OK");
-    assert_eq!(setup.roundtrip("COMMIT"), "OK");
+    assert_eq!(setup.roundtrip("BEGIN").unwrap(), "OK");
+    assert_eq!(setup.roundtrip("PUT kv 7 70").unwrap(), "OK");
+    assert_eq!(setup.roundtrip("COMMIT").unwrap(), "OK");
     drop(setup);
 
     let holder = server.connect().unwrap();
     // Interactive transaction: holds the row lock across activations.
-    assert_eq!(holder.roundtrip("BEGIN REPEATABLE READ"), "OK");
-    assert_eq!(holder.roundtrip("PUT kv 7 71"), "OK");
+    assert_eq!(holder.roundtrip("BEGIN REPEATABLE READ").unwrap(), "OK");
+    assert_eq!(holder.roundtrip("PUT kv 7 71").unwrap(), "OK");
 
     // A second session updates the same row and blocks on the holder's txid
     // (READ COMMITTED: after the holder commits, the update re-applies to the
     // new version instead of failing).
     let waiter = server.connect().unwrap();
-    assert_eq!(waiter.roundtrip("BEGIN READ COMMITTED"), "OK");
-    waiter.send("PUT kv 7 72"); // blocks inside the activation
+    assert_eq!(waiter.roundtrip("BEGIN READ COMMITTED").unwrap(), "OK");
+    waiter.send("PUT kv 7 72").unwrap(); // blocks inside the activation
 
     // The blocking worker must have reported the holder and woken its session.
     let deadline = std::time::Instant::now() + std::time::Duration::from_secs(2);
@@ -273,14 +341,151 @@ fn blocked_worker_priority_wakes_the_lock_holder_session() {
     }
 
     // The holder commits; the waiter's PUT must now succeed (not time out).
-    assert_eq!(holder.roundtrip("COMMIT"), "OK");
+    assert_eq!(holder.roundtrip("COMMIT").unwrap(), "OK");
     assert_eq!(waiter.recv().unwrap(), "OK");
-    assert_eq!(waiter.roundtrip("COMMIT"), "OK");
+    assert_eq!(waiter.roundtrip("COMMIT").unwrap(), "OK");
 
     let check = server.connect().unwrap();
-    assert_eq!(check.roundtrip("BEGIN"), "OK");
-    assert_eq!(check.roundtrip("GET kv 7"), "ROW 7 72");
-    assert_eq!(check.roundtrip("COMMIT"), "OK");
+    assert_eq!(check.roundtrip("BEGIN").unwrap(), "OK");
+    assert_eq!(check.roundtrip("GET kv 7").unwrap(), "ROW 7 72");
+    assert_eq!(check.roundtrip("COMMIT").unwrap(), "OK");
     drop((holder, waiter, check));
+    server.shutdown();
+}
+
+// ---------------------------------------------------------------------------
+// Transport/TCP-specific behavior
+// ---------------------------------------------------------------------------
+
+/// Closed-server paths surface as `Error::Disconnected` on both transports.
+#[test]
+fn closed_session_surfaces_disconnected() {
+    // In-process: dropping the server side of the rig closes sessions.
+    let server = kv_server(1, 4);
+    let s = server.connect().unwrap();
+    assert_eq!(s.roundtrip("BEGIN").unwrap(), "OK");
+    server.shutdown();
+    // The session retires; once the response queue drains, recv/send fail.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(2);
+    loop {
+        match s.roundtrip("GET kv 1") {
+            Err(Error::Disconnected(_)) => break,
+            Err(e) => panic!("expected Disconnected, got {e:?}"),
+            Ok(_) => assert!(
+                std::time::Instant::now() < deadline,
+                "session never observed shutdown"
+            ),
+        }
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+
+    // TCP: a client on a dead connection fails the same way.
+    let server = kv_server(1, 4);
+    let front = server.listen("127.0.0.1:0").unwrap();
+    let c = TcpClient::connect(front.local_addr()).unwrap();
+    assert_eq!(c.roundtrip("BEGIN").unwrap(), "OK");
+    front.shutdown();
+    server.shutdown();
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(2);
+    loop {
+        let dead = matches!(c.send("GET kv 1"), Err(Error::Disconnected(_)))
+            || matches!(c.recv(), Err(Error::Disconnected(_)));
+        if dead {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "TCP client never observed shutdown"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+}
+
+/// Dropping a TCP client mid-transaction rolls the transaction back — the
+/// same contract as dropping a `SessionHandle`.
+#[test]
+fn tcp_disconnect_rolls_back_open_transaction() {
+    let server = kv_server(2, 8);
+    let front = server.listen("127.0.0.1:0").unwrap();
+    {
+        let c = TcpClient::connect(front.local_addr()).unwrap();
+        assert_eq!(c.roundtrip("BEGIN").unwrap(), "OK");
+        assert_eq!(c.roundtrip("PUT kv 9 90").unwrap(), "OK");
+        // Dropped here: socket closes, no COMMIT ever sent.
+    }
+    let check = TcpClient::connect(front.local_addr()).unwrap();
+    assert_eq!(check.roundtrip("BEGIN").unwrap(), "OK");
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(2);
+    loop {
+        if check.roundtrip("GET kv 9").unwrap() == "NIL" {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "uncommitted TCP write must never become visible"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+    assert_eq!(check.roundtrip("COMMIT").unwrap(), "OK");
+    drop(check);
+    front.shutdown();
+    server.shutdown();
+}
+
+/// Concurrent TCP clients running the counter workload: real sockets must
+/// not lose updates either.
+#[test]
+fn concurrent_tcp_clients_do_not_lose_updates() {
+    let server = kv_server(4, 32);
+    let front = server.listen("127.0.0.1:0").unwrap();
+    let addr = front.local_addr();
+    let seed = TcpClient::connect(addr).unwrap();
+    for r in seed
+        .pipeline(&["BEGIN READ COMMITTED", "PUT kv 0 0", "COMMIT"])
+        .unwrap()
+    {
+        assert_eq!(r, "OK");
+    }
+    drop(seed);
+    let committed: u64 = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                scope.spawn(move || {
+                    let s = TcpClient::connect(addr).unwrap();
+                    let mut ok = 0u64;
+                    for _ in 0..20 {
+                        if s.roundtrip("BEGIN").unwrap() != "OK" {
+                            continue;
+                        }
+                        let got = s.roundtrip("GET kv 0").unwrap();
+                        let Some(v) = got
+                            .strip_prefix("ROW 0 ")
+                            .and_then(|v| v.parse::<i64>().ok())
+                        else {
+                            let _ = s.roundtrip("ABORT");
+                            continue;
+                        };
+                        if s.roundtrip(&format!("PUT kv 0 {}", v + 1)).unwrap() != "OK" {
+                            continue;
+                        }
+                        if s.roundtrip("COMMIT").unwrap() == "OK" {
+                            ok += 1;
+                        }
+                    }
+                    ok
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).sum()
+    });
+    let check = TcpClient::connect(addr).unwrap();
+    assert_eq!(check.roundtrip("BEGIN READ ONLY").unwrap(), "OK");
+    let got = check.roundtrip("GET kv 0").unwrap();
+    let v: u64 = got.strip_prefix("ROW 0 ").unwrap().parse().unwrap();
+    assert_eq!(check.roundtrip("COMMIT").unwrap(), "OK");
+    assert_eq!(v, committed, "TCP transport must not lose updates");
+    assert!(committed > 0);
+    drop(check);
+    front.shutdown();
     server.shutdown();
 }
