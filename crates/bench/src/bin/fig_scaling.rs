@@ -22,10 +22,14 @@
 //! the data trail for the lock-partition sizing study in ROADMAP (pick the
 //! defaults from the recorded trajectory, not from PostgreSQL's constants).
 //!
+//! `--read-batch` (also a sweep list) is the read-set batching ablation:
+//! `--read-batch 1,64` measures the eager per-read SIREAD path against the
+//! batched one on otherwise identical configurations.
+//!
 //! ```sh
 //! cargo run --release -p pgssi-bench --bin fig_scaling \
 //!     [-- --duration-ms 800 --max-threads 16 --partitions 16 --graph-shards 16 \
-//!         --rows 1024 --stats --json]
+//!         --read-batch 1,32 --rows 1024 --stats --json]
 //! ```
 
 use std::time::Duration;
@@ -44,6 +48,9 @@ fn main() {
         .unwrap_or(16) as usize;
     let partitions_sweep = args.list("--partitions").unwrap_or_else(|| vec![16]);
     let graph_shards_sweep = args.list("--graph-shards").unwrap_or_else(|| vec![16]);
+    let read_batch_sweep = args
+        .list("--read-batch")
+        .unwrap_or_else(|| vec![pgssi_common::SsiConfig::default().read_batch as u64]);
     let rows = args.value_or("--rows", 1024) as i64;
 
     let mut threads: Vec<usize> = vec![1, 2, 4, 8, 16];
@@ -56,20 +63,23 @@ fn main() {
     println!("Throughput scaling: SIBENCH read-mostly mix (90% 4-point-reads, 10% updates)");
     println!(
         "table: {rows} rows; {duration:?} per cell; sweep: partitions {partitions_sweep:?} × \
-         graph-shards {graph_shards_sweep:?}"
+         graph-shards {graph_shards_sweep:?} × read-batch {read_batch_sweep:?}"
     );
 
     for &partitions in &partitions_sweep {
         for &graph_shards in &graph_shards_sweep {
-            run_point(
-                &args,
-                &bench,
-                &threads,
-                duration,
-                rows,
-                partitions as usize,
-                graph_shards as usize,
-            );
+            for &read_batch in &read_batch_sweep {
+                run_point(
+                    &args,
+                    &bench,
+                    &threads,
+                    duration,
+                    rows,
+                    partitions as usize,
+                    graph_shards as usize,
+                    read_batch as usize,
+                );
+            }
         }
     }
 
@@ -79,6 +89,7 @@ fn main() {
     println!("table-wide mutex, and --graph-shards 1 funnels record lookups the same way.");
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_point(
     args: &BenchArgs,
     bench: &Sibench,
@@ -87,8 +98,12 @@ fn run_point(
     rows: i64,
     partitions: usize,
     graph_shards: usize,
+    read_batch: usize,
 ) {
-    println!("\n── SIREAD partitions: {partitions}; graph shards: {graph_shards} ──");
+    println!(
+        "\n── SIREAD partitions: {partitions}; graph shards: {graph_shards}; \
+         read-batch: {read_batch} ──"
+    );
     print!("{:>8}", "threads");
     for mode in Mode::MAIN {
         print!("  {:>9} {:>7}", mode.label(), "x1thr");
@@ -103,6 +118,7 @@ fn run_point(
             let mut config = mode.config(IoModel::in_memory());
             config.ssi.lock_partitions = partitions;
             config.ssi.graph_shards = graph_shards;
+            config.ssi.read_batch = read_batch;
             (*mode, bench.setup_with(config))
         })
         .collect();
@@ -142,8 +158,8 @@ fn run_point(
             .join(",");
         let record = format!(
             "{{\"bench\":\"fig_scaling\",\"unix_ms\":{unix_ms},\"partitions\":{partitions},\
-             \"graph_shards\":{graph_shards},\"rows\":{rows},\"duration_ms\":{},\
-             \"threads\":{},\"tps\":{{{modes}}}}}",
+             \"graph_shards\":{graph_shards},\"read_batch\":{read_batch},\"rows\":{rows},\
+             \"duration_ms\":{},\"threads\":{},\"tps\":{{{modes}}}}}",
             duration.as_millis(),
             json_array(threads.iter()),
         );
@@ -156,7 +172,10 @@ fn run_point(
 
     for (mode, db) in &dbs {
         args.print_stats(
-            &format!("{} p{partitions} g{graph_shards}", mode.label()),
+            &format!(
+                "{} p{partitions} g{graph_shards} rb{read_batch}",
+                mode.label()
+            ),
             db,
         );
     }

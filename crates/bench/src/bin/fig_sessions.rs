@@ -23,7 +23,7 @@
 //! ```sh
 //! cargo run --release -p pgssi-bench --bin fig_sessions \
 //!     [-- --duration-ms 400 --workers 16 --max-sessions 1024 --rows 1024 \
-//!         --id-shards 8 --tcp --stats]
+//!         --id-shards 8 --read-batch 32 --tcp --stats]
 //! ```
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -170,6 +170,7 @@ fn main() {
     let rows = args.value_or("--rows", 1024) as i64;
     let id_shards = args.value("--id-shards").map(|s| s as usize);
     let graph_shards = args.value("--graph-shards").map(|s| s as usize);
+    let read_batch = args.value("--read-batch").map(|s| s as usize);
     let tcp = args.flag("--tcp");
 
     let mut sweep: Vec<usize> = vec![16, 64, 256, 1024];
@@ -185,6 +186,9 @@ fn main() {
     }
     if let Some(shards) = graph_shards {
         config.ssi.graph_shards = shards;
+    }
+    if let Some(batch) = read_batch {
+        config.ssi.read_batch = batch;
     }
     let shards = config.txn.id_shards;
     let db = bench.setup_with(config);

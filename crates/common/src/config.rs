@@ -34,6 +34,15 @@ pub struct SsiConfig {
     /// If a transaction holds more than this many page locks on one relation, they
     /// are promoted to a single relation lock.
     pub promote_page_threshold: usize,
+    /// Read-set batching (perf): a serializable transaction's SIREAD targets
+    /// are accumulated in a transaction-local pending set (guarded only by the
+    /// owner's own mutex, with a shared no-false-negative presence filter for
+    /// writers) and published to the partitioned lock table in batches instead
+    /// of eagerly per read. This is the publication batch bound: once the
+    /// pending set reaches it, the batch is spilled to the partition table.
+    /// `1` (or `0`) restores the eager per-read acquisition path — the
+    /// `--read-batch 1` ablation.
+    pub read_batch: usize,
     /// Capacity of the committed-transaction table. When exceeded, the oldest
     /// committed transaction is *summarized*: its SIREAD locks are consolidated onto
     /// the dummy "old committed" owner and its conflict-out information moves to the
@@ -67,6 +76,11 @@ impl Default for SsiConfig {
             max_predicate_locks_per_txn: 4096,
             promote_tuple_threshold: 16,
             promote_page_threshold: 64,
+            // Tuned on the fig_scaling SIBENCH sweep: comfortably above the
+            // read footprint of a point-read transaction, so common
+            // transactions never spill mid-flight, while still bounding the
+            // pending set a writer-side filter hit has to walk.
+            read_batch: 32,
             max_committed_sxacts: 1024,
             serial_ram_pages: 8,
             enable_commit_ordering_opt: true,
@@ -104,6 +118,16 @@ impl SsiConfig {
     pub fn single_graph_shard() -> Self {
         SsiConfig {
             graph_shards: 1,
+            ..SsiConfig::default()
+        }
+    }
+
+    /// Configuration with read-set batching disabled: every read publishes its
+    /// SIREAD lock to the partition table eagerly (the pre-batching behavior,
+    /// kept for ablation runs and as the reference in model tests).
+    pub fn eager_reads() -> Self {
+        SsiConfig {
+            read_batch: 1,
             ..SsiConfig::default()
         }
     }
@@ -378,6 +402,13 @@ mod tests {
         let c = SsiConfig::tiny();
         assert!(c.max_committed_sxacts <= 4);
         assert!(c.promote_tuple_threshold <= 2);
+    }
+
+    #[test]
+    fn read_batch_default_and_ablation() {
+        assert!(SsiConfig::default().read_batch > 1);
+        assert_eq!(SsiConfig::eager_reads().read_batch, 1);
+        assert_eq!(SsiConfig::eager_reads().lock_partitions, 16);
     }
 
     #[test]

@@ -615,6 +615,23 @@ impl SsiManager {
         written_tuple: Option<LockTarget>,
         in_subtransaction: bool,
     ) -> Result<()> {
+        let Some(me) = self.reg.get(sx) else {
+            return Ok(());
+        };
+        if me.is_doomed() {
+            return Err(Error::serialization(
+                SerializationKind::Doomed,
+                "doomed transaction attempted a write",
+            ));
+        }
+        // First own write: publish the accumulated read-set batch. A writing
+        // transaction's reads are probed by every peer writer, so keeping
+        // them pending would just trade this one spill for repeated
+        // filter-hit walks on the peers' probes.
+        if !me.wrote() {
+            self.siread.publish_pending(sx.0);
+        }
+        me.set_wrote();
         // Probe the (partitioned) SIREAD table before any record lock: the
         // probe touches at most two partitions, so concurrent writers on
         // disjoint data don't serialize here.
@@ -625,16 +642,6 @@ impl SsiManager {
             chain,
             check.owners
         );
-        let Some(me) = self.reg.get(sx) else {
-            return Ok(());
-        };
-        if me.is_doomed() {
-            return Err(Error::serialization(
-                SerializationKind::Doomed,
-                "doomed transaction attempted a write",
-            ));
-        }
-        me.set_wrote();
         let my_snapshot = me.snapshot_csn;
         let mut vanished_holder = false;
         for holder in check.owners {
@@ -1516,6 +1523,10 @@ impl SsiManager {
     pub fn prepare(&self, sx: SxactId, frontier: CommitSeqNo) -> Result<PreparedSsi> {
         self.precommit(sx, frontier)?;
         let me = self.reg.get(sx).expect("prepare on unknown record");
+        // A prepared transaction outlives its session (possibly across a
+        // crash): publish any pending read-set batch so the persisted lock
+        // list and the shared table both carry the complete read set.
+        self.siread.publish_pending(sx.0);
         Ok(PreparedSsi {
             txid: me.txid,
             snapshot_csn: me.snapshot_csn,
@@ -1551,6 +1562,9 @@ impl SsiManager {
         for t in &rec.siread_locks {
             self.siread.acquire(id.0, *t);
         }
+        // Recovered locks go straight to the table: the prepared transaction
+        // has no session accumulating further reads.
+        self.siread.publish_pending(id.0);
         id
     }
 

@@ -114,6 +114,9 @@ pub struct SessionStats {
     /// Times a worker about to park on a row lock priority-woke the lock
     /// holder's descheduled session (lock-aware scheduling).
     pub lock_holder_wakeups: Counter,
+    /// Emergency reserve workers spawned because every pool worker was
+    /// blocked in a row-lock wait while a lock-holding session sat runnable.
+    pub reserve_workers: Counter,
 }
 
 /// Aggregated counter snapshot across every layer: engine commit/abort totals,
@@ -155,6 +158,17 @@ pub struct StatsReport {
     pub siread_partition_taken: u64,
     /// Times a partition mutex was found held (the taker blocked).
     pub siread_partition_contended: u64,
+    /// Reads accumulated into a transaction-local pending batch without
+    /// taking a partition mutex (read-set batching).
+    pub siread_local_accumulated: u64,
+    /// Pending read-set batches published to the lock table.
+    pub siread_batches_published: u64,
+    /// Writer-side probes of the pending-read presence filter.
+    pub siread_filter_probes: u64,
+    /// Filter probes that hit and walked the owner directory.
+    pub siread_filter_hits: u64,
+    /// Pending batches force-published by a writer's filter hit.
+    pub siread_forced_publishes: u64,
     /// S2PL lock grants.
     pub s2pl_grants: u64,
     /// S2PL lock waits.
@@ -186,6 +200,8 @@ pub struct StatsReport {
     pub session_worker_parks: u64,
     /// Lock-holder sessions priority-woken by a worker about to park.
     pub session_lock_wakeups: u64,
+    /// Emergency reserve workers spawned for an all-workers-blocked pool.
+    pub session_reserve_workers: u64,
     /// WAL records shipped (all kinds).
     pub repl_records: u64,
     /// Safe-snapshot markers shipped (marker mode).
@@ -290,6 +306,16 @@ impl std::fmt::Display for StatsReport {
         )?;
         writeln!(
             f,
+            "read-batch : local-accumulated {}  batches-published {}  \
+             filter-probes {}  filter-hits {}  forced-publishes {}",
+            self.siread_local_accumulated,
+            self.siread_batches_published,
+            self.siread_filter_probes,
+            self.siread_filter_hits,
+            self.siread_forced_publishes,
+        )?;
+        writeln!(
+            f,
             "s2pl   : grants {}  waits {}  deadlocks {}",
             self.s2pl_grants, self.s2pl_waits, self.s2pl_deadlocks
         )?;
@@ -308,12 +334,14 @@ impl std::fmt::Display for StatsReport {
         )?;
         writeln!(
             f,
-            "server : sessions {}  requests {}  executed {}  worker-parks {}  lock-wakeups {}",
+            "server : sessions {}  requests {}  executed {}  worker-parks {}  lock-wakeups {}  \
+             reserve-workers {}",
             self.sessions_opened,
             self.session_requests,
             self.session_executed,
             self.session_worker_parks,
-            self.session_lock_wakeups
+            self.session_lock_wakeups,
+            self.session_reserve_workers
         )?;
         writeln!(
             f,
@@ -457,6 +485,16 @@ impl Database {
                 applied_lsn = ckpt.applied_lsn;
             }
         }
+        // A trimmed log's dropped prefix lives only in the checkpoint image.
+        // If the image is gone or corrupt, replaying the beheaded log would
+        // silently resurrect a partial database — fail loudly instead.
+        let base = db.inner.dwal.store().base_lsn();
+        if base > applied_lsn {
+            return Err(Error::Wal(format!(
+                "log trimmed to LSN {base} but no valid checkpoint covers it \
+                 (checkpoint file missing or corrupt)"
+            )));
+        }
         let frames = db.inner.dwal.store().read_all().map_err(Error::wal)?;
         for (lsn, payload) in frames {
             if lsn <= applied_lsn {
@@ -561,6 +599,11 @@ impl Database {
         std::fs::rename(&tmp, dir.join(CHECKPOINT_FILE)).map_err(Error::wal)?;
         // The log itself is durable through the checkpoint position too.
         self.inner.dwal.flush();
+        // Every record at or before `applied_lsn` is baked into the image
+        // recovery will load first, so the log prefix is dead weight — drop
+        // it. Safe only now: the rename above made the image the durable
+        // recovery root before any log bytes disappear.
+        self.inner.dwal.trim_to(applied_lsn).map_err(Error::wal)?;
         Ok(applied_lsn)
     }
 
@@ -768,6 +811,11 @@ impl Database {
             siread_locks: parts.iter().map(|p| p.locks).sum(),
             siread_partition_taken: parts.iter().map(|p| p.taken).sum(),
             siread_partition_contended: parts.iter().map(|p| p.contended).sum(),
+            siread_local_accumulated: siread.local_accumulated.get(),
+            siread_batches_published: siread.batches_published.get(),
+            siread_filter_probes: siread.filter_probes.get(),
+            siread_filter_hits: siread.filter_hits.get(),
+            siread_forced_publishes: siread.forced_publishes.get(),
             s2pl_grants: self.inner.s2pl.grants.get(),
             s2pl_waits: self.inner.s2pl.waits.get(),
             s2pl_deadlocks: self.inner.s2pl.deadlocks.get(),
@@ -783,6 +831,7 @@ impl Database {
             session_executed: self.inner.session_stats.requests_executed.get(),
             session_worker_parks: self.inner.session_stats.worker_parks.get(),
             session_lock_wakeups: self.inner.session_stats.lock_holder_wakeups.get(),
+            session_reserve_workers: self.inner.session_stats.reserve_workers.get(),
             repl_records: self.inner.repl_stats.records.get(),
             repl_markers_shipped: self.inner.repl_stats.markers_shipped.get(),
             repl_resolves_shipped: self.inner.repl_stats.resolves_shipped.get(),

@@ -386,6 +386,15 @@ impl DurableWal {
         &*self.store
     }
 
+    /// Drop the log prefix a durable checkpoint has made redundant. Holds the
+    /// append lock so no commit record lands while the file store rewrites
+    /// itself (the store serializes internally too; this keeps the clog-order
+    /// invariant's critical section the single point of log mutation).
+    pub fn trim_to(&self, up_to: Lsn) -> std::io::Result<()> {
+        let _g = self.append_lock.lock();
+        self.store.trim_to(up_to)
+    }
+
     /// Run the clog commit and, if `payload` is present, append it to the log
     /// in the same critical section — making the record's log position atomic
     /// with the commit's visibility (invariant 1). Returns the commit CSN and

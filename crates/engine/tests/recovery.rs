@@ -150,16 +150,72 @@ fn checkpoint_then_replay_only_covers_the_tail() {
     assert_eq!(db.durable_wal().stats.recovered_records.get(), 5);
     assert_eq!(sorted_rows(&db, "kv").len(), 15);
 
-    // A corrupt checkpoint must fall back to full-log replay, not data loss.
+    // Checkpointing trims the covered log prefix, so the image is now the
+    // only copy of the pre-checkpoint records: corrupting it must fail the
+    // open loudly (silently replaying the beheaded log would resurrect a
+    // partial database).
     drop(db);
     let ck = dir.path().join(CHECKPOINT_FILE);
     let mut bytes = std::fs::read(&ck).unwrap();
     let mid = bytes.len() / 2;
     bytes[mid] ^= 0xFF;
     std::fs::write(&ck, &bytes).unwrap();
+    let err = Database::open_durable(file_config(dir.path()));
+    assert!(
+        err.is_err(),
+        "beheaded log must not open without its checkpoint"
+    );
+}
+
+#[test]
+fn checkpoint_trims_the_log_and_recovery_is_identical() {
+    let dir = TempDir::new("trim");
+    let wal_path = dir.path().join(WAL_FILE);
+    {
+        let db = Database::new(file_config(dir.path()));
+        db.create_table(TableDef::new("kv", &["k", "v"], vec![0]))
+            .unwrap();
+        for i in 0..50i64 {
+            let mut t = db.begin(IsolationLevel::Serializable);
+            t.insert("kv", row![i, i * 2]).unwrap();
+            t.commit().unwrap();
+        }
+        let mut t = db.begin(IsolationLevel::ReadCommitted);
+        t.update("kv", &row![5], row![5, -5]).unwrap();
+        t.delete("kv", &row![6]).unwrap();
+        t.commit().unwrap();
+        let before = std::fs::metadata(&wal_path).unwrap().len();
+        let applied = db.checkpoint().unwrap();
+        assert!(applied > 0);
+        // The checkpoint dropped the whole covered prefix from disk.
+        let after = std::fs::metadata(&wal_path).unwrap().len();
+        assert!(
+            after < before,
+            "log should shrink across a checkpoint ({before} -> {after})"
+        );
+        // Post-trim commits land in the (now short) log as usual.
+        let mut t = db.begin(IsolationLevel::Serializable);
+        t.insert("kv", row![100, 100]).unwrap();
+        t.commit().unwrap();
+    }
+    // Trimmed log + checkpoint reopen to exactly the pre-crash state.
     let db = Database::new(file_config(dir.path()));
-    assert_eq!(sorted_rows(&db, "kv").len(), 15);
-    assert!(db.durable_wal().stats.recovered_records.get() >= 16);
+    assert_eq!(db.durable_wal().stats.recovered_records.get(), 1);
+    let rows = sorted_rows(&db, "kv");
+    assert_eq!(rows.len(), 50); // 50 inserts - 1 delete + 1 post-ckpt insert
+    assert!(rows.contains(&row![5, -5]));
+    assert!(!rows.iter().any(|r| r[0] == Value::Int(6)));
+    assert!(rows.contains(&row![100, 100]));
+
+    // A second checkpoint over the trimmed log trims again, and the database
+    // still reopens identically (header round-trip across generations).
+    db.checkpoint().unwrap();
+    let mut t = db.begin(IsolationLevel::Serializable);
+    t.insert("kv", row![101, 101]).unwrap();
+    t.commit().unwrap();
+    drop(db);
+    let db = Database::new(file_config(dir.path()));
+    assert_eq!(sorted_rows(&db, "kv").len(), 51);
 }
 
 #[test]

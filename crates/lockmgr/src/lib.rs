@@ -13,6 +13,11 @@
 //!   the paper's summarization scheme (§6.2). Like PostgreSQL's predicate lock
 //!   table, it is hash-partitioned (§7/§8: 16 lightweight-lock partitions) with
 //!   per-partition contention counters, so disjoint data takes disjoint mutexes.
+//!   On top of the partitioning, reads are *batched*: a transaction accumulates
+//!   its read set locally ([`readset::TxReadSet`]) and publishes it to the
+//!   partition table in batches, with a shared presence filter
+//!   ([`readset::PresenceFilter`]) keeping unpublished reads visible to
+//!   writers — so the common read takes no partition mutex at all.
 //!
 //! * [`s2pl::S2plLockManager`] — a classic strict two-phase-locking manager with
 //!   IS/IX/S/SIX/X modes, blocking wait queues, and waits-for-graph deadlock
@@ -23,6 +28,7 @@
 //! Lock owners are opaque `u64`s ([`OwnerId`]); the SSI core maps them to its
 //! serializable-transaction records, and the engine maps them to transactions.
 
+pub mod readset;
 pub mod s2pl;
 pub mod siread;
 

@@ -49,13 +49,34 @@
 //! at another. An owner concurrently released while an acquisition is in
 //! flight is handled by a tombstone: the released owner's bookkeeping is marked
 //! dead under its own mutex, and late acquisitions become no-ops.
+//!
+//! ## Read-set batching
+//!
+//! When [`SsiConfig::read_batch`] is above 1 (the default), `acquire` does not
+//! touch a partition mutex at all: the target is accumulated in the owner's
+//! *pending* read set ([`crate::readset::TxReadSet`], guarded by the owner's
+//! own mutex) and counted into a shared relaxed-atomic presence filter
+//! ([`crate::readset::PresenceFilter`]). Pending targets are *published*
+//! (spilled into the partition table) in batches: at the batch-size boundary,
+//! via [`SireadLockManager::publish_pending`] (the SSI core calls it on the
+//! transaction's own first write and at two-phase `PREPARE`), and when a
+//! writer's filter probe forces it. [`SireadLockManager::conflicting_holders`]
+//! probes the filter *before* the table; a hit walks the owner directory and
+//! force-publishes any pending batch covering the writer's check chain, so
+//! unpublished reads are never missed (the filter has no false negatives — see
+//! `readset.rs` for the publish-race ordering proof). Granularity-promotion
+//! counters span published ∪ pending, so promotions fire at exactly the same
+//! points as the eager path; promotions whose victims are all pending happen
+//! entirely locally. `read_batch <= 1` restores the eager per-read path.
 
 use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use parking_lot::{Mutex, MutexGuard, RwLock};
 use pgssi_common::stats::Counter;
 use pgssi_common::{CommitSeqNo, LockTarget, PageNo, RelId, SsiConfig};
 
+use crate::readset::{PresenceFilter, TxReadSet, FILTER_SLOTS};
 use crate::{OwnerId, OLD_COMMITTED_OWNER};
 
 #[derive(Default)]
@@ -90,6 +111,11 @@ struct PartitionSlot {
 #[derive(Default)]
 struct OwnerLocks {
     targets: HashSet<LockTarget>,
+    /// Accumulated-but-unpublished read-set targets (read-set batching).
+    /// Disjoint from `targets`; every pending target is counted in the
+    /// manager's presence filter. The promotion counters below span
+    /// `targets` ∪ `pending`.
+    pending: TxReadSet,
     tuples_per_page: HashMap<(RelId, PageNo), usize>,
     pages_per_rel: HashMap<RelId, usize>,
     /// Tombstone: set under this owner's mutex when the owner is released or
@@ -145,11 +171,30 @@ impl MultiGuard<'_> {
 pub struct SireadLockManager {
     partitions: Box<[PartitionSlot]>,
     owners: RwLock<HashMap<OwnerId, OwnerRef>>,
+    /// Presence filter over every pending (unpublished) read-set target,
+    /// probed by writers before the partition table.
+    filter: PresenceFilter,
+    /// Exact count of table entries carrying a summarized csn. Maintained
+    /// under the partition mutexes; lets the per-commit horizon sweep skip
+    /// every partition mutex when nothing is summarized (the common case).
+    summarized_targets: AtomicU64,
     config: SsiConfig,
     /// SIREAD lock acquisitions (after coverage/dedup filtering).
     pub acquisitions: Counter,
     /// Granularity promotions performed (tuple→page and page→relation).
     pub promotions: Counter,
+    /// Reads accumulated into a pending set without touching a partition mutex.
+    pub local_accumulated: Counter,
+    /// Pending batches published to the table (batch boundary or explicit
+    /// flush: first own write, 2PC prepare).
+    pub batches_published: Counter,
+    /// Writer-side probes of the presence filter.
+    pub filter_probes: Counter,
+    /// Filter probes that hit (a pending reader may cover the write —
+    /// an owner-directory walk follows).
+    pub filter_hits: Counter,
+    /// Pending batches force-published by a writer's filter hit.
+    pub forced_publishes: Counter,
 }
 
 /// SplitMix64 finalizer: cheap, well-mixed 64-bit hash for partition choice.
@@ -176,10 +221,22 @@ impl SireadLockManager {
                 })
                 .collect(),
             owners: RwLock::new(HashMap::new()),
+            filter: PresenceFilter::new(n),
+            summarized_targets: AtomicU64::new(0),
             config,
             acquisitions: Counter::new(),
             promotions: Counter::new(),
+            local_accumulated: Counter::new(),
+            batches_published: Counter::new(),
+            filter_probes: Counter::new(),
+            filter_hits: Counter::new(),
+            forced_publishes: Counter::new(),
         }
+    }
+
+    /// Read-set batching enabled? (`read_batch <= 1` is the eager ablation.)
+    fn batching(&self) -> bool {
+        self.config.read_batch > 1
     }
 
     /// Number of lock-table partitions.
@@ -196,6 +253,20 @@ impl SireadLockManager {
             LockTarget::Page(r, p) | LockTarget::Tuple(r, p, _) => (r.0 as u64) << 32 | p as u64,
         };
         (spread(key) % self.partitions.len() as u64) as usize
+    }
+
+    /// Presence-filter address for `target`: its partition index plus a slot
+    /// chosen by a secondary hash of the *exact* target (granularity and tuple
+    /// slot included, unlike `partition_of`), so sibling targets rarely share
+    /// a filter slot. Collisions only cost a wasted owner-directory walk.
+    fn filter_slot_of(&self, target: &LockTarget) -> (usize, usize) {
+        let key = match *target {
+            LockTarget::Relation(r) => (r.0 as u64) << 32 | 0xFFFF_FFFF,
+            LockTarget::Page(r, p) => (r.0 as u64) << 32 | p as u64,
+            LockTarget::Tuple(r, p, s) => spread((r.0 as u64) << 32 | p as u64) ^ s as u64,
+        };
+        let slot = spread(key ^ 0x9e37_79b9_7f4a_7c15) % FILTER_SLOTS as u64;
+        (self.partition_of(target), slot as usize)
     }
 
     /// Lock one partition, counting contention.
@@ -252,7 +323,8 @@ impl SireadLockManager {
     /// No-ops if a coarser lock already covers the target, or if the owner is
     /// not (or no longer) registered. May trigger granularity promotion when
     /// per-page / per-relation / per-owner thresholds are exceeded (§6
-    /// technique 2).
+    /// technique 2). In batched mode the target is accumulated in the owner's
+    /// pending set — no partition mutex — and published when the batch fills.
     pub fn acquire(&self, owner: OwnerId, target: LockTarget) {
         let Some(ol_ref) = self.owner_ref(owner) else {
             return;
@@ -261,32 +333,92 @@ impl SireadLockManager {
         if ol.released {
             return;
         }
-        // Covered by an existing coarser (or identical) lock?
+        // Covered by an existing coarser (or identical) lock — published or
+        // pending?
         let mut cur = Some(target);
         while let Some(t) = cur {
-            if ol.targets.contains(&t) {
+            if ol.targets.contains(&t) || ol.pending.contains(&t) {
                 return;
             }
             cur = t.parent();
         }
-        {
-            let mut part = self.lock_partition(self.partition_of(&target));
-            Self::insert_locked(&mut part, &mut ol, owner, target);
+        if self.batching() {
+            // Accumulate locally. The filter count goes in before the read
+            // hook returns (we hold only the owner mutex), so a writer whose
+            // probe is ordered after this read by the storage latches cannot
+            // miss it.
+            let (fp, fs) = self.filter_slot_of(&target);
+            self.filter.add(fp, fs);
+            Self::count_insert(&mut ol, target);
+            ol.pending.insert(target);
+            self.local_accumulated.bump();
+            self.acquisitions.bump();
+            self.maybe_promote(&mut ol, owner, target);
+            if ol.pending.len() >= self.config.read_batch {
+                self.publish_pending_locked(&mut ol, owner);
+                self.batches_published.bump();
+            }
+        } else {
+            {
+                let mut part = self.lock_partition(self.partition_of(&target));
+                Self::insert_locked(&mut part, &mut ol, owner, target);
+            }
+            self.acquisitions.bump();
+            self.maybe_promote(&mut ol, owner, target);
         }
-        self.acquisitions.bump();
-        self.maybe_promote(&mut ol, owner, target);
     }
 
-    /// Insert `target` into a locked partition map and the owner's bookkeeping.
-    /// Caller holds the owner mutex and the target's partition mutex.
-    fn insert_locked(
-        part: &mut PartitionMap,
-        ol: &mut OwnerLocks,
-        owner: OwnerId,
-        target: LockTarget,
-    ) {
-        part.entry(target).or_default().owners.insert(owner);
-        ol.targets.insert(target);
+    /// Publish (spill) every pending target into the partition table. Caller
+    /// holds the owner mutex. The table insertion completes — and releases its
+    /// partition mutexes — *before* the filter counts drop, so a writer that
+    /// misses a spilled target's filter slot is guaranteed to find it when its
+    /// table probe acquires the partition mutex (see `readset.rs`). Promotion
+    /// counters are untouched: pending targets were counted at accumulation.
+    fn publish_pending_locked(&self, ol: &mut OwnerLocks, owner: OwnerId) {
+        if ol.pending.is_empty() {
+            return;
+        }
+        let batch = ol.pending.drain();
+        {
+            let mut mg = self.lock_targets(batch.iter().copied());
+            for &t in &batch {
+                mg.map(self.partition_of(&t))
+                    .entry(t)
+                    .or_default()
+                    .owners
+                    .insert(owner);
+                ol.targets.insert(t);
+            }
+        }
+        for t in &batch {
+            let (fp, fs) = self.filter_slot_of(t);
+            self.filter.remove(fp, fs);
+        }
+    }
+
+    /// Publish `owner`'s pending read-set batch, if any. The SSI core calls
+    /// this on the transaction's own first write (its read set must be in the
+    /// table before peers probe it as a writer's victim) and at two-phase
+    /// `PREPARE` (the persisted lock list must be complete). Returns the
+    /// number of targets published.
+    pub fn publish_pending(&self, owner: OwnerId) -> usize {
+        let Some(ol_ref) = self.owner_ref(owner) else {
+            return 0;
+        };
+        let mut ol = ol_ref.lock();
+        if ol.released || ol.pending.is_empty() {
+            return 0;
+        }
+        let n = ol.pending.len();
+        self.publish_pending_locked(&mut ol, owner);
+        self.batches_published.bump();
+        n
+    }
+
+    /// Bump the promotion counters for a newly-tracked target. The counters
+    /// deliberately span published and pending targets, so promotion
+    /// thresholds fire at exactly the same points in batched and eager mode.
+    fn count_insert(ol: &mut OwnerLocks, target: LockTarget) {
         match target {
             LockTarget::Tuple(r, p, _) => {
                 *ol.tuples_per_page.entry((r, p)).or_insert(0) += 1;
@@ -298,20 +430,8 @@ impl SireadLockManager {
         }
     }
 
-    /// Inverse of [`Self::insert_locked`], under the same locks.
-    fn remove_locked(
-        part: &mut PartitionMap,
-        ol: &mut OwnerLocks,
-        owner: OwnerId,
-        target: LockTarget,
-    ) {
-        if let Some(h) = part.get_mut(&target) {
-            h.owners.remove(&owner);
-            if h.is_empty() {
-                part.remove(&target);
-            }
-        }
-        ol.targets.remove(&target);
+    /// Inverse of [`Self::count_insert`].
+    fn count_remove(ol: &mut OwnerLocks, target: LockTarget) {
         match target {
             LockTarget::Tuple(r, p, _) => {
                 if let Some(c) = ol.tuples_per_page.get_mut(&(r, p)) {
@@ -333,6 +453,46 @@ impl SireadLockManager {
         }
     }
 
+    /// Insert `target` into a locked partition map and the owner's bookkeeping.
+    /// Caller holds the owner mutex and the target's partition mutex.
+    fn insert_locked(
+        part: &mut PartitionMap,
+        ol: &mut OwnerLocks,
+        owner: OwnerId,
+        target: LockTarget,
+    ) {
+        part.entry(target).or_default().owners.insert(owner);
+        ol.targets.insert(target);
+        Self::count_insert(ol, target);
+    }
+
+    /// Inverse of [`Self::insert_locked`], under the same locks.
+    fn remove_locked(
+        part: &mut PartitionMap,
+        ol: &mut OwnerLocks,
+        owner: OwnerId,
+        target: LockTarget,
+    ) {
+        if let Some(h) = part.get_mut(&target) {
+            h.owners.remove(&owner);
+            if h.is_empty() {
+                part.remove(&target);
+            }
+        }
+        ol.targets.remove(&target);
+        Self::count_remove(ol, target);
+    }
+
+    /// Drop `target` from the owner's pending set, its promotion counters, and
+    /// the presence filter. Caller holds the owner mutex; no partition mutex
+    /// is needed — the target was never published.
+    fn drop_pending(&self, ol: &mut OwnerLocks, target: LockTarget) {
+        ol.pending.remove(&target);
+        Self::count_remove(ol, target);
+        let (fp, fs) = self.filter_slot_of(&target);
+        self.filter.remove(fp, fs);
+    }
+
     fn maybe_promote(&self, ol: &mut OwnerLocks, owner: OwnerId, target: LockTarget) {
         // Tuple locks on one page exceed threshold → one page lock.
         if let LockTarget::Tuple(r, p, _) = target {
@@ -348,7 +508,7 @@ impl SireadLockManager {
             self.promote_owner_to_relation(ol, owner, rel);
         }
         // Owner-wide cap → promote the busiest relation wholesale.
-        if ol.targets.len() > self.config.max_predicate_locks_per_txn {
+        if ol.targets.len() + ol.pending.len() > self.config.max_predicate_locks_per_txn {
             if let Some(busiest) = Self::busiest_relation(ol) {
                 self.promote_owner_to_relation(ol, owner, busiest);
             }
@@ -357,7 +517,7 @@ impl SireadLockManager {
 
     fn busiest_relation(ol: &OwnerLocks) -> Option<RelId> {
         let mut counts: HashMap<RelId, usize> = HashMap::new();
-        for t in &ol.targets {
+        for t in ol.targets.iter().chain(ol.pending.iter()) {
             if t.granularity() > 0 {
                 *counts.entry(t.relation()).or_insert(0) += 1;
             }
@@ -366,7 +526,12 @@ impl SireadLockManager {
     }
 
     /// Tuple→page promotion. The page target and every tuple on it share one
-    /// partition by construction, so this locks exactly one mutex.
+    /// partition by construction, so this locks at most one mutex — and none
+    /// at all when every victim is still pending: the promoted page target
+    /// then joins the pending set itself (the batch publishes the
+    /// already-promoted form). "Coarse in before fine out" holds in both
+    /// shapes, for the table and for the filter, so a concurrent writer's
+    /// probe never sees a coverage gap.
     fn promote_tuples_to_page(
         &self,
         ol: &mut OwnerLocks,
@@ -374,40 +539,79 @@ impl SireadLockManager {
         rel: RelId,
         page: PageNo,
     ) {
-        let victims: Vec<LockTarget> = ol
+        let published: Vec<LockTarget> = ol
             .targets
             .iter()
             .filter(|t| matches!(t, LockTarget::Tuple(r, p, _) if *r == rel && *p == page))
             .copied()
             .collect();
+        let pending: Vec<LockTarget> = ol
+            .pending
+            .matching(|t| matches!(t, LockTarget::Tuple(r, p, _) if *r == rel && *p == page));
         let page_t = LockTarget::Page(rel, page);
-        let mut part = self.lock_partition(self.partition_of(&page_t));
-        // Coarse lock in before fine locks out, so coverage never lapses.
-        Self::insert_locked(&mut part, ol, owner, page_t);
-        for v in victims {
-            Self::remove_locked(&mut part, ol, owner, v);
+        if published.is_empty() && self.batching() {
+            let (fp, fs) = self.filter_slot_of(&page_t);
+            self.filter.add(fp, fs);
+            Self::count_insert(ol, page_t);
+            ol.pending.insert(page_t);
+            for v in pending {
+                self.drop_pending(ol, v);
+            }
+        } else {
+            {
+                let mut part = self.lock_partition(self.partition_of(&page_t));
+                // Coarse lock in before fine locks out, so coverage never lapses.
+                Self::insert_locked(&mut part, ol, owner, page_t);
+                for v in published {
+                    Self::remove_locked(&mut part, ol, owner, v);
+                }
+            }
+            // Pending victims drop their filter counts only after the page
+            // lock is visible in the table.
+            for v in pending {
+                self.drop_pending(ol, v);
+            }
         }
         self.promotions.bump();
         // Page count grew; the caller's relation-threshold check follows.
     }
 
-    /// Page/tuple→relation promotion: locks every partition a victim lives in
-    /// plus the relation target's, all at once in ascending order.
+    /// Page/tuple→relation promotion: locks every partition a published
+    /// victim lives in plus the relation target's, all at once in ascending
+    /// order — or stays entirely local when every victim is still pending.
     fn promote_owner_to_relation(&self, ol: &mut OwnerLocks, owner: OwnerId, rel: RelId) {
-        let victims: Vec<LockTarget> = ol
+        let published: Vec<LockTarget> = ol
             .targets
             .iter()
             .filter(|t| t.relation() == rel && t.granularity() > 0)
             .copied()
             .collect();
-        if victims.is_empty() {
+        let pending: Vec<LockTarget> = ol
+            .pending
+            .matching(|t| t.relation() == rel && t.granularity() > 0);
+        if published.is_empty() && pending.is_empty() {
             return;
         }
         let rel_t = LockTarget::Relation(rel);
-        let mut mg = self.lock_targets(victims.iter().copied().chain([rel_t]));
-        Self::insert_locked(mg.map(self.partition_of(&rel_t)), ol, owner, rel_t);
-        for v in victims {
-            Self::remove_locked(mg.map(self.partition_of(&v)), ol, owner, v);
+        if published.is_empty() && self.batching() {
+            if ol.pending.insert(rel_t) {
+                let (fp, fs) = self.filter_slot_of(&rel_t);
+                self.filter.add(fp, fs);
+            }
+            for v in pending {
+                self.drop_pending(ol, v);
+            }
+        } else {
+            {
+                let mut mg = self.lock_targets(published.iter().copied().chain([rel_t]));
+                Self::insert_locked(mg.map(self.partition_of(&rel_t)), ol, owner, rel_t);
+                for v in published {
+                    Self::remove_locked(mg.map(self.partition_of(&v)), ol, owner, v);
+                }
+            }
+            for v in pending {
+                self.drop_pending(ol, v);
+            }
         }
         self.promotions.bump();
     }
@@ -417,7 +621,25 @@ impl SireadLockManager {
     /// chain's partitions (at most two: the relation's and the page's) are held
     /// simultaneously, so a concurrent promotion can never hide a lock from the
     /// probe mid-move.
+    ///
+    /// In batched mode the presence filter is probed *before* the table: a
+    /// hit force-publishes any pending batch covering the chain so the table
+    /// probe that follows sees it. The filter-then-table order is load-bearing
+    /// — a batch spilled concurrently decrements its filter slots only after
+    /// the table insertion's partition mutex is released, so a writer cannot
+    /// miss a read in both places (ordering proof in `readset.rs`).
     pub fn conflicting_holders(&self, chain: &[LockTarget], exclude: OwnerId) -> ConflictCheck {
+        if self.batching() {
+            self.filter_probes.bump();
+            let hit = chain.iter().any(|t| {
+                let (fp, fs) = self.filter_slot_of(t);
+                self.filter.may_contain(fp, fs)
+            });
+            if hit {
+                self.filter_hits.bump();
+                self.force_publish_readers(chain, exclude);
+            }
+        }
         let mut mg = self.lock_targets(chain.iter().copied());
         let mut result = ConflictCheck::default();
         let mut seen: HashSet<OwnerId> = HashSet::new();
@@ -438,6 +660,36 @@ impl SireadLockManager {
             }
         }
         result
+    }
+
+    /// A writer's filter probe hit: walk the owner directory and force-publish
+    /// the pending batch of every owner whose unpublished read set covers an
+    /// element of the writer's check chain, so the table probe that follows
+    /// reports the rw-antidependency. No partition mutex is held during the
+    /// walk (lock order: owner mutex before partition mutexes); an owner that
+    /// spills or releases concurrently is simply found already empty. A reader
+    /// that accumulates *after* the walk visited it is a read the storage
+    /// latches ordered after this write — not ours to report.
+    fn force_publish_readers(&self, chain: &[LockTarget], exclude: OwnerId) {
+        let owners: Vec<(OwnerId, OwnerRef)> = self
+            .owners
+            .read()
+            .iter()
+            .map(|(k, v)| (*k, v.clone()))
+            .collect();
+        for (o, ol_ref) in owners {
+            if o == exclude {
+                continue;
+            }
+            let mut ol = ol_ref.lock();
+            if ol.released || ol.pending.is_empty() {
+                continue;
+            }
+            if ol.pending.covers_any(chain) {
+                self.publish_pending_locked(&mut ol, o);
+                self.forced_publishes.bump();
+            }
+        }
     }
 
     /// The most recent summarized (dummy-owned) csn covering any target in
@@ -465,7 +717,15 @@ impl SireadLockManager {
             return;
         };
         let mut ol = ol_ref.lock();
-        if ol.released || !ol.targets.contains(&target) {
+        if ol.released {
+            return;
+        }
+        if ol.pending.contains(&target) {
+            // Never published: no table entry, no partition mutex.
+            self.drop_pending(&mut ol, target);
+            return;
+        }
+        if !ol.targets.contains(&target) {
             return;
         }
         let mut part = self.lock_partition(self.partition_of(&target));
@@ -482,6 +742,12 @@ impl SireadLockManager {
         };
         let mut ol = ol_ref.lock();
         ol.released = true;
+        // A never-published batch dies without touching a single partition —
+        // the common exit for a short read-only transaction under batching.
+        for t in ol.pending.drain() {
+            let (fp, fs) = self.filter_slot_of(&t);
+            self.filter.remove(fp, fs);
+        }
         let targets: Vec<LockTarget> = ol.targets.drain().collect();
         ol.tuples_per_page.clear();
         ol.pages_per_rel.clear();
@@ -507,35 +773,67 @@ impl SireadLockManager {
     /// (e.g. [`SireadLockManager::on_page_split`]) observing the tombstone is
     /// guaranteed the csn fold has already completed.
     pub fn consolidate_owner(&self, owner: OwnerId, commit_csn: CommitSeqNo) {
-        let Some(ol_ref) = self.owners.write().remove(&owner) else {
+        // The directory entry stays in place until the fold below completes:
+        // a concurrent writer's filter hit may be walking the directory, and
+        // removing the entry first would hide both the pending set *and* the
+        // not-yet-folded csn from it.
+        let Some(ol_ref) = self.owner_ref(owner) else {
             return;
         };
-        let mut ol = ol_ref.lock();
-        ol.released = true;
-        let targets: Vec<LockTarget> = ol.targets.drain().collect();
-        ol.tuples_per_page.clear();
-        ol.pages_per_rel.clear();
-        let mut mg = self.lock_targets(targets.iter().copied());
-        for t in targets {
-            let h = mg.map(self.partition_of(&t)).entry(t).or_default();
-            h.owners.remove(&owner);
-            h.old_committed_csn = Some(
-                h.old_committed_csn
-                    .map_or(commit_csn, |c| c.max(commit_csn)),
-            );
+        {
+            let mut ol = ol_ref.lock();
+            if ol.released {
+                return;
+            }
+            ol.released = true;
+            let published: Vec<LockTarget> = ol.targets.drain().collect();
+            let pending: Vec<LockTarget> = ol.pending.drain();
+            ol.tuples_per_page.clear();
+            ol.pages_per_rel.clear();
+            {
+                let mut mg = self.lock_targets(published.iter().chain(pending.iter()).copied());
+                for &t in published.iter().chain(pending.iter()) {
+                    let h = mg.map(self.partition_of(&t)).entry(t).or_default();
+                    h.owners.remove(&owner);
+                    if h.old_committed_csn.is_none() {
+                        self.summarized_targets.fetch_add(1, Ordering::Relaxed);
+                    }
+                    h.old_committed_csn = Some(
+                        h.old_committed_csn
+                            .map_or(commit_csn, |c| c.max(commit_csn)),
+                    );
+                }
+            }
+            // Filter counts drop only after the csn fold is visible in the
+            // table — same insert-then-decrement discipline as a spill.
+            for t in &pending {
+                let (fp, fs) = self.filter_slot_of(t);
+                self.filter.remove(fp, fs);
+            }
         }
+        self.owners.write().remove(&owner);
     }
 
     /// Drop summarized (dummy-owned) locks whose recorded commit preceded `csn`
     /// — no active transaction can be concurrent with them anymore (§6.1).
     /// Partitions are swept one at a time; each removal is independent.
     pub fn drop_old_committed_before(&self, csn: CommitSeqNo) {
+        // Fast path: the summarized-entry count is exact (every None↔Some
+        // transition happens under a partition mutex), so when nothing is
+        // summarized — the common case when cleanup keeps up — this
+        // per-commit sweep takes no partition mutex at all. A relaxed read
+        // racing a concurrent fold may skip one round; the next commit's
+        // sweep picks the entry up.
+        if self.summarized_targets.load(Ordering::Relaxed) == 0 {
+            return;
+        }
         for idx in 0..self.partitions.len() {
             let mut part = self.lock_partition(idx);
             part.retain(|_, h| {
                 if let Some(c) = h.old_committed_csn {
                     if c < csn {
                         h.old_committed_csn = None;
+                        self.summarized_targets.fetch_sub(1, Ordering::Relaxed);
                     }
                 }
                 !h.is_empty()
@@ -554,10 +852,14 @@ impl SireadLockManager {
             let part = self.lock_partition(self.partition_of(&old_t));
             match part.get(&old_t) {
                 Some(h) => h.owners.iter().copied().collect(),
-                // No entry means no live holder and no summarized csn — and any
-                // in-flight consolidation of a holder would still show the
-                // holder here (the fold replaces it atomically).
-                None => return,
+                // In eager mode, no entry means no live holder and no
+                // summarized csn — and any in-flight consolidation of a holder
+                // would still show the holder here (the fold replaces it
+                // atomically). In batched mode a holder (or a just-folded csn)
+                // may exist only in some owner's pending set, so the walk and
+                // the csn re-read below must still run.
+                None if !self.batching() => return,
+                None => Vec::new(),
             }
         };
         for o in holders {
@@ -577,6 +879,31 @@ impl SireadLockManager {
             let mut part = self.lock_partition(self.partition_of(&new_t));
             Self::insert_locked(&mut part, &mut ol, o, new_t);
         }
+        if self.batching() {
+            // Unpublished read sets cover index gaps too: copy pending
+            // old-page targets into their owners' pending sets. The copy
+            // stays pending (the filter keeps it writer-visible), exactly as
+            // the published copy stays published.
+            let all: Vec<(OwnerId, OwnerRef)> = self
+                .owners
+                .read()
+                .iter()
+                .map(|(k, v)| (*k, v.clone()))
+                .collect();
+            for (_, ol_ref) in all {
+                let mut ol = ol_ref.lock();
+                if ol.released || !ol.pending.contains(&old_t) {
+                    continue;
+                }
+                if ol.targets.contains(&new_t) || ol.pending.contains(&new_t) {
+                    continue;
+                }
+                let (fp, fs) = self.filter_slot_of(&new_t);
+                self.filter.add(fp, fs);
+                Self::count_insert(&mut ol, new_t);
+                ol.pending.insert(new_t);
+            }
+        }
         // Copy the summarized csn *after* the owner loop, re-reading it with
         // both pages' partitions held at once: a holder consolidated while the
         // loop ran was either copied first (the fold then covers the new page
@@ -591,6 +918,9 @@ impl SireadLockManager {
             .and_then(|h| h.old_committed_csn);
         if let Some(csn) = old_csn {
             let h = mg.map(self.partition_of(&new_t)).entry(new_t).or_default();
+            if h.old_committed_csn.is_none() {
+                self.summarized_targets.fetch_add(1, Ordering::Relaxed);
+            }
             h.old_committed_csn = Some(h.old_committed_csn.map_or(csn, |c| c.max(csn)));
         }
     }
@@ -621,13 +951,30 @@ impl SireadLockManager {
                 .filter(|t| t.relation() == rel && t.granularity() > 0)
                 .copied()
                 .collect();
-            if victims.is_empty() {
+            let pending_victims: Vec<LockTarget> = ol
+                .pending
+                .matching(|t| t.relation() == rel && t.granularity() > 0);
+            if victims.is_empty() && pending_victims.is_empty() {
                 continue;
             }
-            let mut mg = self.lock_targets(victims.iter().copied().chain([repl_t]));
-            Self::insert_locked(mg.map(self.partition_of(&repl_t)), &mut ol, o, repl_t);
-            for v in victims {
-                Self::remove_locked(mg.map(self.partition_of(&v)), &mut ol, o, v);
+            // DDL is rare: always publish the promoted relation lock rather
+            // than keeping it pending.
+            {
+                let mut mg = self.lock_targets(victims.iter().copied().chain([repl_t]));
+                Self::insert_locked(mg.map(self.partition_of(&repl_t)), &mut ol, o, repl_t);
+                for v in victims {
+                    Self::remove_locked(mg.map(self.partition_of(&v)), &mut ol, o, v);
+                }
+            }
+            if ol.pending.remove(&repl_t) {
+                // The replacement relation target was itself pending (possible
+                // on an index drop, where it names the heap relation) and has
+                // just been published above — retire its filter count.
+                let (fp, fs) = self.filter_slot_of(&repl_t);
+                self.filter.remove(fp, fs);
+            }
+            for v in pending_victims {
+                self.drop_pending(&mut ol, v);
             }
             self.promotions.bump();
         }
@@ -647,6 +994,7 @@ impl SireadLockManager {
                 if let Some(h) = part.get_mut(&t) {
                     max_csn = max_csn.max(h.old_committed_csn);
                     h.old_committed_csn = None;
+                    self.summarized_targets.fetch_sub(1, Ordering::Relaxed);
                     if h.is_empty() {
                         part.remove(&t);
                     }
@@ -658,22 +1006,49 @@ impl SireadLockManager {
                 .map(self.partition_of(&repl_t))
                 .entry(repl_t)
                 .or_default();
+            if h.old_committed_csn.is_none() {
+                self.summarized_targets.fetch_add(1, Ordering::Relaxed);
+            }
             h.old_committed_csn = Some(h.old_committed_csn.map_or(csn, |c| c.max(csn)));
         }
     }
 
-    /// Targets currently held by `owner` (two-phase commit persistence, tests).
+    /// Targets currently held by `owner`, published and pending alike
+    /// (two-phase commit persistence, tests).
     pub fn held_targets(&self, owner: OwnerId) -> Vec<LockTarget> {
         self.owner_ref(owner)
-            .map(|r| r.lock().targets.iter().copied().collect())
+            .map(|r| {
+                let ol = r.lock();
+                ol.targets
+                    .iter()
+                    .chain(ol.pending.iter())
+                    .copied()
+                    .collect()
+            })
             .unwrap_or_default()
     }
 
-    /// Number of locks held by `owner`.
+    /// Number of locks held by `owner`, published and pending alike.
     pub fn owner_lock_count(&self, owner: OwnerId) -> usize {
         self.owner_ref(owner)
-            .map(|r| r.lock().targets.len())
+            .map(|r| {
+                let ol = r.lock();
+                ol.targets.len() + ol.pending.len()
+            })
             .unwrap_or(0)
+    }
+
+    /// Number of `owner`'s targets still pending (unpublished) — tests, stats.
+    pub fn owner_pending_count(&self, owner: OwnerId) -> usize {
+        self.owner_ref(owner)
+            .map(|r| r.lock().pending.len())
+            .unwrap_or(0)
+    }
+
+    /// Total pending count across the presence filter (leak assertions: zero
+    /// whenever no transaction has an unpublished batch).
+    pub fn filter_pending_total(&self) -> u64 {
+        self.filter.total()
     }
 
     /// Total number of lock targets in the table (bounded-memory assertions).
@@ -968,7 +1343,8 @@ mod tests {
 
     #[test]
     fn partition_stats_count_taken_mutexes() {
-        let m = mgr();
+        // Eager mode: each acquisition takes its partition mutex immediately.
+        let m = SireadLockManager::new(SsiConfig::eager_reads());
         m.register_owner(1);
         m.acquire(1, LockTarget::Tuple(R, 0, 0));
         let stats = m.partition_stats();
@@ -976,5 +1352,140 @@ mod tests {
         assert!(stats.iter().map(|s| s.taken).sum::<u64>() > 0);
         assert_eq!(stats.iter().map(|s| s.locks).sum::<usize>(), 1);
         assert_eq!(m.contention_total(), 0, "single thread never contends");
+    }
+
+    #[test]
+    fn batched_reads_stay_local_until_boundary() {
+        let m = SireadLockManager::new(SsiConfig {
+            read_batch: 4,
+            ..SsiConfig::default()
+        });
+        m.register_owner(1);
+        for s in 0..3 {
+            m.acquire(1, LockTarget::Tuple(R, 0, s));
+        }
+        assert_eq!(
+            m.total_lock_count(),
+            0,
+            "below the boundary nothing is published"
+        );
+        assert_eq!(m.owner_pending_count(1), 3);
+        assert_eq!(m.owner_lock_count(1), 3);
+        assert_eq!(m.local_accumulated.get(), 3);
+        // The fourth read fills the batch and spills everything at once.
+        m.acquire(1, LockTarget::Tuple(R, 1, 0));
+        assert_eq!(m.total_lock_count(), 4);
+        assert_eq!(m.owner_pending_count(1), 0);
+        assert_eq!(m.batches_published.get(), 1);
+        assert_eq!(m.filter_pending_total(), 0);
+    }
+
+    #[test]
+    fn writer_filter_hit_forces_pending_publication() {
+        let m = mgr();
+        m.register_owner(1);
+        m.acquire(1, LockTarget::Tuple(R, 0, 5));
+        assert_eq!(m.total_lock_count(), 0);
+        let check = m.conflicting_holders(&LockTarget::Tuple(R, 0, 5).check_chain(), 2);
+        assert_eq!(check.owners, vec![1]);
+        assert!(m.filter_probes.get() >= 1);
+        assert!(m.filter_hits.get() >= 1);
+        assert_eq!(m.forced_publishes.get(), 1);
+        assert_eq!(m.owner_pending_count(1), 0, "batch was force-published");
+    }
+
+    #[test]
+    fn explicit_publish_pending_flushes_batch() {
+        let m = mgr();
+        m.register_owner(1);
+        m.acquire(1, LockTarget::Page(R, 2));
+        assert_eq!(m.publish_pending(1), 1);
+        assert_eq!(m.total_lock_count(), 1);
+        assert_eq!(m.publish_pending(1), 0, "second flush finds nothing");
+        assert_eq!(m.filter_pending_total(), 0);
+    }
+
+    #[test]
+    fn filter_clears_when_pending_batches_resolve() {
+        let m = mgr();
+        m.register_owner(1);
+        m.register_owner(2);
+        m.acquire(1, LockTarget::Tuple(R, 0, 0));
+        m.acquire(2, LockTarget::Tuple(R, 7, 3));
+        m.release_owner(1);
+        m.publish_pending(2);
+        assert_eq!(m.filter_pending_total(), 0);
+        m.release_target(2, LockTarget::Tuple(R, 7, 3));
+        assert_eq!(m.owner_lock_count(2), 0);
+    }
+
+    #[test]
+    fn eager_mode_skips_filter_machinery() {
+        let m = SireadLockManager::new(SsiConfig::eager_reads());
+        m.register_owner(1);
+        m.acquire(1, LockTarget::Tuple(R, 0, 0));
+        assert_eq!(m.total_lock_count(), 1, "published immediately");
+        let _ = m.conflicting_holders(&LockTarget::Tuple(R, 0, 0).check_chain(), 2);
+        assert_eq!(m.filter_probes.get(), 0);
+        assert_eq!(m.local_accumulated.get(), 0);
+    }
+
+    #[test]
+    fn mixed_published_pending_promotion_keeps_coverage() {
+        let m = SireadLockManager::new(SsiConfig {
+            promote_tuple_threshold: 4,
+            read_batch: 3,
+            ..SsiConfig::default()
+        });
+        m.register_owner(1);
+        // The first three tuples spill at the batch bound (published)...
+        for s in 0..3 {
+            m.acquire(1, LockTarget::Tuple(R, 0, s));
+        }
+        assert_eq!(m.total_lock_count(), 3);
+        // ...two more stay pending; the fifth crosses the tuple threshold and
+        // promotes a mix of published and pending victims into one page lock.
+        for s in 3..5 {
+            m.acquire(1, LockTarget::Tuple(R, 0, s));
+        }
+        assert_eq!(m.held_targets(1), vec![LockTarget::Page(R, 0)]);
+        let check = m.conflicting_holders(&LockTarget::Tuple(R, 0, 4).check_chain(), 2);
+        assert_eq!(check.owners, vec![1]);
+        assert_eq!(m.filter_pending_total(), 0);
+    }
+
+    #[test]
+    fn consolidation_folds_pending_targets() {
+        let m = mgr();
+        m.register_owner(1);
+        m.acquire(1, LockTarget::Tuple(R, 0, 0)); // stays pending
+        m.consolidate_owner(1, CommitSeqNo(5));
+        let check = m.conflicting_holders(&LockTarget::Tuple(R, 0, 0).check_chain(), 2);
+        assert_eq!(check.old_committed_csn, Some(CommitSeqNo(5)));
+        assert_eq!(m.filter_pending_total(), 0);
+        m.drop_old_committed_before(CommitSeqNo(6));
+        assert_eq!(m.total_lock_count(), 0);
+    }
+
+    #[test]
+    fn horizon_sweep_skips_partitions_when_nothing_summarized() {
+        let m = mgr();
+        let before: u64 = m.partition_stats().iter().map(|s| s.taken).sum();
+        m.drop_old_committed_before(CommitSeqNo(100));
+        let after: u64 = m.partition_stats().iter().map(|s| s.taken).sum();
+        assert_eq!(before, after, "empty sweep takes no partition mutex");
+    }
+
+    #[test]
+    fn page_split_copies_pending_locks() {
+        let m = mgr();
+        m.register_owner(1);
+        m.acquire(1, LockTarget::Page(R, 4)); // stays pending
+        m.on_page_split(R, 4, 9);
+        assert_eq!(m.owner_lock_count(1), 2);
+        assert_eq!(m.owner_pending_count(1), 2, "the copy stays pending too");
+        // A write to the new page finds the pending copy via the filter.
+        let chain = LockTarget::Tuple(R, 9, 0).check_chain();
+        assert_eq!(m.conflicting_holders(&chain, 2).owners, vec![1]);
     }
 }

@@ -28,7 +28,16 @@
 //! activations, and the engine's deadlock detector plus lock-wait timeout
 //! bound the damage — see `crates/server/tests` for the 1024-sessions-on-4-
 //! workers case.
+//!
+//! One pathology needs more than a timeout: every worker blocked on row locks
+//! held by a *descheduled* session. Priority-waking the holder queues it, but
+//! with no free worker the queue is frozen and everything stalls until the
+//! lock-wait timeout. When the pool detects this shape — all workers inside
+//! reported lock waits and a runnable lock-owning session in the ready queue —
+//! it spawns a bounded **emergency reserve worker** that drains the ready
+//! queue (the holder first; it sits at the front) and exits.
 
+use std::cell::Cell;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
 use std::time::{Duration, Instant};
@@ -40,6 +49,19 @@ use std::sync::{Arc, Weak};
 
 /// Identifies a session within its pool.
 pub type SessionId = usize;
+
+/// Cap on concurrently-live emergency reserve workers. One suffices for the
+/// canonical all-blocked-on-one-holder shape; a few more cover a reserve
+/// itself blocking on a second descheduled holder. Past the cap the pool
+/// falls back to the lock-wait timeout, as before reserves existed.
+const MAX_RESERVE_WORKERS: usize = 4;
+
+thread_local! {
+    /// Set on a worker thread between its row-lock wait report and the end of
+    /// that activation; backs `PoolState::waiting_workers`. Thread-local so
+    /// one activation reporting several waits counts as one blocked worker.
+    static IN_WAIT_REPORT: Cell<bool> = const { Cell::new(false) };
+}
 
 /// What a session does after an activation returns.
 pub enum Next {
@@ -82,6 +104,13 @@ struct PoolState {
     timed: BinaryHeap<Reverse<(Instant, SessionId)>>,
     live: usize,
     shutdown: bool,
+    /// Workers currently blocked inside a reported row-lock wait (from the
+    /// wait report to the end of that activation — a slight overcount if the
+    /// wait resolves mid-activation, which only errs toward spawning a
+    /// reserve that finds nothing to do and exits).
+    waiting_workers: usize,
+    /// Emergency reserve workers currently alive (≤ [`MAX_RESERVE_WORKERS`]).
+    reserve_workers: usize,
 }
 
 struct PoolInner {
@@ -117,6 +146,8 @@ impl SessionPool {
                 timed: BinaryHeap::new(),
                 live: 0,
                 shutdown: false,
+                waiting_workers: 0,
+                reserve_workers: 0,
             }),
             work: Condvar::new(),
             txn_owners: Mutex::new(HashMap::new()),
@@ -130,13 +161,13 @@ impl SessionPool {
         let weak: Weak<PoolInner> = Arc::downgrade(&inner);
         inner.db.set_wait_observer(Arc::new(move |_waiter, holder| {
             if let Some(pool) = weak.upgrade() {
-                pool.wake_txn_owner(holder);
+                pool.report_wait(holder);
             }
         }));
         let workers = (0..inner.cfg.workers)
             .map(|_| {
                 let inner = Arc::clone(&inner);
-                std::thread::spawn(move || worker_loop(&inner))
+                std::thread::spawn(move || worker_loop(&inner, false))
             })
             .collect();
         SessionPool { inner, workers }
@@ -185,7 +216,20 @@ impl SessionPool {
     /// Make an idle session runnable (new input arrived). Never lost: if the
     /// session is currently running, the wake is latched and applied when its
     /// activation returns [`Next::Idle`].
+    ///
+    /// If the woken session owns an open transaction while every worker is
+    /// blocked in a row-lock wait, those workers may well be waiting on *this
+    /// session's* locks (a COMMIT arriving for a descheduled holder is the
+    /// canonical case) — and no worker is left to run it, so the pool spawns
+    /// an emergency reserve worker rather than stalling to the lock timeout.
     pub fn wake(&self, sid: SessionId) {
+        // Probed before taking the state lock (txn_owners nests outside it).
+        let owns_txn = self
+            .inner
+            .txn_owners
+            .lock()
+            .values()
+            .any(|owner| *owner == sid);
         let mut st = self.inner.state.lock();
         let Some(Some(slot)) = st.slots.get_mut(sid) else {
             return;
@@ -193,8 +237,12 @@ impl SessionPool {
         if slot.task.is_some() && !slot.queued {
             slot.queued = true;
             st.ready.push_back(sid);
+            let reserve = owns_txn && self.inner.reserve_needed(&mut st);
             drop(st);
             self.inner.work.notify_one();
+            if reserve {
+                self.inner.spawn_reserve();
+            }
         } else {
             slot.wake_pending = true;
         }
@@ -275,11 +323,24 @@ impl PoolInner {
         self.work.notify_all();
     }
 
+    /// Wait-observer entry point: the calling worker is about to park on a
+    /// row lock held by `holder`. Marks this worker blocked (cleared when its
+    /// activation returns) and priority-wakes the holder's session.
+    fn report_wait(self: &Arc<Self>, holder: TxnId) {
+        // First report of this activation: count the worker as blocked.
+        if IN_WAIT_REPORT.with(|f| !f.replace(true)) {
+            self.state.lock().waiting_workers += 1;
+        }
+        self.wake_txn_owner(holder);
+    }
+
     /// Priority-wake the session owning `txid` (wait-observer path): a
     /// descheduled holder jumps the FIFO so its lock release is the very next
     /// thing a free worker runs. Counted only when it actually changes the
-    /// schedule; a running or already-front session needs no help.
-    fn wake_txn_owner(&self, txid: TxnId) {
+    /// schedule; a running or already-front session needs no help. If the
+    /// holder is runnable but every worker is blocked in a lock wait, a free
+    /// worker will never come — spawn an emergency reserve for it.
+    fn wake_txn_owner(self: &Arc<Self>, txid: TxnId) {
         let Some(sid) = self.txn_owners.lock().get(&txid).copied() else {
             return;
         };
@@ -287,16 +348,17 @@ impl PoolInner {
         let Some(Some(slot)) = st.slots.get_mut(sid) else {
             return;
         };
+        let mut woke = false;
+        let mut holder_ready = false;
         if slot.task.is_some() {
             if slot.queued {
                 // Parked in the ready queue behind others: move it to the front.
                 if let Some(pos) = st.ready.iter().position(|s| *s == sid) {
+                    holder_ready = true;
                     if pos > 0 {
                         st.ready.remove(pos);
                         st.ready.push_front(sid);
-                        drop(st);
-                        self.db.session_stats().lock_holder_wakeups.bump();
-                        self.work.notify_one();
+                        woke = true;
                     }
                 }
                 // Sleeping a think time (deadline heap): leave it — promoting
@@ -305,22 +367,57 @@ impl PoolInner {
                 // Idle (or latched): schedule it at the front right away.
                 slot.queued = true;
                 st.ready.push_front(sid);
-                drop(st);
-                self.db.session_stats().lock_holder_wakeups.bump();
-                self.work.notify_one();
+                holder_ready = true;
+                woke = true;
             }
         } else {
             // Mid-activation on another worker: latch the wake so the session
             // reschedules the moment its activation returns Idle. Still a
             // lock-holder wakeup — the latch is what keeps it runnable.
             slot.wake_pending = true;
-            drop(st);
-            self.db.session_stats().lock_holder_wakeups.bump();
+            woke = true;
         }
+        let reserve = holder_ready && self.reserve_needed(&mut st);
+        drop(st);
+        if woke {
+            self.db.session_stats().lock_holder_wakeups.bump();
+            if holder_ready {
+                self.work.notify_one();
+            }
+        }
+        if reserve {
+            self.spawn_reserve();
+        }
+    }
+
+    /// With the state lock held: true (and a reserve slot claimed) when every
+    /// worker — regular and reserve alike — is blocked inside a reported lock
+    /// wait, so a just-queued session has no thread left to run it.
+    fn reserve_needed(&self, st: &mut PoolState) -> bool {
+        if st.shutdown
+            || st.waiting_workers < self.cfg.workers + st.reserve_workers
+            || st.reserve_workers >= MAX_RESERVE_WORKERS
+        {
+            return false;
+        }
+        st.reserve_workers += 1;
+        true
+    }
+
+    /// Start a reserve worker (its `reserve_workers` slot is already claimed
+    /// by [`PoolInner::reserve_needed`]). It drains the ready queue and exits.
+    fn spawn_reserve(self: &Arc<Self>) {
+        self.db.session_stats().reserve_workers.bump();
+        let inner = Arc::clone(self);
+        std::thread::spawn(move || worker_loop(&inner, true));
     }
 }
 
-fn worker_loop(inner: &PoolInner) {
+/// The scheduling loop run by every pool thread. Regular workers
+/// (`reserve == false`) park on the condvar when idle and live until
+/// shutdown; emergency reserve workers exit as soon as the ready queue is
+/// empty — they exist only to unfreeze an all-workers-blocked pool.
+fn worker_loop(inner: &PoolInner, reserve: bool) {
     let mut st = inner.state.lock();
     loop {
         // Shutdown preempts queued work: a task that keeps returning
@@ -354,6 +451,9 @@ fn worker_loop(inner: &PoolInner) {
             // or strand its client.
             let outcome =
                 std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| task.run(&inner.db, sid)));
+            // The activation is over; if it reported a row-lock wait, this
+            // thread is no longer blocked in it.
+            let waited = IN_WAIT_REPORT.with(|f| f.replace(false));
             let next = match outcome {
                 Ok(next) => next,
                 Err(_) => {
@@ -361,6 +461,9 @@ fn worker_loop(inner: &PoolInner) {
                     task.close();
                     drop(task);
                     st = inner.state.lock();
+                    if waited {
+                        st.waiting_workers -= 1;
+                    }
                     if let Some(slot @ Some(_)) = st.slots.get_mut(sid) {
                         *slot = None;
                         st.free.push(sid);
@@ -370,6 +473,9 @@ fn worker_loop(inner: &PoolInner) {
                 }
             };
             st = inner.state.lock();
+            if waited {
+                st.waiting_workers -= 1;
+            }
             let Some(Some(slot)) = st.slots.get_mut(sid) else {
                 // Slot retired while this activation ran (pool-wide session
                 // close): run the close hook so the task's client unblocks.
@@ -415,6 +521,11 @@ fn worker_loop(inner: &PoolInner) {
             continue;
         }
 
+        // No ready work. A reserve worker's job is done — the frozen queue it
+        // was spawned for has drained — so it retires instead of parking.
+        if reserve {
+            break;
+        }
         inner.db.session_stats().worker_parks.bump();
         match st.timed.peek().copied() {
             Some(Reverse((due, _))) => {
@@ -422,6 +533,9 @@ fn worker_loop(inner: &PoolInner) {
             }
             None => inner.work.wait(&mut st),
         }
+    }
+    if reserve {
+        st.reserve_workers -= 1;
     }
 }
 

@@ -353,6 +353,53 @@ fn blocked_worker_priority_wakes_the_lock_holder_session() {
     server.shutdown();
 }
 
+/// Regression: with every worker blocked on row locks held by a descheduled
+/// session, priority-waking the holder used to be futile — no worker was left
+/// to run it, and the pool froze until the lock-wait timeout aborted the
+/// waiter. The emergency reserve worker must run the holder's queued COMMIT
+/// so the waiter's PUT *succeeds* (a timeout would return ERR).
+#[test]
+fn all_workers_blocked_on_one_holder_resolves_via_reserve_worker() {
+    let server = kv_server(1, 8); // a single worker: trivially "all of them"
+    let setup = server.connect().unwrap();
+    assert_eq!(setup.roundtrip("BEGIN").unwrap(), "OK");
+    assert_eq!(setup.roundtrip("PUT kv 9 90").unwrap(), "OK");
+    assert_eq!(setup.roundtrip("COMMIT").unwrap(), "OK");
+    drop(setup);
+
+    // Interactive holder: takes the row lock, then deschedules (idle).
+    let holder = server.connect().unwrap();
+    assert_eq!(holder.roundtrip("BEGIN REPEATABLE READ").unwrap(), "OK");
+    assert_eq!(holder.roundtrip("PUT kv 9 91").unwrap(), "OK");
+
+    // The waiter's PUT blocks the pool's only worker on the holder's lock.
+    let waiter = server.connect().unwrap();
+    assert_eq!(waiter.roundtrip("BEGIN READ COMMITTED").unwrap(), "OK");
+    waiter.send("PUT kv 9 92").unwrap();
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(2);
+    while server.db().stats_report().txn_wait_reports < 1 {
+        assert!(std::time::Instant::now() < deadline, "worker never blocked");
+        std::thread::sleep(std::time::Duration::from_millis(2));
+    }
+
+    // The holder's COMMIT arrives with zero free workers. Only an emergency
+    // reserve worker can run it; otherwise the waiter times out with ERR.
+    assert_eq!(holder.roundtrip("COMMIT").unwrap(), "OK");
+    assert_eq!(waiter.recv().unwrap(), "OK");
+    assert_eq!(waiter.roundtrip("COMMIT").unwrap(), "OK");
+    assert!(
+        server.db().stats_report().session_reserve_workers >= 1,
+        "the stall must resolve through a reserve worker, not the lock timeout"
+    );
+
+    let check = server.connect().unwrap();
+    assert_eq!(check.roundtrip("BEGIN").unwrap(), "OK");
+    assert_eq!(check.roundtrip("GET kv 9").unwrap(), "ROW 9 92");
+    assert_eq!(check.roundtrip("COMMIT").unwrap(), "OK");
+    drop((holder, waiter, check));
+    server.shutdown();
+}
+
 // ---------------------------------------------------------------------------
 // Transport/TCP-specific behavior
 // ---------------------------------------------------------------------------

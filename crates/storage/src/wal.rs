@@ -16,6 +16,11 @@
 //! mismatch (the paper's host system recovers the same way — replay the durable
 //! prefix, discard the torn tail).
 //!
+//! A checkpoint makes the log's prefix dead weight; [`WalStore::trim_to`]
+//! drops it. For files this rewrites the log with a `[magic][base LSN]`
+//! header, so LSNs stay stable across trims (`lsn = base + offset past the
+//! header`); a never-trimmed log has no header and reads exactly as before.
+//!
 //! [`MemWalStore`] keeps frames in a `Vec` with a no-op `sync`, preserving the
 //! pre-durability in-memory behavior (and its performance) behind the same trait.
 
@@ -94,6 +99,24 @@ pub trait WalStore: Send + Sync {
     /// `lsn` is the offset just past the record's frame, matching
     /// [`append`](WalStore::append)'s return value.
     fn read_all(&self) -> std::io::Result<Vec<(Lsn, Vec<u8>)>>;
+
+    /// Drop every record with `lsn <= up_to` from storage. `up_to` is clamped
+    /// down to the nearest frame boundary; surviving records keep their LSNs
+    /// (the log's *base* advances, offsets into the file do not define LSNs
+    /// anymore). Checkpointing calls this after the checkpoint image is
+    /// durable — recovery never replays the dropped prefix. Default: no-op,
+    /// for stores that keep the whole log.
+    fn trim_to(&self, _up_to: Lsn) -> std::io::Result<()> {
+        Ok(())
+    }
+
+    /// LSN of the trimmed-away prefix: every surviving record has `lsn >
+    /// base_lsn()`. 0 for a never-trimmed log. Recovery uses this to detect a
+    /// trimmed log whose covering checkpoint is missing or corrupt — a state
+    /// that must fail loudly instead of replaying a beheaded log.
+    fn base_lsn(&self) -> Lsn {
+        0
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -103,13 +126,26 @@ pub trait WalStore: Send + Sync {
 /// In-memory [`WalStore`]: frames are notional (LSNs advance as if framed on
 /// disk, so switching stores never changes LSN arithmetic) and `sync` is free.
 pub struct MemWalStore {
-    records: Mutex<Vec<(Lsn, Vec<u8>)>>,
+    state: Mutex<MemWalState>,
+}
+
+struct MemWalState {
+    records: Vec<(Lsn, Vec<u8>)>,
+    /// Offset just past the last append — kept separately so a trimmed-empty
+    /// log keeps allocating monotonic LSNs.
+    end: Lsn,
+    /// Largest trimmed-away LSN (see [`WalStore::base_lsn`]).
+    base: Lsn,
 }
 
 impl MemWalStore {
     pub fn new() -> MemWalStore {
         MemWalStore {
-            records: Mutex::new(Vec::new()),
+            state: Mutex::new(MemWalState {
+                records: Vec::new(),
+                end: 0,
+                base: 0,
+            }),
         }
     }
 }
@@ -122,10 +158,10 @@ impl Default for MemWalStore {
 
 impl WalStore for MemWalStore {
     fn append(&self, payload: &[u8]) -> std::io::Result<Lsn> {
-        let mut recs = self.records.lock();
-        let start = recs.last().map_or(0, |(lsn, _)| *lsn);
-        let lsn = start + FRAME_HEADER + payload.len() as u64;
-        recs.push((lsn, payload.to_vec()));
+        let mut st = self.state.lock();
+        let lsn = st.end + FRAME_HEADER + payload.len() as u64;
+        st.records.push((lsn, payload.to_vec()));
+        st.end = lsn;
         Ok(lsn)
     }
 
@@ -134,7 +170,7 @@ impl WalStore for MemWalStore {
     }
 
     fn end_lsn(&self) -> Lsn {
-        self.records.lock().last().map_or(0, |(lsn, _)| *lsn)
+        self.state.lock().end
     }
 
     fn is_durable(&self) -> bool {
@@ -142,7 +178,19 @@ impl WalStore for MemWalStore {
     }
 
     fn read_all(&self) -> std::io::Result<Vec<(Lsn, Vec<u8>)>> {
-        Ok(self.records.lock().clone())
+        Ok(self.state.lock().records.clone())
+    }
+
+    fn trim_to(&self, up_to: Lsn) -> std::io::Result<()> {
+        let mut st = self.state.lock();
+        st.records.retain(|(lsn, _)| *lsn > up_to);
+        let covered = st.records.first().map_or(st.end, |(lsn, _)| *lsn);
+        st.base = st.base.max(up_to.min(covered));
+        Ok(())
+    }
+
+    fn base_lsn(&self) -> Lsn {
+        self.state.lock().base
     }
 }
 
@@ -152,17 +200,40 @@ impl WalStore for MemWalStore {
 
 struct FileWalState {
     writer: BufWriter<File>,
-    /// Offset just past the last buffered append.
+    /// LSN just past the last buffered append (`base` + file frame bytes).
     end: Lsn,
+    /// LSN of the trimmed-away prefix: records `<= base` no longer exist on
+    /// disk. 0 for a never-trimmed log (which also has no file header).
+    base: Lsn,
 }
 
 /// File-backed [`WalStore`]: buffered appends to a single log file, explicit
-/// fsync, torn-tail truncation on open.
+/// fsync, torn-tail truncation on open, and checkpoint-driven prefix trimming
+/// ([`WalStore::trim_to`] rewrites the file with a base-LSN header so
+/// surviving records keep their LSNs).
 pub struct FileWalStore {
     path: PathBuf,
     state: Mutex<FileWalState>,
     /// Bytes discarded from the tail at open time (torn final record), if any.
     truncated_tail: u64,
+}
+
+/// Magic prefix of a trimmed log file, followed by the 8-byte base LSN (LE).
+/// A never-trimmed log has no header — its first bytes are a frame — so old
+/// log files open unchanged. A frame can't impersonate the header: that would
+/// take a ~1.4 GB length field *and* a colliding checksum in the same 8 bytes.
+const HEADER_MAGIC: &[u8; 8] = b"PGSSIWAL";
+/// Header length when present (magic + base LSN).
+const HEADER_LEN: usize = 16;
+
+/// Split a log image into `(base_lsn, frame_region_start)`.
+fn parse_header(bytes: &[u8]) -> (Lsn, usize) {
+    if bytes.len() >= HEADER_LEN && &bytes[..HEADER_MAGIC.len()] == HEADER_MAGIC {
+        let base = u64::from_le_bytes(bytes[8..HEADER_LEN].try_into().unwrap());
+        (base, HEADER_LEN)
+    } else {
+        (0, 0)
+    }
 }
 
 impl FileWalStore {
@@ -183,18 +254,23 @@ impl FileWalStore {
             .open(&path)?;
         let mut bytes = Vec::new();
         file.read_to_end(&mut bytes)?;
-        let good = scan_frames(&bytes).last().map_or(0, |(lsn, _)| *lsn);
-        let truncated_tail = bytes.len() as u64 - good;
+        let (base, data_start) = parse_header(&bytes);
+        let good = scan_frames(&bytes[data_start..])
+            .last()
+            .map_or(0, |(lsn, _)| *lsn);
+        let file_good = data_start as u64 + good;
+        let truncated_tail = bytes.len() as u64 - file_good;
         if truncated_tail > 0 {
-            file.set_len(good)?;
+            file.set_len(file_good)?;
             file.sync_all()?;
         }
-        file.seek(SeekFrom::Start(good))?;
+        file.seek(SeekFrom::Start(file_good))?;
         Ok(FileWalStore {
             path,
             state: Mutex::new(FileWalState {
                 writer: BufWriter::new(file),
-                end: good,
+                end: base + good,
+                base,
             }),
             truncated_tail,
         })
@@ -245,10 +321,64 @@ impl WalStore for FileWalStore {
         let mut file = File::open(&self.path)?;
         let mut bytes = Vec::new();
         file.read_to_end(&mut bytes)?;
-        Ok(scan_frames(&bytes)
+        let (base, data_start) = parse_header(&bytes);
+        Ok(scan_frames(&bytes[data_start..])
             .iter()
-            .map(|(lsn, range)| (*lsn, bytes[range.clone()].to_vec()))
+            .map(|(lsn, range)| {
+                let payload = bytes[data_start + range.start..data_start + range.end].to_vec();
+                (base + lsn, payload)
+            })
             .collect())
+    }
+
+    /// Rewrite the file without the frames ending at or before `up_to`: the
+    /// surviving suffix is copied behind a `[magic][base LSN]` header to a
+    /// temp file, fsynced, and renamed over the log. LSNs are stable across
+    /// the trim (they are `base`-relative, not file offsets), so appenders and
+    /// recovery never notice beyond the shorter replay.
+    fn trim_to(&self, up_to: Lsn) -> std::io::Result<()> {
+        let mut st = self.state.lock();
+        if up_to <= st.base {
+            return Ok(());
+        }
+        st.writer.flush()?;
+        let bytes = std::fs::read(&self.path)?;
+        let (base, data_start) = parse_header(&bytes);
+        // Clamp down to the last frame boundary `up_to` fully covers.
+        let new_base = scan_frames(&bytes[data_start..])
+            .iter()
+            .map(|(end, _)| base + end)
+            .take_while(|end| *end <= up_to)
+            .last()
+            .unwrap_or(base);
+        if new_base <= base {
+            return Ok(());
+        }
+        let keep_from = data_start + (new_base - base) as usize;
+        let tmp = self.path.with_extension("trim");
+        {
+            let mut f = File::create(&tmp)?;
+            f.write_all(HEADER_MAGIC)?;
+            f.write_all(&new_base.to_le_bytes())?;
+            f.write_all(&bytes[keep_from..])?;
+            f.sync_all()?;
+        }
+        std::fs::rename(&tmp, &self.path)?;
+        if let Some(dir) = self.path.parent() {
+            if !dir.as_os_str().is_empty() {
+                File::open(dir)?.sync_all()?;
+            }
+        }
+        let mut file = OpenOptions::new().read(true).write(true).open(&self.path)?;
+        file.seek(SeekFrom::End(0))?;
+        st.writer = BufWriter::new(file);
+        st.base = new_base;
+        // `end` is an absolute LSN; dropping a prefix does not move it.
+        Ok(())
+    }
+
+    fn base_lsn(&self) -> Lsn {
+        self.state.lock().base
     }
 }
 
@@ -401,6 +531,78 @@ mod tests {
         let s = FileWalStore::open(&path).unwrap();
         let recs: Vec<Vec<u8>> = s.read_all().unwrap().into_iter().map(|(_, p)| p).collect();
         assert_eq!(recs, vec![b"keep".to_vec(), b"fresh".to_vec()]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn mem_trim_drops_prefix_and_keeps_lsns() {
+        let s = MemWalStore::new();
+        let l1 = s.append(b"aa").unwrap();
+        let l2 = s.append(b"bb").unwrap();
+        s.trim_to(l1).unwrap();
+        assert_eq!(s.read_all().unwrap(), vec![(l2, b"bb".to_vec())]);
+        // New appends continue from the pre-trim end, even if trimmed empty.
+        s.trim_to(l2).unwrap();
+        assert!(s.read_all().unwrap().is_empty());
+        let l3 = s.append(b"cc").unwrap();
+        assert_eq!(l3, l2 + FRAME_HEADER + 2);
+    }
+
+    #[test]
+    fn file_trim_drops_prefix_and_survives_reopen() {
+        let path = tmpfile("trim");
+        let (l1, l2, l3);
+        {
+            let s = FileWalStore::open(&path).unwrap();
+            l1 = s.append(b"first").unwrap();
+            l2 = s.append(b"second").unwrap();
+            l3 = s.append(b"third").unwrap();
+            s.sync().unwrap();
+            // Trim below any boundary: no-op.
+            s.trim_to(l1 - 1).unwrap();
+            assert_eq!(s.read_all().unwrap().len(), 3);
+            // Mid-frame target clamps down to l1's boundary.
+            s.trim_to(l2 - 1).unwrap();
+            assert_eq!(
+                s.read_all().unwrap(),
+                vec![(l2, b"second".to_vec()), (l3, b"third".to_vec())]
+            );
+            assert_eq!(s.end_lsn(), l3);
+        }
+        // The header round-trips: reopen sees the same LSNs, appends continue.
+        let s = FileWalStore::open(&path).unwrap();
+        assert_eq!(s.truncated_tail(), 0);
+        assert_eq!(s.end_lsn(), l3);
+        let l4 = s.append(b"fourth!").unwrap();
+        s.sync().unwrap();
+        assert_eq!(l4, l3 + FRAME_HEADER + 7);
+        // Trimming an already-trimmed log advances the base again.
+        s.trim_to(l3).unwrap();
+        assert_eq!(s.read_all().unwrap(), vec![(l4, b"fourth!".to_vec())]);
+        let s2 = FileWalStore::open(&path).unwrap();
+        assert_eq!(s2.read_all().unwrap(), vec![(l4, b"fourth!".to_vec())]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_after_trim_respects_header() {
+        let path = tmpfile("trimtorn");
+        let l2 = {
+            let s = FileWalStore::open(&path).unwrap();
+            let l1 = s.append(b"gone").unwrap();
+            let l2 = s.append(b"kept").unwrap();
+            s.append(b"torn").unwrap();
+            s.sync().unwrap();
+            s.trim_to(l1).unwrap();
+            l2
+        };
+        // Tear the last frame's final byte off the trimmed file.
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 1]).unwrap();
+        let s = FileWalStore::open(&path).unwrap();
+        assert_eq!(s.truncated_tail(), FRAME_HEADER + 3);
+        assert_eq!(s.read_all().unwrap(), vec![(l2, b"kept".to_vec())]);
+        assert_eq!(s.end_lsn(), l2);
         std::fs::remove_file(&path).unwrap();
     }
 
