@@ -4,7 +4,9 @@
 
 use std::time::Duration;
 
-use pgssi_engine::Database;
+use pgssi_common::stats::fmt_ns;
+use pgssi_common::ObsConfig;
+use pgssi_engine::{Database, LatencyReport};
 
 /// Parsed argv for a figure binary. Construct with [`BenchArgs::parse`] in
 /// `main`, then pull typed flags off it.
@@ -94,6 +96,95 @@ impl BenchArgs {
             println!("{}", db.stats_report());
         }
     }
+
+    /// [`BenchArgs::print_stats`], but subtracting a warmup-boundary baseline
+    /// snapshot so only the measured window is reported (delta snapshots
+    /// replace the old counter-reset idiom — resets raced in-flight bumps).
+    pub fn print_stats_since(
+        &self,
+        label: &str,
+        db: &Database,
+        baseline: &pgssi_engine::StatsReport,
+    ) {
+        if self.flag("--stats") {
+            println!("\n[{label}] stats since warmup:");
+            println!("{}", db.stats_report().delta(baseline));
+        }
+    }
+
+    /// Latency recording is on by default; `--no-latency` turns the
+    /// histograms off for A/B overhead comparisons.
+    pub fn latency(&self) -> bool {
+        !self.flag("--no-latency")
+    }
+
+    /// True if `--trace` was passed (per-transaction event ring).
+    pub fn trace(&self) -> bool {
+        self.flag("--trace")
+    }
+
+    /// Observability config implied by the flags: `--no-latency` disables the
+    /// latency histograms, `--trace` enables the per-transaction event ring.
+    pub fn obs(&self) -> ObsConfig {
+        ObsConfig {
+            latency: self.latency(),
+            trace: self.trace(),
+            ..ObsConfig::default()
+        }
+    }
+
+    /// Print a percentile table for the run's latency histograms when
+    /// `--latency` was passed (recording itself defaults on; the flag only
+    /// controls the report). Skips histograms with no samples.
+    pub fn print_latency(&self, label: &str, db: &Database) {
+        if !self.flag("--latency") {
+            return;
+        }
+        let report = db.latency_report();
+        println!("\n[{label}] latency percentiles:");
+        println!(
+            "  {:<16} {:>10} {:>10} {:>10} {:>10} {:>10}",
+            "histogram", "n", "p50", "p95", "p99", "max"
+        );
+        for name in LatencyReport::NAMES {
+            let Some(h) = report.get(name) else { continue };
+            if h.count() == 0 {
+                continue;
+            }
+            // repl_catchup counts records-behind, not nanoseconds.
+            let f = |v: u64| {
+                if name == "repl_catchup" {
+                    v.to_string()
+                } else {
+                    fmt_ns(v)
+                }
+            };
+            println!(
+                "  {:<16} {:>10} {:>10} {:>10} {:>10} {:>10}",
+                name,
+                h.count(),
+                f(h.percentile(50.0)),
+                f(h.percentile(95.0)),
+                f(h.percentile(99.0)),
+                f(h.max())
+            );
+        }
+    }
+}
+
+/// JSON fragment for one histogram snapshot: `{"p50_us":…,"p95_us":…,
+/// "p99_us":…,"max_us":…,"n":…}` (microseconds, fractional). Used by the
+/// figure binaries that emit machine-readable trajectories.
+pub fn latency_json(h: &pgssi_common::HistSnapshot) -> String {
+    let us = |v: u64| v as f64 / 1000.0;
+    format!(
+        "{{\"n\":{},\"p50_us\":{:.1},\"p95_us\":{:.1},\"p99_us\":{:.1},\"max_us\":{:.1}}}",
+        h.count(),
+        us(h.percentile(50.0)),
+        us(h.percentile(95.0)),
+        us(h.percentile(99.0)),
+        us(h.max())
+    )
 }
 
 #[cfg(test)]
@@ -131,5 +222,19 @@ mod tests {
         assert!(a.json());
         assert!(!a.flag("--nope"));
         assert!(!args(&["x"]).json());
+    }
+
+    #[test]
+    fn obs_flags() {
+        // Recording defaults on; tracing defaults off.
+        let a = args(&["x"]);
+        assert!(a.latency() && !a.trace());
+        let obs = a.obs();
+        assert!(obs.latency && !obs.trace);
+
+        let a = args(&["x", "--no-latency", "--trace"]);
+        assert!(!a.latency() && a.trace());
+        let obs = a.obs();
+        assert!(!obs.latency && obs.trace);
     }
 }

@@ -8,6 +8,7 @@
 use pgssi_bench::args::BenchArgs;
 use pgssi_bench::harness::{print_header, print_normalized_row, Mode};
 use pgssi_bench::sibench::Sibench;
+use pgssi_common::{EngineConfig, IoModel};
 
 fn main() {
     let args = BenchArgs::parse();
@@ -26,7 +27,10 @@ fn main() {
         let mut results = Vec::new();
         last_dbs.clear();
         for mode in Mode::ALL {
-            let db = bench.setup(mode);
+            let db = bench.setup_with(EngineConfig {
+                obs: args.obs(),
+                ..mode.config(IoModel::in_memory())
+            });
             let r = bench.run_on(&db, mode, threads, duration, 42);
             results.push((mode, r));
             last_dbs.push((mode, db));
@@ -35,6 +39,7 @@ fn main() {
     }
     for (mode, db) in &last_dbs {
         args.print_stats(mode.label(), db);
+        args.print_latency(mode.label(), db);
     }
     println!("\npaper's shape: S2PL well below SI (readers block writers);");
     println!("SSI close to SI (10-20% CPU overhead), r/o optimization narrowing");

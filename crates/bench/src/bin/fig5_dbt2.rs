@@ -33,11 +33,12 @@ fn main() {
             .windows(2)
             .any(|w| w[0] == "--config" && w[1] == "disk");
 
-    let (base, label, modes): (Dbt2Config, &str, &[Mode]) = if disk {
+    let (mut base, label, modes): (Dbt2Config, &str, &[Mode]) = if disk {
         (Dbt2Config::disk_bound(), "5b (disk-bound)", &Mode::MAIN)
     } else {
         (Dbt2Config::in_memory(), "5a (in-memory)", &Mode::ALL)
     };
+    base.obs = args.obs();
 
     println!("Figure {label}: DBT-2++ throughput vs read-only fraction, normalized to SI");
     println!(
@@ -112,6 +113,7 @@ fn main() {
             // These databases carry the session counters; the trailing stats
             // loop below only covers the thread-per-client runs.
             args.print_stats(&format!("{} (sessions)", mode.label()), &db);
+            args.print_latency(&format!("{} (sessions)", mode.label()), &db);
         }
         println!("  (throughput is paced by sessions/(think+keying), not worker count,");
         println!("   until the worker pool saturates — the paper's Figure 5 client shape)");
@@ -119,5 +121,6 @@ fn main() {
 
     for (mode, db) in &dbs {
         args.print_stats(mode.label(), db);
+        args.print_latency(mode.label(), db);
     }
 }

@@ -13,7 +13,10 @@ fn main() {
     let args = BenchArgs::parse();
     let duration = args.duration_or(2000);
     let threads = args.usize_or("--threads", 8);
-    let config = RubisConfig::default();
+    let config = RubisConfig {
+        obs: args.obs(),
+        ..RubisConfig::default()
+    };
 
     println!("Figure 6: RUBiS bidding mix (85% read-only / 15% read-write)");
     println!(
@@ -47,5 +50,6 @@ fn main() {
     println!("highest failure rate (deadlocks from category-scan vs bid conflicts).");
     for (mode, db) in &dbs {
         args.print_stats(mode.label(), db);
+        args.print_latency(mode.label(), db);
     }
 }

@@ -45,11 +45,12 @@ fn scratch_dir(tag: &str) -> PathBuf {
     ))
 }
 
-fn durable_config(dir: &Path, group_commit: bool) -> EngineConfig {
+fn durable_config(dir: &Path, group_commit: bool, obs: pgssi_common::ObsConfig) -> EngineConfig {
     let mut wal = WalConfig::file(dir);
     wal.group_commit = group_commit;
     EngineConfig {
         wal,
+        obs,
         ..EngineConfig::default()
     }
 }
@@ -64,7 +65,7 @@ fn run_commit_phase(
     duration: std::time::Duration,
 ) -> (f64, u64, PathBuf) {
     let dir = scratch_dir(if group_commit { "gc" } else { "nogc" });
-    let db = Database::open_durable(durable_config(&dir, group_commit)).expect("open durable");
+    let db = Database::open_durable(durable_config(&dir, group_commit, args.obs())).expect("open");
     db.create_table(TableDef::new("kv", &["k", "v"], vec![0]))
         .unwrap();
     // Disjoint keys per (thread, iteration): every commit inserts one fresh
@@ -80,14 +81,13 @@ fn run_commit_phase(
             false
         }
     });
-    args.print_stats(
-        if group_commit {
-            "group commit on"
-        } else {
-            "group commit off"
-        },
-        &db,
-    );
+    let label = if group_commit {
+        "group commit on"
+    } else {
+        "group commit off"
+    };
+    args.print_stats(label, &db);
+    args.print_latency(label, &db);
     drop(db);
     (r.tps(), r.committed, dir)
 }
@@ -105,7 +105,8 @@ fn reopen_at_cut(src: &Path, cut: usize) -> std::io::Result<()> {
     std::fs::write(dir.join("wal.log"), &wal[..cut])?;
 
     let start = Instant::now();
-    let db = Database::open_durable(durable_config(&dir, true)).expect("reopen");
+    let db =
+        Database::open_durable(durable_config(&dir, true, Default::default())).expect("reopen");
     let open_time = start.elapsed();
     let report = db.stats_report();
     let rows = match db.begin(IsolationLevel::ReadCommitted).scan("kv") {

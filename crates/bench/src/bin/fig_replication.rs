@@ -49,6 +49,7 @@ fn main() {
 
     let db = Database::new(EngineConfig {
         replication: ReplicationConfig { mode },
+        obs: args.obs(),
         ..EngineConfig::default()
     });
     db.create_table(TableDef::new("kv", &["k", "v"], vec![0]))
@@ -194,7 +195,8 @@ fn main() {
              \"safe_queries\":{queries},\"safe_waits\":{waits},\"safe_snapshots\":{},\
              \"safe_local\":{},\"safe_marker\":{},\"marker_waits_avoided\":{},\
              \"unsafe_candidates\":{},\"mean_staleness\":{staleness_json},\
-             \"mean_lag_records\":{:.3},\"wal_records\":{}}}",
+             \"mean_lag_records\":{:.3},\"wal_records\":{},\
+             \"latency\":{{\"commit\":{},\"repl_catchup\":{}}}}}",
             duration.as_millis(),
             report.commits,
             report.repl_safe_snapshots(),
@@ -204,6 +206,18 @@ fn main() {
             report.repl_unsafe_candidates,
             report.repl_mean_lag(),
             report.repl_records,
+            pgssi_bench::args::latency_json(&report.latency.commit),
+            // Catch-up lag is records-behind, not time: raw percentiles.
+            {
+                let lag = &report.latency.repl_catchup;
+                format!(
+                    "{{\"n\":{},\"p50\":{},\"p99\":{},\"max\":{}}}",
+                    lag.count(),
+                    lag.percentile(50.0),
+                    lag.percentile(99.0),
+                    lag.max()
+                )
+            },
         );
         const JSON_PATH: &str = "BENCH_replication.json";
         match append_json_record(JSON_PATH, &record) {
@@ -212,6 +226,7 @@ fn main() {
         }
     }
     args.print_stats(&format!("fig_replication {mode_label}"), &db);
+    args.print_latency(&format!("fig_replication {mode_label}"), &db);
 
     println!(
         "\nexpected shape: locally-derived safe snapshots ≥ marker-mode safe snapshots on the"

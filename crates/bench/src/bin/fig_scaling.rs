@@ -34,7 +34,7 @@
 
 use std::time::Duration;
 
-use pgssi_bench::args::BenchArgs;
+use pgssi_bench::args::{latency_json, BenchArgs};
 use pgssi_bench::harness::{append_json_record, json_array, Mode};
 use pgssi_bench::sibench::Sibench;
 use pgssi_common::IoModel;
@@ -119,7 +119,19 @@ fn run_point(
             config.ssi.lock_partitions = partitions;
             config.ssi.graph_shards = graph_shards;
             config.ssi.read_batch = read_batch;
+            config.obs = args.obs();
             (*mode, bench.setup_with(config))
+        })
+        .collect();
+
+    // Warm each database briefly, then snapshot a stats baseline so the
+    // figures (and the --stats / --latency reports) cover only the measured
+    // window — delta snapshots instead of counter resets.
+    let baselines: Vec<_> = dbs
+        .iter()
+        .map(|(mode, db)| {
+            bench.run_read_mostly_on(db, *mode, threads[0], duration / 8, 41);
+            db.stats_report()
         })
         .collect();
 
@@ -156,10 +168,22 @@ fn run_point(
             })
             .collect::<Vec<_>>()
             .join(",");
+        // Commit-latency percentiles per mode, over the measured window only
+        // (delta against the post-warmup baseline).
+        let latency = dbs
+            .iter()
+            .zip(&baselines)
+            .map(|((mode, db), base)| {
+                let h = db.latency_report().delta(&base.latency);
+                format!("\"{}\":{}", mode.label(), latency_json(&h.commit))
+            })
+            .collect::<Vec<_>>()
+            .join(",");
         let record = format!(
             "{{\"bench\":\"fig_scaling\",\"unix_ms\":{unix_ms},\"partitions\":{partitions},\
              \"graph_shards\":{graph_shards},\"read_batch\":{read_batch},\"rows\":{rows},\
-             \"duration_ms\":{},\"threads\":{},\"tps\":{{{modes}}}}}",
+             \"duration_ms\":{},\"threads\":{},\"tps\":{{{modes}}},\
+             \"latency\":{{{latency}}}}}",
             duration.as_millis(),
             json_array(threads.iter()),
         );
@@ -170,13 +194,12 @@ fn run_point(
         }
     }
 
-    for (mode, db) in &dbs {
-        args.print_stats(
-            &format!(
-                "{} p{partitions} g{graph_shards} rb{read_batch}",
-                mode.label()
-            ),
-            db,
+    for ((mode, db), baseline) in dbs.iter().zip(&baselines) {
+        let label = format!(
+            "{} p{partitions} g{graph_shards} rb{read_batch}",
+            mode.label()
         );
+        args.print_stats_since(&label, db, baseline);
+        args.print_latency(&label, db);
     }
 }

@@ -190,6 +190,7 @@ fn main() {
     if let Some(batch) = read_batch {
         config.ssi.read_batch = batch;
     }
+    config.obs = args.obs();
     let shards = config.txn.id_shards;
     let db = bench.setup_with(config);
     let server = Arc::new(Server::new(
@@ -259,6 +260,7 @@ fn main() {
     println!("per-message socket round trip but the curve's shape should survive it.");
 
     args.print_stats("SSI", server.db());
+    args.print_latency("SSI", server.db());
     if let Some(front) = front {
         front.shutdown();
     }

@@ -26,7 +26,10 @@ fn main() {
         "§8.4: deferrable transactions vs a DBT-2++ load ({threads} threads, {probes} probes)\n"
     );
     let bench = Dbt2 {
-        config: Dbt2Config::in_memory(),
+        config: Dbt2Config {
+            obs: args.obs(),
+            ..Dbt2Config::in_memory()
+        },
     };
     let db = bench.setup(Mode::Ssi);
     let report = run_probe_on(&bench, &db, threads, probes, Duration::from_millis(2));
@@ -65,4 +68,5 @@ fn main() {
     println!("\npaper: median 1.98 s, p90 <= 6 s, max <= 20 s on their testbed —");
     println!("bounded waits of a few concurrent-transaction lifetimes, never starving.");
     args.print_stats("SSI", &db);
+    args.print_latency("SSI", &db);
 }

@@ -46,6 +46,9 @@ pub struct Dbt2Config {
     pub keying_time: Duration,
     /// I/O model: in-memory (Figure 5a) or disk-bound (Figure 5b).
     pub io: IoModel,
+    /// Observability knobs (latency histograms / tracing) for the database
+    /// this config builds.
+    pub obs: pgssi_common::ObsConfig,
 }
 
 impl Dbt2Config {
@@ -62,6 +65,7 @@ impl Dbt2Config {
             think_time: Duration::ZERO,
             keying_time: Duration::ZERO,
             io: IoModel::in_memory(),
+            obs: pgssi_common::ObsConfig::default(),
         }
     }
 
@@ -81,6 +85,7 @@ impl Dbt2Config {
             think_time: Duration::ZERO,
             keying_time: Duration::ZERO,
             io: IoModel::disk_bound(Duration::from_micros(40), 256),
+            obs: pgssi_common::ObsConfig::default(),
         }
     }
 }
@@ -95,7 +100,10 @@ impl Dbt2 {
     /// Create the schema and load the initial data set.
     pub fn setup(&self, mode: Mode) -> Database {
         let c = &self.config;
-        let db = Database::new(mode.config(c.io.clone()));
+        let db = Database::new(pgssi_common::EngineConfig {
+            obs: c.obs,
+            ..mode.config(c.io.clone())
+        });
         db.create_table(TableDef::new("warehouse", &["w_id", "name"], vec![0]))
             .unwrap();
         db.create_table(TableDef::new(
@@ -564,6 +572,7 @@ mod tests {
                 think_time: Duration::ZERO,
                 keying_time: Duration::ZERO,
                 io: IoModel::in_memory(),
+                obs: Default::default(),
             },
         }
     }

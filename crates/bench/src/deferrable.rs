@@ -146,6 +146,7 @@ mod tests {
             think_time: Duration::ZERO,
             keying_time: Duration::ZERO,
             io: IoModel::in_memory(),
+            obs: Default::default(),
         };
         let report = run_probe(config, 2, 5, Duration::from_millis(5));
         assert_eq!(report.waits.len(), 5, "no probe may starve");

@@ -29,6 +29,8 @@ pub struct RubisConfig {
     pub categories: i64,
     /// Pre-loaded bids.
     pub bids: i64,
+    /// Observability knobs (latency histograms / tracing).
+    pub obs: pgssi_common::ObsConfig,
 }
 
 impl Default for RubisConfig {
@@ -38,6 +40,7 @@ impl Default for RubisConfig {
             items: 200,
             categories: 10,
             bids: 400,
+            obs: pgssi_common::ObsConfig::default(),
         }
     }
 }
@@ -65,7 +68,10 @@ impl Rubis {
     /// Create the schema and load users, items, and bids.
     pub fn setup(&self, mode: Mode) -> Database {
         let c = &self.config;
-        let db = Database::new(mode.config(IoModel::in_memory()));
+        let db = Database::new(pgssi_common::EngineConfig {
+            obs: c.obs,
+            ..mode.config(IoModel::in_memory())
+        });
         db.create_table(TableDef::new("users", &["u_id", "name", "rating"], vec![0]))
             .unwrap();
         db.create_table(
@@ -278,6 +284,7 @@ mod tests {
                 items: 20,
                 categories: 4,
                 bids: 40,
+                obs: Default::default(),
             });
             let r = bench.run(mode, 2, Duration::from_millis(120), 11);
             assert!(r.committed > 0, "{mode:?} made no progress");
@@ -291,6 +298,7 @@ mod tests {
             items: 5,
             categories: 2,
             bids: 0,
+            obs: Default::default(),
         });
         let db = bench.setup(Mode::Ssi);
         let mut rng = SmallRng::seed_from_u64(1);

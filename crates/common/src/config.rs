@@ -364,6 +364,31 @@ impl Default for IoModel {
     }
 }
 
+/// Observability: latency histograms and the per-transaction event tracer.
+#[derive(Clone, Copy, Debug)]
+pub struct ObsConfig {
+    /// Record latency histograms (commit end-to-end plus per-phase timings).
+    /// On by default — recording is one relaxed atomic add per sample — and
+    /// switched off by the benches' `--no-latency` overhead baseline.
+    pub latency: bool,
+    /// Retain per-transaction lifecycle events (begin, conflict edges, doom,
+    /// commit/abort …) in a fixed-size ring. Off by default: the disabled
+    /// tracer allocates nothing and its record path is a single branch.
+    pub trace: bool,
+    /// Ring capacity (events) when tracing is enabled.
+    pub trace_capacity: usize,
+}
+
+impl Default for ObsConfig {
+    fn default() -> ObsConfig {
+        ObsConfig {
+            latency: true,
+            trace: false,
+            trace_capacity: 4096,
+        }
+    }
+}
+
 /// Top-level engine configuration.
 #[derive(Clone, Debug, Default)]
 pub struct EngineConfig {
@@ -377,6 +402,8 @@ pub struct EngineConfig {
     pub replication: ReplicationConfig,
     /// Durable-WAL placement and group-commit policy.
     pub wal: WalConfig,
+    /// Observability: histograms and tracing.
+    pub obs: ObsConfig,
 }
 
 #[cfg(test)]

@@ -17,11 +17,15 @@ pub mod target;
 pub mod value;
 
 pub use config::{
-    EngineConfig, IoModel, ReplicationConfig, ReplicationMode, ServerConfig, SsiConfig, TxnConfig,
-    WalConfig, WalMode,
+    EngineConfig, IoModel, ObsConfig, ReplicationConfig, ReplicationMode, ServerConfig, SsiConfig,
+    TxnConfig, WalConfig, WalMode,
 };
 pub use error::{Error, Result, SerializationKind};
 pub use ids::{CommitSeqNo, PageNo, RelId, SlotNo, TupleId, TxnId};
 pub use snapshot::Snapshot;
+pub use stats::{
+    AbortSite, AbortSnapshot, AbortStats, Counter, HistSnapshot, Histogram, TraceEvent, TraceTag,
+    Tracer,
+};
 pub use target::LockTarget;
 pub use value::{Key, Row, Value};

@@ -1,0 +1,133 @@
+//! Property and concurrency tests for the log-bucketed latency histogram.
+//!
+//! The histogram's contract has three load-bearing pieces:
+//!
+//! 1. **Sharding is invisible.** Recording a value set spread across many
+//!    threads (and therefore many shards) must produce exactly the snapshot a
+//!    single thread would — the merge in `snapshot()` is a plain per-bucket
+//!    sum and the bucketing function is deterministic, so no ordering or
+//!    interleaving can change the result.
+//! 2. **Percentiles are monotone and bounded.** p50 ≤ p95 ≤ p99 ≤ max for any
+//!    input, and every reported percentile is a bucket lower bound that
+//!    under-approximates the true value by at most one sub-bucket width
+//!    (12.5% relative error with 8 sub-buckets per octave).
+//! 3. **No samples are lost under contention.** A multi-thread stress run
+//!    must account for every single `record` call in the final count.
+
+use std::sync::Arc;
+
+use pgssi_common::stats::bucket_lower_bound;
+use pgssi_common::{HistSnapshot, Histogram};
+use proptest::prelude::*;
+
+/// Record `values` into a fresh histogram from `threads` threads, splitting
+/// the slice round-robin so every shard sees work.
+fn record_across_threads(values: &[u64], threads: usize) -> HistSnapshot {
+    let hist = Arc::new(Histogram::new());
+    std::thread::scope(|s| {
+        for th in 0..threads {
+            let hist = Arc::clone(&hist);
+            let mine: Vec<u64> = values.iter().copied().skip(th).step_by(threads).collect();
+            s.spawn(move || {
+                for v in mine {
+                    hist.record(v);
+                }
+            });
+        }
+    });
+    hist.snapshot()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Sharded multi-thread recording equals single-thread recording exactly.
+    #[test]
+    fn merge_of_shards_equals_single_recording(
+        values in proptest::collection::vec(0u64..1_000_000_000, 1..200),
+    ) {
+        let single = record_across_threads(&values, 1);
+        let sharded = record_across_threads(&values, 4);
+        prop_assert_eq!(single.count(), sharded.count());
+        prop_assert_eq!(single.max(), sharded.max());
+        prop_assert_eq!(
+            single.percentile(50.0), sharded.percentile(50.0));
+        prop_assert_eq!(
+            single.percentile(99.0), sharded.percentile(99.0));
+    }
+
+    /// p50 ≤ p95 ≤ p99 ≤ max, always.
+    #[test]
+    fn percentiles_are_monotone(
+        values in proptest::collection::vec(0u64..u64::MAX / 2, 1..200),
+    ) {
+        let snap = record_across_threads(&values, 2);
+        let p50 = snap.percentile(50.0);
+        let p95 = snap.percentile(95.0);
+        let p99 = snap.percentile(99.0);
+        prop_assert!(p50 <= p95);
+        prop_assert!(p95 <= p99);
+        prop_assert!(p99 <= snap.max());
+        prop_assert_eq!(snap.max(), values.iter().copied().max().unwrap());
+    }
+
+    /// Single-value histograms pin the bucketing function: every percentile
+    /// is the value's bucket lower bound, which under-approximates by at most
+    /// 12.5% (one sub-bucket), and identical values land in identical buckets
+    /// no matter which shard recorded them.
+    #[test]
+    fn bucket_boundaries_are_deterministic_and_tight(v in 0u64..u64::MAX / 2) {
+        let a = record_across_threads(&[v], 1);
+        let b = record_across_threads(&[v, v, v], 3);
+        let lb = a.percentile(50.0);
+        prop_assert_eq!(b.percentile(50.0), lb);
+        prop_assert_eq!(b.percentile(99.9), lb);
+        prop_assert!(lb <= v, "lower bound {lb} must not exceed {v}");
+        // Relative error bound: the bucket width is 1/8 of the octave, so the
+        // lower bound sits within 12.5% of the true value (exact below 8).
+        prop_assert!(
+            v.saturating_sub(lb) <= v / 8,
+            "bucket lower bound {lb} too far below {v}"
+        );
+    }
+}
+
+/// Four threads hammer one histogram; the final count must equal the exact
+/// number of record calls — the lock-free shard path may never drop a sample.
+#[test]
+fn concurrent_stress_keeps_exact_counts() {
+    const THREADS: usize = 4;
+    const PER_THREAD: u64 = 50_000;
+    let hist = Arc::new(Histogram::new());
+    std::thread::scope(|s| {
+        for th in 0..THREADS {
+            let hist = Arc::clone(&hist);
+            s.spawn(move || {
+                // Mixed magnitudes so all octaves see traffic.
+                for i in 0..PER_THREAD {
+                    hist.record((i << (th * 7)) | 1);
+                }
+            });
+        }
+    });
+    let snap = hist.snapshot();
+    assert_eq!(snap.count(), THREADS as u64 * PER_THREAD);
+    assert!(snap.max() > 0);
+    assert!(snap.percentile(50.0) <= snap.percentile(99.0));
+}
+
+/// `bucket_lower_bound` is the left inverse of bucketing: for a sweep of
+/// interesting values (powers of two and neighbors) the reported percentile
+/// of a single-value histogram is exactly `bucket_lower_bound` of its bucket,
+/// and lower bounds increase strictly with the bucket index.
+#[test]
+fn bucket_lower_bounds_strictly_increase() {
+    let mut prev = None;
+    for idx in 0..64 {
+        let lb = bucket_lower_bound(idx);
+        if let Some(p) = prev {
+            assert!(lb > p, "bucket {idx}: {lb} <= {p}");
+        }
+        prev = Some(lb);
+    }
+}

@@ -92,7 +92,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex};
-use pgssi_common::stats::Counter;
+use pgssi_common::stats::{Counter, Histogram, TraceTag, Tracer};
 use pgssi_common::{CommitSeqNo, Error, LockTarget, Result, SerializationKind, SsiConfig, TxnId};
 use pgssi_lockmgr::siread::SireadLockManager;
 use pgssi_storage::clog::{CommitLog, TxnStatus};
@@ -194,6 +194,11 @@ pub struct SsiStats {
     pub summarized: Counter,
     /// Committed transactions freed by horizon cleanup (§6.1).
     pub cleaned: Counter,
+    /// Time (ns) a successful commit spends inside the commit-order critical
+    /// section — from reaching for the order mutex (so acquisition waits are
+    /// included) to releasing it. Begins and aborts serialize on the same
+    /// mutex; this histogram is the direct measure of that bottleneck.
+    pub commit_order_ns: Histogram,
 }
 
 /// Sharded record registry: `SxactId → record` and `TxnId → record`
@@ -310,11 +315,20 @@ pub struct SsiManager {
     safety_cv: Condvar,
     /// Event counters.
     pub stats: SsiStats,
+    /// Per-transaction lifecycle tracer (disabled ring unless the engine
+    /// passes an enabled one through [`SsiManager::with_tracer`]).
+    tracer: Arc<Tracer>,
 }
 
 impl SsiManager {
-    /// New manager with the given configuration.
+    /// New manager with the given configuration and a disabled tracer.
     pub fn new(config: SsiConfig) -> SsiManager {
+        SsiManager::with_tracer(config, Arc::new(Tracer::disabled()))
+    }
+
+    /// New manager recording lifecycle events into `tracer`. The engine owns
+    /// the tracer (it survives simulated crash recovery) and shares it here.
+    pub fn with_tracer(config: SsiConfig, tracer: Arc<Tracer>) -> SsiManager {
         SsiManager {
             siread: SireadLockManager::new(config.clone()),
             serial: SerialTable::new(config.serial_ram_pages),
@@ -327,6 +341,7 @@ impl SsiManager {
             }),
             safety_cv: Condvar::new(),
             stats: SsiStats::default(),
+            tracer,
         }
     }
 
@@ -405,6 +420,7 @@ impl SsiManager {
         order.active.insert(id, Arc::clone(&rec));
         self.reg.insert(&rec);
         drop(order);
+        self.tracer.record(txid.0, TraceTag::Begin, 0);
         if needs_locks {
             // Registered after the order mutex is dropped: this transaction's
             // own thread is the only one that will acquire locks for it, and
@@ -629,7 +645,12 @@ impl SsiManager {
         // them pending would just trade this one spill for repeated
         // filter-hit walks on the peers' probes.
         if !me.wrote() {
-            self.siread.publish_pending(sx.0);
+            let published = self.siread.publish_pending(sx.0);
+            self.tracer.record(me.txid.0, TraceTag::FirstWrite, 0);
+            if published > 0 {
+                self.tracer
+                    .record(me.txid.0, TraceTag::Publish, published as u64);
+            }
         }
         me.set_wrote();
         // Probe the (partitioned) SIREAD table before any record lock: the
@@ -756,6 +777,12 @@ impl SsiManager {
             }
             wg.in_conflicts.insert(reader.id);
             self.stats.conflicts_flagged.bump();
+            // Two halves of one rw-antidependency edge, from each endpoint's
+            // point of view (a pivot shows one ConflictIn and one ConflictOut).
+            self.tracer
+                .record(reader.txid.0, TraceTag::ConflictOut, writer.txid.0);
+            self.tracer
+                .record(writer.txid.0, TraceTag::ConflictIn, reader.txid.0);
             trace!(
                 "edge {:?}(txid {:?}) -rw-> {:?}(txid {:?}) acting={:?}",
                 reader.id,
@@ -909,6 +936,7 @@ impl SsiManager {
             }
             t2.doom();
             self.stats.doomed_set.bump();
+            self.tracer.record(t2.txid.0, TraceTag::Doom, 0);
             return Ok(());
         }
         if let Some(t1x) = t1 {
@@ -938,6 +966,7 @@ impl SsiManager {
         for v in dooms {
             if v.doom_if_abortable() {
                 self.stats.doomed_set.bump();
+                self.tracer.record(v.txid.0, TraceTag::Doom, 0);
             } else {
                 self.stats.aborts_self.bump();
                 return Err(Error::serialization(
@@ -1007,6 +1036,7 @@ impl SsiManager {
                     g.earliest_out_conflict_commit
                 );
                 drop(g);
+                self.tracer.record(me.txid.0, TraceTag::Prepare, 0);
                 Ok(())
             }
             Err(e) => {
@@ -1136,6 +1166,7 @@ impl SsiManager {
         if t2.is_abortable() {
             t2.doom();
             self.stats.doomed_set.bump();
+            self.tracer.record(t2.txid.0, TraceTag::Doom, 0);
             return Ok(());
         }
         // Pivot is prepared (§7.1): each dangerous T1 must die instead —
@@ -1284,6 +1315,7 @@ impl SsiManager {
         publish: impl FnOnce(CommitDigest),
     ) -> Result<CommitSeqNo> {
         let mut ops = DeferredLockOps::default();
+        let section = self.stats.commit_order_ns.start();
         let mut order = self.order.lock();
         let me = self.reg.get(sx).expect("commit on unknown record");
         if enforce_pivot_check {
@@ -1362,6 +1394,8 @@ impl SsiManager {
         self.cleanup_locked(&mut order, &mut ops);
         let excess = self.pop_excess_committed(&mut order);
         drop(order);
+        self.stats.commit_order_ns.record_elapsed(section);
+        self.tracer.record(me.txid.0, TraceTag::Commit, 0);
         // The O(degree) summarization walks and whole-table SIREAD work run
         // after the commit-order mutex is released.
         for rec in excess {
@@ -1407,6 +1441,7 @@ impl SsiManager {
             )
         };
         order.active.remove(&sx);
+        self.tracer.record(me.txid.0, TraceTag::Abort, 0);
         if !me.declared_read_only {
             publish(me.txid);
         }

@@ -8,7 +8,7 @@ use std::time::Duration;
 
 use parking_lot::{Mutex, RwLock};
 use pgssi_common::config::WalMode;
-use pgssi_common::stats::Counter;
+use pgssi_common::stats::{Counter, HistSnapshot, TraceEvent, Tracer};
 use pgssi_common::{CommitSeqNo, EngineConfig, Error, Key, Result, Snapshot, TxnId};
 use pgssi_core::{SafetyState, SsiManager, SxactId};
 use pgssi_lockmgr::s2pl::S2plLockManager;
@@ -95,6 +95,12 @@ pub struct EngineStats {
     pub aborts: Counter,
     /// Times a deferrable transaction had to retry with a fresh snapshot.
     pub deferrable_retries: Counter,
+    /// End-to-end commit latency (ns): from entering `Transaction::commit`
+    /// to the commit being durable (successful commits only).
+    pub commit_ns: pgssi_common::Histogram,
+    /// Abort taxonomy: every serialization failure and deadlock surfaced to
+    /// a transaction, classified by kind and detecting site.
+    pub aborts_by: pgssi_common::AbortStats,
 }
 
 /// Session-layer event counters, bumped by `pgssi-server`'s session pool when
@@ -235,6 +241,70 @@ pub struct StatsReport {
     pub wal_torn_bytes: u64,
     /// Whether group commit is in force.
     pub wal_group_commit: bool,
+    /// Abort taxonomy: kind × detecting-site counts plus per-relation tallies.
+    pub aborts_by: pgssi_common::AbortSnapshot,
+    /// Latency histograms for the commit path and its phases.
+    pub latency: LatencyReport,
+    /// Lifecycle events recorded by the tracer (0 unless `obs.trace` is on).
+    pub trace_events: u64,
+}
+
+/// Latency histograms gathered by [`Database::stats_report`]: end-to-end
+/// commit latency plus the per-phase timings the paper's overhead discussion
+/// (§8) cares about. All values are nanoseconds except `repl_catchup`, which
+/// counts records-behind per replica catch-up.
+#[derive(Clone, Debug, Default)]
+pub struct LatencyReport {
+    /// `Transaction::commit` entry → durable, successful commits only.
+    pub commit: HistSnapshot,
+    /// Commit-order critical section (mutex acquisition + hold).
+    pub commit_order: HistSnapshot,
+    /// Group-commit fsync waits (time parked behind a leader's fsync).
+    pub fsync_wait: HistSnapshot,
+    /// Row-lock waits (time parked on another transaction's finish).
+    pub row_lock_wait: HistSnapshot,
+    /// SIREAD read-set batch publication (spill into the partition table).
+    pub siread_publish: HistSnapshot,
+    /// Replica catch-up lag, in records behind (not time).
+    pub repl_catchup: HistSnapshot,
+}
+
+impl LatencyReport {
+    /// The names `Database::histogram` (and the wire verb `HIST <name>`)
+    /// resolve, in display order.
+    pub const NAMES: [&'static str; 6] = [
+        "commit",
+        "commit_order",
+        "fsync_wait",
+        "row_lock_wait",
+        "siread_publish",
+        "repl_catchup",
+    ];
+
+    /// Look a histogram up by its [`LatencyReport::NAMES`] entry.
+    pub fn get(&self, name: &str) -> Option<&HistSnapshot> {
+        match name {
+            "commit" => Some(&self.commit),
+            "commit_order" => Some(&self.commit_order),
+            "fsync_wait" => Some(&self.fsync_wait),
+            "row_lock_wait" => Some(&self.row_lock_wait),
+            "siread_publish" => Some(&self.siread_publish),
+            "repl_catchup" => Some(&self.repl_catchup),
+            _ => None,
+        }
+    }
+
+    /// Samples recorded since `baseline`.
+    pub fn delta(&self, baseline: &LatencyReport) -> LatencyReport {
+        LatencyReport {
+            commit: self.commit.delta(&baseline.commit),
+            commit_order: self.commit_order.delta(&baseline.commit_order),
+            fsync_wait: self.fsync_wait.delta(&baseline.fsync_wait),
+            row_lock_wait: self.row_lock_wait.delta(&baseline.row_lock_wait),
+            siread_publish: self.siread_publish.delta(&baseline.siread_publish),
+            repl_catchup: self.repl_catchup.delta(&baseline.repl_catchup),
+        }
+    }
 }
 
 impl StatsReport {
@@ -270,15 +340,104 @@ impl StatsReport {
             self.txn_snapshot_hits as f64 / total as f64
         }
     }
+
+    /// Events recorded since `baseline` — the race-free replacement for
+    /// resetting counters at a warmup boundary (zeroing relaxed counters from
+    /// a coordinator races with worker bumps and undercounts; subtracting two
+    /// snapshots never loses an event). Shape fields (shard/partition counts,
+    /// group-commit flag) and gauges (`siread_locks`) keep `self`'s value.
+    pub fn delta(&self, baseline: &StatsReport) -> StatsReport {
+        macro_rules! sub {
+            ($($f:ident),* $(,)?) => {
+                StatsReport {
+                    $($f: self.$f.saturating_sub(baseline.$f),)*
+                    ssi_graph_shards: self.ssi_graph_shards,
+                    siread_partitions: self.siread_partitions,
+                    siread_locks: self.siread_locks,
+                    txn_id_shards: self.txn_id_shards,
+                    wal_group_commit: self.wal_group_commit,
+                    aborts_by: self.aborts_by.delta(&baseline.aborts_by),
+                    latency: self.latency.delta(&baseline.latency),
+                }
+            };
+        }
+        sub!(
+            commits,
+            aborts,
+            ssi_conflicts_flagged,
+            ssi_dangerous_structures,
+            ssi_aborts_self,
+            ssi_doomed,
+            ssi_summary_aborts,
+            ssi_safe_snapshots,
+            ssi_summarized,
+            siread_acquisitions,
+            siread_promotions,
+            siread_partition_taken,
+            siread_partition_contended,
+            siread_local_accumulated,
+            siread_batches_published,
+            siread_filter_probes,
+            siread_filter_hits,
+            siread_forced_publishes,
+            s2pl_grants,
+            s2pl_waits,
+            s2pl_deadlocks,
+            txn_begins,
+            txn_snapshot_hits,
+            txn_snapshot_incremental,
+            txn_snapshot_full_rebuilds,
+            txn_id_blocks,
+            txn_wait_reports,
+            sessions_opened,
+            session_requests,
+            session_executed,
+            session_worker_parks,
+            session_lock_wakeups,
+            session_reserve_workers,
+            repl_records,
+            repl_markers_shipped,
+            repl_resolves_shipped,
+            repl_safe_local,
+            repl_safe_marker,
+            repl_marker_waits_avoided,
+            repl_unsafe_candidates,
+            repl_catch_ups,
+            repl_lag_records,
+            wal_records,
+            wal_bytes,
+            wal_syncs,
+            wal_sync_waits,
+            wal_recovered_records,
+            wal_torn_bytes,
+            trace_events,
+        )
+    }
+}
+
+/// One `name p50 … p95 … p99 … max … (n=…)` fragment for the `latency:` line.
+fn fmt_hist(f: &mut std::fmt::Formatter<'_>, name: &str, h: &HistSnapshot) -> std::fmt::Result {
+    use pgssi_common::stats::fmt_ns;
+    write!(
+        f,
+        "{} p50 {} p95 {} p99 {} max {} (n={})",
+        name,
+        fmt_ns(h.percentile(50.0)),
+        fmt_ns(h.percentile(95.0)),
+        fmt_ns(h.percentile(99.0)),
+        fmt_ns(h.max()),
+        h.count()
+    )
 }
 
 impl std::fmt::Display for StatsReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(
             f,
-            "engine : commits {}  aborts {}",
-            self.commits, self.aborts
+            "engine : commits {}  aborts {}  trace-events {}",
+            self.commits, self.aborts, self.trace_events
         )?;
+        writeln!(f, "aborts : {}", self.aborts_by)?;
         writeln!(
             f,
             "ssi    : conflicts {}  dangerous {}  self-aborts {}  doomed {}  \
@@ -357,18 +516,54 @@ impl std::fmt::Display for StatsReport {
             self.repl_catch_ups,
             self.repl_mean_lag(),
         )?;
-        write!(
+        // Sync waits only exist under group commit (followers waiting on a
+        // leader's batched fsync); with it off the counter is structurally
+        // zero, which reads like "no contention" — print n/a instead.
+        let sync_waits = if self.wal_group_commit {
+            self.wal_sync_waits.to_string()
+        } else {
+            "n/a".to_string()
+        };
+        writeln!(
             f,
             "wal    : records {}  bytes {}  syncs {}  sync-waits {}  recovered {}  \
              torn-bytes {}  group-commit {}",
             self.wal_records,
             self.wal_bytes,
             self.wal_syncs,
-            self.wal_sync_waits,
+            sync_waits,
             self.wal_recovered_records,
             self.wal_torn_bytes,
             if self.wal_group_commit { "on" } else { "off" },
-        )
+        )?;
+        // Commit latency always; phase histograms only once they have samples
+        // (repl_catchup is records-behind, rendered as a plain count).
+        write!(f, "latency: ")?;
+        fmt_hist(f, "commit", &self.latency.commit)?;
+        for name in [
+            "commit_order",
+            "fsync_wait",
+            "row_lock_wait",
+            "siread_publish",
+        ] {
+            let h = self.latency.get(name).unwrap();
+            if h.count() > 0 {
+                write!(f, "  |  ")?;
+                fmt_hist(f, name, h)?;
+            }
+        }
+        if self.latency.repl_catchup.count() > 0 {
+            let h = &self.latency.repl_catchup;
+            write!(
+                f,
+                "  |  repl_catchup p50 {} p99 {} max {} records (n={})",
+                h.percentile(50.0),
+                h.percentile(99.0),
+                h.max(),
+                h.count()
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -394,6 +589,9 @@ pub(crate) struct DbInner {
     /// Replication counters (master-side shipping + replica-side derivation;
     /// replicas bump their master's counters so `stats_report` sees both).
     pub repl_stats: ReplicationStats,
+    /// Lifecycle tracer, shared with the SSI manager (and re-shared with the
+    /// rebuilt manager after simulated crash recovery, so the ring survives).
+    pub tracer: Arc<Tracer>,
 }
 
 impl DbInner {
@@ -438,11 +636,19 @@ impl Database {
 
     fn fresh(config: EngineConfig, dwal: DurableWal) -> Database {
         let cache = Arc::new(BufferCache::new(config.io.clone()));
-        Database {
+        let tracer = Arc::new(if config.obs.trace {
+            Tracer::new(config.obs.trace_capacity)
+        } else {
+            Tracer::disabled()
+        });
+        let db = Database {
             inner: Arc::new(DbInner {
                 catalog: Catalog::new(cache),
                 tm: TxnManager::with_config(&config.txn),
-                ssi: RwLock::new(Arc::new(SsiManager::new(config.ssi.clone()))),
+                ssi: RwLock::new(Arc::new(SsiManager::with_tracer(
+                    config.ssi.clone(),
+                    Arc::clone(&tracer),
+                ))),
                 s2pl: S2plLockManager::new(),
                 unique_stripes: (0..64).map(|_| Mutex::new(())).collect(),
                 active_snapshots: Mutex::new(HashMap::new()),
@@ -452,9 +658,26 @@ impl Database {
                 stats: EngineStats::default(),
                 session_stats: SessionStats::default(),
                 repl_stats: ReplicationStats::default(),
+                tracer,
                 config,
             }),
-        }
+        };
+        db.apply_latency_config();
+        db
+    }
+
+    /// Propagate `config.obs.latency` to every layer's histogram (they are
+    /// constructed enabled; the `--no-latency` overhead baseline turns them
+    /// all off). Re-applied to the rebuilt SSI manager after crash recovery.
+    fn apply_latency_config(&self) {
+        let on = self.inner.config.obs.latency;
+        let ssi = self.inner.ssi();
+        self.inner.stats.commit_ns.set_enabled(on);
+        ssi.stats.commit_order_ns.set_enabled(on);
+        ssi.siread().publish_ns.set_enabled(on);
+        self.inner.tm.stats.wait_ns.set_enabled(on);
+        self.inner.dwal.stats.sync_wait_ns.set_enabled(on);
+        self.inner.repl_stats.lag_hist.set_enabled(on);
     }
 
     /// Open with default configuration (in-memory, both optimizations on).
@@ -848,7 +1071,41 @@ impl Database {
             wal_recovered_records: self.inner.dwal.stats.recovered_records.get(),
             wal_torn_bytes: self.inner.dwal.stats.torn_bytes.get(),
             wal_group_commit: self.inner.dwal.group_commit(),
+            aborts_by: self.inner.stats.aborts_by.snapshot(),
+            latency: self.latency_report(),
+            trace_events: self.inner.tracer.events.get(),
         }
+    }
+
+    /// Snapshot every latency histogram (the `latency` field of
+    /// [`Database::stats_report`], also available on its own).
+    pub fn latency_report(&self) -> LatencyReport {
+        let ssi = self.inner.ssi();
+        LatencyReport {
+            commit: self.inner.stats.commit_ns.snapshot(),
+            commit_order: ssi.stats.commit_order_ns.snapshot(),
+            fsync_wait: self.inner.dwal.stats.sync_wait_ns.snapshot(),
+            row_lock_wait: self.inner.tm.stats.wait_ns.snapshot(),
+            siread_publish: ssi.siread().publish_ns.snapshot(),
+            repl_catchup: self.inner.repl_stats.lag_hist.snapshot(),
+        }
+    }
+
+    /// Look up one latency histogram by name (see [`LatencyReport::NAMES`]);
+    /// the wire verb `HIST <name>` resolves through this.
+    pub fn histogram(&self, name: &str) -> Option<HistSnapshot> {
+        self.latency_report().get(name).cloned()
+    }
+
+    /// Dump the lifecycle tracer's ring, oldest retained event first. Empty
+    /// unless the database was opened with `obs.trace` on.
+    pub fn trace_dump(&self) -> Vec<TraceEvent> {
+        self.inner.tracer.dump()
+    }
+
+    /// [`Database::trace_dump`] filtered to one transaction.
+    pub fn trace_dump_txn(&self, txid: TxnId) -> Vec<TraceEvent> {
+        self.inner.tracer.dump_txn(txid.0)
     }
 
     /// The transaction manager (tests).
@@ -980,8 +1237,12 @@ impl Database {
             .lock()
             .retain(|x, _| prepared_xids.contains(x));
 
-        // Rebuild the SSI manager from the persistent records.
-        let fresh = Arc::new(SsiManager::new(self.inner.config.ssi.clone()));
+        // Rebuild the SSI manager from the persistent records. The tracer is
+        // shared, not rebuilt: pre-crash events stay inspectable.
+        let fresh = Arc::new(SsiManager::with_tracer(
+            self.inner.config.ssi.clone(),
+            Arc::clone(&self.inner.tracer),
+        ));
         let mut prepared = self.inner.prepared.lock();
         for rec in prepared.values_mut() {
             rec.sx = rec
@@ -990,6 +1251,7 @@ impl Database {
                 .map(|ssi_rec| fresh.recover_prepared(ssi_rec));
         }
         *self.inner.ssi.write() = fresh;
+        self.apply_latency_config();
     }
 
     // ------------------------------------------------------------------

@@ -297,6 +297,10 @@ pub struct WalStats {
     pub recovered_records: Counter,
     /// Torn-tail bytes truncated at open.
     pub torn_bytes: Counter,
+    /// Time (ns) a committer spent in `wait_durable` parked behind another
+    /// committer's in-flight fsync (group commit only; leaders and the
+    /// non-group ablation fsync directly and record nothing here).
+    pub sync_wait_ns: pgssi_common::Histogram,
 }
 
 struct SyncState {
@@ -468,7 +472,9 @@ impl DurableWal {
                 // A leader's fsync is in flight; it may have started before
                 // our append, so re-check after it finishes.
                 self.stats.sync_waits.bump();
+                let parked = self.stats.sync_wait_ns.start();
                 self.sync_cv.wait(&mut st);
+                self.stats.sync_wait_ns.record_elapsed(parked);
             } else {
                 st.leader_running = true;
                 drop(st);

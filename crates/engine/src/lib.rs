@@ -32,7 +32,9 @@ pub mod txn;
 pub mod vacuum;
 
 pub use catalog::{IndexDef, IndexKind, TableDef};
-pub use database::{BeginOptions, Database, IsolationLevel, SessionStats, StatsReport};
+pub use database::{
+    BeginOptions, Database, IsolationLevel, LatencyReport, SessionStats, StatsReport,
+};
 pub use durability::{decode_commit, encode_commit, DurableWal, RedoOp, CHECKPOINT_FILE, WAL_FILE};
 pub use pgssi_core::CommitDigest;
 pub use replication::{Replica, ReplicationStats, WalRecord, WalStream};

@@ -130,6 +130,9 @@ pub struct ReplicationStats {
     /// Sum over catch-ups of how many records the replica was behind —
     /// `lag_records / catch_ups` is the mean replication lag.
     pub lag_records: Counter,
+    /// Distribution of per-catch-up lag (in *records behind*, not time):
+    /// the histogram behind the mean above, so tail lag is visible too.
+    pub lag_hist: pgssi_common::Histogram,
 }
 
 /// The master's outgoing log stream.
@@ -367,6 +370,7 @@ impl Replica {
         let n = records.len();
         stats.catch_ups.bump();
         stats.lag_records.add(n as u64);
+        stats.lag_hist.record(n as u64);
         st.next_record += n;
         for r in records {
             st.apply(r, stats);

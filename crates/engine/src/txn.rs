@@ -28,6 +28,7 @@ use std::collections::HashSet;
 use std::ops::Bound;
 use std::sync::Arc;
 
+use pgssi_common::stats::AbortSite;
 use pgssi_common::{Error, Key, LockTarget, Result, Row, Snapshot, TupleId, TxnId};
 use pgssi_core::SxactId;
 use pgssi_lockmgr::s2pl::LockMode;
@@ -161,7 +162,7 @@ impl Transaction {
                     pgssi_common::SerializationKind::Doomed,
                     "transaction was chosen as a serialization-failure victim",
                 );
-                return Err(self.auto_abort(e));
+                return Err(self.abort_at(e, AbortSite::Statement, None));
             }
         }
         if !self.opts.isolation.txn_snapshot() || self.is_2pl() {
@@ -180,6 +181,14 @@ impl Transaction {
             self.rollback_in_place();
         }
         e
+    }
+
+    /// Taxonomy bookkeeping + auto-abort. The engine layer is the only place
+    /// that knows *where* a failure was detected, so the per-site counters
+    /// live here rather than in the SSI core.
+    fn abort_at(&mut self, e: Error, site: AbortSite, rel: Option<u64>) -> Error {
+        self.db.stats.aborts_by.record_error(&e, site, rel);
+        self.auto_abort(e)
     }
 
     fn rollback_in_place(&mut self) {
@@ -210,10 +219,11 @@ impl Transaction {
 
     fn s2pl_lock(&mut self, target: LockTarget, mode: LockMode) -> Result<()> {
         let timeout = self.db.config.ssi.lock_wait_timeout;
+        let rel = target.relation().0 as u64;
         self.db
             .s2pl
             .acquire(self.txid.0, target, mode, timeout)
-            .map_err(|e| self.auto_abort(e))
+            .map_err(|e| self.abort_at(e, AbortSite::LockWait, Some(rel)))
     }
 
     fn ssi_read(&self, targets: &[LockTarget]) {
@@ -230,7 +240,7 @@ impl Transaction {
     fn ssi_events(&mut self, events: &[pgssi_storage::VisEvent]) -> Result<()> {
         if let Some(sx) = self.sx {
             if let Err(e) = self.db.ssi().on_mvcc_events(sx, events, self.db.tm.clog()) {
-                return Err(self.auto_abort(e));
+                return Err(self.abort_at(e, AbortSite::OnRead, None));
             }
         }
         Ok(())
@@ -239,8 +249,12 @@ impl Transaction {
     fn ssi_write(&mut self, chain: &[LockTarget], written: Option<LockTarget>) -> Result<()> {
         if let Some(sx) = self.sx {
             let in_sub = !self.subxids.is_empty();
+            let rel = written
+                .as_ref()
+                .or(chain.first())
+                .map(|t| t.relation().0 as u64);
             if let Err(e) = self.db.ssi().on_write(sx, chain, written, in_sub) {
-                return Err(self.auto_abort(e));
+                return Err(self.abort_at(e, AbortSite::OnWrite, rel));
             }
         }
         Ok(())
@@ -873,10 +887,11 @@ impl Transaction {
     /// READ COMMITTED re-runs the statement against a fresh snapshot.
     fn concurrent_update_outcome(&mut self) -> Result<VersionLock> {
         if self.opts.isolation.txn_snapshot() && !self.is_2pl() {
-            Err(self.auto_abort(Error::serialization(
+            let e = Error::serialization(
                 pgssi_common::SerializationKind::WriteConflict,
                 "concurrent update committed first",
-            )))
+            );
+            Err(self.abort_at(e, AbortSite::OnWrite, None))
         } else {
             // RC / 2PL: re-read latest state and retry.
             self.snapshot = self.db.tm.snapshot();
@@ -889,7 +904,7 @@ impl Transaction {
         self.db
             .tm
             .wait_for(self.txid, holder, timeout)
-            .map_err(|e| self.auto_abort(e))
+            .map_err(|e| self.abort_at(e, AbortSite::LockWait, None))
     }
 
     fn stripe_for(&self, table: &str, key: &Key) -> usize {
@@ -1043,6 +1058,7 @@ impl Transaction {
     /// read-mostly fast path the session front-end leans on.
     pub fn commit(mut self) -> Result<()> {
         self.ensure_active()?;
+        let span = self.db.stats.commit_ns.start();
         let mut xids = vec![self.txid];
         xids.extend(&self.subxids);
         let wrote = self.wrote;
@@ -1062,7 +1078,7 @@ impl Transaction {
         if let Some(sx) = self.sx {
             let ssi = self.db.ssi();
             if let Err(e) = ssi.precommit(sx, self.db.tm.frontier()) {
-                return Err(self.auto_abort(e));
+                return Err(self.abort_at(e, AbortSite::Precommit, None));
             }
             // The checked commit re-validates the dangerous-pivot condition
             // under the commit-order mutex (a concurrent T3 may have
@@ -1084,7 +1100,7 @@ impl Transaction {
                 },
                 |digest| db.wal.publish_commit(db, digest),
             ) {
-                return Err(self.auto_abort(e));
+                return Err(self.abort_at(e, AbortSite::Precommit, None));
             }
         } else {
             let csn = {
@@ -1117,6 +1133,7 @@ impl Transaction {
         }
         self.db.active_snapshots.lock().remove(&self.txid);
         self.db.stats.commits.bump();
+        self.db.stats.commit_ns.record_elapsed(span);
         self.finished = true;
         Ok(())
     }
@@ -1138,7 +1155,7 @@ impl Transaction {
                 let ssi = self.db.ssi();
                 match ssi.prepare(sx, self.db.tm.frontier()) {
                     Ok(rec) => Some(rec),
-                    Err(e) => return Err(self.auto_abort(e)),
+                    Err(e) => return Err(self.abort_at(e, AbortSite::Prepare, None)),
                 }
             }
             None => None,

@@ -431,3 +431,82 @@ fn single_phantom_edge_is_allowed() {
         .expect("single rw edge: no dangerous structure");
     scanner.commit().expect("scanner unaffected");
 }
+
+/// The observability surface on a write-skew abort: the abort taxonomy names
+/// the dangerous-structure kind and the detecting site, and (with tracing on)
+/// the event ring holds both halves of the rw-antidependency edges that made
+/// the aborted transaction a pivot — `ConflictIn` and `ConflictOut` on the
+/// same txid, per §3.1's T_in/T_out structure.
+#[test]
+fn write_skew_abort_is_classified_and_traced() {
+    use pgssi_common::{EngineConfig, Error, TraceTag};
+
+    let mut config = EngineConfig::default();
+    config.obs.trace = true;
+    let db = Database::new(config);
+    db.create_table(TableDef::new("doctors", &["name", "on_call"], vec![0]))
+        .unwrap();
+    {
+        let mut t = db.begin(IsolationLevel::ReadCommitted);
+        t.insert("doctors", row!["alice", true]).unwrap();
+        t.insert("doctors", row!["bob", true]).unwrap();
+        t.commit().unwrap();
+    }
+    let baseline = db.stats_report();
+    assert_eq!(baseline.aborts_by.total(), 0);
+
+    // Interleaving where the pivot's out-neighbor commits first (the §3.3.1
+    // commit-ordering shape), so the pivot itself is the transaction that
+    // fails — deterministically t1, with both rw edges on its own txid.
+    let mut t1 = db.begin(IsolationLevel::Serializable);
+    let mut t2 = db.begin(IsolationLevel::Serializable);
+    let ids = [t1.txid().0, t2.txid().0];
+    assert!(on_call_count(&mut t1) >= 2);
+    assert!(on_call_count(&mut t2) >= 2);
+    take_off_call(&mut t2, "bob");
+    t2.commit().expect("t2 commits first; no cycle yet");
+    // t1 read bob (overwritten by committed t2: out-edge) and now overwrites
+    // alice, which t2 read (in-edge): t1 is a pivot whose T3 committed first.
+    let loser = ids[0];
+    let failure = t1
+        .update("doctors", &row!["alice"], row!["alice", false])
+        .err()
+        .unwrap_or_else(|| t1.commit().expect_err("pivot with committed T3 must abort"));
+    assert!(
+        matches!(failure, Error::SerializationFailure { .. }),
+        "write skew must fail as a serialization failure: {failure:?}"
+    );
+
+    // Taxonomy: exactly one abort since the baseline, attributed to a
+    // dangerous-structure kind and a detecting site (`kind@site`).
+    let aborts = db.stats_report().aborts_by.delta(&baseline.aborts_by);
+    assert_eq!(aborts.total(), 1, "one classified abort: {aborts}");
+    let line = aborts.to_string();
+    assert!(
+        line.contains("pivot@"),
+        "kind must be a dangerous-structure abort: {line}"
+    );
+    assert!(
+        line.contains('@') && !line.contains("none"),
+        "taxonomy names the detecting site: {line}"
+    );
+
+    // Tracer: the two-transaction cycle gives each side one incoming and one
+    // outgoing rw-antidependency edge, so the aborted pivot must show both
+    // `ConflictIn` and `ConflictOut` events, plus its terminal `Abort`.
+    let dump = db.trace_dump_txn(pgssi_common::TxnId(loser));
+    let has = |tag: TraceTag| dump.iter().any(|e| e.tag == tag);
+    assert!(has(TraceTag::Begin), "missing Begin: {dump:?}");
+    assert!(
+        has(TraceTag::ConflictIn) && has(TraceTag::ConflictOut),
+        "pivot must carry both halves of the rw edges: {dump:?}"
+    );
+    assert!(has(TraceTag::Abort), "missing Abort: {dump:?}");
+    // The edge peers are the other transaction of the pair.
+    for e in dump
+        .iter()
+        .filter(|e| matches!(e.tag, TraceTag::ConflictIn | TraceTag::ConflictOut))
+    {
+        assert!(ids.contains(&e.peer), "edge peer outside the pair: {e:?}");
+    }
+}

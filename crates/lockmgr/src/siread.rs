@@ -195,6 +195,10 @@ pub struct SireadLockManager {
     pub filter_hits: Counter,
     /// Pending batches force-published by a writer's filter hit.
     pub forced_publishes: Counter,
+    /// Time (ns) spent spilling a pending read-set batch into the partition
+    /// table, across all three publish triggers (batch boundary, first own
+    /// write / 2PC prepare, writer force-publish).
+    pub publish_ns: pgssi_common::Histogram,
 }
 
 /// SplitMix64 finalizer: cheap, well-mixed 64-bit hash for partition choice.
@@ -231,6 +235,7 @@ impl SireadLockManager {
             filter_probes: Counter::new(),
             filter_hits: Counter::new(),
             forced_publishes: Counter::new(),
+            publish_ns: pgssi_common::Histogram::new(),
         }
     }
 
@@ -378,6 +383,7 @@ impl SireadLockManager {
         if ol.pending.is_empty() {
             return;
         }
+        let span = self.publish_ns.start();
         let batch = ol.pending.drain();
         {
             let mut mg = self.lock_targets(batch.iter().copied());
@@ -394,6 +400,7 @@ impl SireadLockManager {
             let (fp, fs) = self.filter_slot_of(t);
             self.filter.remove(fp, fs);
         }
+        self.publish_ns.record_elapsed(span);
     }
 
     /// Publish `owner`'s pending read-set batch, if any. The SSI core calls

@@ -50,6 +50,21 @@ use std::sync::{Arc, Weak};
 /// Identifies a session within its pool.
 pub type SessionId = usize;
 
+/// One row of the `ACTIVITY` introspection listing (pg_stat_activity
+/// analogue): what a session is doing *right now*.
+#[derive(Clone, Debug, Default)]
+pub struct SessionActivity {
+    /// Open transaction's id, if any.
+    pub txid: Option<u64>,
+    /// Short isolation label ("SSI", "SI", "RC", "S2PL") for the open
+    /// transaction.
+    pub isolation: Option<&'static str>,
+    /// The txid this session is currently blocked on (row-lock wait), set by
+    /// the wait observer when the owning worker parks and cleared when the
+    /// request that blocked completes.
+    pub waiting_on: Option<u64>,
+}
+
 /// Cap on concurrently-live emergency reserve workers. One suffices for the
 /// canonical all-blocked-on-one-holder shape; a few more cover a reserve
 /// itself blocking on a second descheduled holder. Past the cap the pool
@@ -122,6 +137,9 @@ struct PoolInner {
     /// [`SessionPool::note_txn`]/[`SessionPool::forget_txn`]), so the wait
     /// observer can map a blocking txid back to its session.
     txn_owners: Mutex<HashMap<TxnId, SessionId>>,
+    /// Live-session activity for the `ACTIVITY` verb. Innermost lock: taken
+    /// only as a leaf, never while acquiring another pool lock.
+    activity: Mutex<HashMap<SessionId, SessionActivity>>,
 }
 
 /// A fixed-worker pool executing [`SessionTask`] activations.
@@ -151,6 +169,7 @@ impl SessionPool {
             }),
             work: Condvar::new(),
             txn_owners: Mutex::new(HashMap::new()),
+            activity: Mutex::new(HashMap::new()),
         });
         // Lock-aware scheduling: a worker about to park on a row lock tells
         // us the holder's txid; if that transaction belongs to a descheduled
@@ -159,9 +178,9 @@ impl SessionPool {
         // lock timeout. The observer holds only a weak handle (the Database
         // outlives pools fronting it; a dead pool's observer is a no-op).
         let weak: Weak<PoolInner> = Arc::downgrade(&inner);
-        inner.db.set_wait_observer(Arc::new(move |_waiter, holder| {
+        inner.db.set_wait_observer(Arc::new(move |waiter, holder| {
             if let Some(pool) = weak.upgrade() {
-                pool.report_wait(holder);
+                pool.report_wait(waiter, holder);
             }
         }));
         let workers = (0..inner.cfg.workers)
@@ -208,6 +227,10 @@ impl SessionPool {
         st.live += 1;
         st.ready.push_back(sid);
         drop(st);
+        self.inner
+            .activity
+            .lock()
+            .insert(sid, SessionActivity::default());
         self.inner.db.session_stats().sessions_opened.bump();
         self.inner.work.notify_one();
         Ok(sid)
@@ -258,6 +281,32 @@ impl SessionPool {
     /// Forget a finished transaction's ownership (COMMIT/ABORT/close).
     pub fn forget_txn(&self, txid: TxnId) {
         self.inner.txn_owners.lock().remove(&txid);
+    }
+
+    /// Refresh `sid`'s `ACTIVITY` row after a request completes: the open
+    /// transaction (if any) and its isolation label. Clears any recorded wait
+    /// target — if the session *was* blocked, the request that blocked it has
+    /// finished by the time this runs.
+    pub fn note_activity(&self, sid: SessionId, txn: Option<(TxnId, &'static str)>) {
+        if let Some(a) = self.inner.activity.lock().get_mut(&sid) {
+            a.txid = txn.map(|(t, _)| t.0);
+            a.isolation = txn.map(|(_, iso)| iso);
+            a.waiting_on = None;
+        }
+    }
+
+    /// Snapshot of every live session's activity, sorted by session id (the
+    /// `ACTIVITY` verb's payload).
+    pub fn activity_rows(&self) -> Vec<(SessionId, SessionActivity)> {
+        let mut rows: Vec<(SessionId, SessionActivity)> = self
+            .inner
+            .activity
+            .lock()
+            .iter()
+            .map(|(sid, a)| (*sid, a.clone()))
+            .collect();
+        rows.sort_by_key(|(sid, _)| *sid);
+        rows
     }
 
     /// Live-session count.
@@ -318,18 +367,25 @@ impl PoolInner {
             *s = None;
             st.free.push(sid);
             st.live -= 1;
+            self.activity.lock().remove(&sid);
         }
         drop(st);
         self.work.notify_all();
     }
 
-    /// Wait-observer entry point: the calling worker is about to park on a
-    /// row lock held by `holder`. Marks this worker blocked (cleared when its
-    /// activation returns) and priority-wakes the holder's session.
-    fn report_wait(self: &Arc<Self>, holder: TxnId) {
+    /// Wait-observer entry point: the calling worker (running `waiter`'s
+    /// session) is about to park on a row lock held by `holder`. Marks this
+    /// worker blocked (cleared when its activation returns), records the wait
+    /// target for `ACTIVITY`, and priority-wakes the holder's session.
+    fn report_wait(self: &Arc<Self>, waiter: TxnId, holder: TxnId) {
         // First report of this activation: count the worker as blocked.
         if IN_WAIT_REPORT.with(|f| !f.replace(true)) {
             self.state.lock().waiting_workers += 1;
+        }
+        if let Some(sid) = self.txn_owners.lock().get(&waiter).copied() {
+            if let Some(a) = self.activity.lock().get_mut(&sid) {
+                a.waiting_on = Some(holder.0);
+            }
         }
         self.wake_txn_owner(holder);
     }
@@ -468,6 +524,7 @@ fn worker_loop(inner: &PoolInner, reserve: bool) {
                         *slot = None;
                         st.free.push(sid);
                         st.live -= 1;
+                        inner.activity.lock().remove(&sid);
                     }
                     continue;
                 }
@@ -489,6 +546,7 @@ fn worker_loop(inner: &PoolInner, reserve: bool) {
                     st.slots[sid] = None;
                     st.free.push(sid);
                     st.live -= 1;
+                    inner.activity.lock().remove(&sid);
                 }
                 Next::Again => {
                     slot.task = Some(task);

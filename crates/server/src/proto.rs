@@ -13,7 +13,17 @@
 //! SCAN <table>
 //! COMMIT
 //! ABORT
+//! STATS                                   # full engine stats report
+//! ACTIVITY                                # pg_stat_activity-style session list
+//! HIST <name>                             # latency-histogram percentiles
 //! ```
+//!
+//! The three introspection verbs work outside a transaction (they read
+//! engine/pool state, not table data). `STATS` returns the whole
+//! [`pgssi_engine::StatsReport`] flattened to one line; `ACTIVITY` returns a
+//! `ROWS` response with one `sid,state,txid,isolation,wait` row per live
+//! session; `HIST` returns `HIST <name> n=… p50=… p95=… p99=… max=…`
+//! (nanoseconds).
 //!
 //! Values parse as `i64`, `true`/`false`, `NULL`, or fall back to text.
 //! Responses are single lines: `OK [n]`, `ROW v v ...`, `NIL`,
@@ -49,6 +59,12 @@ pub enum Command {
     Commit,
     /// Roll back the open transaction.
     Abort,
+    /// Full engine stats report (one flattened line).
+    Stats,
+    /// Per-session activity listing (pg_stat_activity analogue).
+    Activity,
+    /// Percentiles for one named latency histogram.
+    Hist { name: String },
 }
 
 /// Options carried by `BEGIN`.
@@ -211,6 +227,26 @@ pub fn parse(line: &str) -> Result<Command, String> {
                 Err("ABORT takes no arguments".into())
             }
         }
+        "STATS" => {
+            if rest.is_empty() {
+                Ok(Command::Stats)
+            } else {
+                Err("STATS takes no arguments".into())
+            }
+        }
+        "ACTIVITY" => {
+            if rest.is_empty() {
+                Ok(Command::Activity)
+            } else {
+                Err("ACTIVITY takes no arguments".into())
+            }
+        }
+        "HIST" => match rest {
+            [name] => Ok(Command::Hist {
+                name: name.to_string(),
+            }),
+            _ => Err("HIST takes exactly a histogram name".into()),
+        },
         other => Err(format!("unknown command {other:?}")),
     }
 }
@@ -299,6 +335,22 @@ mod tests {
         assert!(parse("COMMIT now").is_err());
         assert!(parse("BEGIN SIDEWAYS").is_err());
         assert!(parse("BEGIN REPEATABLE WRITE").is_err());
+        assert!(parse("STATS verbose").is_err());
+        assert!(parse("ACTIVITY all").is_err());
+        assert!(parse("HIST").is_err());
+        assert!(parse("HIST commit extra").is_err());
+    }
+
+    #[test]
+    fn introspection_verbs_parse() {
+        assert_eq!(parse("STATS").unwrap(), Command::Stats);
+        assert_eq!(parse("activity").unwrap(), Command::Activity);
+        assert_eq!(
+            parse("HIST commit").unwrap(),
+            Command::Hist {
+                name: "commit".into()
+            }
+        );
     }
 
     #[test]

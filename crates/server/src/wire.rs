@@ -20,7 +20,7 @@ use std::sync::Arc;
 
 use parking_lot::{Condvar, Mutex};
 use pgssi_common::{Error, Result, ServerConfig, TxnId};
-use pgssi_engine::{Database, Transaction};
+use pgssi_engine::{Database, IsolationLevel, Transaction};
 
 use crate::pool::{Next, SessionId, SessionPool, SessionTask};
 use crate::proto::{self, Command};
@@ -315,8 +315,17 @@ impl SessionTask for WireTask {
                 return Next::Stop;
             };
             let prev = self.txn.as_ref().map(|t| t.txid());
-            let response = execute_line(db, sid, &mut self.txn, &mut self.shapes, &line);
+            let response =
+                execute_line(db, sid, &self.pool, &mut self.txn, &mut self.shapes, &line);
             self.track_txn(sid, prev);
+            if let Some(pool) = self.pool.upgrade() {
+                pool.note_activity(
+                    sid,
+                    self.txn
+                        .as_ref()
+                        .map(|t| (t.txid(), iso_label(t.isolation()))),
+                );
+            }
             db.session_stats().requests_executed.bump();
             self.respond(response);
         }
@@ -328,10 +337,21 @@ fn err(msg: impl std::fmt::Display) -> String {
     format!("ERR {}", msg.to_string().replace('\n', " "))
 }
 
+/// Short isolation label used in `ACTIVITY` rows.
+fn iso_label(iso: IsolationLevel) -> &'static str {
+    match iso {
+        IsolationLevel::ReadCommitted => "RC",
+        IsolationLevel::RepeatableRead => "SI",
+        IsolationLevel::Serializable => "SSI",
+        IsolationLevel::Serializable2pl => "S2PL",
+    }
+}
+
 /// Execute one request line against the session's transaction slot.
 fn execute_line(
     db: &Database,
     sid: SessionId,
+    pool: &std::sync::Weak<SessionPool>,
     txn: &mut Option<Transaction>,
     shapes: &mut HashMap<String, (Vec<usize>, usize)>,
     line: &str,
@@ -402,6 +422,55 @@ fn execute_line(
             t.delete(&table, &key)
                 .map(|hit| format!("OK {}", u8::from(hit)))
         }),
+        // Introspection verbs: read engine/pool state, no transaction needed.
+        // Responses are single lines like everything else on the wire.
+        Command::Stats => {
+            let report = db.stats_report().to_string();
+            format!("STATS {}", report.lines().collect::<Vec<_>>().join(" ; "))
+        }
+        Command::Hist { name } => match db.histogram(&name) {
+            Some(h) => format!(
+                "HIST {name} n={} p50={} p95={} p99={} max={}",
+                h.count(),
+                h.percentile(50.0),
+                h.percentile(95.0),
+                h.percentile(99.0),
+                h.max()
+            ),
+            None => err(format!(
+                "unknown histogram {name:?} (try one of: {})",
+                pgssi_engine::LatencyReport::NAMES.join(", ")
+            )),
+        },
+        Command::Activity => {
+            let Some(pool) = pool.upgrade() else {
+                return err("pool shut down");
+            };
+            let rows = pool.activity_rows();
+            let body = rows
+                .iter()
+                .map(|(sid, a)| {
+                    let state = match (a.txid, a.waiting_on) {
+                        (Some(_), Some(_)) => "waiting",
+                        (Some(_), None) => "active",
+                        _ => "idle",
+                    };
+                    let fmt = |v: Option<u64>| v.map_or("-".to_string(), |v| v.to_string());
+                    format!(
+                        "{sid},{state},{},{},{}",
+                        fmt(a.txid),
+                        a.isolation.unwrap_or("-"),
+                        fmt(a.waiting_on)
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join("|");
+            if body.is_empty() {
+                format!("ROWS {}", rows.len())
+            } else {
+                format!("ROWS {} {body}", rows.len())
+            }
+        }
         Command::Scan { table } => with_txn(txn, |t| {
             let rows = t.scan(&table)?;
             let body = rows

@@ -401,6 +401,144 @@ fn all_workers_blocked_on_one_holder_resolves_via_reserve_worker() {
 }
 
 // ---------------------------------------------------------------------------
+// Introspection verbs: STATS / HIST / ACTIVITY
+// ---------------------------------------------------------------------------
+
+/// `STATS` and `HIST` round-trip over both transports: single-line responses
+/// whose numbers reflect work the session just did, and unknown histogram
+/// names fail helpfully instead of fatally.
+#[test]
+fn stats_and_hist_verbs_round_trip() {
+    for rig in rigs(2, 8) {
+        let s = rig.client();
+        assert_eq!(ok(&*s, "BEGIN"), "OK");
+        assert_eq!(ok(&*s, "PUT kv 1 10"), "OK");
+        assert_eq!(ok(&*s, "COMMIT"), "OK");
+
+        let stats = ok(&*s, "STATS");
+        assert!(stats.starts_with("STATS "), "got {stats}");
+        assert!(!stats.contains('\n'), "wire responses are single lines");
+        assert!(stats.contains("commits"), "got {stats}");
+        assert!(stats.contains("aborts"), "got {stats}");
+
+        // Latency recording is on by default, so the COMMIT above must show
+        // up in the commit histogram with nonzero percentiles.
+        let hist = ok(&*s, "HIST commit");
+        let n: u64 = hist
+            .strip_prefix("HIST commit n=")
+            .and_then(|rest| rest.split_whitespace().next())
+            .and_then(|n| n.parse().ok())
+            .unwrap_or_else(|| panic!("unparseable HIST response: {hist}"));
+        assert!(n >= 1, "the COMMIT above must be recorded: {hist}");
+        for field in ["p50=", "p95=", "p99=", "max="] {
+            assert!(hist.contains(field), "missing {field} in {hist}");
+        }
+
+        let bad = ok(&*s, "HIST bogus");
+        assert!(bad.starts_with("ERR"), "got {bad}");
+        assert!(bad.contains("commit"), "ERR must list known names: {bad}");
+
+        // The introspection verbs left the session fully usable.
+        assert_eq!(ok(&*s, "BEGIN"), "OK");
+        assert_eq!(ok(&*s, "GET kv 1"), "ROW 1 10");
+        assert_eq!(ok(&*s, "COMMIT"), "OK");
+        drop(s);
+        rig.shutdown();
+    }
+}
+
+/// `ACTIVITY` shows a session genuinely parked on a row lock: state
+/// `waiting`, its own txid and isolation level, and the *holder's* txid as
+/// the wait target — the wire-level analogue of pg_stat_activity's
+/// wait_event columns. Runs over both transports.
+#[test]
+fn activity_reports_blocked_session_and_wait_target() {
+    for tcp in [false, true] {
+        // A longer lock timeout than `kv_server`'s 200ms: the observer must
+        // get its ACTIVITY response while the waiter is still parked.
+        let mut config = EngineConfig::default();
+        config.ssi.lock_wait_timeout = std::time::Duration::from_secs(5);
+        let db = Database::new(config);
+        db.create_table(TableDef::new("kv", &["k", "v"], vec![0]))
+            .unwrap();
+        let server = Server::new(
+            db,
+            ServerConfig {
+                workers: 3,
+                max_sessions: 8,
+            },
+        );
+        let rig = Rig {
+            tcp: if tcp {
+                Some(server.listen("127.0.0.1:0").unwrap())
+            } else {
+                None
+            },
+            server,
+        };
+
+        let setup = rig.client();
+        assert_eq!(ok(&*setup, "BEGIN"), "OK");
+        assert_eq!(ok(&*setup, "PUT kv 7 70"), "OK");
+        assert_eq!(ok(&*setup, "COMMIT"), "OK");
+
+        // Interactive holder: takes the row lock, then deschedules.
+        let holder = rig.client();
+        assert_eq!(ok(&*holder, "BEGIN REPEATABLE READ"), "OK");
+        assert_eq!(ok(&*holder, "PUT kv 7 71"), "OK");
+
+        let waiter = rig.client();
+        assert_eq!(ok(&*waiter, "BEGIN READ COMMITTED"), "OK");
+        waiter.send("PUT kv 7 72").unwrap(); // parks on the holder's row lock
+
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(2);
+        while rig.server.db().stats_report().txn_wait_reports < 1 {
+            assert!(std::time::Instant::now() < deadline, "worker never blocked");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+
+        // Response shape: `ROWS <n> sid,state,txid,iso,wait|...`.
+        let observer = rig.client();
+        let activity = ok(&*observer, "ACTIVITY");
+        let body = activity
+            .strip_prefix("ROWS ")
+            .unwrap_or_else(|| panic!("not a ROWS response: {activity}"))
+            .split_once(' ')
+            .map_or("", |(_, b)| b);
+        let rows: Vec<Vec<&str>> = body.split('|').map(|r| r.split(',').collect()).collect();
+        let waiting: Vec<&Vec<&str>> = rows.iter().filter(|r| r[1] == "waiting").collect();
+        assert_eq!(waiting.len(), 1, "exactly one waiting session: {activity}");
+        let w = waiting[0];
+        assert_ne!(w[2], "-", "waiting session must report a txid: {activity}");
+        assert_eq!(w[3], "RC", "waiter runs READ COMMITTED: {activity}");
+        // The wait target is the holder's txid — the one session currently
+        // active under REPEATABLE READ (labelled SI on the wire).
+        let holders: Vec<&Vec<&str>> = rows
+            .iter()
+            .filter(|r| r[1] == "active" && r[3] == "SI")
+            .collect();
+        assert_eq!(holders.len(), 1, "holder visible as active SI: {activity}");
+        assert_eq!(
+            w[4], holders[0][2],
+            "wait target must be the holder's txid: {activity}"
+        );
+
+        // Unblock and finish cleanly: the waiter's PUT succeeds once the
+        // holder commits, and a fresh ACTIVITY shows no one waiting.
+        assert_eq!(ok(&*holder, "COMMIT"), "OK");
+        assert_eq!(waiter.recv().unwrap(), "OK");
+        assert_eq!(ok(&*waiter, "COMMIT"), "OK");
+        let after = ok(&*observer, "ACTIVITY");
+        assert!(
+            !after.contains("waiting"),
+            "no session should still be waiting: {after}"
+        );
+        drop((setup, holder, waiter, observer));
+        rig.shutdown();
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Transport/TCP-specific behavior
 // ---------------------------------------------------------------------------
 

@@ -109,6 +109,9 @@ pub struct TxnStats {
     /// `wait_for` sleeps that reported their blocking txid to a registered
     /// wait observer (the session pool's lock-aware scheduling hook).
     pub wait_reports: Counter,
+    /// Row-lock wait time (ns): how long `wait_for` actually parked before
+    /// the holder finished, the wait timed out, or deadlock aborted it.
+    pub wait_ns: pgssi_common::Histogram,
 }
 
 /// A shard's reserved txid block: ids in `[next, end)` are carved off the
@@ -554,6 +557,7 @@ impl TxnManager {
             self.stats.wait_reports.bump();
             obs(waiter, waitee);
         }
+        let parked = self.stats.wait_ns.start();
         let result = loop {
             if !self.is_active(waitee) {
                 break Ok(());
@@ -562,6 +566,7 @@ impl TxnManager {
                 break Err(Error::LockTimeout);
             }
         };
+        self.stats.wait_ns.record_elapsed(parked);
         w.remove(&waiter);
         result
     }
