@@ -199,6 +199,7 @@ fn main() {
             workers,
             // Headroom: sweep cells reconnect fresh terminals each round.
             max_sessions: max_sessions + 64,
+            ..ServerConfig::default()
         },
     ));
     let front = if tcp {

@@ -494,6 +494,7 @@ impl Dbt2 {
             pgssi_common::ServerConfig {
                 workers,
                 max_sessions: sessions,
+                ..pgssi_common::ServerConfig::default()
             },
         );
         let stop = Arc::new(AtomicBool::new(false));

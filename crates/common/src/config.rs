@@ -249,6 +249,15 @@ pub struct ServerConfig {
     pub workers: usize,
     /// Maximum number of concurrently open logical sessions.
     pub max_sessions: usize,
+    /// Longest request line (bytes, terminator excluded) the TCP front-end
+    /// accepts. A client streaming an endless line would otherwise grow the
+    /// reader's buffer without bound; past the cap the connection is closed
+    /// (its open transaction rolls back, like any disconnect).
+    pub max_request_line: usize,
+    /// Idle timeout on a TCP connection's reader: a connection that sends no
+    /// bytes for this long is closed. `None` = wait forever (in-process
+    /// sessions are never subject to it).
+    pub idle_timeout: Option<std::time::Duration>,
 }
 
 impl Default for ServerConfig {
@@ -259,6 +268,8 @@ impl Default for ServerConfig {
                 .unwrap_or(4)
                 .min(16),
             max_sessions: 1024,
+            max_request_line: 1 << 20,
+            idle_timeout: Some(std::time::Duration::from_secs(300)),
         }
     }
 }

@@ -11,6 +11,7 @@
 pub mod config;
 pub mod error;
 pub mod ids;
+pub mod sim;
 pub mod snapshot;
 pub mod stats;
 pub mod target;

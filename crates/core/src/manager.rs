@@ -89,9 +89,10 @@
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
-use parking_lot::{Condvar, Mutex};
+use parking_lot::{Condvar, Mutex, MutexGuard};
+use pgssi_common::sim::{self, Site, WakeReason};
 use pgssi_common::stats::{Counter, Histogram, TraceTag, Tracer};
 use pgssi_common::{CommitSeqNo, Error, LockTarget, Result, SerializationKind, SsiConfig, TxnId};
 use pgssi_lockmgr::siread::SireadLockManager;
@@ -313,6 +314,13 @@ pub struct SsiManager {
     next_id: AtomicU64,
     order: Mutex<CommitOrder>,
     safety_cv: Condvar,
+    /// Test-only gate: emulate the historical pivot-precommit race by
+    /// skipping the order-mutex-authoritative `pivot_commit_check` re-run at
+    /// commit (restoring the precommit-only logic this repo shipped before
+    /// the race was fixed). The deterministic-simulation regression tests
+    /// flip this on to prove the harness finds the bug on pinned seeds;
+    /// nothing in production code sets it.
+    emulate_pivot_race: std::sync::atomic::AtomicBool,
     /// Event counters.
     pub stats: SsiStats,
     /// Per-transaction lifecycle tracer (disabled ring unless the engine
@@ -340,14 +348,42 @@ impl SsiManager {
                 committed: VecDeque::new(),
             }),
             safety_cv: Condvar::new(),
+            emulate_pivot_race: std::sync::atomic::AtomicBool::new(false),
             stats: SsiStats::default(),
             tracer,
         }
     }
 
+    /// Enable/disable the pivot-race emulation (see the field docs). Test
+    /// hook for the simulation regression suite; defaults to off.
+    pub fn set_emulate_pivot_race(&self, on: bool) {
+        self.emulate_pivot_race.store(on, Ordering::Relaxed);
+    }
+
     /// The active configuration.
     pub fn config(&self) -> &SsiConfig {
         &self.config
+    }
+
+    /// Acquire the commit-order mutex.
+    ///
+    /// Under the simulator this is a yield point followed by a
+    /// `try_lock`-with-yield spin instead of a kernel block: yield points
+    /// exist *inside* order-holding critical sections (the durable-WAL append
+    /// in the engine's commit closure runs under this mutex), so a sim thread
+    /// must never block in the kernel on a mutex whose holder is parked — it
+    /// would hold the run token forever. Real mode takes the plain lock.
+    fn lock_order(&self) -> MutexGuard<'_, CommitOrder> {
+        if sim::is_sim_thread() {
+            sim::yield_point(Site::CommitOrder);
+            loop {
+                if let Some(g) = self.order.try_lock() {
+                    return g;
+                }
+                sim::yield_point(Site::LockSpin);
+            }
+        }
+        self.order.lock()
     }
 
     /// The SIREAD lock manager (diagnostics and tests).
@@ -389,7 +425,7 @@ impl SsiManager {
         declared_read_only: bool,
         deferrable: bool,
     ) -> SxactId {
-        let mut order = self.order.lock();
+        let mut order = self.lock_order();
         let snapshot_csn = acquire_snapshot();
         let id = SxactId(self.next_id.fetch_add(1, Ordering::Relaxed));
         let rec = Arc::new(Sxact::new(
@@ -1263,7 +1299,7 @@ impl SsiManager {
         commit_csn: CommitSeqNo,
         publish: impl FnOnce(CommitDigest),
     ) {
-        let order = self.order.lock();
+        let order = self.lock_order();
         let digest = CommitDigest {
             txid,
             commit_csn,
@@ -1285,7 +1321,7 @@ impl SsiManager {
     /// publish section, so "every record published after my attach" is a
     /// well-defined set.
     pub fn commit_order_barrier<T>(&self, f: impl FnOnce() -> T) -> T {
-        let _order = self.order.lock();
+        let _order = self.lock_order();
         f()
     }
 
@@ -1316,9 +1352,9 @@ impl SsiManager {
     ) -> Result<CommitSeqNo> {
         let mut ops = DeferredLockOps::default();
         let section = self.stats.commit_order_ns.start();
-        let mut order = self.order.lock();
+        let mut order = self.lock_order();
         let me = self.reg.get(sx).expect("commit on unknown record");
-        if enforce_pivot_check {
+        if enforce_pivot_check && !self.emulate_pivot_race.load(Ordering::Relaxed) {
             // Order-mutex-authoritative: every earlier commit's CSN fold
             // happened inside its own order section. Failing here is clean —
             // the transaction manager has not committed yet, and the engine
@@ -1341,6 +1377,18 @@ impl SsiManager {
             )
         };
         order.active.remove(&sx);
+        // The commit CSN is now visible (the transaction-manager commit ran
+        // inside the record-lock block above) but the in-sources' bounds are
+        // not yet folded: exactly the window the commit-time pivot re-check
+        // exists to close. Yield so seeded schedules can land a peer's
+        // precommit inside it; the emulation gate widens it so the historical
+        // miss reproduces on practical seed counts.
+        sim::yield_point(Site::CsnFold);
+        if self.emulate_pivot_race.load(Ordering::Relaxed) {
+            for _ in 0..16 {
+                sim::yield_point(Site::CsnFold);
+            }
+        }
         // Our commit fixes the CSN of every in-source's out-conflict to us.
         // (An edge flagged after the clone above sees our commit CSN itself,
         // because its flagger serializes on our lock; min() is idempotent.)
@@ -1403,6 +1451,7 @@ impl SsiManager {
         }
         ops.run(&self.siread);
         self.safety_cv.notify_all();
+        sim::notify(Site::SafetyWait, self.safety_key());
         Ok(csn)
     }
 
@@ -1421,7 +1470,7 @@ impl SsiManager {
     /// this transaction as concurrent *after* its abort is published.
     pub fn abort_with(&self, sx: SxactId, publish: impl FnOnce(TxnId)) {
         let mut ops = DeferredLockOps::default();
-        let mut order = self.order.lock();
+        let mut order = self.lock_order();
         let Some(me) = self.reg.get(sx) else {
             return;
         };
@@ -1469,6 +1518,7 @@ impl SsiManager {
         self.siread.release_owner(sx.0);
         ops.run(&self.siread);
         self.safety_cv.notify_all();
+        sim::notify(Site::SafetyWait, self.safety_key());
     }
 
     /// A read/write transaction `w` finished; update read-only transaction `r`'s
@@ -1535,17 +1585,36 @@ impl SsiManager {
     /// transactions, §4.3), or until `timeout` elapses (returns `Pending`).
     /// The wait parks on the commit-order mutex — safety flags flip under it.
     pub fn wait_for_safety(&self, sx: SxactId, timeout: Duration) -> SafetyState {
-        let deadline = Instant::now() + timeout;
-        let mut order = self.order.lock();
+        let deadline = sim::now() + timeout;
+        let mut order = self.lock_order();
         loop {
             let state = self.snapshot_safety(sx);
             if state != SafetyState::Pending {
                 return state;
             }
-            if self.safety_cv.wait_until(&mut order, deadline).timed_out() {
+            if sim::is_sim_thread() {
+                // Sim park: release the order mutex, hand the token to the
+                // scheduler, re-acquire (try-lock spin) on wake.
+                drop(order);
+                let r = sim::block(Site::SafetyWait, self.safety_key(), Some(deadline));
+                order = self.lock_order();
+                if r == WakeReason::TimedOut {
+                    let state = self.snapshot_safety(sx);
+                    if state != SafetyState::Pending {
+                        return state;
+                    }
+                    return SafetyState::Pending;
+                }
+            } else if self.safety_cv.wait_until(&mut order, deadline).timed_out() {
                 return SafetyState::Pending;
             }
         }
+    }
+
+    /// Scheduler wakeup key for safety waits (runtime matching only).
+    #[inline]
+    fn safety_key(&self) -> usize {
+        std::ptr::addr_of!(self.safety_cv) as usize
     }
 
     // ------------------------------------------------------------------
@@ -1576,7 +1645,7 @@ impl SsiManager {
     /// in and out (§7.1); the recorded earliest out-conflict bound is its prepare
     /// CSN (anything later cannot have committed first).
     pub fn recover_prepared(&self, rec: &PreparedSsi) -> SxactId {
-        let mut order = self.order.lock();
+        let mut order = self.lock_order();
         let id = SxactId(self.next_id.fetch_add(1, Ordering::Relaxed));
         let sx = Arc::new(Sxact::new(id, rec.txid, rec.snapshot_csn, false, false));
         sx.set_phase(Phase::Prepared);
@@ -1748,12 +1817,12 @@ impl SsiManager {
 
     /// Number of active (and prepared) serializable transactions.
     pub fn active_count(&self) -> usize {
-        self.order.lock().active.len()
+        self.lock_order().active.len()
     }
 
     /// Number of committed records currently retained.
     pub fn committed_retained(&self) -> usize {
-        self.order.lock().committed.len()
+        self.lock_order().committed.len()
     }
 
     /// Total transaction records (bounded-memory assertions).

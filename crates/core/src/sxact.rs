@@ -195,9 +195,16 @@ impl Sxact {
         }
     }
 
-    /// Lock this record's edge state.
+    /// Lock this record's edge state. A committing transaction holds this
+    /// across the durable-WAL append (which contains sim yield points), so a
+    /// sim thread must acquire it cooperatively — never by OS-blocking on a
+    /// holder that is parked in the scheduler.
     pub fn lock(&self) -> MutexGuard<'_, SxactMut> {
-        self.mu.lock()
+        pgssi_common::sim::lock_cooperatively(
+            pgssi_common::sim::Site::LockSpin,
+            || self.mu.try_lock(),
+            || self.mu.lock(),
+        )
     }
 
     /// Current phase (lock-free; accurate when the record's lock is held).
@@ -319,7 +326,7 @@ impl Sxact {
     /// whether the victim was claimed; `false` means it prepared or committed
     /// first and the caller must pick another victim (§5.4, §7.1).
     pub fn doom_if_abortable(&self) -> bool {
-        let _g = self.mu.lock();
+        let _g = self.lock();
         if self.is_abortable() {
             self.doom();
             true

@@ -12,7 +12,7 @@ use pgssi_common::stats::{Counter, HistSnapshot, TraceEvent, Tracer};
 use pgssi_common::{CommitSeqNo, EngineConfig, Error, Key, Result, Snapshot, TxnId};
 use pgssi_core::{SafetyState, SsiManager, SxactId};
 use pgssi_lockmgr::s2pl::S2plLockManager;
-use pgssi_storage::wal::Lsn;
+use pgssi_storage::wal::{Lsn, WalStore};
 use pgssi_storage::{BufferCache, TxnManager};
 
 use crate::catalog::{Catalog, Table, TableDef};
@@ -95,6 +95,9 @@ pub struct EngineStats {
     pub aborts: Counter,
     /// Times a deferrable transaction had to retry with a fresh snapshot.
     pub deferrable_retries: Counter,
+    /// Re-runs performed by the retry middleware: attempts beyond each
+    /// workload's first (0 when nothing ever conflicts).
+    pub retry_attempts: Counter,
     /// End-to-end commit latency (ns): from entering `Transaction::commit`
     /// to the commit being durable (successful commits only).
     pub commit_ns: pgssi_common::Histogram,
@@ -136,6 +139,8 @@ pub struct StatsReport {
     pub commits: u64,
     /// Transactions rolled back.
     pub aborts: u64,
+    /// Retry-middleware re-runs (attempts beyond each workload's first).
+    pub retry_attempts: u64,
     /// rw-antidependency edges flagged by the SSI core.
     pub ssi_conflicts_flagged: u64,
     /// Dangerous structures that met the abort conditions.
@@ -364,6 +369,7 @@ impl StatsReport {
         sub!(
             commits,
             aborts,
+            retry_attempts,
             ssi_conflicts_flagged,
             ssi_dangerous_structures,
             ssi_aborts_self,
@@ -434,8 +440,8 @@ impl std::fmt::Display for StatsReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(
             f,
-            "engine : commits {}  aborts {}  trace-events {}",
-            self.commits, self.aborts, self.trace_events
+            "engine : commits {}  aborts {}  retries {}  trace-events {}",
+            self.commits, self.aborts, self.retry_attempts, self.trace_events
         )?;
         writeln!(f, "aborts : {}", self.aborts_by)?;
         writeln!(
@@ -711,25 +717,47 @@ impl Database {
         // A trimmed log's dropped prefix lives only in the checkpoint image.
         // If the image is gone or corrupt, replaying the beheaded log would
         // silently resurrect a partial database — fail loudly instead.
-        let base = db.inner.dwal.store().base_lsn();
+        db.replay_log_from(applied_lsn)?;
+        db.inner.dwal.set_capture(true);
+        Ok(db)
+    }
+
+    /// Open a database on an already-open [`WalStore`], replaying whatever
+    /// the store already holds. No checkpoint file is involved: databases
+    /// opened this way recover from the log alone. This is the simulation
+    /// harness's entry point — it wraps stores in fault injectors and
+    /// "reopens" the surviving bytes after a simulated crash.
+    pub fn open_with_store(config: EngineConfig, store: Box<dyn WalStore>) -> Result<Database> {
+        let dwal = DurableWal::with_store(store, config.wal.group_commit);
+        let db = Database::fresh(config, dwal);
+        // Replayed writes must not be re-logged.
+        db.inner.dwal.set_capture(false);
+        db.replay_log_from(0)?;
+        db.inner.dwal.set_capture(true);
+        Ok(db)
+    }
+
+    /// Replay every log record past `applied_lsn` (the position a loaded
+    /// checkpoint already covers; 0 = replay everything).
+    fn replay_log_from(&self, applied_lsn: Lsn) -> Result<()> {
+        let base = self.inner.dwal.store().base_lsn();
         if base > applied_lsn {
             return Err(Error::Wal(format!(
                 "log trimmed to LSN {base} but no valid checkpoint covers it \
                  (checkpoint file missing or corrupt)"
             )));
         }
-        let frames = db.inner.dwal.store().read_all().map_err(Error::wal)?;
+        let frames = self.inner.dwal.store().read_all().map_err(Error::wal)?;
         for (lsn, payload) in frames {
             if lsn <= applied_lsn {
                 continue;
             }
             let (_txid, ops) = decode_commit(&payload)
                 .ok_or_else(|| Error::Wal(format!("malformed WAL record ending at {lsn}")))?;
-            db.replay_record(ops)?;
-            db.inner.dwal.stats.recovered_records.bump();
+            self.replay_record(ops)?;
+            self.inner.dwal.stats.recovered_records.bump();
         }
-        db.inner.dwal.set_capture(true);
-        Ok(db)
+        Ok(())
     }
 
     /// Bulk-load a checkpoint image: recreate each table and insert its rows
@@ -1020,6 +1048,7 @@ impl Database {
         StatsReport {
             commits: self.inner.stats.commits.get(),
             aborts: self.inner.stats.aborts.get(),
+            retry_attempts: self.inner.stats.retry_attempts.get(),
             ssi_conflicts_flagged: s.conflicts_flagged.get(),
             ssi_dangerous_structures: s.dangerous_structures.get(),
             ssi_aborts_self: s.aborts_self.get(),
@@ -1132,6 +1161,7 @@ impl Database {
 
     /// COMMIT PREPARED: finish a previously prepared transaction.
     pub fn commit_prepared(&self, gid: &str) -> Result<()> {
+        pgssi_common::sim::yield_point(pgssi_common::sim::Site::TwoPhaseResolve);
         let rec = self
             .inner
             .prepared
@@ -1175,6 +1205,7 @@ impl Database {
     /// ROLLBACK PREPARED: user-initiated abort of a prepared transaction (SSI
     /// never chooses prepared transactions as victims, but the owner may).
     pub fn rollback_prepared(&self, gid: &str) -> Result<()> {
+        pgssi_common::sim::yield_point(pgssi_common::sim::Site::TwoPhaseResolve);
         let rec = self
             .inner
             .prepared

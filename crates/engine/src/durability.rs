@@ -27,8 +27,9 @@
 
 use std::sync::atomic::{AtomicBool, Ordering};
 
-use parking_lot::{Condvar, Mutex};
+use parking_lot::{Condvar, Mutex, MutexGuard};
 use pgssi_common::config::{WalConfig, WalMode};
+use pgssi_common::sim::{self, Site};
 use pgssi_common::stats::Counter;
 use pgssi_common::{CommitSeqNo, Key, Row, TxnId, Value};
 use pgssi_storage::wal::{FileWalStore, Lsn, MemWalStore, WalStore};
@@ -308,6 +309,14 @@ struct SyncState {
     synced: Lsn,
     /// A leader is currently inside `sync()` on behalf of the current epoch.
     leader_running: bool,
+    /// Poison flag: a leader's fsync failed. The leader panics (a WAL I/O
+    /// error is unrecoverable mid-commit, PostgreSQL-style), but a panic
+    /// alone would leave `leader_running` stuck and every follower parked
+    /// behind a dead leader forever. Setting this before unwinding makes
+    /// every present and future waiter panic too instead of hanging —
+    /// exactly what the fault-injecting simulator needs to treat an fsync
+    /// failure as a clean crash.
+    failed: bool,
 }
 
 /// The engine's handle on the durable log: redo appends serialized with clog
@@ -350,6 +359,7 @@ impl DurableWal {
             sync_state: Mutex::new(SyncState {
                 synced: 0,
                 leader_running: false,
+                failed: false,
             }),
             sync_cv: Condvar::new(),
             stats: WalStats::default(),
@@ -390,12 +400,37 @@ impl DurableWal {
         &*self.store
     }
 
+    /// Acquire the append lock. Under the simulator this spins on `try_lock`
+    /// with a yield between attempts instead of blocking: the store's
+    /// `append` contains a yield point, so the lock is held *across* yields
+    /// and a sim thread must never block in the kernel on it while the
+    /// holder is parked (it would keep the run token forever). Real mode
+    /// takes the plain lock.
+    fn lock_append(&self) -> MutexGuard<'_, ()> {
+        if sim::is_sim_thread() {
+            sim::yield_point(Site::DurableAppend);
+            loop {
+                if let Some(g) = self.append_lock.try_lock() {
+                    return g;
+                }
+                sim::yield_point(Site::LockSpin);
+            }
+        }
+        self.append_lock.lock()
+    }
+
+    /// Scheduler wakeup key for group-commit fsync waits.
+    #[inline]
+    fn sync_key(&self) -> usize {
+        std::ptr::addr_of!(self.sync_cv) as usize
+    }
+
     /// Drop the log prefix a durable checkpoint has made redundant. Holds the
     /// append lock so no commit record lands while the file store rewrites
     /// itself (the store serializes internally too; this keeps the clog-order
     /// invariant's critical section the single point of log mutation).
     pub fn trim_to(&self, up_to: Lsn) -> std::io::Result<()> {
-        let _g = self.append_lock.lock();
+        let _g = self.lock_append();
         self.store.trim_to(up_to)
     }
 
@@ -415,7 +450,7 @@ impl DurableWal {
         match payload {
             None => (commit(), None),
             Some(p) => {
-                let _g = self.append_lock.lock();
+                let _g = self.lock_append();
                 let csn = commit();
                 let lsn = self.store.append(p).expect("WAL append failed");
                 self.stats.records.bump();
@@ -428,7 +463,7 @@ impl DurableWal {
     /// durable before returning.
     pub fn append_ddl(&self, payload: &[u8]) {
         let lsn = {
-            let _g = self.append_lock.lock();
+            let _g = self.lock_append();
             let lsn = self.store.append(payload).expect("WAL append failed");
             self.stats.records.bump();
             lsn
@@ -440,7 +475,7 @@ impl DurableWal {
     /// every commit with `lsn <= end_lsn` is visible to a snapshot taken
     /// inside `f`, and none after. Checkpointing uses this.
     pub fn quiesced<T>(&self, f: impl FnOnce() -> T) -> (T, Lsn) {
-        let _g = self.append_lock.lock();
+        let _g = self.lock_append();
         let t = f();
         (t, self.store.end_lsn())
     }
@@ -456,52 +491,88 @@ impl DurableWal {
         }
         if !self.group_commit {
             // Ablation: every committer pays a full fsync of its own.
-            let end = self.store.sync().expect("WAL fsync failed");
+            let end = self.sync_or_poison();
             self.stats.syncs.bump();
             let mut st = self.sync_state.lock();
             if end > st.synced {
                 st.synced = end;
             }
             drop(st);
-            self.sync_cv.notify_all();
+            self.notify_synced();
             return;
         }
         let mut st = self.sync_state.lock();
-        while st.synced < lsn {
+        loop {
+            if st.failed {
+                panic!("WAL fsync failed (group-commit leader reported the error)");
+            }
+            if st.synced >= lsn {
+                return;
+            }
             if st.leader_running {
                 // A leader's fsync is in flight; it may have started before
                 // our append, so re-check after it finishes.
                 self.stats.sync_waits.bump();
                 let parked = self.stats.sync_wait_ns.start();
-                self.sync_cv.wait(&mut st);
+                if sim::is_sim_thread() {
+                    // Sim park: no deadline — a leader always finishes (or
+                    // poisons), so the wakeup is guaranteed; the fault plan
+                    // may delay it but never drops deadline-less waits.
+                    drop(st);
+                    let _ = sim::block(Site::FsyncWait, self.sync_key(), None);
+                    st = self.sync_state.lock();
+                } else {
+                    self.sync_cv.wait(&mut st);
+                }
                 self.stats.sync_wait_ns.record_elapsed(parked);
             } else {
                 st.leader_running = true;
                 drop(st);
                 // Everything appended before this call — ours and any records
                 // buffered since the last sync — rides this one fsync.
-                let end = self.store.sync().expect("WAL fsync failed");
+                let end = self.sync_or_poison();
                 self.stats.syncs.bump();
                 st = self.sync_state.lock();
                 st.leader_running = false;
                 if end > st.synced {
                     st.synced = end;
                 }
-                self.sync_cv.notify_all();
+                self.notify_synced();
             }
         }
+    }
+
+    /// Run the store's fsync; on failure poison the sync state (wake every
+    /// follower into a panic — see [`SyncState::failed`]) and then panic.
+    fn sync_or_poison(&self) -> Lsn {
+        match self.store.sync() {
+            Ok(end) => end,
+            Err(e) => {
+                let mut st = self.sync_state.lock();
+                st.failed = true;
+                st.leader_running = false;
+                drop(st);
+                self.notify_synced();
+                panic!("WAL fsync failed: {e}");
+            }
+        }
+    }
+
+    fn notify_synced(&self) {
+        self.sync_cv.notify_all();
+        sim::notify(Site::FsyncWait, self.sync_key());
     }
 
     /// Fsync whatever is buffered (shutdown, tests).
     pub fn flush(&self) {
         if self.store.is_durable() {
-            let end = self.store.sync().expect("WAL fsync failed");
+            let end = self.sync_or_poison();
             let mut st = self.sync_state.lock();
             if end > st.synced {
                 st.synced = end;
             }
             drop(st);
-            self.sync_cv.notify_all();
+            self.notify_synced();
         }
     }
 }

@@ -58,7 +58,7 @@
 //! marker and no master round-trip.
 
 use std::collections::{HashSet, VecDeque};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
@@ -145,6 +145,21 @@ pub struct WalStream {
     /// inside a commit-order barrier, so "records published after my
     /// attach" is a well-defined, gap-free set for every replica.
     attached: AtomicUsize,
+    /// Test-only gate: emulate the historical safe-snapshot marker race by
+    /// deferring the marker push *out* of the commit-order section — the
+    /// membership check happens in-section, the snapshot is taken after it,
+    /// with a sim yield between the two (the old check-then-snapshot
+    /// two-step). The deterministic-simulation regression tests flip this on
+    /// to prove the harness finds the bug on pinned seeds; nothing in
+    /// production code sets it.
+    emulate_marker_race: AtomicBool,
+}
+
+thread_local! {
+    /// Set inside the commit-order section when the emulated (racy) marker
+    /// protocol decided "no serializable r/w in flight"; consumed by
+    /// [`WalStream::publish_deferred_marker`] after the section is left.
+    static MARKER_DUE: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
 }
 
 impl Default for WalStream {
@@ -159,7 +174,14 @@ impl WalStream {
         WalStream {
             records: Mutex::new(Vec::new()),
             attached: AtomicUsize::new(0),
+            emulate_marker_race: AtomicBool::new(false),
         }
+    }
+
+    /// Enable/disable the marker-race emulation (see the field docs). Test
+    /// hook for the simulation regression suite; defaults to off.
+    pub fn set_emulate_marker_race(&self, on: bool) {
+        self.emulate_marker_race.store(on, Ordering::Relaxed);
     }
 
     /// Whether any replica is attached (racy fast-path read; the publish
@@ -238,16 +260,48 @@ impl WalStream {
                 // captured in the same commit-order section — the fix for the
                 // old check-then-snapshot race.
                 if digest.concurrent_rw.is_empty() {
-                    self.push(
-                        db,
-                        WalRecord::SafeSnapshot {
-                            snapshot: db.tm.snapshot_arc(),
-                        },
-                    );
-                    db.repl_stats.markers_shipped.bump();
+                    if self.emulate_marker_race.load(Ordering::Relaxed) {
+                        // Emulated pre-fix protocol: record the decision now,
+                        // push the marker after the order section is left —
+                        // restoring the racy window between the membership
+                        // check and the snapshot.
+                        MARKER_DUE.with(|m| m.set(true));
+                    } else {
+                        self.push(
+                            db,
+                            WalRecord::SafeSnapshot {
+                                snapshot: db.tm.snapshot_arc(),
+                            },
+                        );
+                        db.repl_stats.markers_shipped.bump();
+                    }
                 }
             }
         }
+    }
+
+    /// Push the marker the emulated (racy) protocol deferred out of the
+    /// commit-order section, if one is due on this thread. The yield between
+    /// the in-section membership check and the snapshot taken here is the
+    /// reintroduced race window: a serializable r/w transaction scheduled
+    /// into it can begin — and land in the shipped "safe" snapshot as
+    /// concurrent — exactly the bug the in-section capture fixed. No-op
+    /// unless [`WalStream::set_emulate_marker_race`] is on.
+    pub(crate) fn publish_deferred_marker(&self, db: &DbInner) {
+        if !self.emulate_marker_race.load(Ordering::Relaxed) {
+            return;
+        }
+        if !MARKER_DUE.with(|m| m.replace(false)) {
+            return;
+        }
+        pgssi_common::sim::yield_point(pgssi_common::sim::Site::MarkerRace);
+        self.push(
+            db,
+            WalRecord::SafeSnapshot {
+                snapshot: db.tm.snapshot_arc(),
+            },
+        );
+        db.repl_stats.markers_shipped.bump();
     }
 
     /// Append the resolution record for a serializable read/write abort.
@@ -364,6 +418,9 @@ impl Replica {
 
     /// Consume newly shipped records; returns how many were applied.
     pub fn catch_up(&self) -> usize {
+        // Sim interleaving point before the applied lock: lets the scheduler
+        // race replica apply cycles against master commits and disconnects.
+        pgssi_common::sim::yield_point(pgssi_common::sim::Site::ReplCatchUp);
         let stats = &self.master.inner.repl_stats;
         let mut st = self.applied.lock();
         let records = self.master.wal().read_from(st.next_record);

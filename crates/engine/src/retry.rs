@@ -6,10 +6,18 @@
 //! [`with_retries`] is that layer; combined with the safe-retry rule (§5.4) a
 //! retried transaction does not fail again on the *same* conflict.
 
+use std::time::Duration;
+
+use pgssi_common::sim::{self, Site};
 use pgssi_common::{Error, Result};
 
 use crate::database::{BeginOptions, Database};
 use crate::txn::Transaction;
+
+/// First-retry backoff. Doubles per failed attempt up to [`BACKOFF_CAP`].
+const BACKOFF_BASE: Duration = Duration::from_micros(100);
+/// Ceiling on a single backoff sleep, jitter included.
+const BACKOFF_CAP: Duration = Duration::from_millis(10);
 
 /// Outcome of a retried workload, with attempt accounting.
 #[derive(Debug)]
@@ -20,10 +28,26 @@ pub struct RetryOutcome<T> {
     pub attempts: usize,
 }
 
+/// Backoff before retry number `retry` (1-based): capped exponential with
+/// full jitter — a uniform draw over `(0, base << retry]`, clamped to
+/// [`BACKOFF_CAP`]. Jitter decorrelates the herd of transactions a doomed
+/// pivot aborted all at once; without it they all retry in lockstep and
+/// collide on the same conflict again. The entropy comes from [`sim::jitter`],
+/// so under simulation the sleep pattern is a pure function of the seed.
+fn backoff(retry: u32) -> Duration {
+    let ceiling = BACKOFF_BASE
+        .saturating_mul(1u32 << retry.min(16))
+        .min(BACKOFF_CAP);
+    let nanos = ceiling.as_nanos() as u64;
+    Duration::from_nanos(1 + sim::jitter() % nanos.max(1))
+}
+
 /// Run `body` in a transaction, retrying on serialization failures and
 /// deadlocks up to `max_attempts` times. The body sees a fresh transaction per
 /// attempt and must be idempotent from the database's point of view (aborted
-/// attempts leave no visible effects).
+/// attempts leave no visible effects). Failed attempts back off exponentially
+/// (with jitter) before re-running, and each re-run bumps the engine's
+/// `retry_attempts` counter.
 pub fn with_retries<T>(
     db: &Database,
     opts: BeginOptions,
@@ -32,6 +56,10 @@ pub fn with_retries<T>(
 ) -> Result<RetryOutcome<T>> {
     let mut last = None;
     for attempt in 1..=max_attempts.max(1) {
+        if attempt > 1 {
+            db.stats().retry_attempts.bump();
+            sim::sleep(Site::RetryBackoff, backoff(attempt as u32 - 1));
+        }
         let mut txn = db.begin_with(opts)?;
         match body(&mut txn).and_then(|v| txn.commit().map(|()| v)) {
             Ok(value) => {

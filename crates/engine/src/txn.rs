@@ -1102,6 +1102,10 @@ impl Transaction {
             ) {
                 return Err(self.abort_at(e, AbortSite::Precommit, None));
             }
+            // Test-only: the emulated (pre-fix) marker protocol pushes its
+            // safe-snapshot marker *after* the order section — a no-op
+            // unless the simulation regression suite enabled the emulation.
+            db.wal.publish_deferred_marker(db);
         } else {
             let csn = {
                 let db = &self.db;
@@ -1147,6 +1151,9 @@ impl Transaction {
     /// check and persists the SIREAD locks; the transaction's fate is decided
     /// later by [`crate::Database::commit_prepared`] / `rollback_prepared`.
     pub fn prepare(mut self, gid: &str) -> Result<()> {
+        // Sim interleaving point on the 2PC prepare edge: a prepared-but-
+        // unresolved transaction is the state other commits must respect.
+        pgssi_common::sim::yield_point(pgssi_common::sim::Site::TwoPhasePrepare);
         self.ensure_active()?;
         let mut xids = vec![self.txid];
         xids.extend(&self.subxids);

@@ -73,6 +73,7 @@ use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use parking_lot::{Mutex, MutexGuard, RwLock};
+use pgssi_common::sim;
 use pgssi_common::stats::Counter;
 use pgssi_common::{CommitSeqNo, LockTarget, PageNo, RelId, SsiConfig};
 
@@ -127,6 +128,14 @@ struct OwnerLocks {
 
 /// Shared handle to one owner's bookkeeping in the owner directory.
 type OwnerRef = std::sync::Arc<Mutex<OwnerLocks>>;
+
+/// Lock one owner's bookkeeping. Owner mutexes are held while acquiring
+/// partition mutexes (which under sim spin-yield on contention), so a sim
+/// thread can be parked at a yield point with an owner mutex held — peers
+/// must take it cooperatively, never by OS-blocking on a parked holder.
+fn lock_owner(ol_ref: &OwnerRef) -> MutexGuard<'_, OwnerLocks> {
+    sim::lock_cooperatively(sim::Site::LockSpin, || ol_ref.try_lock(), || ol_ref.lock())
+}
 
 /// Result of checking a write against the SIREAD table.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -274,7 +283,9 @@ impl SireadLockManager {
         (self.partition_of(target), slot as usize)
     }
 
-    /// Lock one partition, counting contention.
+    /// Lock one partition, counting contention. Partition mutexes are held
+    /// across multi-partition passes whose *other* acquisitions can
+    /// spin-yield under sim, so they too must be taken cooperatively.
     fn lock_partition(&self, idx: usize) -> MutexGuard<'_, PartitionMap> {
         let slot = &self.partitions[idx];
         slot.taken.bump();
@@ -282,7 +293,11 @@ impl SireadLockManager {
             Some(g) => g,
             None => {
                 slot.contended.bump();
-                slot.locks.lock()
+                sim::lock_cooperatively(
+                    sim::Site::LockSpin,
+                    || slot.locks.try_lock(),
+                    || slot.locks.lock(),
+                )
             }
         }
     }
@@ -334,7 +349,7 @@ impl SireadLockManager {
         let Some(ol_ref) = self.owner_ref(owner) else {
             return;
         };
-        let mut ol = ol_ref.lock();
+        let mut ol = lock_owner(&ol_ref);
         if ol.released {
             return;
         }
@@ -409,10 +424,16 @@ impl SireadLockManager {
     /// `PREPARE` (the persisted lock list must be complete). Returns the
     /// number of targets published.
     pub fn publish_pending(&self, owner: OwnerId) -> usize {
+        // Sim yield before any lock: callers (first own write, PREPARE,
+        // prepared-txn recovery) hold nothing here, so a thread parked at
+        // this point blocks nobody. This is the window in which a peer
+        // writer's probe can race the spill — exactly the interleaving the
+        // simulator wants to schedule.
+        pgssi_common::sim::yield_point(pgssi_common::sim::Site::SireadPublish);
         let Some(ol_ref) = self.owner_ref(owner) else {
             return 0;
         };
-        let mut ol = ol_ref.lock();
+        let mut ol = lock_owner(&ol_ref);
         if ol.released || ol.pending.is_empty() {
             return 0;
         }
@@ -688,7 +709,7 @@ impl SireadLockManager {
             if o == exclude {
                 continue;
             }
-            let mut ol = ol_ref.lock();
+            let mut ol = lock_owner(&ol_ref);
             if ol.released || ol.pending.is_empty() {
                 continue;
             }
@@ -723,7 +744,7 @@ impl SireadLockManager {
         let Some(ol_ref) = self.owner_ref(owner) else {
             return;
         };
-        let mut ol = ol_ref.lock();
+        let mut ol = lock_owner(&ol_ref);
         if ol.released {
             return;
         }
@@ -747,7 +768,7 @@ impl SireadLockManager {
         let Some(ol_ref) = self.owners.write().remove(&owner) else {
             return;
         };
-        let mut ol = ol_ref.lock();
+        let mut ol = lock_owner(&ol_ref);
         ol.released = true;
         // A never-published batch dies without touching a single partition —
         // the common exit for a short read-only transaction under batching.
@@ -788,7 +809,7 @@ impl SireadLockManager {
             return;
         };
         {
-            let mut ol = ol_ref.lock();
+            let mut ol = lock_owner(&ol_ref);
             if ol.released {
                 return;
             }
@@ -879,7 +900,7 @@ impl SireadLockManager {
             let Some(ol_ref) = self.owner_ref(o) else {
                 continue;
             };
-            let mut ol = ol_ref.lock();
+            let mut ol = lock_owner(&ol_ref);
             if ol.released || ol.targets.contains(&new_t) {
                 continue;
             }
@@ -898,7 +919,7 @@ impl SireadLockManager {
                 .map(|(k, v)| (*k, v.clone()))
                 .collect();
             for (_, ol_ref) in all {
-                let mut ol = ol_ref.lock();
+                let mut ol = lock_owner(&ol_ref);
                 if ol.released || !ol.pending.contains(&old_t) {
                     continue;
                 }
@@ -948,7 +969,7 @@ impl SireadLockManager {
             .collect();
         let repl_t = LockTarget::Relation(replacement_rel);
         for (o, ol_ref) in owners {
-            let mut ol = ol_ref.lock();
+            let mut ol = lock_owner(&ol_ref);
             if ol.released {
                 continue;
             }
@@ -1025,7 +1046,7 @@ impl SireadLockManager {
     pub fn held_targets(&self, owner: OwnerId) -> Vec<LockTarget> {
         self.owner_ref(owner)
             .map(|r| {
-                let ol = r.lock();
+                let ol = lock_owner(&r);
                 ol.targets
                     .iter()
                     .chain(ol.pending.iter())
@@ -1039,7 +1060,7 @@ impl SireadLockManager {
     pub fn owner_lock_count(&self, owner: OwnerId) -> usize {
         self.owner_ref(owner)
             .map(|r| {
-                let ol = r.lock();
+                let ol = lock_owner(&r);
                 ol.targets.len() + ol.pending.len()
             })
             .unwrap_or(0)
@@ -1048,7 +1069,7 @@ impl SireadLockManager {
     /// Number of `owner`'s targets still pending (unpublished) — tests, stats.
     pub fn owner_pending_count(&self, owner: OwnerId) -> usize {
         self.owner_ref(owner)
-            .map(|r| r.lock().pending.len())
+            .map(|r| lock_owner(&r).pending.len())
             .unwrap_or(0)
     }
 
@@ -1069,7 +1090,12 @@ impl SireadLockManager {
         self.partitions
             .iter()
             .map(|slot| PartitionStats {
-                locks: slot.locks.lock().len(),
+                locks: sim::lock_cooperatively(
+                    sim::Site::LockSpin,
+                    || slot.locks.try_lock(),
+                    || slot.locks.lock(),
+                )
+                .len(),
                 taken: slot.taken.get(),
                 contended: slot.contended.get(),
             })

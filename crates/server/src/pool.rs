@@ -43,6 +43,7 @@ use std::collections::{BinaryHeap, HashMap, VecDeque};
 use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex};
+use pgssi_common::sim::{self, Site};
 use pgssi_common::{Error, Result, ServerConfig, TxnId};
 use pgssi_engine::Database;
 use std::sync::{Arc, Weak};
@@ -184,9 +185,11 @@ impl SessionPool {
             }
         }));
         let workers = (0..inner.cfg.workers)
-            .map(|_| {
+            .map(|i| {
                 let inner = Arc::clone(&inner);
-                std::thread::spawn(move || worker_loop(&inner, false))
+                sim::spawn_thread(format!("pool-worker-{i}"), move || {
+                    worker_loop(&inner, false)
+                })
             })
             .collect();
         SessionPool { inner, workers }
@@ -200,6 +203,11 @@ impl SessionPool {
     /// Worker-thread count.
     pub fn workers(&self) -> usize {
         self.inner.cfg.workers
+    }
+
+    /// The server configuration this pool runs under.
+    pub fn config(&self) -> &ServerConfig {
+        &self.inner.cfg
     }
 
     /// Open a session and schedule its first activation. Fails once
@@ -232,7 +240,7 @@ impl SessionPool {
             .lock()
             .insert(sid, SessionActivity::default());
         self.inner.db.session_stats().sessions_opened.bump();
-        self.inner.work.notify_one();
+        self.inner.notify_work_one();
         Ok(sid)
     }
 
@@ -262,7 +270,7 @@ impl SessionPool {
             st.ready.push_back(sid);
             let reserve = owns_txn && self.inner.reserve_needed(&mut st);
             drop(st);
-            self.inner.work.notify_one();
+            self.inner.notify_work_one();
             if reserve {
                 self.inner.spawn_reserve();
             }
@@ -320,6 +328,10 @@ impl SessionPool {
     pub fn shutdown(mut self) {
         self.request_shutdown();
         for h in self.workers.drain(..) {
+            // Under simulation the workers are sim threads: wait for them
+            // cooperatively before the OS join (which must not block while
+            // this thread holds the run token).
+            sim::join_thread(&h);
             let _ = h.join();
         }
         self.inner.close_all_slots();
@@ -337,7 +349,7 @@ impl SessionPool {
         let mut st = self.inner.state.lock();
         st.shutdown = true;
         drop(st);
-        self.inner.work.notify_all();
+        self.inner.notify_work_all();
     }
 }
 
@@ -345,6 +357,7 @@ impl Drop for SessionPool {
     fn drop(&mut self) {
         self.request_shutdown();
         for h in self.workers.drain(..) {
+            sim::join_thread(&h);
             let _ = h.join();
         }
         self.inner.close_all_slots();
@@ -352,25 +365,51 @@ impl Drop for SessionPool {
 }
 
 impl PoolInner {
+    /// Key identifying this pool's worker-park channel in the simulator.
+    fn work_key(&self) -> usize {
+        std::ptr::addr_of!(self.work) as usize
+    }
+
+    /// Wake one parked worker (and, under simulation, its sim-parked twin).
+    fn notify_work_one(&self) {
+        self.work.notify_one();
+        sim::notify(Site::PoolPark, self.work_key());
+    }
+
+    /// Wake every parked worker (and any sim-parked ones).
+    fn notify_work_all(&self) {
+        self.work.notify_all();
+        sim::notify(Site::PoolPark, self.work_key());
+    }
+
     /// Retire every live slot, calling each resident task's `close` hook so
     /// blocked clients unblock. Tasks that are mid-activation (taken out by a
     /// worker) are closed by that worker when it finds the slot retired.
+    ///
+    /// Tasks are closed and dropped *after* the state lock is released: a
+    /// retiring task may own an open transaction whose `Drop` rolls back
+    /// through the engine, and the engine must never run under pool locks.
     fn close_all_slots(&self) {
         let mut st = self.state.lock();
+        let mut retired: Vec<Box<dyn SessionTask>> = Vec::new();
         for sid in 0..st.slots.len() {
             let Some(s @ Some(_)) = st.slots.get_mut(sid) else {
                 continue;
             };
-            if let Some(task) = s.as_mut().and_then(|slot| slot.task.as_mut()) {
-                task.close();
+            if let Some(slot) = s.take() {
+                if let Some(task) = slot.task {
+                    retired.push(task);
+                }
             }
-            *s = None;
             st.free.push(sid);
             st.live -= 1;
             self.activity.lock().remove(&sid);
         }
         drop(st);
-        self.work.notify_all();
+        self.notify_work_all();
+        for mut task in retired {
+            task.close();
+        }
     }
 
     /// Wait-observer entry point: the calling worker (running `waiter`'s
@@ -438,7 +477,7 @@ impl PoolInner {
         if woke {
             self.db.session_stats().lock_holder_wakeups.bump();
             if holder_ready {
-                self.work.notify_one();
+                self.notify_work_one();
             }
         }
         if reserve {
@@ -465,7 +504,9 @@ impl PoolInner {
     fn spawn_reserve(self: &Arc<Self>) {
         self.db.session_stats().reserve_workers.bump();
         let inner = Arc::clone(self);
-        std::thread::spawn(move || worker_loop(&inner, true));
+        sim::spawn_thread("pool-reserve".to_string(), move || {
+            worker_loop(&inner, true)
+        });
     }
 }
 
@@ -484,7 +525,7 @@ fn worker_loop(inner: &PoolInner, reserve: bool) {
             break;
         }
         // Promote due timers onto the ready queue.
-        let now = Instant::now();
+        let now = sim::now();
         while let Some(Reverse((due, sid))) = st.timed.peek().copied() {
             if due > now {
                 break;
@@ -536,9 +577,12 @@ fn worker_loop(inner: &PoolInner, reserve: bool) {
             let Some(Some(slot)) = st.slots.get_mut(sid) else {
                 // Slot retired while this activation ran (pool-wide session
                 // close): run the close hook so the task's client unblocks.
-                // `close` touches only task-owned state, never pool state, so
-                // holding the state lock here is fine.
+                // Closed and dropped outside the state lock — the task may own
+                // a transaction whose `Drop` rolls back through the engine.
+                drop(st);
                 task.close();
+                drop(task);
+                st = inner.state.lock();
                 continue;
             };
             match next {
@@ -547,25 +591,29 @@ fn worker_loop(inner: &PoolInner, reserve: bool) {
                     st.free.push(sid);
                     st.live -= 1;
                     inner.activity.lock().remove(&sid);
+                    // Drop the task outside the state lock (see above).
+                    drop(st);
+                    drop(task);
+                    st = inner.state.lock();
                 }
                 Next::Again => {
                     slot.task = Some(task);
                     slot.queued = true;
                     st.ready.push_back(sid);
                     if st.ready.len() > 1 {
-                        inner.work.notify_one();
+                        inner.notify_work_one();
                     }
                 }
                 Next::After(d) => {
                     slot.task = Some(task);
                     slot.queued = true;
-                    st.timed.push(Reverse((Instant::now() + d, sid)));
+                    st.timed.push(Reverse((sim::now() + d, sid)));
                     // A parked worker may be in an untimed wait (heap was
                     // empty) or waiting on a later deadline; wake one so it
                     // re-reads the heap and re-parks against this deadline —
                     // otherwise the reactivation stalls until some unrelated
                     // activation completes.
-                    inner.work.notify_one();
+                    inner.notify_work_one();
                 }
                 Next::Idle => {
                     slot.task = Some(task);
@@ -585,11 +633,20 @@ fn worker_loop(inner: &PoolInner, reserve: bool) {
             break;
         }
         inner.db.session_stats().worker_parks.bump();
-        match st.timed.peek().copied() {
-            Some(Reverse((due, _))) => {
-                let _ = inner.work.wait_until(&mut st, due);
+        let deadline = st.timed.peek().map(|Reverse((due, _))| *due);
+        if sim::is_sim_thread() {
+            // Sim park: release the state lock first — sim threads never
+            // block at a yield point while holding a pool lock.
+            drop(st);
+            let _ = sim::block(Site::PoolPark, inner.work_key(), deadline);
+            st = inner.state.lock();
+        } else {
+            match deadline {
+                Some(due) => {
+                    let _ = inner.work.wait_until(&mut st, due);
+                }
+                None => inner.work.wait(&mut st),
             }
-            None => inner.work.wait(&mut st),
         }
     }
     if reserve {

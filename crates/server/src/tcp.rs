@@ -14,7 +14,7 @@
 //! speaking [`Transport`] so harnesses can swap it for a
 //! [`SessionHandle`](crate::SessionHandle) without code changes.
 
-use std::io::{BufRead, BufReader, Read, Write};
+use std::io::{Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -78,6 +78,21 @@ impl Server {
 }
 
 /// Wire one accepted socket up as a pool session.
+///
+/// The reader thread is hardened against hostile or broken clients:
+///
+/// * **Bounded request lines** ([`ServerConfig::max_request_line`]): a client
+///   streaming bytes without ever sending a newline would otherwise grow the
+///   line buffer without bound. Once the unterminated prefix passes the cap
+///   the connection is closed (a just-completed line may exceed the cap by at
+///   most one read chunk before the check runs; drained lines are re-checked
+///   so nothing oversized reaches the parser).
+/// * **Idle timeout** ([`ServerConfig::idle_timeout`]): a connection that
+///   sends nothing for the window is closed rather than pinning its reader
+///   thread and session slot forever.
+///
+/// Either way the close path is the ordinary disconnect path — the inbox is
+/// closed and the session retires, rolling back any open transaction.
 fn serve_connection(pool: &Arc<SessionPool>, stream: TcpStream) -> Result<()> {
     // One small write per response line; batching happens at the protocol
     // level (pipelined transactions), so Nagle only adds latency here.
@@ -92,27 +107,57 @@ fn serve_connection(pool: &Arc<SessionPool>, stream: TcpStream) -> Result<()> {
         ResponseSink::Socket(Arc::new(Mutex::new(writer))),
     );
     let sid = pool.spawn(Box::new(task))?;
+    let max_line = pool.config().max_request_line;
+    let idle = pool.config().idle_timeout;
     let pool = Arc::clone(pool);
     std::thread::spawn(move || {
-        let mut reader = BufReader::new(stream);
-        let mut line = String::new();
-        loop {
-            line.clear();
-            match reader.read_line(&mut line) {
-                // EOF or socket error: client hung up.
-                Ok(0) | Err(_) => break,
-                Ok(_) => {
-                    let trimmed = line.trim_end_matches(['\r', '\n']);
-                    {
-                        let mut c = duplex.chan.lock();
-                        if c.closed {
-                            break;
-                        }
-                        c.requests.push_back(trimmed.to_string());
-                    }
-                    pool.db().session_stats().requests_enqueued.bump();
-                    pool.wake(sid);
+        let mut stream = stream;
+        let _ = stream.set_read_timeout(idle);
+        let mut buf: Vec<u8> = Vec::new();
+        let mut chunk = [0u8; 4096];
+        'conn: loop {
+            // Hand every complete buffered line to the session.
+            while let Some(pos) = buf.iter().position(|&b| b == b'\n') {
+                let mut line: Vec<u8> = buf.drain(..=pos).collect();
+                line.pop(); // the '\n'
+                if line.last() == Some(&b'\r') {
+                    line.pop();
                 }
+                if line.len() > max_line {
+                    break 'conn;
+                }
+                let line = String::from_utf8_lossy(&line).into_owned();
+                {
+                    let mut c = duplex.chan.lock();
+                    if c.closed {
+                        break 'conn;
+                    }
+                    c.requests.push_back(line);
+                }
+                pool.db().session_stats().requests_enqueued.bump();
+                pool.wake(sid);
+            }
+            // No newline in sight and the partial line is already over the
+            // cap: it can only grow. Cut the connection.
+            if buf.len() > max_line {
+                break;
+            }
+            match stream.read(&mut chunk) {
+                // EOF: client hung up.
+                Ok(0) => break,
+                Ok(n) => buf.extend_from_slice(&chunk[..n]),
+                // SO_RCVTIMEO expiry surfaces as WouldBlock on Linux and
+                // TimedOut elsewhere: the connection sat idle too long.
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    break;
+                }
+                // Socket error: treat like a hangup.
+                Err(_) => break,
             }
         }
         // Close the inbox and wake the session so it retires (rolling back

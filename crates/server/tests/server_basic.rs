@@ -25,6 +25,7 @@ fn kv_server(workers: usize, max_sessions: usize) -> Server {
     let cfg = ServerConfig {
         workers,
         max_sessions,
+        ..ServerConfig::default()
     };
     Server::new(db, cfg)
 }
@@ -466,6 +467,7 @@ fn activity_reports_blocked_session_and_wait_target() {
             ServerConfig {
                 workers: 3,
                 max_sessions: 8,
+                ..ServerConfig::default()
             },
         );
         let rig = Rig {
@@ -671,6 +673,119 @@ fn concurrent_tcp_clients_do_not_lose_updates() {
     assert_eq!(v, committed, "TCP transport must not lose updates");
     assert!(committed > 0);
     drop(check);
+    front.shutdown();
+    server.shutdown();
+}
+
+/// A client that streams an endless request line is cut off once the line
+/// passes `ServerConfig::max_request_line`, and the disconnect rolls back its
+/// open transaction like any other hangup.
+#[test]
+fn oversized_request_line_closes_the_connection() {
+    let mut config = EngineConfig::default();
+    config.ssi.lock_wait_timeout = std::time::Duration::from_millis(200);
+    let db = Database::new(config);
+    db.create_table(TableDef::new("kv", &["k", "v"], vec![0]))
+        .unwrap();
+    let cfg = ServerConfig {
+        max_request_line: 4096,
+        ..ServerConfig::with_workers(2)
+    };
+    let server = Server::new(db, cfg);
+    let front = server.listen("127.0.0.1:0").unwrap();
+
+    let c = TcpClient::connect(front.local_addr()).unwrap();
+    assert_eq!(c.roundtrip("BEGIN").unwrap(), "OK");
+    assert_eq!(c.roundtrip("PUT kv 7 70").unwrap(), "OK");
+    // Never-terminated garbage, well past the cap.
+    let flood = "x".repeat(64 * 1024);
+    let _ = c.send(&flood); // may not error until the server closes
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(2);
+    loop {
+        let dead = matches!(c.send("GET kv 7"), Err(Error::Disconnected(_)))
+            || matches!(c.recv(), Err(Error::Disconnected(_)));
+        if dead {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "oversized line must get the connection closed"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+
+    // The open transaction rolled back with the session.
+    let check = TcpClient::connect(front.local_addr()).unwrap();
+    assert_eq!(check.roundtrip("BEGIN").unwrap(), "OK");
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(2);
+    loop {
+        if check.roundtrip("GET kv 7").unwrap() == "NIL" {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "flooded session's uncommitted write must never become visible"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+    assert_eq!(check.roundtrip("COMMIT").unwrap(), "OK");
+    drop(check);
+    drop(c);
+    front.shutdown();
+    server.shutdown();
+}
+
+/// A connection that goes quiet for longer than `ServerConfig::idle_timeout`
+/// is reaped; its open transaction rolls back.
+#[test]
+fn idle_connection_times_out_and_rolls_back() {
+    let mut config = EngineConfig::default();
+    config.ssi.lock_wait_timeout = std::time::Duration::from_millis(200);
+    let db = Database::new(config);
+    db.create_table(TableDef::new("kv", &["k", "v"], vec![0]))
+        .unwrap();
+    let cfg = ServerConfig {
+        idle_timeout: Some(std::time::Duration::from_millis(100)),
+        ..ServerConfig::with_workers(2)
+    };
+    let server = Server::new(db, cfg);
+    let front = server.listen("127.0.0.1:0").unwrap();
+
+    let c = TcpClient::connect(front.local_addr()).unwrap();
+    assert_eq!(c.roundtrip("BEGIN").unwrap(), "OK");
+    assert_eq!(c.roundtrip("PUT kv 8 80").unwrap(), "OK");
+    // Go quiet past the idle window.
+    std::thread::sleep(std::time::Duration::from_millis(300));
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(2);
+    loop {
+        let dead = matches!(c.send("GET kv 8"), Err(Error::Disconnected(_)))
+            || matches!(c.recv(), Err(Error::Disconnected(_)));
+        if dead {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "idle connection must be reaped"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+
+    let check = TcpClient::connect(front.local_addr()).unwrap();
+    assert_eq!(check.roundtrip("BEGIN").unwrap(), "OK");
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(2);
+    loop {
+        if check.roundtrip("GET kv 8").unwrap() == "NIL" {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "idle session's uncommitted write must never become visible"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+    assert_eq!(check.roundtrip("COMMIT").unwrap(), "OK");
+    drop(check);
+    drop(c);
     front.shutdown();
     server.shutdown();
 }

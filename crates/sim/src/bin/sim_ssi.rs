@@ -1,0 +1,144 @@
+//! Seed-sweep driver for the deterministic simulation harness.
+//!
+//! ```text
+//! sim_ssi --seed 42                    # all default scenarios under seed 42
+//! sim_ssi --seeds 0..64                # sweep 64 seeds (CI's fresh sweep)
+//! sim_ssi --scenario crash --seed 7    # replay one failing pair
+//! sim_ssi --scenario pivot --seeds 0..32 --emulate --expect-violation
+//! ```
+//!
+//! Exit status 0 = every (scenario, seed) pair behaved as expected; 1 = at
+//! least one didn't. Failures print the replay command line, the fault plan,
+//! the violations, and the tail of the event trace.
+
+use std::process::ExitCode;
+
+use pgssi_sim::{run_scenario, DEFAULT_SCALE, SCENARIOS};
+
+struct Args {
+    scenarios: Vec<String>,
+    seeds: Vec<u64>,
+    scale: u32,
+    emulate: bool,
+    expect_violation: bool,
+    verbose: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: sim_ssi [--scenario NAME] [--seed N | --seeds A..B] [--scale K]\n\
+         \x20              [--emulate] [--expect-violation] [--verbose]\n\
+         scenarios: mix crash repl pool pivot (default sweep: mix crash repl pool)"
+    );
+    std::process::exit(2)
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        scenarios: Vec::new(),
+        seeds: Vec::new(),
+        scale: DEFAULT_SCALE,
+        emulate: false,
+        expect_violation: false,
+        verbose: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut val = || it.next().unwrap_or_else(|| usage());
+        match flag.as_str() {
+            "--scenario" => args.scenarios.push(val()),
+            "--seed" => args.seeds.push(val().parse().unwrap_or_else(|_| usage())),
+            "--seeds" => {
+                let spec = val();
+                let (a, b) = spec.split_once("..").unwrap_or_else(|| usage());
+                let (a, b): (u64, u64) = match (a.parse(), b.parse()) {
+                    (Ok(a), Ok(b)) if a < b => (a, b),
+                    _ => usage(),
+                };
+                args.seeds.extend(a..b);
+            }
+            "--scale" => args.scale = val().parse().unwrap_or_else(|_| usage()),
+            "--emulate" => args.emulate = true,
+            "--expect-violation" => args.expect_violation = true,
+            "--verbose" => args.verbose = true,
+            _ => usage(),
+        }
+    }
+    if args.scenarios.is_empty() {
+        args.scenarios = SCENARIOS.iter().map(|s| s.to_string()).collect();
+    }
+    if args.seeds.is_empty() {
+        args.seeds.push(0);
+    }
+    args
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    // Watchdog: a wedged run (a bug in the engine's yield-point discipline)
+    // would otherwise hang silently; dump the scheduler and abort instead.
+    std::thread::spawn(|| {
+        let limit = std::env::var("SIM_SSI_WATCHDOG_SECS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(300u64);
+        std::thread::sleep(std::time::Duration::from_secs(limit));
+        eprintln!("sim_ssi: watchdog fired after {limit}s; scheduler state:");
+        match pgssi_common::sim::dump_state() {
+            Some(dump) => eprintln!("{dump}"),
+            None => eprintln!("(no active run)"),
+        }
+        std::process::exit(3);
+    });
+    let mut ran = 0usize;
+    let mut failures = 0usize;
+    let mut violating_seeds = 0usize;
+
+    for seed in &args.seeds {
+        for name in &args.scenarios {
+            let out = run_scenario(name, *seed, args.scale, args.emulate);
+            ran += 1;
+            if !out.passed() {
+                violating_seeds += 1;
+            }
+            if args.expect_violation {
+                // Inverted mode: we are hunting a planted bug; individual
+                // clean seeds are fine, the sweep must flush it out somewhere.
+                if args.verbose && !out.passed() {
+                    println!("{}", out.report());
+                }
+            } else if !out.passed() {
+                failures += 1;
+                eprintln!("{}", out.report());
+            } else if args.verbose {
+                println!(
+                    "ok   scenario={} seed={} steps={} vtime={}ms",
+                    out.scenario,
+                    out.seed,
+                    out.steps,
+                    out.vnow_ns / 1_000_000
+                );
+            }
+        }
+    }
+
+    if args.expect_violation {
+        if violating_seeds == 0 {
+            eprintln!(
+                "expected at least one violation across {ran} runs, found none \
+                 (is the emulated race actually enabled?)"
+            );
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "found violations in {violating_seeds}/{ran} runs (expected: planted bug detected)"
+        );
+        return ExitCode::SUCCESS;
+    }
+    if failures > 0 {
+        eprintln!("{failures}/{ran} runs FAILED");
+        return ExitCode::FAILURE;
+    }
+    println!("all {ran} runs passed");
+    ExitCode::SUCCESS
+}

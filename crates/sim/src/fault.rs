@@ -1,0 +1,401 @@
+//! Storage-level fault injection: a seeded [`FaultPlan`] and the
+//! [`SimWalStore`] that executes its crash/torn-write/fsync-failure faults.
+//!
+//! The store is an in-memory byte log using the exact frame format of the
+//! file store (`[u32 len][u32 crc32][payload]`, from `pgssi_storage::wal`),
+//! so "what survives a crash" is a plain byte-prefix question and recovery
+//! semantics (torn-tail truncation at the first bad frame) are identical to
+//! the real thing. A crash makes every subsequent append/sync return an
+//! error; the engine's documented response to a WAL write error is PANIC, so
+//! the committing threads die mid-operation — the closest a single process
+//! gets to a process kill — and the harness then "reboots" by re-opening a
+//! fresh engine over [`SimWalStore::surviving_bytes`].
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use pgssi_common::sim::{self, Site};
+use pgssi_storage::wal::{crc32, Lsn, WalStore, FRAME_HEADER};
+
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e3779b97f4a7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+/// What a seed injects, all derived deterministically from that seed.
+///
+/// Storage faults (executed by [`SimWalStore`]):
+/// * **crash-at-byte** — once the log reaches the offset, the store "dies":
+///   the in-flight append fails (the engine panics, by design) and a
+///   surviving byte prefix is chosen between the synced watermark and the
+///   crash point.
+/// * **torn tail** — whether that surviving prefix may cut *inside* a frame
+///   (a torn sector write) or is rounded down to a frame boundary.
+/// * **fsync failure** — the nth sync returns an error; the group-commit
+///   leader poisons the epoch and panics, killing every parked committer.
+///
+/// Wakeup faults (executed by the scheduler, see `SimConfig`): delayed and
+/// dropped notifications.
+#[derive(Clone, Debug)]
+pub struct FaultPlan {
+    /// Kill the store once the log reaches this byte offset.
+    pub crash_at_byte: Option<u64>,
+    /// Allow the surviving prefix to cut mid-frame.
+    pub torn_tail: bool,
+    /// Fail the nth (1-based) sync call.
+    pub fail_sync_at: Option<u64>,
+    /// Scheduler wakeup-delay probability, permille.
+    pub delay_wakeup_permille: u16,
+    /// Scheduler wakeup-drop probability, permille (deadline waits only).
+    pub drop_wakeup_permille: u16,
+}
+
+/// Setup (table DDL + initial rows) must survive every plan, or recovery
+/// trivially fails for the wrong reason; crash offsets start past it.
+const CRASH_FLOOR: u64 = 1024;
+
+impl FaultPlan {
+    /// No faults: pure schedule exploration.
+    pub fn none() -> FaultPlan {
+        FaultPlan {
+            crash_at_byte: None,
+            torn_tail: false,
+            fail_sync_at: None,
+            delay_wakeup_permille: 0,
+            drop_wakeup_permille: 0,
+        }
+    }
+
+    /// Derive a plan from the run seed. Roughly: half the seeds crash at a
+    /// byte offset, a quarter fail an fsync, the rest run fault-free (so the
+    /// sweep always includes clean schedules); wakeup faults are sprinkled
+    /// independently.
+    pub fn from_seed(seed: u64) -> FaultPlan {
+        let r0 = splitmix64(seed ^ 0xfa17);
+        let r1 = splitmix64(r0);
+        let r2 = splitmix64(r1);
+        let r3 = splitmix64(r2);
+        let mut plan = FaultPlan::none();
+        match r0 % 4 {
+            0 | 1 => plan.crash_at_byte = Some(CRASH_FLOOR + r1 % 6_000),
+            2 => plan.fail_sync_at = Some(1 + r1 % 32),
+            _ => {}
+        }
+        plan.torn_tail = r2 & 1 == 1;
+        if r2.is_multiple_of(4) {
+            plan.delay_wakeup_permille = 100;
+        }
+        if r3.is_multiple_of(8) {
+            plan.drop_wakeup_permille = 50;
+        }
+        plan
+    }
+
+    /// One-line rendering for failure reports.
+    pub fn describe(&self) -> String {
+        let mut parts = Vec::new();
+        if let Some(b) = self.crash_at_byte {
+            parts.push(format!(
+                "crash@{b}{}",
+                if self.torn_tail { " torn" } else { "" }
+            ));
+        }
+        if let Some(n) = self.fail_sync_at {
+            parts.push(format!("fsync-fail@{n}"));
+        }
+        if self.delay_wakeup_permille > 0 {
+            parts.push(format!("delay-wake {}‰", self.delay_wakeup_permille));
+        }
+        if self.drop_wakeup_permille > 0 {
+            parts.push(format!("drop-wake {}‰", self.drop_wakeup_permille));
+        }
+        if parts.is_empty() {
+            "no faults".to_string()
+        } else {
+            parts.join(", ")
+        }
+    }
+}
+
+struct StoreState {
+    /// The full byte log, frames laid out exactly as the file store would.
+    buf: Vec<u8>,
+    /// End offset of every appended frame (for rounding non-torn cuts).
+    frame_ends: Vec<u64>,
+    /// Byte watermark covered by the last successful sync.
+    synced: u64,
+    /// Sync calls so far (drives `fail_sync_at`).
+    syncs: u64,
+    crashed: bool,
+    /// Faults only execute while armed; see [`SimWalStore::disarm`].
+    armed: bool,
+    /// Chosen at crash time: the byte prefix that "made it to disk".
+    surviving: Option<u64>,
+    crash_at_byte: Option<u64>,
+    fail_sync_at: Option<u64>,
+    torn_tail: bool,
+    rng: u64,
+}
+
+/// The fault-executing WAL store. Cheap to clone (shared state): the engine
+/// owns one clone as its `Box<dyn WalStore>` while the harness keeps another
+/// to read [`SimWalStore::surviving_bytes`] after the crash.
+#[derive(Clone)]
+pub struct SimWalStore {
+    state: Arc<Mutex<StoreState>>,
+}
+
+impl SimWalStore {
+    /// Fresh empty store executing `plan`, with its own rng stream off `seed`.
+    pub fn new(plan: &FaultPlan, seed: u64) -> SimWalStore {
+        SimWalStore {
+            state: Arc::new(Mutex::new(StoreState {
+                buf: Vec::new(),
+                frame_ends: Vec::new(),
+                synced: 0,
+                syncs: 0,
+                crashed: false,
+                armed: true,
+                surviving: None,
+                crash_at_byte: plan.crash_at_byte,
+                fail_sync_at: plan.fail_sync_at,
+                torn_tail: plan.torn_tail,
+                rng: splitmix64(seed ^ 0x57a7e),
+            })),
+        }
+    }
+
+    /// Rebuild a store from crash-surviving bytes, truncating any torn tail
+    /// (first bad frame and everything after it) — the reboot path.
+    pub fn from_bytes(bytes: &[u8]) -> SimWalStore {
+        let (frames, valid_end) = SimWalStore::scan(bytes);
+        let store = SimWalStore::new(&FaultPlan::none(), 0);
+        {
+            let mut st = store.state.lock();
+            st.buf = bytes[..valid_end as usize].to_vec();
+            st.frame_ends = frames.iter().map(|(lsn, _)| *lsn).collect();
+            st.synced = valid_end;
+        }
+        store
+    }
+
+    /// Parse `bytes` as a frame sequence, stopping at the first truncated or
+    /// corrupt frame. Returns `(frames, valid_end)` with frames as
+    /// `(lsn, payload)`. This scanner is deliberately independent of the
+    /// engine's recovery code: it is the oracle the engine is checked against.
+    pub fn scan(bytes: &[u8]) -> (Vec<(Lsn, Vec<u8>)>, u64) {
+        let mut frames = Vec::new();
+        let mut pos = 0usize;
+        while pos + FRAME_HEADER as usize <= bytes.len() {
+            let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap()) as usize;
+            let crc = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().unwrap());
+            let body = pos + FRAME_HEADER as usize;
+            if len == 0 || body + len > bytes.len() {
+                break; // torn or nonsense length
+            }
+            let payload = &bytes[body..body + len];
+            if crc32(payload) != crc {
+                break; // corrupt frame: everything after is untrusted
+            }
+            pos = body + len;
+            frames.push((pos as Lsn, payload.to_vec()));
+        }
+        (frames, pos as u64)
+    }
+
+    /// The byte prefix that survived the crash (the whole log if none fired).
+    pub fn surviving_bytes(&self) -> Vec<u8> {
+        let st = self.state.lock();
+        let cut = st.surviving.unwrap_or(st.buf.len() as u64) as usize;
+        st.buf[..cut].to_vec()
+    }
+
+    /// Whether an injected crash has fired.
+    pub fn crashed(&self) -> bool {
+        self.state.lock().crashed
+    }
+
+    /// Hold the plan's faults: scenario setup (DDL, seed rows) must survive
+    /// every plan, and a `fail_sync_at` early enough to hit a setup sync would
+    /// otherwise panic the harness thread itself. While disarmed the sync
+    /// counter also pauses, so `fail_sync_at` counts simulated-run syncs only.
+    pub fn disarm(&self) {
+        self.state.lock().armed = false;
+    }
+
+    /// Resume executing the plan's faults (call right before the scheduler
+    /// takes over).
+    pub fn arm(&self) {
+        self.state.lock().armed = true;
+    }
+
+    fn next_rand(st: &mut StoreState) -> u64 {
+        st.rng = splitmix64(st.rng);
+        st.rng
+    }
+
+    /// Kill the store: pick the surviving prefix in `[synced, end]` — the OS
+    /// never un-writes synced bytes, anything after is fair game — and round
+    /// it down to a frame boundary unless the plan allows torn tails.
+    fn crash(st: &mut StoreState) {
+        st.crashed = true;
+        let lo = st.synced;
+        let hi = st.buf.len() as u64;
+        let mut cut = if hi > lo {
+            lo + SimWalStore::next_rand(st) % (hi - lo + 1)
+        } else {
+            lo
+        };
+        if !st.torn_tail {
+            cut = st
+                .frame_ends
+                .iter()
+                .copied()
+                .filter(|&e| e <= cut)
+                .max()
+                .unwrap_or(0)
+                .max(lo);
+        }
+        st.surviving = Some(cut);
+    }
+
+    fn dead() -> std::io::Error {
+        std::io::Error::other("injected fault: WAL store crashed")
+    }
+}
+
+impl WalStore for SimWalStore {
+    fn append(&self, payload: &[u8]) -> std::io::Result<Lsn> {
+        // Mirror the file store's in-append interleaving point (this runs
+        // under the WAL append lock, which is sim-aware).
+        sim::yield_point(Site::WalAppend);
+        let mut st = self.state.lock();
+        if st.crashed {
+            return Err(SimWalStore::dead());
+        }
+        st.buf
+            .extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        st.buf.extend_from_slice(&crc32(payload).to_le_bytes());
+        st.buf.extend_from_slice(payload);
+        let end = st.buf.len() as u64;
+        st.frame_ends.push(end);
+        if let Some(at) = st.crash_at_byte.filter(|_| st.armed) {
+            if end >= at {
+                SimWalStore::crash(&mut st);
+                return Err(std::io::Error::other(format!(
+                    "injected crash at WAL byte {at}"
+                )));
+            }
+        }
+        Ok(end)
+    }
+
+    fn sync(&self) -> std::io::Result<Lsn> {
+        sim::yield_point(Site::WalSync);
+        let mut st = self.state.lock();
+        if st.crashed {
+            return Err(SimWalStore::dead());
+        }
+        if st.armed {
+            st.syncs += 1;
+        }
+        if st.armed && st.fail_sync_at == Some(st.syncs) {
+            SimWalStore::crash(&mut st);
+            let n = st.syncs;
+            return Err(std::io::Error::other(format!(
+                "injected fsync failure (sync #{n})"
+            )));
+        }
+        st.synced = st.buf.len() as u64;
+        Ok(st.synced)
+    }
+
+    fn end_lsn(&self) -> Lsn {
+        self.state.lock().buf.len() as u64
+    }
+
+    fn is_durable(&self) -> bool {
+        // Commits park for sync: exercises group commit, leader election, and
+        // epoch poisoning under the simulated schedule.
+        true
+    }
+
+    fn read_all(&self) -> std::io::Result<Vec<(Lsn, Vec<u8>)>> {
+        let st = self.state.lock();
+        Ok(SimWalStore::scan(&st.buf).0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip_and_torn_tails_truncate() {
+        let store = SimWalStore::new(&FaultPlan::none(), 1);
+        let a = store.append(b"alpha").unwrap();
+        let b = store.append(b"beta").unwrap();
+        assert_eq!(a, FRAME_HEADER + 5);
+        assert_eq!(b, a + FRAME_HEADER + 4);
+        let frames = store.read_all().unwrap();
+        assert_eq!(frames.len(), 2);
+        assert_eq!(frames[1], (b, b"beta".to_vec()));
+
+        // Cut mid-second-frame: scan keeps only the first.
+        let bytes = store.surviving_bytes();
+        let cut = &bytes[..a as usize + 3];
+        let (frames, end) = SimWalStore::scan(cut);
+        assert_eq!(frames.len(), 1);
+        assert_eq!(end, a);
+        let reopened = SimWalStore::from_bytes(cut);
+        assert_eq!(reopened.read_all().unwrap().len(), 1);
+        assert_eq!(reopened.end_lsn(), a);
+    }
+
+    #[test]
+    fn crash_at_byte_fails_append_and_bounds_survivors() {
+        let plan = FaultPlan {
+            crash_at_byte: Some(1),
+            torn_tail: false,
+            ..FaultPlan::none()
+        };
+        let store = SimWalStore::new(&plan, 7);
+        assert!(store.append(b"x").is_err());
+        assert!(store.crashed());
+        assert!(store.append(b"y").is_err(), "store stays dead");
+        assert!(store.sync().is_err());
+        // Non-torn cut lands on a frame boundary (here: empty or the frame).
+        let surv = store.surviving_bytes();
+        assert!(surv.is_empty() || surv.len() as u64 == FRAME_HEADER + 1);
+    }
+
+    #[test]
+    fn fsync_failure_kills_the_store() {
+        let plan = FaultPlan {
+            fail_sync_at: Some(2),
+            ..FaultPlan::none()
+        };
+        let store = SimWalStore::new(&plan, 3);
+        store.append(b"one").unwrap();
+        assert!(store.sync().is_ok());
+        store.append(b"two").unwrap();
+        assert!(store.sync().is_err());
+        assert!(store.crashed());
+        // Synced bytes always survive.
+        let surv = store.surviving_bytes();
+        assert!(surv.len() as u64 >= FRAME_HEADER + 3);
+    }
+
+    #[test]
+    fn plans_are_deterministic_per_seed() {
+        for seed in 0..64 {
+            let a = FaultPlan::from_seed(seed);
+            let b = FaultPlan::from_seed(seed);
+            assert_eq!(a.describe(), b.describe());
+            assert_eq!(a.crash_at_byte, b.crash_at_byte);
+            assert_eq!(a.fail_sync_at, b.fail_sync_at);
+        }
+    }
+}

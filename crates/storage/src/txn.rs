@@ -80,9 +80,10 @@
 use std::collections::{BTreeSet, HashMap};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use parking_lot::{Condvar, Mutex, RwLock};
+use pgssi_common::sim::{self, Site, WakeReason};
 use pgssi_common::stats::Counter;
 use pgssi_common::{CommitSeqNo, Error, Result, Snapshot, TxnConfig, TxnId};
 
@@ -494,6 +495,14 @@ impl TxnManager {
     fn notify_finished(&self) {
         drop(self.waits.lock());
         self.finished.notify_all();
+        sim::notify(Site::LockWait, self.wait_key());
+    }
+
+    /// Scheduler wakeup key for `wait_for` parking: the condvar's address
+    /// (stable for this manager's lifetime, matched at runtime, never traced).
+    #[inline]
+    fn wait_key(&self) -> usize {
+        std::ptr::addr_of!(self.finished) as usize
     }
 
     /// Status of `txid` from the commit log.
@@ -533,7 +542,9 @@ impl TxnManager {
     /// told `(waiter, waitee)`, so the session layer can wake the blocking
     /// transaction's descheduled session rather than stall until the timeout.
     pub fn wait_for(&self, waiter: TxnId, waitee: TxnId, timeout: Duration) -> Result<()> {
-        let deadline = Instant::now() + timeout;
+        // Control-flow deadline: virtual time under the simulator so lock
+        // timeouts fire at deterministic schedule points.
+        let deadline = sim::now() + timeout;
         let mut w = self.waits.lock();
         if !self.is_active(waitee) {
             return Ok(());
@@ -562,7 +573,18 @@ impl TxnManager {
             if !self.is_active(waitee) {
                 break Ok(());
             }
-            if self.finished.wait_until(&mut w, deadline).timed_out() {
+            if sim::is_sim_thread() {
+                // Sim park: release the waits mutex (park sites hold no OS
+                // locks), hand the token to the scheduler, re-lock on wake.
+                // The token is held from the drop to the scheduler's own
+                // park, so no sim thread can miss-wake us in between.
+                drop(w);
+                let r = sim::block(Site::LockWait, self.wait_key(), Some(deadline));
+                w = self.waits.lock();
+                if r == WakeReason::TimedOut && self.is_active(waitee) {
+                    break Err(Error::LockTimeout);
+                }
+            } else if self.finished.wait_until(&mut w, deadline).timed_out() {
                 break Err(Error::LockTimeout);
             }
         };

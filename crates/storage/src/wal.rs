@@ -158,6 +158,7 @@ impl Default for MemWalStore {
 
 impl WalStore for MemWalStore {
     fn append(&self, payload: &[u8]) -> std::io::Result<Lsn> {
+        pgssi_common::sim::yield_point(pgssi_common::sim::Site::WalAppend);
         let mut st = self.state.lock();
         let lsn = st.end + FRAME_HEADER + payload.len() as u64;
         st.records.push((lsn, payload.to_vec()));
@@ -289,6 +290,9 @@ impl FileWalStore {
 
 impl WalStore for FileWalStore {
     fn append(&self, payload: &[u8]) -> std::io::Result<Lsn> {
+        // Sim yield before the state lock, never inside it: the lock is held
+        // only between yield points, so a parked thread never holds it.
+        pgssi_common::sim::yield_point(pgssi_common::sim::Site::WalAppend);
         let mut st = self.state.lock();
         let len = payload.len() as u32;
         st.writer.write_all(&len.to_le_bytes())?;
@@ -299,6 +303,7 @@ impl WalStore for FileWalStore {
     }
 
     fn sync(&self) -> std::io::Result<Lsn> {
+        pgssi_common::sim::yield_point(pgssi_common::sim::Site::WalSync);
         let mut st = self.state.lock();
         st.writer.flush()?;
         st.writer.get_ref().sync_data()?;

@@ -4,6 +4,16 @@
 //! methods return guards directly (no `Result`), and [`Condvar`] with
 //! `&mut MutexGuard`-style waits. Poisoning is swallowed — like parking_lot,
 //! a panic while holding a lock leaves the data accessible to other threads.
+//!
+//! Under an active simulation run ([`pgssi_common::sim`]) the blocking lock
+//! methods acquire cooperatively: a registered sim thread spins on `try_lock`
+//! with a scheduler yield between attempts instead of OS-blocking. This is
+//! load-bearing for the deterministic scheduler — a sim thread that futex-waits
+//! on a lock whose holder is *paused* in the scheduler deadlocks the whole run
+//! (the waiter sits on the run token the holder needs to resume and release).
+//! Routing every lock in the workspace through this shim makes the rule "never
+//! OS-block on a peer sim thread" hold by construction rather than by auditing
+//! each call site. Outside a simulation the cost is one relaxed atomic load.
 
 use std::fmt;
 use std::ops::{Deref, DerefMut};
@@ -23,6 +33,18 @@ impl<T> Mutex<T> {
 
 impl<T: ?Sized> Mutex<T> {
     pub fn lock(&self) -> MutexGuard<'_, T> {
+        if pgssi_common::sim::enabled() {
+            let inner = pgssi_common::sim::lock_cooperatively(
+                pgssi_common::sim::Site::LockSpin,
+                || match self.0.try_lock() {
+                    Ok(g) => Some(g),
+                    Err(std::sync::TryLockError::Poisoned(e)) => Some(e.into_inner()),
+                    Err(std::sync::TryLockError::WouldBlock) => None,
+                },
+                || self.0.lock().unwrap_or_else(|e| e.into_inner()),
+            );
+            return MutexGuard { inner: Some(inner) };
+        }
         MutexGuard {
             inner: Some(self.0.lock().unwrap_or_else(|e| e.into_inner())),
         }
@@ -98,10 +120,24 @@ impl<T> RwLock<T> {
 
 impl<T: ?Sized> RwLock<T> {
     pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        if pgssi_common::sim::enabled() {
+            return pgssi_common::sim::lock_cooperatively(
+                pgssi_common::sim::Site::LockSpin,
+                || self.try_read(),
+                || self.0.read().unwrap_or_else(|e| e.into_inner()),
+            );
+        }
         self.0.read().unwrap_or_else(|e| e.into_inner())
     }
 
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        if pgssi_common::sim::enabled() {
+            return pgssi_common::sim::lock_cooperatively(
+                pgssi_common::sim::Site::LockSpin,
+                || self.try_write(),
+                || self.0.write().unwrap_or_else(|e| e.into_inner()),
+            );
+        }
         self.0.write().unwrap_or_else(|e| e.into_inner())
     }
 
