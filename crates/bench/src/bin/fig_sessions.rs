@@ -260,8 +260,8 @@ fn main() {
     println!("should sit at ~100 since only cold starts walk the shards). --tcp adds a");
     println!("per-message socket round trip but the curve's shape should survive it.");
 
-    args.print_stats("SSI", server.db());
-    args.print_latency("SSI", server.db());
+    args.print_stats("SSI", server.db().shard(0));
+    args.print_latency("SSI", server.db().shard(0));
     if let Some(front) = front {
         front.shutdown();
     }

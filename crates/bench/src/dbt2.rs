@@ -472,11 +472,17 @@ impl Dbt2 {
         }
 
         impl SessionTask for Terminal {
-            fn run(&mut self, db: &Database, _sid: pgssi_server::SessionId) -> pgssi_server::Next {
+            fn run(
+                &mut self,
+                db: &pgssi_engine::ShardedDatabase,
+                _sid: pgssi_server::SessionId,
+            ) -> pgssi_server::Next {
                 if self.stop.load(Ordering::Relaxed) {
                     return pgssi_server::Next::Stop;
                 }
-                if self.bench.one_txn(db, self.mode, &mut self.rng) {
+                // DBT-2 terminals drive a single engine; the pool wraps it as
+                // a one-shard cluster.
+                if self.bench.one_txn(db.shard(0), self.mode, &mut self.rng) {
                     self.committed.fetch_add(1, Ordering::Relaxed);
                 } else {
                     self.aborted.fetch_add(1, Ordering::Relaxed);

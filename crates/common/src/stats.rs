@@ -453,6 +453,21 @@ impl AbortSnapshot {
         self.grid.iter().flatten().sum()
     }
 
+    /// Fold another snapshot's counts into this one (cluster aggregation
+    /// across shards: disjoint databases, so cells simply add).
+    pub fn merge(&mut self, other: &AbortSnapshot) {
+        for (k, row) in self.grid.iter_mut().enumerate() {
+            for (s, v) in row.iter_mut().enumerate() {
+                *v += other.grid[k][s];
+            }
+        }
+        let mut by_rel: BTreeMap<u64, u64> = self.by_rel.iter().copied().collect();
+        for &(r, n) in &other.by_rel {
+            *by_rel.entry(r).or_insert(0) += n;
+        }
+        self.by_rel = by_rel.into_iter().collect();
+    }
+
     /// Aborts recorded since `baseline`.
     pub fn delta(&self, baseline: &AbortSnapshot) -> AbortSnapshot {
         let mut grid = self.grid;

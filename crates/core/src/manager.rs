@@ -1631,13 +1631,49 @@ impl SsiManager {
         // crash): publish any pending read-set batch so the persisted lock
         // list and the shared table both carry the complete read set.
         self.siread.publish_pending(sx.0);
+        // Prepare-time conflict facts: the same projection a CommitDigest
+        // carries at commit, captured here so a cross-shard coordinator can
+        // judge a distributed dangerous structure from its branches' records
+        // (the local pivot check above only sees this shard's edges).
+        let (had_in_conflict, had_out_conflict, earliest_out_conflict_commit) = {
+            let g = me.lock();
+            (
+                !g.in_conflicts.is_empty() || g.summary_conflict_in,
+                !g.out_conflicts.is_empty()
+                    || g.summary_conflict_out
+                    || g.earliest_out_conflict_commit != CommitSeqNo::MAX,
+                g.earliest_out_conflict_commit,
+            )
+        };
         Ok(PreparedSsi {
             txid: me.txid,
             snapshot_csn: me.snapshot_csn,
             prepare_csn: me.prepare_csn().unwrap_or(frontier),
             siread_locks: self.siread.held_targets(sx.0),
             wrote: me.wrote(),
+            had_in_conflict,
+            had_out_conflict,
+            earliest_out_conflict_commit,
         })
+    }
+
+    /// Treat a live prepared transaction as committed-with-conflicts-both-ways
+    /// (§7.1 conservatism, applied by a cross-shard coordinator): once a branch
+    /// of a distributed transaction has prepared, its sibling branches' edges
+    /// live on other shards where this shard cannot see them, so every edge
+    /// formed against the branch *after* PREPARE must assume the invisible half
+    /// of a dangerous structure exists. Setting the summary flags makes the
+    /// existing prepared-pivot machinery (`precommit_check_t2`, pivot checks)
+    /// fire on any new in- or out-edge, aborting the acting transaction instead
+    /// of the unabortable prepared one.
+    pub fn mark_prepared_conservative(&self, sx: SxactId) {
+        if let Some(me) = self.reg.get(sx) {
+            let bound = me.prepare_csn().unwrap_or(CommitSeqNo::MAX);
+            let mut g = me.lock();
+            g.summary_conflict_in = true;
+            g.summary_conflict_out = true;
+            g.earliest_out_conflict_commit = g.earliest_out_conflict_commit.min(bound);
+        }
     }
 
     /// Rebuild a prepared transaction after a crash. Its dependency edges are

@@ -22,6 +22,20 @@ pub struct PreparedSsi {
     /// Whether the transaction had written anything (affects read-only
     /// classification).
     pub wrote: bool,
+    /// Had at least one rw-antidependency in (`T –rw→ me`) at prepare time,
+    /// including summarized ones. Prepare-time projection of the same fact a
+    /// [`CommitDigest`](crate::CommitDigest) carries at commit, exported so a
+    /// cross-shard coordinator can evaluate a distributed dangerous structure
+    /// from its branches' facts.
+    pub had_in_conflict: bool,
+    /// Had at least one rw-antidependency out (`me –rw→ T`) at prepare time,
+    /// including summarized ones.
+    pub had_out_conflict: bool,
+    /// Earliest commit CSN among committed out-conflict targets at prepare
+    /// time (`CommitSeqNo::MAX` = none committed yet) — the §3.3.1
+    /// commit-ordering fact: a pivot is dangerous only if some out-neighbor
+    /// committed first.
+    pub earliest_out_conflict_commit: CommitSeqNo,
 }
 
 #[cfg(test)]
@@ -40,6 +54,9 @@ mod tests {
                 LockTarget::Page(RelId(2), 3),
             ],
             wrote: true,
+            had_in_conflict: true,
+            had_out_conflict: false,
+            earliest_out_conflict_commit: CommitSeqNo::MAX,
         };
         let copy = rec.clone();
         assert_eq!(rec, copy);

@@ -246,6 +246,23 @@ impl Catalog {
             .ok_or_else(|| Error::NoSuchTable(name.to_string()))
     }
 
+    /// Reverse-map a relation id (heap or any of its indexes) to the owning
+    /// table's name. Relation ids are assigned in open order and shift across
+    /// recoveries, so crash-safe records (2PC prepare) persist names instead.
+    pub fn table_of_rel(&self, rel: RelId) -> Option<String> {
+        let tables = self.tables.read();
+        for t in tables.values() {
+            if t.heap_rel == rel {
+                return Some(t.name.clone());
+            }
+            let inner = t.inner.read();
+            if inner.pk.rel() == rel || inner.secondaries.iter().any(|s| s.rel() == rel) {
+                return Some(t.name.clone());
+            }
+        }
+        None
+    }
+
     /// Names of all tables (deterministic order).
     pub fn table_names(&self) -> Vec<String> {
         let mut names: Vec<String> = self.tables.read().keys().cloned().collect();

@@ -17,8 +17,8 @@ use pgssi_storage::{BufferCache, TxnManager};
 
 use crate::catalog::{Catalog, Table, TableDef};
 use crate::durability::{
-    decode_checkpoint, decode_commit, encode_checkpoint, encode_commit, Checkpoint, DurableWal,
-    RedoOp, CHECKPOINT_FILE,
+    decode_checkpoint, decode_entry, encode_checkpoint, encode_commit, encode_resolve, Checkpoint,
+    DurableWal, PreparedRecord, RedoOp, WalEntry, CHECKPOINT_FILE,
 };
 use crate::replication::{ReplicationStats, WalStream};
 use crate::twophase::PreparedTxn;
@@ -252,6 +252,26 @@ pub struct StatsReport {
     pub latency: LatencyReport,
     /// Lifecycle events recorded by the tracer (0 unless `obs.trace` is on).
     pub trace_events: u64,
+    /// Cluster: shard count behind the routing layer (0 = not a cluster
+    /// report; the `cluster:` display line only appears when nonzero).
+    pub cluster_shards: usize,
+    /// Cluster: transactions that committed entirely on one shard (fast
+    /// path — no coordinator, no second shard's locks).
+    pub cluster_single_commits: u64,
+    /// Cluster: cross-shard transactions committed through 2PC.
+    pub cluster_cross_commits: u64,
+    /// Cluster: cross-shard transactions aborted by the conservative
+    /// prepared-as-committed union rule at the coordinator.
+    pub cluster_cross_aborts: u64,
+    /// Cluster: coordinator enlistments — bumped the moment a transaction
+    /// touches its second shard. Equals cross-shard commits + cross-shard
+    /// aborts + cross-shard rollbacks; the fast-path invariant is that
+    /// single-shard transactions never appear here.
+    pub cluster_enlistments: u64,
+    /// Cluster: conservative aborts that a §3.3.1 conflict-fact exchange at
+    /// PREPARE would have spared (no out-neighbor had committed first on any
+    /// shard) — the measurable abort-rate cost of the cheap rule.
+    pub cluster_spared_by_facts: u64,
 }
 
 /// Latency histograms gathered by [`Database::stats_report`]: end-to-end
@@ -297,6 +317,16 @@ impl LatencyReport {
             "repl_catchup" => Some(&self.repl_catchup),
             _ => None,
         }
+    }
+
+    /// Fold another report's histograms into this one (cluster aggregation).
+    pub fn merge(&mut self, other: &LatencyReport) {
+        self.commit.merge(&other.commit);
+        self.commit_order.merge(&other.commit_order);
+        self.fsync_wait.merge(&other.fsync_wait);
+        self.row_lock_wait.merge(&other.row_lock_wait);
+        self.siread_publish.merge(&other.siread_publish);
+        self.repl_catchup.merge(&other.repl_catchup);
     }
 
     /// Samples recorded since `baseline`.
@@ -361,6 +391,7 @@ impl StatsReport {
                     siread_locks: self.siread_locks,
                     txn_id_shards: self.txn_id_shards,
                     wal_group_commit: self.wal_group_commit,
+                    cluster_shards: self.cluster_shards,
                     aborts_by: self.aborts_by.delta(&baseline.aborts_by),
                     latency: self.latency.delta(&baseline.latency),
                 }
@@ -417,7 +448,82 @@ impl StatsReport {
             wal_recovered_records,
             wal_torn_bytes,
             trace_events,
+            cluster_single_commits,
+            cluster_cross_commits,
+            cluster_cross_aborts,
+            cluster_enlistments,
+            cluster_spared_by_facts,
         )
+    }
+
+    /// Fold another shard's report into this one (cluster aggregation over
+    /// disjoint databases): counters and the resident-lock gauge add, latency
+    /// histograms merge, per-shard shape fields (partition counts, group
+    /// commit) keep `self`'s value — shards are configured identically.
+    pub fn absorb(&mut self, other: &StatsReport) {
+        macro_rules! add {
+            ($($f:ident),* $(,)?) => { $(self.$f += other.$f;)* };
+        }
+        add!(
+            commits,
+            aborts,
+            retry_attempts,
+            ssi_conflicts_flagged,
+            ssi_dangerous_structures,
+            ssi_aborts_self,
+            ssi_doomed,
+            ssi_summary_aborts,
+            ssi_safe_snapshots,
+            ssi_summarized,
+            siread_acquisitions,
+            siread_promotions,
+            siread_locks,
+            siread_partition_taken,
+            siread_partition_contended,
+            siread_local_accumulated,
+            siread_batches_published,
+            siread_filter_probes,
+            siread_filter_hits,
+            siread_forced_publishes,
+            s2pl_grants,
+            s2pl_waits,
+            s2pl_deadlocks,
+            txn_begins,
+            txn_snapshot_hits,
+            txn_snapshot_incremental,
+            txn_snapshot_full_rebuilds,
+            txn_id_blocks,
+            txn_wait_reports,
+            sessions_opened,
+            session_requests,
+            session_executed,
+            session_worker_parks,
+            session_lock_wakeups,
+            session_reserve_workers,
+            repl_records,
+            repl_markers_shipped,
+            repl_resolves_shipped,
+            repl_safe_local,
+            repl_safe_marker,
+            repl_marker_waits_avoided,
+            repl_unsafe_candidates,
+            repl_catch_ups,
+            repl_lag_records,
+            wal_records,
+            wal_bytes,
+            wal_syncs,
+            wal_sync_waits,
+            wal_recovered_records,
+            wal_torn_bytes,
+            trace_events,
+            cluster_single_commits,
+            cluster_cross_commits,
+            cluster_cross_aborts,
+            cluster_enlistments,
+            cluster_spared_by_facts,
+        );
+        self.aborts_by.merge(&other.aborts_by);
+        self.latency.merge(&other.latency);
     }
 }
 
@@ -542,6 +648,21 @@ impl std::fmt::Display for StatsReport {
             self.wal_torn_bytes,
             if self.wal_group_commit { "on" } else { "off" },
         )?;
+        // Cluster counters only when the report came from a routing layer —
+        // single-database reports keep their exact pre-cluster output.
+        if self.cluster_shards > 0 {
+            writeln!(
+                f,
+                "cluster: shards {}  single-shard-commits {}  cross-shard-2pc-commits {}  \
+                 cross-shard-aborts {}  coordinator-enlistments {}  spared-by-fact-exchange {}",
+                self.cluster_shards,
+                self.cluster_single_commits,
+                self.cluster_cross_commits,
+                self.cluster_cross_aborts,
+                self.cluster_enlistments,
+                self.cluster_spared_by_facts,
+            )?;
+        }
         // Commit latency always; phase histograms only once they have samples
         // (repl_catchup is records-behind, rendered as a plain count).
         write!(f, "latency: ")?;
@@ -603,6 +724,23 @@ pub(crate) struct DbInner {
 impl DbInner {
     pub fn ssi(&self) -> Arc<SsiManager> {
         Arc::clone(&self.ssi.read())
+    }
+
+    /// Acquire the prepared-transaction map. Sim-aware like
+    /// [`DurableWal`]'s append lock: PREPARE and COMMIT PREPARED hold this
+    /// across WAL appends (which contain yield points), so a sim thread must
+    /// spin on `try_lock` with yields instead of blocking in the kernel while
+    /// the holder is parked.
+    pub fn lock_prepared(&self) -> parking_lot::MutexGuard<'_, HashMap<String, PreparedTxn>> {
+        if pgssi_common::sim::is_sim_thread() {
+            loop {
+                if let Some(g) = self.prepared.try_lock() {
+                    return g;
+                }
+                pgssi_common::sim::yield_point(pgssi_common::sim::Site::LockSpin);
+            }
+        }
+        self.prepared.lock()
     }
 
     /// Oldest snapshot CSN any active transaction may read at (vacuum horizon).
@@ -748,14 +886,122 @@ impl Database {
             )));
         }
         let frames = self.inner.dwal.store().read_all().map_err(Error::wal)?;
+        // gid → (prepare record, prepare LSN) for prepares the log has not
+        // resolved yet.
+        let mut stash: HashMap<String, (PreparedRecord, Lsn)> = HashMap::new();
         for (lsn, payload) in frames {
-            if lsn <= applied_lsn {
-                continue;
-            }
-            let (_txid, ops) = decode_commit(&payload)
+            let entry = decode_entry(&payload)
                 .ok_or_else(|| Error::Wal(format!("malformed WAL record ending at {lsn}")))?;
-            self.replay_record(ops)?;
-            self.inner.dwal.stats.recovered_records.bump();
+            match entry {
+                WalEntry::Commit { ops, .. } => {
+                    if lsn <= applied_lsn {
+                        continue;
+                    }
+                    self.replay_record(ops)?;
+                    self.inner.dwal.stats.recovered_records.bump();
+                }
+                WalEntry::Prepare(rec) => {
+                    // Stashed at *any* position: an unresolved prepare may sit
+                    // before the checkpoint's applied LSN — its effects are
+                    // uncommitted, so the image never covers them (which is
+                    // why the checkpoint trim floor keeps the record).
+                    stash.insert(rec.gid.clone(), (rec, lsn));
+                }
+                WalEntry::Resolve { gid, committed } => {
+                    let stashed = stash.remove(&gid);
+                    if !committed || lsn <= applied_lsn {
+                        // Aborted, or committed but baked into the image.
+                        continue;
+                    }
+                    let Some((rec, _)) = stashed else {
+                        // A committed resolve past the image with no prepare
+                        // in the log means the prefix was trimmed wrongly —
+                        // the transaction's writes are gone. Fail loudly.
+                        return Err(Error::Wal(format!(
+                            "COMMIT PREPARED record for {gid:?} at LSN {lsn} \
+                             has no prepare record to apply"
+                        )));
+                    };
+                    // The resolve was appended in the clog-commit critical
+                    // section, so applying the stashed ops at *its* position
+                    // preserves the log-order = commit-order invariant.
+                    self.replay_record(rec.ops)?;
+                    self.inner.dwal.stats.recovered_records.bump();
+                }
+            }
+        }
+        // Whatever is still stashed crashed in doubt: rebuild each as a live
+        // prepared transaction awaiting COMMIT PREPARED / ROLLBACK PREPARED.
+        let mut in_doubt: Vec<(PreparedRecord, Lsn)> = stash.into_values().collect();
+        in_doubt.sort_by_key(|&(_, lsn)| lsn);
+        for (rec, lsn) in in_doubt {
+            self.recover_in_doubt(rec, lsn)?;
+        }
+        Ok(())
+    }
+
+    /// Rebuild one in-doubt prepared transaction from its durable Prepare
+    /// record: re-apply its redo ops under a fresh in-progress txid (re-taking
+    /// the tuple write locks), re-register the gid, and — if it ran under SSI
+    /// — re-instate the conservative §7.1 state (rw-antidependencies assumed
+    /// both in and out) with relation-level SIREAD locks on the tables the
+    /// record names. Runs with redo capture off, so nothing is re-logged; the
+    /// rebuilt entry keeps the *original* prepare LSN so its eventual
+    /// resolution still writes the Resolve marker this log is missing.
+    fn recover_in_doubt(&self, rec: PreparedRecord, prepare_lsn: Lsn) -> Result<()> {
+        let wrote = !rec.ops.is_empty();
+        let mut txn = self.begin(IsolationLevel::ReadCommitted);
+        for op in rec.ops {
+            match op {
+                RedoOp::CreateTable(def) => match self.inner.catalog.create_table(def) {
+                    Ok(_) | Err(Error::Misuse(_)) => {}
+                    Err(e) => return Err(e),
+                },
+                RedoOp::Upsert { table, row } => {
+                    let (pk, width) = self.table_shape(&table)?;
+                    if row.len() != width || pk.iter().any(|&i| i >= row.len()) {
+                        return Err(Error::Wal(format!("redo row shape mismatch for {table}")));
+                    }
+                    let key: Key = pk.iter().map(|&i| row[i].clone()).collect();
+                    if !txn.update(&table, &key, row.clone())? {
+                        txn.insert(&table, row)?;
+                    }
+                }
+                RedoOp::Delete { table, key } => {
+                    txn.delete(&table, &key)?;
+                }
+            }
+        }
+        txn.prepare(&rec.gid)?;
+        let mut prepared = self.inner.lock_prepared();
+        let entry = prepared
+            .get_mut(&rec.gid)
+            .expect("gid registered by the prepare call above");
+        entry.prepare_lsn = Some(prepare_lsn);
+        if rec.serializable {
+            // The original read set is lost (only relation names were
+            // persisted), so the SIREAD footprint coarsens to whole
+            // relations — strictly more conservative, never less.
+            let siread_locks: Vec<pgssi_common::LockTarget> = rec
+                .siread_tables
+                .iter()
+                .filter_map(|name| self.inner.catalog.table(name).ok())
+                .map(|t| pgssi_common::LockTarget::Relation(t.heap_rel))
+                .collect();
+            let frontier = self.inner.tm.frontier();
+            let ssi_rec = pgssi_core::PreparedSsi {
+                txid: entry.txid,
+                snapshot_csn: frontier,
+                prepare_csn: frontier,
+                siread_locks,
+                wrote,
+                had_in_conflict: true,
+                had_out_conflict: true,
+                earliest_out_conflict_commit: frontier,
+            };
+            let sx = self.inner.ssi().recover_prepared(&ssi_rec);
+            entry.sx = Some(sx);
+            entry.ssi = Some(ssi_rec);
         }
         Ok(())
     }
@@ -822,7 +1068,22 @@ impl Database {
         let WalMode::File { dir } = &self.inner.config.wal.mode else {
             return Ok(0);
         };
+        // The prepared map stays locked *across* the quiesce: no PREPARE can
+        // append and no resolution can commit between the trim-floor
+        // computation below and the snapshot, so every unresolved Prepare
+        // record is still in the log the floor protects (lock order
+        // prepared → append, consistent with every other taker).
+        let prepared = self.inner.lock_prepared();
         let (snapshot, applied_lsn) = self.inner.dwal.quiesced(|| self.inner.tm.snapshot());
+        // Keep the log tail from the earliest unresolved Prepare record on:
+        // its in-doubt effects live only there, not in the checkpoint image
+        // (they are uncommitted, so the snapshot below cannot see them).
+        let floor = prepared
+            .values()
+            .filter_map(|r| r.prepare_lsn)
+            .min()
+            .map(|lsn| lsn - 1);
+        drop(prepared);
         let reader = pgssi_storage::SingleXid(TxnId::INVALID);
         let mut tables = Vec::new();
         for name in self.inner.catalog.table_names() {
@@ -852,9 +1113,13 @@ impl Database {
         self.inner.dwal.flush();
         // Every record at or before `applied_lsn` is baked into the image
         // recovery will load first, so the log prefix is dead weight — drop
-        // it. Safe only now: the rename above made the image the durable
-        // recovery root before any log bytes disappear.
-        self.inner.dwal.trim_to(applied_lsn).map_err(Error::wal)?;
+        // it, except the tail holding unresolved Prepare records. Safe only
+        // now: the rename above made the image the durable recovery root
+        // before any log bytes disappear.
+        self.inner
+            .dwal
+            .trim_to(floor.map_or(applied_lsn, |f| f.min(applied_lsn)))
+            .map_err(Error::wal)?;
         Ok(applied_lsn)
     }
 
@@ -1103,6 +1368,12 @@ impl Database {
             aborts_by: self.inner.stats.aborts_by.snapshot(),
             latency: self.latency_report(),
             trace_events: self.inner.tracer.events.get(),
+            cluster_shards: 0,
+            cluster_single_commits: 0,
+            cluster_cross_commits: 0,
+            cluster_cross_aborts: 0,
+            cluster_enlistments: 0,
+            cluster_spared_by_facts: 0,
         }
     }
 
@@ -1159,15 +1430,21 @@ impl Database {
     // Two-phase commit (§7.1)
     // ------------------------------------------------------------------
 
-    /// COMMIT PREPARED: finish a previously prepared transaction.
+    /// COMMIT PREPARED: finish a previously prepared transaction. The redo
+    /// ops are already on disk inside the Prepare record, so only a small
+    /// Resolve marker is logged — in the clog-commit critical section, so its
+    /// log position *is* the transaction's commit position and recovery
+    /// applies the stashed prepare ops in commit order.
     pub fn commit_prepared(&self, gid: &str) -> Result<()> {
         pgssi_common::sim::yield_point(pgssi_common::sim::Site::TwoPhaseResolve);
-        let rec = self
-            .inner
-            .prepared
-            .lock()
+        // The prepared-map guard is held across the commit so the checkpoint
+        // trim floor (earliest unresolved prepare) cannot advance past this
+        // gid's Prepare record while its Resolve is not in the log yet.
+        let mut prepared = self.inner.lock_prepared();
+        let rec = prepared
             .remove(gid)
             .ok_or_else(|| Error::NotFound(format!("prepared transaction {gid:?}")))?;
+        let resolve = rec.prepare_lsn.map(|_| encode_resolve(gid, true));
         let ssi = self.inner.ssi();
         let inner = &self.inner;
         let mut wal_lsn = None;
@@ -1177,7 +1454,7 @@ impl Database {
                 || {
                     let (csn, lsn) = inner
                         .dwal
-                        .commit_durably(rec.redo_payload.as_deref(), || inner.tm.commit(&rec.xids));
+                        .commit_durably(resolve.as_deref(), || inner.tm.commit(&rec.xids));
                     wal_lsn = lsn;
                     csn
                 },
@@ -1186,13 +1463,17 @@ impl Database {
         } else {
             let (csn, lsn) = inner
                 .dwal
-                .commit_durably(rec.redo_payload.as_deref(), || inner.tm.commit(&rec.xids));
+                .commit_durably(resolve.as_deref(), || inner.tm.commit(&rec.xids));
             wal_lsn = lsn;
             if inner.wal.has_consumers() {
                 ssi.observe_commit(rec.txid, csn, |digest| {
                     inner.wal.publish_commit(inner, digest)
                 });
             }
+        }
+        drop(prepared);
+        if let Some(owner) = rec.s2pl_owner {
+            self.inner.s2pl.release_owner(owner);
         }
         self.inner.active_snapshots.lock().remove(&rec.txid);
         self.inner.stats.commits.bump();
@@ -1206,12 +1487,17 @@ impl Database {
     /// never chooses prepared transactions as victims, but the owner may).
     pub fn rollback_prepared(&self, gid: &str) -> Result<()> {
         pgssi_common::sim::yield_point(pgssi_common::sim::Site::TwoPhaseResolve);
-        let rec = self
-            .inner
-            .prepared
-            .lock()
+        let mut prepared = self.inner.lock_prepared();
+        let rec = prepared
             .remove(gid)
             .ok_or_else(|| Error::NotFound(format!("prepared transaction {gid:?}")))?;
+        // Log the abort fate before the entry disappears from the map (same
+        // trim-floor argument as commit_prepared); replay then drops the
+        // stashed prepare instead of resurrecting it as in-doubt.
+        let resolve_lsn = rec
+            .prepare_lsn
+            .map(|_| self.inner.dwal.append_record(&encode_resolve(gid, false)));
+        drop(prepared);
         if let Some(sx) = rec.sx {
             let inner = &self.inner;
             self.inner
@@ -1219,9 +1505,41 @@ impl Database {
                 .abort_with(sx, |txid| inner.wal.publish_abort(inner, txid));
         }
         self.inner.tm.abort(&rec.xids);
+        if let Some(owner) = rec.s2pl_owner {
+            self.inner.s2pl.release_owner(owner);
+        }
         self.inner.active_snapshots.lock().remove(&rec.txid);
         self.inner.stats.aborts.bump();
+        if let Some(lsn) = resolve_lsn {
+            self.inner.dwal.wait_durable(lsn);
+        }
         Ok(())
+    }
+
+    /// Mark a prepared transaction's SSI state conservatively: summary
+    /// conflicts both ways, as if it had already committed at its prepare
+    /// CSN. A cross-shard coordinator calls this on every branch right after
+    /// PREPARE succeeds, so edges formed while the global fate is undecided
+    /// hit the full prepared-pivot machinery (§7.1 applied across shards).
+    pub fn mark_prepared_conservative(&self, gid: &str) -> Result<()> {
+        let prepared = self.inner.lock_prepared();
+        let rec = prepared
+            .get(gid)
+            .ok_or_else(|| Error::NotFound(format!("prepared transaction {gid:?}")))?;
+        if let Some(sx) = rec.sx {
+            self.inner.ssi().mark_prepared_conservative(sx);
+        }
+        Ok(())
+    }
+
+    /// The crash-safe SSI facts of a prepared transaction (None for a
+    /// non-serializable branch). A cross-shard coordinator unions these
+    /// across branches to evaluate the distributed dangerous-structure rule.
+    pub fn prepared_ssi(&self, gid: &str) -> Option<pgssi_core::PreparedSsi> {
+        self.inner
+            .lock_prepared()
+            .get(gid)
+            .and_then(|r| r.ssi.clone())
     }
 
     /// Names of prepared-but-unresolved transactions.

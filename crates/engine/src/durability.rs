@@ -263,13 +263,17 @@ impl<'a> Reader<'a> {
 
 /// Decode a commit record produced by [`encode_commit`]. `None` on any
 /// malformed byte (a checksummed frame should never produce one, so callers
-/// treat `None` as corruption and stop replay).
+/// treat `None` as corruption and stop replay) and on 2PC records (which
+/// carry the [`TWOPHASE_SENTINEL`] prefix instead of a txid).
 pub fn decode_commit(payload: &[u8]) -> Option<(TxnId, Vec<RedoOp>)> {
     let mut r = Reader {
         buf: payload,
         pos: 0,
     };
     let txid = TxnId(r.u64()?);
+    if txid.0 == TWOPHASE_SENTINEL {
+        return None;
+    }
     let n = r.u32()? as usize;
     let mut ops = Vec::with_capacity(n.min(1024));
     for _ in 0..n {
@@ -279,6 +283,142 @@ pub fn decode_commit(payload: &[u8]) -> Option<(TxnId, Vec<RedoOp>)> {
         return None;
     }
     Some((txid, ops))
+}
+
+// ---------------------------------------------------------------------------
+// Two-phase-commit records (§7.1 durability)
+// ---------------------------------------------------------------------------
+
+/// Prefix marking a WAL frame as a 2PC record rather than a commit record.
+/// Commit frames start with the committing txid; txids are assigned from a
+/// monotone frontier and can never reach `u64::MAX`, so the sentinel is
+/// unambiguous.
+const TWOPHASE_SENTINEL: u64 = u64::MAX;
+const TAG_PREPARE: u8 = 0;
+const TAG_RESOLVE: u8 = 1;
+
+/// Crash-safe image of a prepared transaction: everything recovery needs to
+/// re-instate the in-doubt gid. Tuple/page SIREAD targets are not
+/// replay-stable (heap positions are rebuilt), so the read set is persisted
+/// as the *names* of the relations it touched and recovery re-acquires
+/// relation-level SIREAD locks — coarser, therefore conservative.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PreparedRecord {
+    /// The global identifier PREPARE TRANSACTION was given.
+    pub gid: String,
+    /// The prepared transaction's pre-crash txid (diagnostic only: recovery
+    /// assigns a fresh txid; resolution is keyed on the gid).
+    pub txid: TxnId,
+    /// Whether it ran under SSI (recovery then re-instates the conservative
+    /// conflicts-both-ways summary state, §7.1).
+    pub serializable: bool,
+    /// Names of relations covered by its SIREAD locks at prepare time.
+    pub siread_tables: Vec<String>,
+    /// Its captured redo ops, applied under a fresh in-progress txid at
+    /// recovery (re-taking the tuple write locks) and made visible only by a
+    /// later `Resolve { committed: true }`.
+    pub ops: Vec<RedoOp>,
+}
+
+/// One decoded durable-WAL frame: plain commit, 2PC prepare, or 2PC resolve.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WalEntry {
+    /// An ordinary committed transaction's redo record.
+    Commit {
+        /// The committing txid.
+        txid: TxnId,
+        /// Its redo ops.
+        ops: Vec<RedoOp>,
+    },
+    /// `PREPARE TRANSACTION <gid>`: appended (and fsynced) at prepare time so
+    /// the in-doubt transaction survives a crash.
+    Prepare(PreparedRecord),
+    /// `COMMIT PREPARED` / `ROLLBACK PREPARED <gid>`. A committing resolve is
+    /// appended under the clog-commit critical section, so its log position
+    /// is the transaction's commit position (replay applies the stashed
+    /// prepare ops here, preserving log order = commit order).
+    Resolve {
+        /// The gid being resolved.
+        gid: String,
+        /// True for COMMIT PREPARED, false for ROLLBACK PREPARED.
+        committed: bool,
+    },
+}
+
+/// Encode a 2PC prepare record.
+pub fn encode_prepare(rec: &PreparedRecord) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64 + rec.ops.len() * 24);
+    out.extend_from_slice(&TWOPHASE_SENTINEL.to_le_bytes());
+    out.push(TAG_PREPARE);
+    put_str(&mut out, &rec.gid);
+    out.extend_from_slice(&rec.txid.0.to_le_bytes());
+    out.push(rec.serializable as u8);
+    out.extend_from_slice(&(rec.siread_tables.len() as u32).to_le_bytes());
+    for t in &rec.siread_tables {
+        put_str(&mut out, t);
+    }
+    out.extend_from_slice(&(rec.ops.len() as u32).to_le_bytes());
+    for op in &rec.ops {
+        put_op(&mut out, op);
+    }
+    out
+}
+
+/// Encode a 2PC resolve record.
+pub fn encode_resolve(gid: &str, committed: bool) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16 + gid.len());
+    out.extend_from_slice(&TWOPHASE_SENTINEL.to_le_bytes());
+    out.push(TAG_RESOLVE);
+    put_str(&mut out, gid);
+    out.push(committed as u8);
+    out
+}
+
+/// Decode any durable-WAL frame (commit, prepare, or resolve). `None` on any
+/// malformed byte.
+pub fn decode_entry(payload: &[u8]) -> Option<WalEntry> {
+    let mut r = Reader {
+        buf: payload,
+        pos: 0,
+    };
+    let head = r.u64()?;
+    if head != TWOPHASE_SENTINEL {
+        let (txid, ops) = decode_commit(payload)?;
+        return Some(WalEntry::Commit { txid, ops });
+    }
+    let entry = match r.u8()? {
+        TAG_PREPARE => {
+            let gid = r.str()?;
+            let txid = TxnId(r.u64()?);
+            let serializable = r.u8()? != 0;
+            let ntab = r.u32()? as usize;
+            let mut siread_tables = Vec::with_capacity(ntab.min(1024));
+            for _ in 0..ntab {
+                siread_tables.push(r.str()?);
+            }
+            let nops = r.u32()? as usize;
+            let mut ops = Vec::with_capacity(nops.min(1024));
+            for _ in 0..nops {
+                ops.push(r.op()?);
+            }
+            WalEntry::Prepare(PreparedRecord {
+                gid,
+                txid,
+                serializable,
+                siread_tables,
+                ops,
+            })
+        }
+        TAG_RESOLVE => WalEntry::Resolve {
+            gid: r.str()?,
+            committed: r.u8()? != 0,
+        },
+        _ => return None,
+    };
+    if r.pos != payload.len() {
+        return None;
+    }
+    Some(entry)
 }
 
 // ---------------------------------------------------------------------------
@@ -459,15 +599,20 @@ impl DurableWal {
         }
     }
 
+    /// Append a standalone record (DDL, 2PC prepare/resolve) without waiting
+    /// for the fsync; callers that need durability before acknowledging chain
+    /// a [`wait_durable`](DurableWal::wait_durable) on the returned position.
+    pub fn append_record(&self, payload: &[u8]) -> Lsn {
+        let _g = self.lock_append();
+        let lsn = self.store.append(payload).expect("WAL append failed");
+        self.stats.records.bump();
+        lsn
+    }
+
     /// Append a standalone (non-transactional) record — DDL — and make it
     /// durable before returning.
     pub fn append_ddl(&self, payload: &[u8]) {
-        let lsn = {
-            let _g = self.lock_append();
-            let lsn = self.store.append(payload).expect("WAL append failed");
-            self.stats.records.bump();
-            lsn
-        };
+        let lsn = self.append_record(payload);
         self.wait_durable(lsn);
     }
 
@@ -699,6 +844,71 @@ mod tests {
         let mut garbage = enc.clone();
         garbage.push(0);
         assert!(decode_commit(&garbage).is_none());
+    }
+
+    #[test]
+    fn twophase_records_roundtrip_and_stay_distinct_from_commits() {
+        let prep = PreparedRecord {
+            gid: "gid-1".into(),
+            txid: TxnId(42),
+            serializable: true,
+            siread_tables: vec!["acct".into(), "hist".into()],
+            ops: vec![
+                RedoOp::Upsert {
+                    table: "acct".into(),
+                    row: row![1, 10],
+                },
+                RedoOp::Delete {
+                    table: "acct".into(),
+                    key: row![2],
+                },
+            ],
+        };
+        let enc = encode_prepare(&prep);
+        assert_eq!(decode_entry(&enc), Some(WalEntry::Prepare(prep.clone())));
+        // 2PC frames must never parse as commit records (the sim crash oracle
+        // and older tooling call decode_commit directly).
+        assert!(decode_commit(&enc).is_none());
+        for cut in 0..enc.len() {
+            assert!(decode_entry(&enc[..cut]).is_none(), "cut at {cut}");
+        }
+        let mut garbage = enc.clone();
+        garbage.push(0);
+        assert!(decode_entry(&garbage).is_none());
+
+        let res = encode_resolve("gid-1", true);
+        assert_eq!(
+            decode_entry(&res),
+            Some(WalEntry::Resolve {
+                gid: "gid-1".into(),
+                committed: true
+            })
+        );
+        assert!(decode_commit(&res).is_none());
+        let res = encode_resolve("gid-2", false);
+        assert_eq!(
+            decode_entry(&res),
+            Some(WalEntry::Resolve {
+                gid: "gid-2".into(),
+                committed: false
+            })
+        );
+
+        // Plain commit frames round-trip through decode_entry unchanged.
+        let enc = encode_commit(
+            TxnId(7),
+            &[RedoOp::Delete {
+                table: "t".into(),
+                key: row![1],
+            }],
+        );
+        match decode_entry(&enc) {
+            Some(WalEntry::Commit { txid, ops }) => {
+                assert_eq!(txid, TxnId(7));
+                assert_eq!(ops.len(), 1);
+            }
+            other => panic!("expected commit entry, got {other:?}"),
+        }
     }
 
     #[test]

@@ -23,6 +23,7 @@
 //! granularity (§5.2.1).
 
 pub mod catalog;
+pub mod cluster;
 pub mod database;
 pub mod durability;
 pub mod replication;
@@ -32,6 +33,7 @@ pub mod txn;
 pub mod vacuum;
 
 pub use catalog::{IndexDef, IndexKind, TableDef};
+pub use cluster::{ClusterStats, Router, ShardedDatabase, ShardedTransaction};
 pub use database::{
     BeginOptions, Database, IsolationLevel, LatencyReport, SessionStats, StatsReport,
 };

@@ -2,6 +2,7 @@
 
 use pgssi_common::TxnId;
 use pgssi_core::{PreparedSsi, SxactId};
+use pgssi_storage::Lsn;
 
 /// A prepared transaction awaiting COMMIT PREPARED / ROLLBACK PREPARED.
 ///
@@ -18,7 +19,9 @@ pub struct PreparedTxn {
     pub ssi: Option<PreparedSsi>,
     /// 2PL owner whose locks must be released at resolution.
     pub s2pl_owner: Option<u64>,
-    /// Encoded redo record to append to the durable WAL at COMMIT PREPARED
-    /// (None if the transaction wrote nothing or capture is off).
-    pub redo_payload: Option<Vec<u8>>,
+    /// Log position of the durable Prepare record (None when capture is off).
+    /// The record carries the redo ops, so resolution only logs a small
+    /// Resolve marker; the checkpoint trimmer must keep the log tail from the
+    /// earliest unresolved prepare onward.
+    pub prepare_lsn: Option<Lsn>,
 }

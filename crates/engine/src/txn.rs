@@ -275,16 +275,21 @@ impl Transaction {
         }
     }
 
+    /// Drain the captured redo ops (raw — the 2PC prepare record embeds them).
+    fn take_redo_ops(&mut self) -> Vec<RedoOp> {
+        std::mem::take(&mut self.redo)
+            .into_iter()
+            .map(|(_, op)| op)
+            .collect()
+    }
+
     /// Encode the captured redo ops as this transaction's commit record, or
     /// `None` if there is nothing to log.
     fn take_redo_payload(&mut self) -> Option<Vec<u8>> {
         if self.redo.is_empty() {
             return None;
         }
-        let ops: Vec<RedoOp> = std::mem::take(&mut self.redo)
-            .into_iter()
-            .map(|(_, op)| op)
-            .collect();
+        let ops = self.take_redo_ops();
         Some(encode_commit(self.txid, &ops))
     }
 
@@ -1167,26 +1172,56 @@ impl Transaction {
             }
             None => None,
         };
-        let redo_payload = if self.wrote {
-            self.take_redo_payload()
-        } else {
-            None
-        };
+        // Persist the in-doubt state as a durable Prepare record: gid, redo
+        // ops, and the SIREAD footprint as replay-stable *table names*
+        // (relation ids are assigned in open order and shift across
+        // recoveries). Encoded before the prepared-map lock; appended inside
+        // it so the record cannot orphan a rejected duplicate gid.
+        let payload = self.db.dwal.capturing().then(|| {
+            let mut siread_tables: Vec<String> = ssi_rec
+                .as_ref()
+                .map(|rec| {
+                    rec.siread_locks
+                        .iter()
+                        .filter_map(|t| self.db.catalog.table_of_rel(t.relation()))
+                        .collect()
+                })
+                .unwrap_or_default();
+            siread_tables.sort();
+            siread_tables.dedup();
+            crate::durability::encode_prepare(&crate::durability::PreparedRecord {
+                gid: gid.to_string(),
+                txid: self.txid,
+                serializable: ssi_rec.is_some(),
+                siread_tables,
+                ops: self.take_redo_ops(),
+            })
+        });
         let rec = crate::twophase::PreparedTxn {
             txid: self.txid,
             xids,
             sx: self.sx,
             ssi: ssi_rec,
             s2pl_owner: self.is_2pl().then_some(self.txid.0),
-            redo_payload,
+            prepare_lsn: None,
         };
-        let mut prepared = self.db.prepared.lock();
-        if prepared.contains_key(gid) {
-            drop(prepared);
-            return Err(Error::Misuse(format!("gid {gid:?} already prepared")));
+        let prepare_lsn = {
+            let mut prepared = self.db.lock_prepared();
+            if prepared.contains_key(gid) {
+                drop(prepared);
+                return Err(Error::Misuse(format!("gid {gid:?} already prepared")));
+            }
+            let mut rec = rec;
+            let lsn = payload.map(|p| self.db.dwal.append_record(&p));
+            rec.prepare_lsn = lsn;
+            prepared.insert(gid.to_string(), rec);
+            lsn
+        };
+        // PREPARE is acknowledged only once the in-doubt record is on stable
+        // storage — the promise COMMIT PREPARED relies on after a crash.
+        if let Some(lsn) = prepare_lsn {
+            self.db.dwal.wait_durable(lsn);
         }
-        prepared.insert(gid.to_string(), rec);
-        drop(prepared);
         self.db.active_snapshots.lock().remove(&self.txid);
         self.finished = true;
         Ok(())

@@ -273,6 +273,136 @@ fn concurrent_commits_are_all_durable() {
 }
 
 // ---------------------------------------------------------------------------
+// Two-phase commit durability (§7.1): PREPARE TRANSACTION survives a real
+// crash (process gone, only the WAL directory left), not just the volatile
+// crash `simulate_crash_recovery` models.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn in_doubt_prepared_transaction_survives_reopen() {
+    let dir = TempDir::new("2pc-indoubt");
+    {
+        let db = Database::new(file_config(dir.path()));
+        db.create_table(TableDef::new("kv", &["k", "v"], vec![0]))
+            .unwrap();
+        let mut setup = db.begin(IsolationLevel::ReadCommitted);
+        setup.insert("kv", row![1, 1]).unwrap();
+        setup.commit().unwrap();
+        let mut t = db.begin(IsolationLevel::Serializable);
+        let _ = t.get("kv", &row![1]).unwrap(); // SIREAD footprint on kv
+        t.insert("kv", row![2, 20]).unwrap();
+        t.prepare("gid-crash").unwrap();
+        // Crash with the transaction in doubt: no COMMIT/ROLLBACK PREPARED.
+    }
+    let db = Database::new(file_config(dir.path()));
+    assert_eq!(db.prepared_gids(), vec!["gid-crash".to_string()]);
+
+    // The in-doubt write is invisible until the coordinator decides.
+    let mut r = db.begin(IsolationLevel::ReadCommitted);
+    assert_eq!(r.get("kv", &row![2]).unwrap(), None);
+    r.commit().unwrap();
+
+    // §7.1 conservatism: the recovered transaction is assumed to have
+    // rw-antidependencies both ways, so a serializable transaction forming a
+    // dangerous structure against its (relation-level) SIREAD locks must be
+    // the victim — prepared transactions cannot abort.
+    let mut n = db.begin(IsolationLevel::Serializable);
+    let clash = n
+        .get("kv", &row![1])
+        .and_then(|_| n.update("kv", &row![1], row![1, 100]))
+        .and_then(|_| n.commit());
+    assert!(
+        clash.is_err(),
+        "active transaction must yield to the recovered prepared one"
+    );
+
+    db.commit_prepared("gid-crash").unwrap();
+    assert_eq!(sorted_rows(&db, "kv"), vec![row![1, 1], row![2, 20]]);
+
+    // The resolution is durable too: another reopen shows the committed row
+    // and no lingering in-doubt gid.
+    drop(db);
+    let db = Database::new(file_config(dir.path()));
+    assert!(db.prepared_gids().is_empty());
+    assert_eq!(sorted_rows(&db, "kv"), vec![row![1, 1], row![2, 20]]);
+}
+
+#[test]
+fn recovered_prepared_transaction_can_roll_back() {
+    let dir = TempDir::new("2pc-rollback");
+    {
+        let db = Database::new(file_config(dir.path()));
+        db.create_table(TableDef::new("kv", &["k", "v"], vec![0]))
+            .unwrap();
+        let mut t = db.begin(IsolationLevel::Serializable);
+        t.insert("kv", row![7, 70]).unwrap();
+        t.prepare("gid-rb").unwrap();
+    }
+    let db = Database::new(file_config(dir.path()));
+    assert_eq!(db.prepared_gids(), vec!["gid-rb".to_string()]);
+    db.rollback_prepared("gid-rb").unwrap();
+    assert!(sorted_rows(&db, "kv").is_empty());
+    // The abort fate is durable: the gid must not resurrect.
+    drop(db);
+    let db = Database::new(file_config(dir.path()));
+    assert!(db.prepared_gids().is_empty());
+    assert!(sorted_rows(&db, "kv").is_empty());
+}
+
+#[test]
+fn resolved_prepared_transactions_do_not_resurrect() {
+    let dir = TempDir::new("2pc-resolved");
+    {
+        let db = Database::new(file_config(dir.path()));
+        db.create_table(TableDef::new("kv", &["k", "v"], vec![0]))
+            .unwrap();
+        let mut t = db.begin(IsolationLevel::Serializable);
+        t.insert("kv", row![1, 10]).unwrap();
+        t.prepare("gid-a").unwrap();
+        db.commit_prepared("gid-a").unwrap();
+        let mut t = db.begin(IsolationLevel::Serializable);
+        t.insert("kv", row![2, 20]).unwrap();
+        t.prepare("gid-b").unwrap();
+        db.rollback_prepared("gid-b").unwrap();
+    }
+    let db = Database::new(file_config(dir.path()));
+    assert!(db.prepared_gids().is_empty());
+    assert_eq!(sorted_rows(&db, "kv"), vec![row![1, 10]]);
+}
+
+#[test]
+fn checkpoint_preserves_pending_prepare() {
+    let dir = TempDir::new("2pc-ckpt");
+    {
+        let db = Database::new(file_config(dir.path()));
+        db.create_table(TableDef::new("kv", &["k", "v"], vec![0]))
+            .unwrap();
+        let mut t = db.begin(IsolationLevel::Serializable);
+        t.insert("kv", row![1, 10]).unwrap();
+        t.prepare("gid-ckpt").unwrap();
+        // Commit traffic and a checkpoint land while the gid is in doubt:
+        // the trim floor must keep the Prepare record (the in-doubt effects
+        // live only there — the image cannot contain uncommitted rows).
+        for i in 10..20i64 {
+            let mut t = db.begin(IsolationLevel::ReadCommitted);
+            t.insert("kv", row![i, i]).unwrap();
+            t.commit().unwrap();
+        }
+        db.checkpoint().unwrap();
+    }
+    let db = Database::new(file_config(dir.path()));
+    assert_eq!(db.prepared_gids(), vec!["gid-ckpt".to_string()]);
+    assert_eq!(sorted_rows(&db, "kv").len(), 10, "in-doubt row invisible");
+    db.commit_prepared("gid-ckpt").unwrap();
+    drop(db);
+    let db = Database::new(file_config(dir.path()));
+    assert!(db.prepared_gids().is_empty());
+    let rows = sorted_rows(&db, "kv");
+    assert_eq!(rows.len(), 11);
+    assert!(rows.contains(&row![1, 10]));
+}
+
+// ---------------------------------------------------------------------------
 // Crash-point proptest: recovered state == reference replay of the durable
 // prefix, for cuts at arbitrary byte offsets.
 // ---------------------------------------------------------------------------

@@ -45,7 +45,7 @@ use std::time::{Duration, Instant};
 use parking_lot::{Condvar, Mutex};
 use pgssi_common::sim::{self, Site};
 use pgssi_common::{Error, Result, ServerConfig, TxnId};
-use pgssi_engine::Database;
+use pgssi_engine::{Database, ShardedDatabase};
 use std::sync::{Arc, Weak};
 
 /// Identifies a session within its pool.
@@ -64,6 +64,10 @@ pub struct SessionActivity {
     /// the wait observer when the owning worker parks and cleared when the
     /// request that blocked completes.
     pub waiting_on: Option<u64>,
+    /// Shards the open transaction has enlisted, in enlistment order (empty
+    /// when no statement has routed yet). More than one entry means the
+    /// transaction escalated to cross-shard 2PC.
+    pub shards: Vec<usize>,
 }
 
 /// Cap on concurrently-live emergency reserve workers. One suffices for the
@@ -94,8 +98,11 @@ pub enum Next {
 /// A logical session's behavior. `run` is called by exactly one worker at a
 /// time; the task owns all per-session state (open transaction, RNG, inbox).
 pub trait SessionTask: Send {
-    /// One activation. Runs on a pool worker with no pool locks held.
-    fn run(&mut self, db: &Database, sid: SessionId) -> Next;
+    /// One activation. Runs on a pool worker with no pool locks held. The
+    /// pool always fronts a [`ShardedDatabase`] (a plain [`Database`] is
+    /// wrapped as a cluster of one); single-shard tasks use
+    /// [`ShardedDatabase::shard`] to reach their engine directly.
+    fn run(&mut self, db: &ShardedDatabase, sid: SessionId) -> Next;
 
     /// Called if `run` panics, before the session is retired, so the task can
     /// unblock anyone waiting on it (the wire layer closes its duplex channel
@@ -130,14 +137,16 @@ struct PoolState {
 }
 
 struct PoolInner {
-    db: Database,
+    db: ShardedDatabase,
     cfg: ServerConfig,
     state: Mutex<PoolState>,
     work: Condvar,
-    /// Which session owns which open transaction (maintained by the tasks via
-    /// [`SessionPool::note_txn`]/[`SessionPool::forget_txn`]), so the wait
-    /// observer can map a blocking txid back to its session.
-    txn_owners: Mutex<HashMap<TxnId, SessionId>>,
+    /// Which session owns which open transaction branch (maintained by the
+    /// tasks via [`SessionPool::note_txn`]/[`SessionPool::forget_txn`]), so
+    /// the wait observer can map a blocking txid back to its session. Keyed
+    /// by `(shard, txid)`: each shard allocates txids independently, so a
+    /// bare txid is ambiguous cluster-wide.
+    txn_owners: Mutex<HashMap<(usize, TxnId), SessionId>>,
     /// Live-session activity for the `ACTIVITY` verb. Innermost lock: taken
     /// only as a leaf, never while acquiring another pool lock.
     activity: Mutex<HashMap<SessionId, SessionActivity>>,
@@ -150,8 +159,16 @@ pub struct SessionPool {
 }
 
 impl SessionPool {
-    /// Start `cfg.workers` worker threads fronting `db`.
+    /// Start `cfg.workers` worker threads fronting a single [`Database`]
+    /// (wrapped as a one-shard cluster; routing degenerates to shard 0).
     pub fn new(db: Database, cfg: ServerConfig) -> SessionPool {
+        SessionPool::new_cluster(ShardedDatabase::from_shards(vec![db]), cfg)
+    }
+
+    /// Start `cfg.workers` worker threads fronting a sharded cluster.
+    /// Statements route per shard; the wait observer is installed on every
+    /// shard so lock-aware scheduling works wherever a branch blocks.
+    pub fn new_cluster(db: ShardedDatabase, cfg: ServerConfig) -> SessionPool {
         let inner = Arc::new(PoolInner {
             db,
             cfg: ServerConfig {
@@ -178,12 +195,19 @@ impl SessionPool {
         // released as soon as a worker frees up instead of stalling until the
         // lock timeout. The observer holds only a weak handle (the Database
         // outlives pools fronting it; a dead pool's observer is a no-op).
-        let weak: Weak<PoolInner> = Arc::downgrade(&inner);
-        inner.db.set_wait_observer(Arc::new(move |waiter, holder| {
-            if let Some(pool) = weak.upgrade() {
-                pool.report_wait(waiter, holder);
-            }
-        }));
+        // Installed per shard, each closure carrying its shard index: txids
+        // are only meaningful within a shard.
+        for shard in 0..inner.db.shards() {
+            let weak: Weak<PoolInner> = Arc::downgrade(&inner);
+            inner
+                .db
+                .shard(shard)
+                .set_wait_observer(Arc::new(move |waiter, holder| {
+                    if let Some(pool) = weak.upgrade() {
+                        pool.report_wait(shard, waiter, holder);
+                    }
+                }));
+        }
         let workers = (0..inner.cfg.workers)
             .map(|i| {
                 let inner = Arc::clone(&inner);
@@ -195,8 +219,9 @@ impl SessionPool {
         SessionPool { inner, workers }
     }
 
-    /// The database this pool fronts.
-    pub fn db(&self) -> &Database {
+    /// The cluster this pool fronts (a one-shard cluster for pools built
+    /// with [`SessionPool::new`]).
+    pub fn db(&self) -> &ShardedDatabase {
         &self.inner.db
     }
 
@@ -279,27 +304,48 @@ impl SessionPool {
         }
     }
 
-    /// Record that `sid`'s open transaction is `txid` (wire tasks call this
-    /// on BEGIN). The wait observer uses the mapping to priority-schedule the
-    /// session when another worker blocks on that transaction's locks.
-    pub fn note_txn(&self, txid: TxnId, sid: SessionId) {
-        self.inner.txn_owners.lock().insert(txid, sid);
+    /// Record that `sid`'s open transaction has branch `txid` on `shard`
+    /// (wire tasks call this when a statement enlists a new shard). The wait
+    /// observer uses the mapping to priority-schedule the session when
+    /// another worker blocks on that branch's locks.
+    pub fn note_txn(&self, shard: usize, txid: TxnId, sid: SessionId) {
+        self.inner.txn_owners.lock().insert((shard, txid), sid);
+        // Reflect the branch in the session's ACTIVITY row immediately: the
+        // statement that opened this branch may block before the session's
+        // post-request bookkeeping runs, and an observer should still see
+        // which transaction and shards the blocked session holds.
+        if let Some(a) = self.inner.activity.lock().get_mut(&sid) {
+            if a.txid.is_none() {
+                a.txid = Some(txid.0);
+            }
+            if !a.shards.contains(&shard) {
+                a.shards.push(shard);
+            }
+        }
     }
 
-    /// Forget a finished transaction's ownership (COMMIT/ABORT/close).
-    pub fn forget_txn(&self, txid: TxnId) {
-        self.inner.txn_owners.lock().remove(&txid);
+    /// Forget a finished branch's ownership (COMMIT/ABORT/close).
+    pub fn forget_txn(&self, shard: usize, txid: TxnId) {
+        self.inner.txn_owners.lock().remove(&(shard, txid));
     }
 
     /// Refresh `sid`'s `ACTIVITY` row after a request completes: the open
-    /// transaction (if any) and its isolation label. Clears any recorded wait
-    /// target — if the session *was* blocked, the request that blocked it has
-    /// finished by the time this runs.
-    pub fn note_activity(&self, sid: SessionId, txn: Option<(TxnId, &'static str)>) {
+    /// transaction (if any), its isolation label, and the shards it has
+    /// enlisted so far. Clears any recorded wait target — if the session
+    /// *was* blocked, the request that blocked it has finished by the time
+    /// this runs.
+    pub fn note_activity(
+        &self,
+        sid: SessionId,
+        txid: Option<TxnId>,
+        isolation: Option<&'static str>,
+        shards: Vec<usize>,
+    ) {
         if let Some(a) = self.inner.activity.lock().get_mut(&sid) {
-            a.txid = txn.map(|(t, _)| t.0);
-            a.isolation = txn.map(|(_, iso)| iso);
+            a.txid = txid.map(|t| t.0);
+            a.isolation = isolation;
             a.waiting_on = None;
+            a.shards = shards;
         }
     }
 
@@ -413,20 +459,21 @@ impl PoolInner {
     }
 
     /// Wait-observer entry point: the calling worker (running `waiter`'s
-    /// session) is about to park on a row lock held by `holder`. Marks this
-    /// worker blocked (cleared when its activation returns), records the wait
-    /// target for `ACTIVITY`, and priority-wakes the holder's session.
-    fn report_wait(self: &Arc<Self>, waiter: TxnId, holder: TxnId) {
+    /// session) is about to park on a row lock held by `holder`, both txids
+    /// scoped to `shard`. Marks this worker blocked (cleared when its
+    /// activation returns), records the wait target for `ACTIVITY`, and
+    /// priority-wakes the holder's session.
+    fn report_wait(self: &Arc<Self>, shard: usize, waiter: TxnId, holder: TxnId) {
         // First report of this activation: count the worker as blocked.
         if IN_WAIT_REPORT.with(|f| !f.replace(true)) {
             self.state.lock().waiting_workers += 1;
         }
-        if let Some(sid) = self.txn_owners.lock().get(&waiter).copied() {
+        if let Some(sid) = self.txn_owners.lock().get(&(shard, waiter)).copied() {
             if let Some(a) = self.activity.lock().get_mut(&sid) {
                 a.waiting_on = Some(holder.0);
             }
         }
-        self.wake_txn_owner(holder);
+        self.wake_txn_owner(shard, holder);
     }
 
     /// Priority-wake the session owning `txid` (wait-observer path): a
@@ -435,8 +482,8 @@ impl PoolInner {
     /// schedule; a running or already-front session needs no help. If the
     /// holder is runnable but every worker is blocked in a lock wait, a free
     /// worker will never come — spawn an emergency reserve for it.
-    fn wake_txn_owner(self: &Arc<Self>, txid: TxnId) {
-        let Some(sid) = self.txn_owners.lock().get(&txid).copied() else {
+    fn wake_txn_owner(self: &Arc<Self>, shard: usize, txid: TxnId) {
+        let Some(sid) = self.txn_owners.lock().get(&(shard, txid)).copied() else {
             return;
         };
         let mut st = self.state.lock();
@@ -667,7 +714,7 @@ mod tests {
     }
 
     impl SessionTask for CountTo {
-        fn run(&mut self, _db: &Database, _sid: SessionId) -> Next {
+        fn run(&mut self, _db: &ShardedDatabase, _sid: SessionId) -> Next {
             self.n += 1;
             self.total.fetch_add(1, Ordering::Relaxed);
             if self.n >= self.target {
@@ -709,7 +756,7 @@ mod tests {
         let pool = SessionPool::new(db, cfg);
         struct Forever;
         impl SessionTask for Forever {
-            fn run(&mut self, _db: &Database, _sid: SessionId) -> Next {
+            fn run(&mut self, _db: &ShardedDatabase, _sid: SessionId) -> Next {
                 Next::Idle
             }
         }
@@ -728,7 +775,7 @@ mod tests {
             total: Arc<AtomicU64>,
         }
         impl SessionTask for Pulse {
-            fn run(&mut self, _db: &Database, _sid: SessionId) -> Next {
+            fn run(&mut self, _db: &ShardedDatabase, _sid: SessionId) -> Next {
                 self.fired += 1;
                 self.total.fetch_add(1, Ordering::Relaxed);
                 if self.fired >= 3 {
@@ -759,7 +806,7 @@ mod tests {
         let pool = SessionPool::new(db, ServerConfig::with_workers(1));
         struct Spinner;
         impl SessionTask for Spinner {
-            fn run(&mut self, _db: &Database, _sid: SessionId) -> Next {
+            fn run(&mut self, _db: &ShardedDatabase, _sid: SessionId) -> Next {
                 Next::Again // never stops on its own
             }
         }
@@ -778,7 +825,7 @@ mod tests {
             closed: Arc<AtomicU64>,
         }
         impl SessionTask for Bomb {
-            fn run(&mut self, _db: &Database, _sid: SessionId) -> Next {
+            fn run(&mut self, _db: &ShardedDatabase, _sid: SessionId) -> Next {
                 panic!("boom");
             }
             fn close(&mut self) {
@@ -816,7 +863,7 @@ mod tests {
             runs: Arc<AtomicU64>,
         }
         impl SessionTask for SleepyOnce {
-            fn run(&mut self, _db: &Database, _sid: SessionId) -> Next {
+            fn run(&mut self, _db: &ShardedDatabase, _sid: SessionId) -> Next {
                 let n = self.runs.fetch_add(1, Ordering::SeqCst);
                 if n == 0 {
                     std::thread::sleep(Duration::from_millis(30));

@@ -20,7 +20,7 @@ use std::sync::Arc;
 
 use parking_lot::{Condvar, Mutex};
 use pgssi_common::{Error, Result, ServerConfig, TxnId};
-use pgssi_engine::{Database, IsolationLevel, Transaction};
+use pgssi_engine::{Database, IsolationLevel, ShardedDatabase, ShardedTransaction};
 
 use crate::pool::{Next, SessionId, SessionPool, SessionTask};
 use crate::proto::{self, Command};
@@ -66,15 +66,25 @@ pub struct Server {
 }
 
 impl Server {
-    /// Start a server fronting `db` with `cfg.workers` worker threads.
+    /// Start a server fronting `db` with `cfg.workers` worker threads (a
+    /// one-shard cluster; every statement routes to shard 0).
     pub fn new(db: Database, cfg: ServerConfig) -> Server {
         Server {
             pool: Arc::new(SessionPool::new(db, cfg)),
         }
     }
 
-    /// The database behind the server.
-    pub fn db(&self) -> &Database {
+    /// Start a server fronting a sharded cluster. Statements route per
+    /// shard — `BEGIN` pins nothing; a session's transaction escalates to
+    /// cross-shard 2PC only when its statements actually span shards.
+    pub fn new_cluster(db: ShardedDatabase, cfg: ServerConfig) -> Server {
+        Server {
+            pool: Arc::new(SessionPool::new_cluster(db, cfg)),
+        }
+    }
+
+    /// The cluster behind the server (one shard for [`Server::new`]).
+    pub fn db(&self) -> &ShardedDatabase {
         self.pool.db()
     }
 
@@ -203,7 +213,13 @@ pub(crate) struct WireTask {
     /// inside the pool's slots, so a strong handle would be a cycle).
     pool: std::sync::Weak<SessionPool>,
     sink: ResponseSink,
-    txn: Option<Transaction>,
+    txn: Option<ShardedTransaction>,
+    /// Branches the open transaction has registered with the pool's
+    /// `(shard, txid)` → session map. Shared with the transaction's enlist
+    /// hook: branches register the instant they open (they can block inside
+    /// that same statement), and everything deregisters when the
+    /// transaction slot empties.
+    tracked: Arc<Mutex<Vec<(usize, TxnId)>>>,
     /// Per-session cache of `(pk columns, width)` by table, so hot-path PUTs
     /// don't re-take the catalog and table locks per request. Schemas are
     /// immutable after `create_table`, so the cache never goes stale.
@@ -221,6 +237,7 @@ impl WireTask {
             pool,
             sink,
             txn: None,
+            tracked: Arc::new(Mutex::new(Vec::new())),
             shapes: HashMap::new(),
         }
     }
@@ -249,22 +266,22 @@ impl WireTask {
             }
         }
     }
-    /// Update the pool's txid→session map to match the transaction slot:
-    /// registered on BEGIN, forgotten on COMMIT/ABORT/auto-abort/close. The
-    /// map is what lets a blocking worker priority-wake this session.
-    fn track_txn(&self, sid: SessionId, prev: Option<TxnId>) {
-        let Some(pool) = self.pool.upgrade() else {
-            return;
-        };
-        let now = self.txn.as_ref().map(|t| t.txid());
-        if prev == now {
+    /// Registration happens eagerly in the transaction's enlist hook (set at
+    /// BEGIN); this is the matching teardown, run after each request: once
+    /// the transaction slot is empty (COMMIT/ABORT/auto-abort), every branch
+    /// it registered is forgotten.
+    fn untrack_finished_txn(&mut self) {
+        if self.txn.is_some() {
             return;
         }
-        if let Some(old) = prev {
-            pool.forget_txn(old);
+        let pairs: Vec<(usize, TxnId)> = self.tracked.lock().drain(..).collect();
+        if pairs.is_empty() {
+            return;
         }
-        if let Some(new) = now {
-            pool.note_txn(new, sid);
+        if let Some(pool) = self.pool.upgrade() {
+            for (shard, txid) in pairs {
+                pool.forget_txn(shard, txid);
+            }
         }
     }
 
@@ -272,11 +289,8 @@ impl WireTask {
     /// retirement paths, where only the ownership *removal* matters and no
     /// session id is meaningful.
     fn drop_txn(&mut self) {
-        if let Some(t) = self.txn.take() {
-            if let Some(pool) = self.pool.upgrade() {
-                pool.forget_txn(t.txid());
-            }
-        }
+        self.txn = None;
+        self.untrack_finished_txn();
     }
 }
 
@@ -294,7 +308,7 @@ impl SessionTask for WireTask {
         }
     }
 
-    fn run(&mut self, db: &Database, sid: SessionId) -> Next {
+    fn run(&mut self, db: &ShardedDatabase, sid: SessionId) -> Next {
         loop {
             let line = {
                 let mut c = self.duplex.chan.lock();
@@ -314,16 +328,22 @@ impl SessionTask for WireTask {
                 self.drop_txn();
                 return Next::Stop;
             };
-            let prev = self.txn.as_ref().map(|t| t.txid());
-            let response =
-                execute_line(db, sid, &self.pool, &mut self.txn, &mut self.shapes, &line);
-            self.track_txn(sid, prev);
+            let response = execute_line(
+                db,
+                sid,
+                &self.pool,
+                &mut self.txn,
+                &self.tracked,
+                &mut self.shapes,
+                &line,
+            );
+            self.untrack_finished_txn();
             if let Some(pool) = self.pool.upgrade() {
                 pool.note_activity(
                     sid,
-                    self.txn
-                        .as_ref()
-                        .map(|t| (t.txid(), iso_label(t.isolation()))),
+                    self.txn.as_ref().and_then(|t| t.txid()),
+                    self.txn.as_ref().map(|t| iso_label(t.isolation())),
+                    self.tracked.lock().iter().map(|&(s, _)| s).collect(),
                 );
             }
             db.session_stats().requests_executed.bump();
@@ -349,10 +369,11 @@ fn iso_label(iso: IsolationLevel) -> &'static str {
 
 /// Execute one request line against the session's transaction slot.
 fn execute_line(
-    db: &Database,
+    db: &ShardedDatabase,
     sid: SessionId,
     pool: &std::sync::Weak<SessionPool>,
-    txn: &mut Option<Transaction>,
+    txn: &mut Option<ShardedTransaction>,
+    tracked: &Arc<Mutex<Vec<(usize, TxnId)>>>,
     shapes: &mut HashMap<String, (Vec<usize>, usize)>,
     line: &str,
 ) -> String {
@@ -370,8 +391,20 @@ fn execute_line(
             if txn.is_some() {
                 return err("transaction already open");
             }
-            match db.begin_with_on_shard(spec.options(), sid) {
-                Ok(t) => {
+            match db.begin_with_on_shard(spec.options(), Some(sid)) {
+                Ok(mut t) => {
+                    // Register branches the moment they open: a branch can
+                    // park on a row lock inside the statement that opened
+                    // it, and the wait observer must already know the
+                    // `(shard, txid)` → session mapping by then.
+                    let pool = pool.clone();
+                    let tracked = Arc::clone(tracked);
+                    t.set_enlist_hook(move |shard, txid| {
+                        tracked.lock().push((shard, txid));
+                        if let Some(p) = pool.upgrade() {
+                            p.note_txn(shard, txid, sid);
+                        }
+                    });
                     *txn = Some(t);
                     "OK".to_string()
                 }
@@ -450,14 +483,29 @@ fn execute_line(
             let body = rows
                 .iter()
                 .map(|(sid, a)| {
-                    let state = match (a.txid, a.waiting_on) {
+                    // Open-ness is keyed on the isolation label, not the
+                    // txid: a transaction is open from BEGIN, but its txid
+                    // appears only once a statement routes to a shard.
+                    let state = match (a.isolation, a.waiting_on) {
                         (Some(_), Some(_)) => "waiting",
                         (Some(_), None) => "active",
                         _ => "idle",
                     };
                     let fmt = |v: Option<u64>| v.map_or("-".to_string(), |v| v.to_string());
+                    // Trailing column: shards the transaction has enlisted,
+                    // "+"-joined ("0+2" = cross-shard 2PC over shards 0 and
+                    // 2; "-" = none routed yet).
+                    let shards = if a.shards.is_empty() {
+                        "-".to_string()
+                    } else {
+                        a.shards
+                            .iter()
+                            .map(|s| s.to_string())
+                            .collect::<Vec<_>>()
+                            .join("+")
+                    };
                     format!(
-                        "{sid},{state},{},{},{}",
+                        "{sid},{state},{},{},{},{shards}",
                         fmt(a.txid),
                         a.isolation.unwrap_or("-"),
                         fmt(a.waiting_on)
@@ -495,8 +543,8 @@ fn execute_line(
 /// Run a data command against the open transaction, mapping errors (and the
 /// no-transaction case) to `ERR` lines and reaping auto-aborted handles.
 fn with_txn(
-    txn: &mut Option<Transaction>,
-    f: impl FnOnce(&mut Transaction) -> Result<String>,
+    txn: &mut Option<ShardedTransaction>,
+    f: impl FnOnce(&mut ShardedTransaction) -> Result<String>,
 ) -> String {
     let Some(t) = txn.as_mut() else {
         return err("no transaction open");

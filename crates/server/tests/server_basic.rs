@@ -789,3 +789,100 @@ fn idle_connection_times_out_and_rolls_back() {
     front.shutdown();
     server.shutdown();
 }
+
+// ---------------------------------------------------------------------------
+// Sharded cluster behind the wire layer
+// ---------------------------------------------------------------------------
+
+/// A server fronting a multi-shard cluster: BEGIN pins nothing, statements
+/// route per shard, cross-shard transactions escalate to 2PC transparently,
+/// STATS aggregates every shard plus the coordinator counters, and ACTIVITY
+/// rows carry the enlisted-shards column.
+#[test]
+fn sharded_server_routes_per_statement() {
+    use pgssi_engine::ShardedDatabase;
+
+    let cluster = ShardedDatabase::new(4, EngineConfig::default());
+    cluster
+        .create_table(TableDef::new("kv", &["k", "v"], vec![0]))
+        .unwrap();
+    let server = Server::new_cluster(
+        cluster,
+        ServerConfig {
+            workers: 2,
+            max_sessions: 8,
+            ..ServerConfig::default()
+        },
+    );
+
+    // Enough keys to guarantee both single- and cross-shard transactions.
+    let s = server.connect().unwrap();
+    for i in 0..8 {
+        assert_eq!(s.roundtrip("BEGIN").unwrap(), "OK");
+        assert_eq!(
+            s.roundtrip(&format!("PUT kv {i} {}", i * 10)).unwrap(),
+            "OK"
+        );
+        assert_eq!(s.roundtrip("COMMIT").unwrap(), "OK");
+    }
+    // One wide transaction spanning every key: cross-shard 2PC on the wire.
+    assert_eq!(s.roundtrip("BEGIN").unwrap(), "OK");
+    for i in 0..8 {
+        assert_eq!(
+            s.roundtrip(&format!("GET kv {i}")).unwrap(),
+            format!("ROW {i} {}", i * 10)
+        );
+    }
+    assert_eq!(s.roundtrip("PUT kv 0 1000").unwrap(), "OK");
+    assert_eq!(s.roundtrip("PUT kv 7 1700").unwrap(), "OK");
+
+    // Mid-transaction ACTIVITY: this session's row must list multiple
+    // enlisted shards, "+"-joined, in the trailing column.
+    let observer = server.connect().unwrap();
+    let activity = observer.roundtrip("ACTIVITY").unwrap();
+    let body = activity
+        .strip_prefix("ROWS ")
+        .unwrap_or_else(|| panic!("not a ROWS response: {activity}"))
+        .split_once(' ')
+        .map_or("", |(_, b)| b);
+    let cross: Vec<&str> = body
+        .split('|')
+        .filter(|r| r.split(',').nth(5).is_some_and(|s| s.contains('+')))
+        .collect();
+    assert_eq!(
+        cross.len(),
+        1,
+        "the open cross-shard transaction must show its shards: {activity}"
+    );
+
+    assert_eq!(s.roundtrip("COMMIT").unwrap(), "OK");
+    assert_eq!(s.roundtrip("BEGIN").unwrap(), "OK");
+    assert_eq!(s.roundtrip("GET kv 0").unwrap(), "ROW 0 1000");
+    assert_eq!(s.roundtrip("SCAN kv").unwrap().split(' ').nth(1), Some("8"));
+    assert_eq!(s.roundtrip("COMMIT").unwrap(), "OK");
+
+    // STATS is cluster-wide: the coordinator line reports the 2PC traffic.
+    let stats = observer.roundtrip("STATS").unwrap();
+    assert!(
+        stats.contains("cluster: shards 4"),
+        "STATS must carry the cluster line: {stats}"
+    );
+    assert!(
+        stats.contains("cross-shard-2pc-commits"),
+        "STATS must carry the 2PC counters: {stats}"
+    );
+    let report = server.db().stats_report();
+    assert!(report.cluster_cross_commits >= 1, "wide txn ran 2PC");
+    assert!(
+        report.cluster_single_commits >= 1,
+        "narrow txns stayed local"
+    );
+    assert_eq!(
+        report.cluster_enlistments,
+        report.cluster_cross_commits + report.cluster_cross_aborts,
+        "single-shard transactions must never enlist the coordinator"
+    );
+
+    drop((s, observer));
+    server.shutdown();
+}

@@ -28,7 +28,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: sim_ssi [--scenario NAME] [--seed N | --seeds A..B] [--scale K]\n\
          \x20              [--emulate] [--expect-violation] [--verbose]\n\
-         scenarios: mix crash repl pool pivot (default sweep: mix crash repl pool)"
+         scenarios: mix crash repl pool cluster pivot (default sweep: mix crash repl pool cluster)"
     );
     std::process::exit(2)
 }

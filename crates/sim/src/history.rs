@@ -192,6 +192,99 @@ pub fn check(history: &[CommittedTxn]) -> Vec<String> {
     violations
 }
 
+/// Cross-shard serialization-graph acyclicity over a *merged* sharded
+/// history.
+///
+/// `shard_histories[s]` holds shard `s`'s projection of every committed
+/// transaction that touched it; a cross-shard transaction appears in several
+/// projections under the **same label**, each carrying that shard's local
+/// CSNs. CSNs from different shards are incomparable, so the global checks
+/// (snapshot reads, first-committer-wins) only run per shard via [`check`];
+/// what *is* well-defined globally is the serialization graph: every key
+/// lives on exactly one shard, so per-key writer order (ww), observed-write
+/// edges (wr), and read-to-next-writer antidependencies (rw) all derive
+/// shard-locally and fold onto one node per label. A cycle here is exactly
+/// the anomaly the coordinator's conservative 2PC rule exists to prevent:
+/// each shard's projection can look serializable while the union is not
+/// (the distributed write skew shape).
+pub fn check_merged_acyclic(shard_histories: &[Vec<CommittedTxn>]) -> Vec<String> {
+    let mut violations = Vec::new();
+    // One global node per label.
+    let mut node_of: HashMap<&str, usize> = HashMap::new();
+    let mut labels: Vec<&str> = Vec::new();
+    for h in shard_histories {
+        for t in h {
+            node_of.entry(t.label.as_str()).or_insert_with(|| {
+                labels.push(t.label.as_str());
+                labels.len() - 1
+            });
+        }
+    }
+    let mut edges: Vec<Vec<usize>> = vec![Vec::new(); labels.len()];
+
+    for hist in shard_histories {
+        let mut by_value: HashMap<(i64, i64), usize> = HashMap::new();
+        for (i, t) in hist.iter().enumerate() {
+            for &(k, v) in &t.writes {
+                by_value.insert((k, v), i);
+            }
+        }
+        let mut writers: HashMap<i64, Vec<usize>> = HashMap::new();
+        for (i, t) in hist.iter().enumerate() {
+            for &(k, _) in &t.writes {
+                writers.entry(k).or_default().push(i);
+            }
+        }
+        for list in writers.values_mut() {
+            list.sort_by_key(|&i| hist[i].commit_csn);
+        }
+
+        let g = |i: usize| node_of[hist[i].label.as_str()];
+        for (r, t) in hist.iter().enumerate() {
+            for &(k, v) in &t.reads {
+                let Some(&w) = by_value.get(&(k, v)) else {
+                    violations.push(format!(
+                        "merged history: {} read value {v} at key {k} that no \
+                         committed transaction wrote",
+                        t.label
+                    ));
+                    continue;
+                };
+                if let Some(list) = writers.get(&k) {
+                    if let Some(&next) = list
+                        .iter()
+                        .find(|&&i| hist[i].commit_csn > hist[w].commit_csn && i != r)
+                    {
+                        edges[g(r)].push(g(next)); // rw antidependency
+                    }
+                }
+                if w != r {
+                    edges[g(w)].push(g(r)); // wr
+                }
+            }
+        }
+        for list in writers.values() {
+            for pair in list.windows(2) {
+                if pair[0] != pair[1] {
+                    edges[g(pair[0])].push(g(pair[1])); // ww
+                }
+            }
+        }
+    }
+    // Self-edges from fold artifacts are meaningless; drop them.
+    for (i, out) in edges.iter_mut().enumerate() {
+        out.retain(|&j| j != i);
+    }
+    if let Some(cycle) = find_cycle(&edges) {
+        let path: Vec<&str> = cycle.iter().map(|&i| labels[i]).collect();
+        violations.push(format!(
+            "merged cross-shard serialization graph has a cycle: {}",
+            path.join(" -> ")
+        ));
+    }
+    violations
+}
+
 /// Return one cycle (as node indices, first repeated implicitly) if any.
 fn find_cycle(edges: &[Vec<usize>]) -> Option<Vec<usize>> {
     #[derive(Clone, Copy, PartialEq)]
@@ -310,6 +403,46 @@ mod tests {
         ];
         let v = check(&h);
         assert!(v.iter().any(|m| m.contains("snapshot violated")), "{v:?}");
+    }
+
+    #[test]
+    fn merged_check_catches_distributed_write_skew() {
+        // Key 1 lives on shard 0, key 2 on shard 1. T1 reads 1 / writes 2,
+        // T2 reads 2 / writes 1: each shard's projection is serializable on
+        // its own, the union is the classic write-skew cycle.
+        let shard0 = vec![
+            txn("g0", 0, 1, &[], &[(1, 100)]),
+            txn("t1", 2, 3, &[(1, 100)], &[]),
+            txn("t2", 2, 4, &[], &[(1, 101)]),
+        ];
+        let shard1 = vec![
+            txn("g1", 0, 1, &[], &[(2, 200)]),
+            txn("t2", 2, 3, &[(2, 200)], &[]),
+            txn("t1", 2, 4, &[], &[(2, 201)]),
+        ];
+        assert!(check(&shard0).is_empty(), "{:?}", check(&shard0));
+        assert!(check(&shard1).is_empty(), "{:?}", check(&shard1));
+        let v = check_merged_acyclic(&[shard0, shard1]);
+        assert!(
+            v.iter()
+                .any(|m| m.contains("cross-shard") && m.contains("cycle")),
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn merged_check_passes_serializable_sharded_history() {
+        let shard0 = vec![
+            txn("g0", 0, 1, &[], &[(1, 100)]),
+            txn("t1", 2, 3, &[(1, 100)], &[(1, 101)]),
+        ];
+        let shard1 = vec![
+            txn("g1", 0, 1, &[], &[(2, 200)]),
+            txn("t1", 2, 3, &[(2, 200)], &[(2, 201)]),
+            txn("t2", 4, 5, &[(2, 201)], &[]),
+        ];
+        let v = check_merged_acyclic(&[shard0, shard1]);
+        assert!(v.is_empty(), "{v:?}");
     }
 
     #[test]

@@ -10,7 +10,7 @@ use crate::scenario::{self, Outcome};
 /// Scenarios in the default sweep. `pivot` is excluded: without the emulated
 /// race it is a (useful but slower) subset of `mix`'s checks, and regression
 /// tests drive it explicitly with the race enabled.
-pub const SCENARIOS: &[&str] = &["mix", "crash", "repl", "pool"];
+pub const SCENARIOS: &[&str] = &["mix", "crash", "repl", "pool", "cluster"];
 
 /// Default workload scale (multiplies per-thread transaction counts).
 pub const DEFAULT_SCALE: u32 = 1;
@@ -98,8 +98,11 @@ pub fn run_scenario(name: &str, seed: u64, scale: u32, emulate: bool) -> SeedOut
         "crash" => flatten("crash", seed, scenario::crash(seed, scale)),
         "repl" => flatten("repl", seed, scenario::repl(seed, scale, emulate)),
         "pool" => flatten("pool", seed, scenario::pool(seed, scale)),
+        "cluster" => flatten("cluster", seed, scenario::cluster(seed, scale)),
         "pivot" => flatten("pivot", seed, scenario::pivot(seed, scale, emulate)),
-        other => panic!("unknown scenario {other:?} (have: mix, crash, repl, pool, pivot)"),
+        other => {
+            panic!("unknown scenario {other:?} (have: mix, crash, repl, pool, cluster, pivot)")
+        }
     }
 }
 

@@ -9,6 +9,7 @@
 //! | `crash`   | durable WAL + injected crash/torn-write/fsync faults | acked ⊆ recovered, recovery ≡ independent prefix replay |
 //! | `repl`    | §7.2 marker shipping + replica catch-up/reconnect | marker position invariant, no panics |
 //! | `pool`    | session pool + wire protocol under sim   | protocol responses, final row values, clean shutdown |
+//! | `cluster` | sharded engine, cross-shard 2PC yield edges | per-shard projected histories, merged cross-shard SG acyclicity, 2PC hygiene, fast-path invariant |
 //! | `pivot`   | write-skew battering (optionally with the historical pivot-precommit race re-enabled) | history SG acyclicity |
 //!
 //! `pivot` and `repl` take an `emulate` flag that re-introduces a historical
@@ -22,8 +23,8 @@ use parking_lot::Mutex;
 use pgssi_common::sim::{self, Scheduler, SimConfig, SimRun, Site};
 use pgssi_common::{row, EngineConfig, ReplicationConfig, ServerConfig, TxnId, Value};
 use pgssi_engine::{
-    decode_commit, with_retries, BeginOptions, Database, IsolationLevel, RedoOp, Replica, TableDef,
-    Transaction, WalRecord,
+    decode_commit, with_retries, BeginOptions, Database, IsolationLevel, RedoOp, Replica,
+    ShardedDatabase, TableDef, Transaction, WalRecord,
 };
 use pgssi_server::{Server, Transport};
 use pgssi_storage::TxnStatus;
@@ -889,6 +890,188 @@ fn trio_roots(
         ));
     }
     roots
+}
+
+// ---------------------------------------------------------------------------
+// cluster
+// ---------------------------------------------------------------------------
+
+/// Hash-partitioned cluster under sim: serializable workers over a two-shard
+/// [`ShardedDatabase`], the seed deciding interleavings around the 2PC yield
+/// points (`Site::TwoPhasePrepare` inside branch PREPARE,
+/// `Site::TwoPhaseResolve` inside COMMIT/ROLLBACK PREPARED).
+///
+/// Checks, in order of strength:
+/// 1. each shard's *projected* history passes the full single-domain
+///    invariants (snapshot reads, first-committer-wins, SG acyclicity) with
+///    that shard's own CSNs;
+/// 2. the **merged** cross-shard serialization graph is acyclic — per-shard
+///    projections can each look serializable while their union is the
+///    distributed write skew the coordinator's conservative rule must break;
+/// 3. 2PC hygiene: no in-doubt gids survive the run;
+/// 4. the fast-path invariant: coordinator enlistments == cross-shard
+///    completions (single-shard transactions never touch the coordinator).
+pub fn cluster(seed: u64, scale: u32) -> Outcome {
+    let mut plan = FaultPlan::from_seed(seed);
+    // Storage faults belong to `crash`; here only the wakeup faults apply.
+    plan.crash_at_byte = None;
+    plan.fail_sync_at = None;
+
+    let shards = 2usize;
+    let threads = 3usize;
+    let txns = 6 * scale as usize;
+    let keys = 8i64;
+
+    let c = ShardedDatabase::new(shards, EngineConfig::default());
+    c.create_table(TableDef::new("acct", &["k", "v"], vec![0]))
+        .unwrap();
+    let hists: Arc<Vec<History>> = Arc::new((0..shards).map(|_| History::new()).collect());
+
+    // Seed the rows through the cluster API (a cross-shard transaction
+    // itself), recording each shard's projection as that shard's genesis.
+    {
+        let mut txn = c.begin(IsolationLevel::Serializable);
+        let mut writes: Vec<Vec<(i64, i64)>> = vec![Vec::new(); shards];
+        for k in 0..keys {
+            txn.insert("acct", row![k, 1_000 + k]).unwrap();
+            writes[c.router().route("acct", &row![k])].push((k, 1_000 + k));
+        }
+        let metas: Vec<(usize, u64, u64)> = txn
+            .enlisted()
+            .iter()
+            .map(|&(s, txid)| (s, txid.0, txn.branch_ref(s).unwrap().snapshot().csn.0))
+            .collect();
+        txn.commit().unwrap();
+        for (s, txid, scsn) in metas {
+            hists[s].push(CommittedTxn {
+                label: "genesis".to_string(),
+                txid,
+                snapshot_csn: scsn,
+                commit_csn: commit_csn(c.shard(s), txid),
+                reads: Vec::new(),
+                writes: std::mem::take(&mut writes[s]),
+            });
+        }
+    }
+
+    let mut roots: Vec<(String, Box<dyn FnOnce() + Send>)> = Vec::new();
+    for t in 0..threads {
+        let c = c.clone();
+        let hists = Arc::clone(&hists);
+        roots.push((
+            format!("cluster-{t}"),
+            Box::new(move || {
+                let mut rng = splitmix64(seed ^ ((t as u64 + 3) << 40));
+                let mut attempts = 0u64;
+                for j in 0..txns {
+                    let plan = op_plan(&mut rng, keys);
+                    run_recorded_sharded(&c, &hists, &plan, format!("c{t}/{j}"), t, &mut attempts);
+                }
+            }),
+        ));
+    }
+    let run = Scheduler::run(sim_config(seed, &plan), roots);
+
+    let mut violations = Vec::new();
+    if let Some(f) = &run.failed {
+        violations.push(format!("scheduler: {f}"));
+    }
+    for p in &run.panics {
+        violations.push(format!("unexpected panic: {p}"));
+    }
+    let per_shard: Vec<Vec<CommittedTxn>> = hists.iter().map(|h| h.take()).collect();
+    for (s, h) in per_shard.iter().enumerate() {
+        for v in history::check(h) {
+            violations.push(format!("shard {s}: {v}"));
+        }
+    }
+    violations.extend(history::check_merged_acyclic(&per_shard));
+    let in_doubt = c.prepared_gids();
+    if !in_doubt.is_empty() {
+        violations.push(format!("2PC left in-doubt transactions: {in_doubt:?}"));
+    }
+    let stats = c.cluster_stats();
+    let cross = stats.cross_shard_commits.get() + stats.cross_shard_aborts.get();
+    if stats.coordinator_enlistments.get() != cross {
+        violations.push(format!(
+            "fast-path invariant: {} coordinator enlistments vs {} cross-shard completions",
+            stats.coordinator_enlistments.get(),
+            cross
+        ));
+    }
+    Outcome {
+        run,
+        violations,
+        plan,
+    }
+}
+
+/// Run one recorded serializable transaction against the cluster (manual
+/// retry loop — [`with_retries`] is single-database) and push each shard's
+/// projection, with that shard's CSNs, on commit. Gives up silently after the
+/// retry budget.
+fn run_recorded_sharded(
+    c: &ShardedDatabase,
+    hists: &[History],
+    plan: &OpPlan,
+    label: String,
+    thread: usize,
+    attempt_ctr: &mut u64,
+) {
+    'retry: for _ in 0..8 {
+        *attempt_ctr += 1;
+        let attempt = *attempt_ctr;
+        let Ok(mut txn) = c.begin_with(BeginOptions::new(IsolationLevel::Serializable)) else {
+            return;
+        };
+        let mut reads = Vec::new();
+        for &k in &plan.reads {
+            match txn.get("acct", &row![k]) {
+                Ok(Some(r)) => reads.push((k, int(&r[1]))),
+                Ok(None) => panic!("keys are pre-seeded"),
+                Err(e) if e.is_retryable() => continue 'retry,
+                Err(e) => panic!("unexpected workload error: {e}"),
+            }
+        }
+        let mut writes = Vec::new();
+        if let Some(k) = plan.write {
+            let v = uniq_val(thread, attempt, k);
+            match txn.update("acct", &row![k], row![k, v]) {
+                Ok(_) => writes.push((k, v)),
+                Err(e) if e.is_retryable() => continue 'retry,
+                Err(e) => panic!("unexpected workload error: {e}"),
+            }
+        }
+        // Capture per-branch identities before commit consumes the handle.
+        let metas: Vec<(usize, u64, u64)> = txn
+            .enlisted()
+            .iter()
+            .map(|&(s, txid)| (s, txid.0, txn.branch_ref(s).unwrap().snapshot().csn.0))
+            .collect();
+        match txn.commit() {
+            Ok(()) => {
+                for (s, txid, scsn) in metas {
+                    let project = |ops: &[(i64, i64)]| -> Vec<(i64, i64)> {
+                        ops.iter()
+                            .filter(|&&(k, _)| c.router().route("acct", &row![k]) == s)
+                            .copied()
+                            .collect()
+                    };
+                    hists[s].push(CommittedTxn {
+                        label: label.clone(),
+                        txid,
+                        snapshot_csn: scsn,
+                        commit_csn: commit_csn(c.shard(s), txid),
+                        reads: project(&reads),
+                        writes: project(&writes),
+                    });
+                }
+                return;
+            }
+            Err(e) if e.is_retryable() => continue 'retry,
+            Err(e) => panic!("unexpected commit error: {e}"),
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------

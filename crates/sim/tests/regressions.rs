@@ -12,19 +12,22 @@ use pgssi_sim::{run_scenario, scenario, SCENARIOS};
 #[test]
 fn same_seed_replays_byte_identical() {
     pgssi_sim::runner::quiet_sim_panics();
-    for (name, seed) in [("mix", 3u64), ("crash", 7), ("repl", 5), ("pivot", 2)] {
-        let a = match name {
+    for (name, seed) in [
+        ("mix", 3u64),
+        ("crash", 7),
+        ("repl", 5),
+        ("cluster", 4),
+        ("pivot", 2),
+    ] {
+        let go = |name: &str| match name {
             "mix" => scenario::mix(seed, 1),
             "crash" => scenario::crash(seed, 1),
             "repl" => scenario::repl(seed, 1, false),
+            "cluster" => scenario::cluster(seed, 1),
             _ => scenario::pivot(seed, 1, false),
         };
-        let b = match name {
-            "mix" => scenario::mix(seed, 1),
-            "crash" => scenario::crash(seed, 1),
-            "repl" => scenario::repl(seed, 1, false),
-            _ => scenario::pivot(seed, 1, false),
-        };
+        let a = go(name);
+        let b = go(name);
         assert_eq!(
             a.run.steps, b.run.steps,
             "{name}/{seed}: step counts differ"
